@@ -1,0 +1,94 @@
+// P2: end-to-end containment decision time across query families — the
+// cost profile of Theorem 3.1's exponential-time procedure: homomorphism
+// enumeration, junction-tree construction, and the cone LP.
+#include <benchmark/benchmark.h>
+
+#include "core/decider.h"
+#include "cq/parser.h"
+
+namespace {
+
+using namespace bagcq;
+
+cq::ConjunctiveQuery Cycle(int length, const cq::Vocabulary* vocab) {
+  std::string text;
+  for (int i = 0; i < length; ++i) {
+    if (i) text += ", ";
+    text += "R(c" + std::to_string(i) + ",c" + std::to_string((i + 1) % length) +
+            ")";
+  }
+  if (vocab != nullptr) {
+    return cq::ParseQueryWithVocabulary(text, *vocab).ValueOrDie();
+  }
+  return cq::ParseQuery(text).ValueOrDie();
+}
+
+cq::ConjunctiveQuery Star(int rays, const cq::Vocabulary& vocab) {
+  std::string text;
+  for (int i = 0; i < rays; ++i) {
+    if (i) text += ", ";
+    text += "R(h,s" + std::to_string(i) + ")";
+  }
+  return cq::ParseQueryWithVocabulary(text, vocab).ValueOrDie();
+}
+
+// Cycle_k ⪯ star_2 generalizes Example 4.3 (k = 3 is the paper's case).
+void BM_CycleInFork(benchmark::State& state) {
+  auto q1 = Cycle(static_cast<int>(state.range(0)), nullptr);
+  auto q2 = Star(2, q1.vocab());
+  for (auto _ : state) {
+    auto d = core::DecideBagContainment(q1, q2).ValueOrDie();
+    benchmark::DoNotOptimize(d.verdict);
+  }
+}
+BENCHMARK(BM_CycleInFork)->DenseRange(3, 6);
+
+// Star_k ⪯ star_j: contained iff j ≤ k; both directions timed.
+void BM_StarInStar(benchmark::State& state) {
+  auto base = cq::ParseQuery("R(x,y)").ValueOrDie();
+  auto q1 = Star(static_cast<int>(state.range(0)), base.vocab());
+  auto q2 = Star(static_cast<int>(state.range(1)), base.vocab());
+  for (auto _ : state) {
+    auto d = core::DecideBagContainment(q1, q2).ValueOrDie();
+    benchmark::DoNotOptimize(d.verdict);
+  }
+}
+BENCHMARK(BM_StarInStar)->Args({3, 2})->Args({2, 3})->Args({4, 3})->Args({4, 4});
+
+// The Example 3.5 refutation including witness construction+verification.
+void BM_Example35Refutation(benchmark::State& state) {
+  auto q1 = cq::ParseQuery(
+                "A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), "
+                "C(x1',x2')")
+                .ValueOrDie();
+  auto q2 = cq::ParseQueryWithVocabulary("A(y1,y2), B(y1,y3), C(y4,y2)",
+                                         q1.vocab())
+                .ValueOrDie();
+  for (auto _ : state) {
+    auto d = core::DecideBagContainment(q1, q2).ValueOrDie();
+    benchmark::DoNotOptimize(d.witness);
+  }
+}
+BENCHMARK(BM_Example35Refutation);
+
+// Witness-free vs witness-included refutation cost.
+void BM_Example35NoWitnessVerify(benchmark::State& state) {
+  auto q1 = cq::ParseQuery(
+                "A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), "
+                "C(x1',x2')")
+                .ValueOrDie();
+  auto q2 = cq::ParseQueryWithVocabulary("A(y1,y2), B(y1,y3), C(y4,y2)",
+                                         q1.vocab())
+                .ValueOrDie();
+  core::DeciderOptions options;
+  options.witness.verify_counts = false;
+  for (auto _ : state) {
+    auto d = core::DecideBagContainment(q1, q2, options).ValueOrDie();
+    benchmark::DoNotOptimize(d.witness);
+  }
+}
+BENCHMARK(BM_Example35NoWitnessVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

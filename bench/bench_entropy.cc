@@ -1,0 +1,90 @@
+// P5: entropy-machinery scaling — Möbius transforms, normality tests, the
+// Theorem C.3 normalization recursion, witness construction, and exact
+// log-rational sign decisions.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "entropy/functions.h"
+#include "entropy/log_rational.h"
+#include "entropy/mobius.h"
+#include "entropy/normalize.h"
+
+namespace {
+
+using namespace bagcq::entropy;
+using bagcq::util::Rational;
+using bagcq::util::VarSet;
+
+SetFunction RandomRank(int n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<uint64_t> columns;
+  for (int i = 0; i < n; ++i) columns.push_back(rng() & 0xff);
+  return GF2RankFunction(columns);
+}
+
+void BM_MobiusInverse(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SetFunction h = RandomRank(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MobiusInverse(h));
+  }
+}
+BENCHMARK(BM_MobiusInverse)->DenseRange(4, 14, 2);
+
+void BM_IsNormal(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SetFunction h = RandomRank(n, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsNormal(h));
+  }
+}
+BENCHMARK(BM_IsNormal)->DenseRange(4, 12, 2);
+
+void BM_NormalizePolymatroid(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SetFunction h = RandomRank(n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NormalizePolymatroid(h));
+  }
+}
+BENCHMARK(BM_NormalizePolymatroid)->DenseRange(3, 9);
+
+void BM_PolymatroidPredicate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SetFunction h = RandomRank(n, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.IsPolymatroid());
+  }
+}
+BENCHMARK(BM_PolymatroidPredicate)->DenseRange(4, 12, 2);
+
+void BM_RelationEntropyExact(benchmark::State& state) {
+  // Exact entropy vector of a random relation with t tuples over 4 columns.
+  const int t = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(11);
+  Relation p(4);
+  for (int i = 0; i < t; ++i) {
+    p.AddTuple({static_cast<int>(rng() % 3), static_cast<int>(rng() % 3),
+                static_cast<int>(rng() % 3), static_cast<int>(rng() % 3)});
+  }
+  for (auto _ : state) {
+    LogSetFunction h(p);
+    benchmark::DoNotOptimize(h[VarSet::Full(4)].Sign());
+  }
+}
+BENCHMARK(BM_RelationEntropyExact)->DenseRange(4, 20, 4);
+
+void BM_LogRationalSign(benchmark::State& state) {
+  // Near-tie comparison forcing large power products.
+  LogRational lhs = LogRational::Log2(3) * Rational(1000);
+  LogRational rhs = LogRational::Log2(2) * Rational(1585);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((lhs - rhs).Sign());
+  }
+}
+BENCHMARK(BM_LogRationalSign);
+
+}  // namespace
+
+BENCHMARK_MAIN();

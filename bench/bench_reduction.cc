@@ -1,0 +1,79 @@
+// P6: the Section 5 reduction pipeline — Lemma 5.3 uniformization, the
+// query construction, and the resulting homomorphism enumeration — plus the
+// output sizes it produces (arity and variable counts grow with the input).
+#include <benchmark/benchmark.h>
+
+#include "core/containment_inequality.h"
+#include "core/reduction_to_queries.h"
+#include "core/uniformize.h"
+#include "cq/homomorphism.h"
+#include "entropy/max_ii.h"
+
+namespace {
+
+using namespace bagcq;
+using entropy::LinearExpr;
+using util::Rational;
+using util::VarSet;
+
+std::vector<LinearExpr> SubadditivityBranches(int n0) {
+  // h(X0) + ... + h(X{n0-1}) - h(V) ≥ 0.
+  LinearExpr e(n0);
+  for (int i = 0; i < n0; ++i) e.Add(VarSet::Singleton(i), Rational(1));
+  e.Add(VarSet::Full(n0), Rational(-1));
+  return {e};
+}
+
+void BM_Uniformize(benchmark::State& state) {
+  auto branches = SubadditivityBranches(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Uniformize(branches).ValueOrDie().p);
+  }
+}
+BENCHMARK(BM_Uniformize)->DenseRange(2, 5);
+
+void BM_BuildQueries(benchmark::State& state) {
+  auto uniform =
+      core::Uniformize(SubadditivityBranches(static_cast<int>(state.range(0))))
+          .ValueOrDie();
+  int q1_vars = 0;
+  for (auto _ : state) {
+    auto reduction = core::UniformMaxIIToQueries(uniform).ValueOrDie();
+    benchmark::DoNotOptimize(reduction.q2);
+    q1_vars = reduction.q1.num_vars();
+  }
+  state.counters["q1_vars"] = q1_vars;
+}
+BENCHMARK(BM_BuildQueries)->DenseRange(2, 5);
+
+void BM_ReducedHomEnumeration(benchmark::State& state) {
+  auto uniform =
+      core::Uniformize(SubadditivityBranches(static_cast<int>(state.range(0))))
+          .ValueOrDie();
+  auto reduction = core::UniformMaxIIToQueries(uniform).ValueOrDie();
+  int64_t homs = 0;
+  for (auto _ : state) {
+    homs = static_cast<int64_t>(
+        cq::QueryHomomorphisms(reduction.q2, reduction.q1).size());
+    benchmark::DoNotOptimize(homs);
+  }
+  state.counters["homs"] = static_cast<double>(homs);
+}
+BENCHMARK(BM_ReducedHomEnumeration)->DenseRange(2, 4);
+
+void BM_ReducedEq8OverNormalCone(benchmark::State& state) {
+  auto uniform = core::Uniformize(SubadditivityBranches(2)).ValueOrDie();
+  auto reduction = core::UniformMaxIIToQueries(uniform).ValueOrDie();
+  auto inequality =
+      core::BuildContainmentInequality(reduction.q1, reduction.q2).ValueOrDie();
+  entropy::MaxIIOracle oracle(reduction.q1.num_vars(),
+                              entropy::ConeKind::kNormal);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.Check(inequality.branches).valid);
+  }
+}
+BENCHMARK(BM_ReducedEq8OverNormalCone);
+
+}  // namespace
+
+BENCHMARK_MAIN();

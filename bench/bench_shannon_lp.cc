@@ -1,0 +1,97 @@
+// P1: Shannon-prover and Max-II-oracle scaling with the number of random
+// variables n. The elemental system has n + C(n,2)·2^{n-2} inequalities, so
+// exact-arithmetic LP cost grows steeply — this bench charts where the
+// exponential-time algorithm of Theorem 3.1 is practical.
+#include <benchmark/benchmark.h>
+
+#include "entropy/known_inequalities.h"
+#include "entropy/max_ii.h"
+#include "entropy/shannon.h"
+
+namespace {
+
+using namespace bagcq::entropy;
+using bagcq::util::Rational;
+using bagcq::util::VarSet;
+
+// Submodularity on the "split halves" of V: a derived Shannon inequality
+// whose certificate needs a chain of elementals.
+LinearExpr SplitSubmodularity(int n) {
+  VarSet left, right;
+  for (int i = 0; i < n; ++i) {
+    if (i % 2 == 0) left = left.With(i);
+    right = right.With(i);  // right = everything; overlap = left
+  }
+  return SubmodularityExpr(n, left, right);
+}
+
+void BM_ShannonProveValid(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ShannonProver prover(n);
+  LinearExpr e = SplitSubmodularity(n);
+  int64_t pivots = 0;
+  for (auto _ : state) {
+    IIResult r = prover.Prove(e);
+    benchmark::DoNotOptimize(r.valid);
+    pivots = r.lp_pivots;
+  }
+  state.counters["elementals"] =
+      static_cast<double>(prover.elementals().size());
+  state.counters["pivots"] = static_cast<double>(pivots);
+}
+BENCHMARK(BM_ShannonProveValid)->DenseRange(2, 6);
+
+void BM_ShannonProveInvalid(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ShannonProver prover(n);
+  // h(X0) - h(X1) >= 0: invalid; the prover must emit a counterexample.
+  LinearExpr e = LinearExpr::H(n, VarSet::Of({0})) -
+                 LinearExpr::H(n, VarSet::Of({1}));
+  for (auto _ : state) {
+    IIResult r = prover.Prove(e);
+    benchmark::DoNotOptimize(r.counterexample);
+  }
+}
+BENCHMARK(BM_ShannonProveInvalid)->DenseRange(2, 6);
+
+void BM_ZhangYeungRefutation(benchmark::State& state) {
+  ShannonProver prover(4);
+  for (auto _ : state) {
+    IIResult r = prover.Prove(ZhangYeungExpr());
+    benchmark::DoNotOptimize(r.valid);
+  }
+}
+BENCHMARK(BM_ZhangYeungRefutation);
+
+// The three-branch Example 3.8 Max-II over each cone: the Γn path carries
+// the elemental system, the Nn path only 2^n - 1 step evaluations.
+void MaxIIBench(benchmark::State& state, ConeKind cone) {
+  const int n = 3;
+  VarSet x1 = VarSet::Of({0}), x2 = VarSet::Of({1}), x3 = VarSet::Of({2});
+  std::vector<LinearExpr> exprs;
+  exprs.push_back(LinearExpr::H(n, x1.Union(x2)) + LinearExpr::HCond(n, x2, x1));
+  exprs.push_back(LinearExpr::H(n, x2.Union(x3)) + LinearExpr::HCond(n, x3, x2));
+  exprs.push_back(LinearExpr::H(n, x1.Union(x3)) + LinearExpr::HCond(n, x1, x3));
+  auto branches = BranchesForBoundedForm(n, Rational(1), exprs);
+  MaxIIOracle oracle(n, cone);
+  for (auto _ : state) {
+    auto r = oracle.Check(branches);
+    benchmark::DoNotOptimize(r.valid);
+  }
+}
+void BM_MaxII_Gamma(benchmark::State& state) {
+  MaxIIBench(state, ConeKind::kPolymatroid);
+}
+void BM_MaxII_Normal(benchmark::State& state) {
+  MaxIIBench(state, ConeKind::kNormal);
+}
+void BM_MaxII_Modular(benchmark::State& state) {
+  MaxIIBench(state, ConeKind::kModular);
+}
+BENCHMARK(BM_MaxII_Gamma);
+BENCHMARK(BM_MaxII_Normal);
+BENCHMARK(BM_MaxII_Modular);
+
+}  // namespace
+
+BENCHMARK_MAIN();

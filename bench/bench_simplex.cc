@@ -1,0 +1,68 @@
+// P4: simplex ablations — exact rationals vs double, Bland vs Dantzig — on
+// random dense LPs. Exactness is mandatory for certificates; this bench
+// quantifies its price.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "lp/simplex.h"
+
+namespace {
+
+using namespace bagcq;
+using util::Rational;
+
+lp::LpProblem RandomLp(int vars, int rows, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> coeff(-9, 9);
+  lp::LpProblem problem;
+  for (int j = 0; j < vars; ++j) problem.AddVariable();
+  for (int i = 0; i < rows; ++i) {
+    std::vector<Rational> row;
+    for (int j = 0; j < vars; ++j) row.push_back(Rational(coeff(rng)));
+    // Nonnegative rhs keeps most instances feasible-bounded.
+    problem.AddConstraint(std::move(row), lp::Sense::kLessEqual,
+                          Rational(std::abs(coeff(rng)) + 1));
+  }
+  std::vector<Rational> obj;
+  for (int j = 0; j < vars; ++j) obj.push_back(Rational(coeff(rng)));
+  problem.SetObjective(lp::Objective::kMaximize, std::move(obj));
+  return problem;
+}
+
+template <typename Scalar>
+void SolveBench(benchmark::State& state, lp::PivotRule rule) {
+  auto problem = RandomLp(static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(0)), 1234);
+  lp::SolverOptions options;
+  options.pivot_rule = rule;
+  lp::SimplexSolver<Scalar> solver(options);
+  int64_t pivots = 0;
+  for (auto _ : state) {
+    auto sol = solver.Solve(problem);
+    benchmark::DoNotOptimize(sol.status);
+    pivots = sol.pivots;
+  }
+  state.counters["pivots"] = static_cast<double>(pivots);
+}
+
+void BM_ExactBland(benchmark::State& state) {
+  SolveBench<Rational>(state, lp::PivotRule::kBland);
+}
+void BM_ExactDantzig(benchmark::State& state) {
+  SolveBench<Rational>(state, lp::PivotRule::kDantzig);
+}
+void BM_DoubleBland(benchmark::State& state) {
+  SolveBench<double>(state, lp::PivotRule::kBland);
+}
+void BM_DoubleDantzig(benchmark::State& state) {
+  SolveBench<double>(state, lp::PivotRule::kDantzig);
+}
+BENCHMARK(BM_ExactBland)->RangeMultiplier(2)->Range(4, 32);
+BENCHMARK(BM_ExactDantzig)->RangeMultiplier(2)->Range(4, 32);
+BENCHMARK(BM_DoubleBland)->RangeMultiplier(2)->Range(4, 32);
+BENCHMARK(BM_DoubleDantzig)->RangeMultiplier(2)->Range(4, 32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// E1 — Table 1: the translation between the database world and the
+// information-theory world, verified computationally row by row. Each row
+// states what the paper asserts and what this library measures.
+#include <cstdio>
+
+#include "entropy/functions.h"
+#include "entropy/log_rational.h"
+#include "entropy/mobius.h"
+#include "entropy/relation.h"
+
+using namespace bagcq::entropy;
+using bagcq::util::Rational;
+using bagcq::util::VarSet;
+
+namespace {
+
+int failures = 0;
+
+void Row(const char* claim, bool ok) {
+  std::printf("  %-68s %s\n", claim, ok ? "OK" : "FAIL");
+  if (!ok) ++failures;
+}
+
+bool EntropyMatches(const Relation& p, const SetFunction& h) {
+  LogSetFunction actual(p);
+  bool ok = true;
+  ForEachSubset(VarSet::Full(p.num_vars()), [&](VarSet s) {
+    if (s.empty()) return;
+    LogRational expect =
+        LogRational::Log2(2) * h[s];  // values are in bits already
+    if (actual[s] != expect) ok = false;
+  });
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E1 / Table 1: database <-> information theory translation\n");
+
+  // Row: relation P + uniform distribution -> entropic function.
+  Relation parity = Relation::FromTuples(
+      3, {{0, 0, 0}, {0, 1, 1}, {1, 0, 1}, {1, 1, 0}});
+  Row("uniform distribution on a relation has an entropy vector (h ∈ Γ*n)",
+      EntropyMatches(parity, ParityFunction()));
+
+  // Row: product relation <-> modular function.
+  Relation product = Relation::ProductRelation({2, 4, 2});
+  LogSetFunction ph(product);
+  bool modular_ok = true;
+  ForEachSubset(VarSet::Full(3), [&](VarSet s) {
+    LogRational sum;
+    for (int i : s.Elements()) sum = sum + ph[VarSet::Singleton(i)];
+    if (ph[s] != sum) modular_ok = false;
+  });
+  Row("product relation  <->  modular function (Mn)", modular_ok);
+
+  // Row: domain product <-> sum of entropies.
+  Relation p1 = Relation::StepRelation(3, VarSet::Of({1}));
+  Relation p2 = Relation::StepRelation(3, VarSet::Of({0, 2}), 4);
+  LogSetFunction h1(p1), h2(p2), hp(p1.DomainProduct(p2));
+  bool sum_ok = true;
+  ForEachSubset(VarSet::Full(3), [&](VarSet s) {
+    if (hp[s] != h1[s] + h2[s]) sum_ok = false;
+  });
+  Row("domain product P1 ⊗ P2  <->  h1 + h2 (Definition B.1)", sum_ok);
+
+  // Row: two-tuple step relation P_W <-> step function h_W.
+  bool step_ok = true;
+  for (uint32_t w = 0; w < 7; ++w) {
+    if (!EntropyMatches(Relation::StepRelation(3, VarSet(w)),
+                        StepFunction(3, VarSet(w)))) {
+      step_ok = false;
+    }
+  }
+  Row("step relation P_W  <->  step function h_W", step_ok);
+
+  // Row: normal relation (domain product of steps) <-> normal function.
+  Relation normal_rel =
+      Relation::StepRelation(3, VarSet::Of({0})).DomainProduct(
+          Relation::StepRelation(3, VarSet::Of({2}), 4));
+  LogSetFunction nh(normal_rel);
+  SetFunction expected = StepFunction(3, VarSet::Of({0})) +
+                         StepFunction(3, VarSet::Of({2})) * Rational(2);
+  Row("normal relation  <->  normal function (nonneg step combination)",
+      EntropyMatches(normal_rel, expected) && IsNormal(expected));
+
+  // Row: co-singleton steps are exactly the modular generators.
+  SetFunction m = StepFunction(2, VarSet::Of({1}));  // W = V - {0}
+  Row("P_W with |V−W| = 1  <->  modular unit mass", m.IsModular());
+
+  // Row: Mn ⊊ Nn ⊊ Γ*n ⊆ Γn chain on witnesses.
+  SetFunction parity_fn = ParityFunction();
+  Row("Mn ⊊ Nn: a step function with |V−W| ≥ 2 is normal, not modular",
+      IsNormal(StepFunction(3, VarSet::Of({0}))) &&
+          !StepFunction(3, VarSet::Of({0})).IsModular());
+  Row("Nn ⊊ Γ*n: the parity function is entropic but not normal",
+      parity_fn.IsPolymatroid() && !IsNormal(parity_fn) &&
+          EntropyMatches(parity, parity_fn));
+
+  // Row: group-characterizable relations are totally uniform (Lemma 4.8).
+  Row("group-characterizable (GF(2)) relations are totally uniform",
+      parity.IsTotallyUniform() &&
+          Relation::StepRelation(3, VarSet::Of({1})).IsTotallyUniform());
+
+  std::printf("%s (%d failures)\n", failures == 0 ? "ALL ROWS REPRODUCED"
+                                                  : "SOME ROWS FAILED",
+              failures);
+  return failures == 0 ? 0 : 1;
+}

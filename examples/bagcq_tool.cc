@@ -1,0 +1,166 @@
+// bagcq_tool: command-line front end for the library.
+//
+//   bagcq_tool check "Q1 body" "Q2 body"      decide Q1 ⪯ Q2 (bag-set)
+//   bagcq_tool set   "Q1 body" "Q2 body"      Chandra–Merlin set containment
+//   bagcq_tool eval  "query"   "database"     bag-set evaluation (group-by)
+//   bagcq_tool count "query"   "database"     |hom(Q, D)|
+//   bagcq_tool prove "inequality"             Shannon prover (ITIP-style)
+//   bagcq_tool analyze "query"                acyclic/chordal/junction tree
+//
+// Queries use the datalog-ish syntax "Q(x) :- R(x,y), S(y)." (head optional)
+// and databases "R = {(1,2),(2,3)}; S = {(1)}".
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/decider.h"
+#include "core/set_containment.h"
+#include "cq/bag_semantics.h"
+#include "cq/parser.h"
+#include "cq/yannakakis.h"
+#include "entropy/expr_parser.h"
+#include "entropy/shannon.h"
+#include "graph/chordal.h"
+#include "graph/junction_tree.h"
+
+using namespace bagcq;
+
+namespace {
+
+int Fail(const util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdCheck(const std::string& text1, const std::string& text2) {
+  auto q1 = cq::ParseQuery(text1);
+  if (!q1.ok()) return Fail(q1.status());
+  auto q2 = cq::ParseQueryWithVocabulary(text2, q1->vocab());
+  if (!q2.ok()) return Fail(q2.status());
+  auto decision = core::DecideBagContainment(*q1, *q2);
+  if (!decision.ok()) return Fail(decision.status());
+  std::printf("%s\n", decision->ToString().c_str());
+  if (decision->verdict == core::Verdict::kNotContained &&
+      decision->witness.has_value()) {
+    std::printf("%s\nwitness database: %s\n",
+                decision->witness->ToString(*q1).c_str(),
+                decision->witness->database.ToString().c_str());
+  }
+  if (decision->verdict == core::Verdict::kContained &&
+      decision->validity.has_value() &&
+      decision->validity->certificate.has_value()) {
+    std::printf("Shannon certificate:\n%s",
+                decision->validity->certificate
+                    ->ToString(q1->num_vars(), q1->var_names())
+                    .c_str());
+  }
+  return decision->verdict == core::Verdict::kUnknown ? 2 : 0;
+}
+
+int CmdSet(const std::string& text1, const std::string& text2) {
+  auto q1 = cq::ParseQuery(text1);
+  if (!q1.ok()) return Fail(q1.status());
+  auto q2 = cq::ParseQueryWithVocabulary(text2, q1->vocab());
+  if (!q2.ok()) return Fail(q2.status());
+  std::printf("set containment: %s\n",
+              core::SetContained(*q1, *q2) ? "Contained" : "NotContained");
+  return 0;
+}
+
+int CmdEval(const std::string& query_text, const std::string& db_text,
+            bool count_only) {
+  auto q = cq::ParseQuery(query_text);
+  if (!q.ok()) return Fail(q.status());
+  auto d = cq::ParseStructureWithVocabulary(db_text, q->vocab());
+  if (!d.ok()) return Fail(d.status());
+  if (count_only) {
+    long long backtracking = cq::CountHomomorphisms(*q, *d);
+    std::printf("|hom(Q,D)| = %lld", backtracking);
+    if (auto dp = cq::CountHomomorphismsAcyclic(*q, *d)) {
+      std::printf("   (join-tree DP agrees: %lld)",
+                  static_cast<long long>(*dp));
+    }
+    std::printf("\n");
+    return 0;
+  }
+  for (const auto& [key, count] : cq::BagSetEvaluate(*q, *d)) {
+    std::printf("(");
+    for (size_t i = 0; i < key.size(); ++i) {
+      std::printf("%s%d", i ? "," : "", key[i]);
+    }
+    std::printf(") -> %lld\n", static_cast<long long>(count));
+  }
+  return 0;
+}
+
+int CmdProve(const std::string& text) {
+  auto parsed = entropy::ParseInequality(text);
+  if (!parsed.ok()) return Fail(parsed.status());
+  entropy::ShannonProver prover(static_cast<int>(parsed->var_names.size()));
+  auto result = prover.Prove(parsed->expr);
+  if (result.valid) {
+    std::printf("Shannon-valid.\n%s",
+                result.certificate
+                    ->ToString(static_cast<int>(parsed->var_names.size()),
+                               parsed->var_names)
+                    .c_str());
+    return 0;
+  }
+  std::printf("not Shannon-provable; counterexample polymatroid:\n%s",
+              result.counterexample->ToString(parsed->var_names).c_str());
+  return 2;
+}
+
+int CmdAnalyze(const std::string& text) {
+  auto q = cq::ParseQuery(text);
+  if (!q.ok()) return Fail(q.status());
+  std::printf("query: %s\n", q->ToString().c_str());
+  std::printf("acyclic: %s\n", cq::IsAcyclic(*q) ? "yes" : "no");
+  graph::Graph g = q->GaifmanGraph();
+  bool chordal = graph::IsChordal(g);
+  std::printf("chordal Gaifman graph: %s\n", chordal ? "yes" : "no");
+  if (chordal) {
+    auto jt = graph::JunctionTree(g);
+    std::printf("junction tree: %s\n", jt.ToString().c_str());
+    std::printf("simple: %s  (decidable as the containing query: %s)\n",
+                jt.IsSimple() ? "yes" : "no",
+                jt.IsSimple() ? "yes, Theorem 3.1" : "no");
+  } else {
+    auto filled = graph::MinimalTriangulation(g);
+    std::printf("minimal triangulation: %s\n",
+                graph::JunctionTree(filled).ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 4 && std::strcmp(argv[1], "check") == 0) {
+    return CmdCheck(argv[2], argv[3]);
+  }
+  if (argc >= 4 && std::strcmp(argv[1], "set") == 0) {
+    return CmdSet(argv[2], argv[3]);
+  }
+  if (argc >= 4 && std::strcmp(argv[1], "eval") == 0) {
+    return CmdEval(argv[2], argv[3], /*count_only=*/false);
+  }
+  if (argc >= 4 && std::strcmp(argv[1], "count") == 0) {
+    return CmdEval(argv[2], argv[3], /*count_only=*/true);
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "prove") == 0) {
+    return CmdProve(argv[2]);
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "analyze") == 0) {
+    return CmdAnalyze(argv[2]);
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  bagcq_tool check  <Q1> <Q2>\n"
+               "  bagcq_tool set    <Q1> <Q2>\n"
+               "  bagcq_tool eval   <Q> <DB>\n"
+               "  bagcq_tool count  <Q> <DB>\n"
+               "  bagcq_tool prove  <inequality>\n"
+               "  bagcq_tool analyze <Q>\n");
+  return 1;
+}

@@ -1,0 +1,80 @@
+#include "core/containment_inequality.h"
+
+#include <sstream>
+
+#include "cq/yannakakis.h"
+#include "graph/chordal.h"
+#include "graph/junction_tree.h"
+#include "util/check.h"
+
+namespace bagcq::core {
+
+using entropy::CondExpr;
+using entropy::LinearExpr;
+using util::Rational;
+
+Q2Analysis AnalyzeQ2(const cq::ConjunctiveQuery& q2) {
+  Q2Analysis out;
+  out.acyclic = cq::IsAcyclic(q2);
+  graph::Graph gaifman = q2.GaifmanGraph();
+  out.chordal = graph::IsChordal(gaifman);
+  if (out.chordal) {
+    out.simple_junction_tree = graph::AdmitsSimpleJunctionTree(gaifman);
+  }
+  return out;
+}
+
+util::Result<ContainmentInequality> BuildContainmentInequality(
+    const cq::ConjunctiveQuery& q1, const cq::ConjunctiveQuery& q2) {
+  if (!q1.IsBoolean() || !q2.IsBoolean()) {
+    return util::Status::InvalidArgument(
+        "containment inequality requires Boolean queries (apply Lemma A.1 "
+        "first)");
+  }
+  if (!(q1.vocab() == q2.vocab())) {
+    return util::Status::InvalidArgument("queries must share a vocabulary");
+  }
+  std::vector<cq::VarMap> homs = cq::QueryHomomorphisms(q2, q1);
+  if (homs.empty()) {
+    return util::Status::InvalidArgument(
+        "hom(Q2, Q1) is empty: the max in Eq. (8) is over nothing and the "
+        "canonical database of Q1 already witnesses non-containment");
+  }
+
+  Q2Analysis analysis = AnalyzeQ2(q2);
+  graph::Graph gaifman = q2.GaifmanGraph();
+  if (!analysis.chordal) {
+    gaifman = graph::MinimalTriangulation(gaifman);
+  }
+  graph::TreeDecomposition td = graph::JunctionTree(gaifman);
+  BAGCQ_CHECK(td.Covers(q2.AtomVarSets()))
+      << "junction tree must cover the atoms of Q2";
+
+  const int n = q1.num_vars();
+  CondExpr et = td.EtExpression();
+
+  ContainmentInequality out{
+      n, std::move(homs), {}, {}, std::move(td), false, analysis};
+  LinearExpr top = LinearExpr::H(n, util::VarSet::Full(n));
+  out.simple = true;
+  for (const cq::VarMap& phi : out.homs) {
+    CondExpr pulled = et.Substitute(phi, n);
+    if (!pulled.IsSimple()) out.simple = false;
+    out.branches.push_back(pulled.ToLinear() - top);
+    out.branch_conditionals.push_back(std::move(pulled));
+  }
+  return out;
+}
+
+std::string ContainmentInequality::ToString(
+    const cq::ConjunctiveQuery& q1) const {
+  std::ostringstream os;
+  os << "h(vars(Q1)) <= max over " << homs.size() << " homomorphism(s) of:\n";
+  for (size_t i = 0; i < branch_conditionals.size(); ++i) {
+    os << "  [" << i << "] "
+       << branch_conditionals[i].ToString(q1.var_names()) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bagcq::core

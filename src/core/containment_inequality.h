@@ -1,0 +1,64 @@
+// The bridge from containment to information theory (Section 4): given a
+// containment question Q1 ⪯ Q2, build the max-information inequality of
+// Eq. (8),
+//
+//   h(vars(Q1))  ≤  max_{φ ∈ hom(Q2,Q1)}  (E_T ∘ φ)(h),
+//
+// for a fixed tree decomposition T of Q2 (one junction tree suffices: using
+// fewer decompositions only strengthens the sufficient condition, and the
+// necessity proofs use a single junction tree).
+//
+// Validity of this Max-II over Γ*n is sufficient for containment
+// (Theorem 4.2) and — when Q2 is acyclic, or chordal with a simple junction
+// tree — necessary (Theorem 4.4 / Lemma E.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cq/homomorphism.h"
+#include "cq/query.h"
+#include "entropy/linear_expr.h"
+#include "graph/tree_decomposition.h"
+#include "util/status.h"
+
+namespace bagcq::core {
+
+/// Structural facts about Q2 that determine decidability.
+struct Q2Analysis {
+  bool acyclic = false;            // α-acyclic atom hypergraph
+  bool chordal = false;            // chordal Gaifman graph
+  bool simple_junction_tree = false;
+  /// The decision procedure is sound and complete (Theorem 3.1 hypotheses).
+  bool decidable() const { return chordal && simple_junction_tree; }
+};
+
+Q2Analysis AnalyzeQ2(const cq::ConjunctiveQuery& q2);
+
+struct ContainmentInequality {
+  /// Number of variables of Q1 (the entropy space).
+  int n = 0;
+  /// The homomorphisms Q2 → Q1, aligned with `branches`.
+  std::vector<cq::VarMap> homs;
+  /// (E_T ∘ φ) as conditional expressions over vars(Q1), per hom.
+  std::vector<entropy::CondExpr> branch_conditionals;
+  /// (E_T ∘ φ)(h) - h(vars(Q1)) per hom: validity of 0 ≤ max equals Eq. (8).
+  std::vector<entropy::LinearExpr> branches;
+  /// The tree decomposition of Q2 that was used.
+  graph::TreeDecomposition decomposition;
+  /// Every branch conditional is simple (Theorem 3.6(ii) applies).
+  bool simple = false;
+  /// Structural analysis of Q2.
+  Q2Analysis analysis;
+
+  std::string ToString(const cq::ConjunctiveQuery& q1) const;
+};
+
+/// Builds Eq. (8) for Boolean queries over a common vocabulary. The tree
+/// decomposition of Q2 is the junction tree of the (minimally triangulated,
+/// if necessary) Gaifman graph. Fails if hom(Q2, Q1) is empty — callers
+/// handle that case directly (containment trivially fails).
+util::Result<ContainmentInequality> BuildContainmentInequality(
+    const cq::ConjunctiveQuery& q1, const cq::ConjunctiveQuery& q2);
+
+}  // namespace bagcq::core

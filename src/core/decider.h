@@ -1,0 +1,77 @@
+// The decision procedure for conjunctive-query containment under bag-set
+// semantics (Theorem 3.1), three-valued and honest about the paper's
+// decidability frontier:
+//
+//   Contained     — Eq. (8) is valid over Γn (Theorem 4.2; sound for every
+//                   Q2). Certificate: λ-weights + Shannon proof.
+//   NotContained  — a *normal* entropic counterexample to Eq. (8) exists and
+//                   Q2 is acyclic or chordal-with-simple-junction-tree
+//                   (Theorem 4.4 / Lemma E.1); a verified witness database
+//                   is produced. Also triggered directly when
+//                   hom(Q2,Q1) = ∅ or a brute-force counterexample is known.
+//   Unknown       — the inequality fails over the polymatroid cone but Q2 is
+//                   outside the decidable classes, so the failure proves
+//                   nothing (Eq. (8) is only sufficient there).
+//
+// Decision logic per cone (Theorem 3.6): when the junction tree is simple,
+// validity over Nn ⇔ validity over Γn ⇔ validity over Γ*n, so the (small)
+// Nn LP decides; its counterexamples are already normal. For acyclic Q2 an
+// Nn-failure is also conclusive (Nn ⊆ Γ*n + Theorem 4.4) even when the
+// junction tree is not simple; an Nn-success then falls back to the Γn LP
+// for soundness.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/containment_inequality.h"
+#include "core/witness.h"
+#include "entropy/max_ii.h"
+#include "util/status.h"
+
+namespace bagcq::core {
+
+enum class Verdict { kContained, kNotContained, kUnknown };
+
+const char* VerdictToString(Verdict v);
+
+struct DeciderOptions {
+  /// Also run the Γn LP on Contained verdicts to extract a Shannon
+  /// certificate (the Nn LP alone decides but certifies differently).
+  bool want_shannon_certificate = true;
+  WitnessOptions witness;
+};
+
+struct Decision {
+  Verdict verdict = Verdict::kUnknown;
+  /// Structural facts about Q2 and which theorem applied.
+  Q2Analysis analysis;
+  std::string method;
+  /// The Eq. (8) inequality (absent when hom(Q2,Q1) = ∅).
+  std::optional<ContainmentInequality> inequality;
+  /// Contained: oracle result with λ weights (and certificate if requested).
+  std::optional<entropy::MaxIIResult> validity;
+  /// NotContained / Unknown: the violating cone member.
+  std::optional<entropy::SetFunction> counterexample;
+  /// NotContained: the verified witness database.
+  std::optional<Witness> witness;
+
+  std::string ToString() const;
+};
+
+/// Decides Q1 ⪯ Q2 for Boolean queries over a common vocabulary.
+/// Non-Boolean inputs are reduced via Lemma A.1 automatically.
+util::Result<Decision> DecideBagContainment(const cq::ConjunctiveQuery& q1,
+                                            const cq::ConjunctiveQuery& q2,
+                                            const DeciderOptions& options = {});
+
+/// Containment under *bag-bag* semantics (the input database is a bag too):
+/// reduced to the bag-set problem by the tuple-id transform of [JKV06]
+/// (Section 2.2), then decided as above. Note that repeated atoms are
+/// meaningful under bag-bag semantics, so no duplicate removal happens
+/// before the transform.
+util::Result<Decision> DecideBagBagContainment(
+    const cq::ConjunctiveQuery& q1, const cq::ConjunctiveQuery& q2,
+    const DeciderOptions& options = {});
+
+}  // namespace bagcq::core

@@ -1,0 +1,94 @@
+#include "core/domination.h"
+
+#include <algorithm>
+
+#include "cq/transforms.h"
+#include "util/check.h"
+
+namespace bagcq::core {
+
+util::Result<Decision> DecideDomination(const cq::Structure& a,
+                                        const cq::Structure& b,
+                                        const DeciderOptions& options) {
+  if (!(a.vocab() == b.vocab())) {
+    return util::Status::InvalidArgument(
+        "domination requires a common vocabulary");
+  }
+  return DecideBagContainment(cq::StructureToQuery(a), cq::StructureToQuery(b),
+                              options);
+}
+
+util::Result<Decision> DecideExponentDomination(const cq::Structure& a,
+                                                const cq::Structure& b,
+                                                const util::Rational& c,
+                                                const DeciderOptions& options) {
+  if (c.sign() < 0) {
+    return util::Status::InvalidArgument("exponent must be nonnegative");
+  }
+  if (!c.num().FitsInt64() || !c.den().FitsInt64()) {
+    return util::Status::InvalidArgument("exponent too large");
+  }
+  int64_t p = c.num().ToInt64();
+  int64_t q = c.den().ToInt64();
+  if (p == 0) {
+    // |hom(A,D)|^0 = 1 ≤ |hom(B,D)| iff B always has a homomorphism — false
+    // on the empty database unless B is the empty structure; treat as a
+    // containment with 0 copies, which DisjointCopies rejects. Report
+    // explicitly instead.
+    return util::Status::NotSupported(
+        "exponent 0 asks whether hom(B, D) is never empty; that fails on the "
+        "empty database for any nonempty B");
+  }
+  if (p > 8 || q > 8) {
+    return util::Status::InvalidArgument(
+        "exponent " + c.ToString() + " would require more disjoint copies "
+        "than supported");
+  }
+  cq::ConjunctiveQuery qa =
+      cq::DisjointCopies(cq::StructureToQuery(a), static_cast<int>(p));
+  cq::ConjunctiveQuery qb =
+      cq::DisjointCopies(cq::StructureToQuery(b), static_cast<int>(q));
+  return DecideBagContainment(qa, qb, options);
+}
+
+util::Result<ExponentSearchResult> SearchDominationExponent(
+    const cq::Structure& a, const cq::Structure& b, int max_denominator,
+    const DeciderOptions& options) {
+  // Candidate exponents p/q, deduplicated and sorted ascending. Monotonicity
+  // (c' < c and c works ⇒ c' works, on the |hom| ≥ 1 side) is not exploited:
+  // every candidate is decided independently and cross-checked.
+  std::vector<util::Rational> candidates;
+  for (int p = 1; p <= max_denominator; ++p) {
+    for (int q = 1; q <= max_denominator; ++q) {
+      util::Rational c(p, q);
+      bool seen = false;
+      for (const util::Rational& existing : candidates) {
+        if (existing == c) seen = true;
+      }
+      if (!seen) candidates.push_back(c);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  ExponentSearchResult out;
+  bool have_refuted = false;
+  for (const util::Rational& c : candidates) {
+    auto decision = DecideExponentDomination(a, b, c, options);
+    if (!decision.ok()) return decision.status();
+    switch (decision->verdict) {
+      case Verdict::kContained:
+        if (c > out.best_lower) out.best_lower = c;
+        break;
+      case Verdict::kNotContained:
+        if (!have_refuted || c < out.refuted_above) out.refuted_above = c;
+        have_refuted = true;
+        break;
+      case Verdict::kUnknown:
+        out.hit_unknown = true;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace bagcq::core

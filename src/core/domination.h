@@ -1,0 +1,44 @@
+// The domination problem (Problem 2.1) and the Kopparty–Rossman exponent
+// domination problem (Problem 2.2): B dominates A iff |hom(A,D)| ≤ |hom(B,D)|
+// for every D. DOM and BagCQC are the same problem through canonical
+// structures (Section 2.2); the exponent version reduces to DOM via disjoint
+// copies, |hom(n·A, D)| = |hom(A, D)|^n.
+#pragma once
+
+#include "core/decider.h"
+#include "cq/structure.h"
+#include "util/rational.h"
+
+namespace bagcq::core {
+
+/// Does B dominate A (A ⪯ B)? Same verdict semantics as the containment
+/// decider.
+util::Result<Decision> DecideDomination(const cq::Structure& a,
+                                        const cq::Structure& b,
+                                        const DeciderOptions& options = {});
+
+/// Exponent domination: |hom(A,D)|^c ≤ |hom(B,D)| for all D, with c = p/q a
+/// nonnegative rational — decided as q·... i.e. DisjointCopies(A,p) ⪯
+/// DisjointCopies(B,q).
+util::Result<Decision> DecideExponentDomination(
+    const cq::Structure& a, const cq::Structure& b, const util::Rational& c,
+    const DeciderOptions& options = {});
+
+/// A bounded search for the homomorphism domination exponent of [KR11]:
+/// sup { c : |hom(A,D)|^c ≤ |hom(B,D)| for all D }.
+struct ExponentSearchResult {
+  /// Largest tested exponent decided Contained (0 if none).
+  util::Rational best_lower{0};
+  /// Smallest tested exponent decided NotContained (unset => none found).
+  util::Rational refuted_above{-1};
+  /// Some tested exponent came back Unknown (outside the decidable class).
+  bool hit_unknown = false;
+};
+
+/// Tests every p/q with 1 ≤ p, q ≤ max_denominator (deduplicated, ascending)
+/// against DecideExponentDomination.
+util::Result<ExponentSearchResult> SearchDominationExponent(
+    const cq::Structure& a, const cq::Structure& b, int max_denominator = 3,
+    const DeciderOptions& options = {});
+
+}  // namespace bagcq::core

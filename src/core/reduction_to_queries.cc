@@ -1,0 +1,167 @@
+#include "core/reduction_to_queries.h"
+
+#include <map>
+#include <tuple>
+
+#include "cq/transforms.h"
+#include "util/check.h"
+
+namespace bagcq::core {
+
+namespace {
+
+// Token space after the U -> U1 U2 split: 0..n0-1 are the original
+// variables, n0 is U1, n0+1 is U2.
+struct TokenSpace {
+  int n0;
+  int u;  // the single-U index in the input space
+
+  // Expands a set over the input space into sorted tokens.
+  std::vector<int> Expand(VarSet s) const {
+    std::vector<int> out;
+    for (int v : s.Elements()) {
+      if (v == u) continue;
+      out.push_back(v > u ? v - 1 : v);  // re-index past the removed U slot
+    }
+    if (s.Contains(u)) {
+      out.push_back(n0);      // U1
+      out.push_back(n0 + 1);  // U2
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+util::Result<ReductionOutput> UniformMaxIIToQueries(const UniformMaxII& input) {
+  BAGCQ_RETURN_NOT_OK(input.Validate());
+  const int k = static_cast<int>(input.chains.size());
+  const int n = input.n;
+  const int p = input.p;
+  const int q = input.q;
+  const int n0 = input.num_vars - 1;  // original variables, U excluded
+  TokenSpace tokens{n0, input.u_var};
+
+  // ---- Vocabulary: S_1..S_n binary, R_0..R_p with block arities. ----
+  cq::Vocabulary vocab;
+  std::vector<int> s_rel(n);
+  for (int t = 0; t < n; ++t) {
+    s_rel[t] = vocab.AddRelation("S" + std::to_string(t + 1), 2);
+  }
+  std::vector<int> r_rel(p + 1);
+  std::vector<int> x_block(p + 1, 0), y_block(p + 1, 0);
+  for (int j = 0; j <= p; ++j) {
+    for (int l = 0; l < k; ++l) {
+      x_block[j] += static_cast<int>(tokens.Expand(input.chains[l][j].x).size());
+      y_block[j] += static_cast<int>(tokens.Expand(input.chains[l][j].y).size());
+    }
+    r_rel[j] = vocab.AddRelation("R" + std::to_string(j),
+                                 x_block[j] + y_block[j] + k);
+  }
+
+  // ---- Q2. ----
+  const int q2_vars = 2 * n + [&] {
+    int total = 0;
+    for (int j = 0; j <= p; ++j) total += y_block[j];
+    return total;
+  }() + k;
+  if (q2_vars > VarSet::kMaxVars) {
+    return util::Status::ResourceExhausted(
+        "Q2 would need " + std::to_string(q2_vars) + " variables");
+  }
+  cq::ConjunctiveQuery q2(vocab);
+  // S pairs.
+  std::vector<std::pair<int, int>> u_pairs;
+  for (int t = 0; t < n; ++t) {
+    int a = q2.AddVariable("u" + std::to_string(t + 1) + "a");
+    int b = q2.AddVariable("u" + std::to_string(t + 1) + "b");
+    u_pairs.emplace_back(a, b);
+    q2.AddAtom(s_rel[t], {a, b});
+  }
+  // Per-(branch, level) copies of Y tokens.
+  std::map<std::tuple<int, int, int>, int> copy_var;  // (l, j, token) -> var
+  for (int j = 0; j <= p; ++j) {
+    for (int l = 0; l < k; ++l) {
+      for (int token : tokens.Expand(input.chains[l][j].y)) {
+        copy_var[{l, j, token}] =
+            q2.AddVariable("y_" + std::to_string(l) + "_" + std::to_string(j) +
+                           "_" + std::to_string(token));
+      }
+    }
+  }
+  // Z block.
+  std::vector<int> z_vars;
+  for (int i = 0; i < k; ++i) {
+    z_vars.push_back(q2.AddVariable("z" + std::to_string(i)));
+  }
+  // R_j atoms: X block reuses the (l, j-1) copies (chain condition).
+  for (int j = 0; j <= p; ++j) {
+    std::vector<int> vars;
+    for (int l = 0; l < k; ++l) {
+      for (int token : tokens.Expand(input.chains[l][j].x)) {
+        auto it = copy_var.find({l, j - 1, token});
+        BAGCQ_CHECK(it != copy_var.end())
+            << "chain condition guarantees X_j tokens exist at level j-1";
+        vars.push_back(it->second);
+      }
+    }
+    for (int l = 0; l < k; ++l) {
+      for (int token : tokens.Expand(input.chains[l][j].y)) {
+        vars.push_back(copy_var.at({l, j, token}));
+      }
+    }
+    for (int z : z_vars) vars.push_back(z);
+    q2.AddAtom(r_rel[j], std::move(vars));
+  }
+
+  // ---- Q1. ----
+  const int q1_vars = q * (n0 + 2);
+  if (q1_vars > VarSet::kMaxVars) {
+    return util::Status::ResourceExhausted(
+        "Q1 would need " + std::to_string(q1_vars) + " variables");
+  }
+  cq::ConjunctiveQuery q1(vocab);
+  // Adorned variables: per copy ℓ', U1, U2 and all original variables.
+  std::vector<int> u1(q), u2(q);
+  std::vector<std::vector<int>> adorned(q, std::vector<int>(n0 + 2));
+  for (int c = 0; c < q; ++c) {
+    u1[c] = q1.AddVariable("U1_" + std::to_string(c));
+    u2[c] = q1.AddVariable("U2_" + std::to_string(c));
+    for (int v = 0; v < n0; ++v) {
+      adorned[c][v] = q1.AddVariable("v" + std::to_string(v) + "_" +
+                                     std::to_string(c));
+    }
+    adorned[c][n0] = u1[c];
+    adorned[c][n0 + 1] = u2[c];
+  }
+  for (int c = 0; c < q; ++c) {
+    for (int t = 0; t < n; ++t) {
+      q1.AddAtom(s_rel[t], {u1[c], u2[c]});
+    }
+    for (int i = 0; i < k; ++i) {
+      for (int j = 0; j <= p; ++j) {
+        std::vector<int> vars;
+        auto emit_block = [&](bool is_y) {
+          for (int l = 0; l < k; ++l) {
+            VarSet s = is_y ? input.chains[l][j].y : input.chains[l][j].x;
+            for (int token : tokens.Expand(s)) {
+              vars.push_back(l == i ? adorned[c][token] : u1[c]);
+            }
+          }
+        };
+        emit_block(/*is_y=*/false);
+        emit_block(/*is_y=*/true);
+        for (int m = 0; m < k; ++m) {
+          vars.push_back(m == i ? u2[c] : u1[c]);
+        }
+        q1.AddAtom(r_rel[j], std::move(vars));
+      }
+    }
+  }
+
+  ReductionOutput out{cq::RemoveDuplicateAtoms(q1),
+                      cq::RemoveDuplicateAtoms(q2), k, n, p, q};
+  return out;
+}
+
+}  // namespace bagcq::core

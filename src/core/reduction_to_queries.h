@@ -1,0 +1,44 @@
+// Section 5.3: the many-one reduction Max-IIP ≤m BagCQC-A. From an
+// (n,p,q)-uniform Max-II, construct Boolean conjunctive queries Q1, Q2 with
+// Q2 acyclic such that Q1 ⪯ Q2 iff the uniform Max-II is valid (via the
+// adornment equivalence of Lemma 5.4 and Theorems 4.2/4.4).
+//
+// Shapes (with U split into U1 U2):
+//
+//   Q2 = S_1(Ũ_1) ∧ … ∧ S_n(Ũ_n) ∧ R_0(X̃_0 Ỹ_0 Z̃) ∧ … ∧ R_p(X̃_p Ỹ_p Z̃)
+//
+// where Ũ_t are disjoint fresh pairs, Ỹ_j is the disjoint union of fresh
+// per-branch copies of the Y_{ℓj}, X̃_j reuses the (ℓ, j−1) copies (the
+// chain condition makes this well-defined), and Z̃ is a block of k fresh
+// variables shared by every R_j. Its tree decomposition is the chain of
+// Eq. (29) plus n isolated nodes.
+//
+//   Q1 = ∧_{ℓ'=1..q} ∧_{i=1..k} Q_{1,i}^{(ℓ')}
+//
+// where Q_{1,i}^{(ℓ')} maps every non-(i)-block position to U1^{(ℓ')}, the
+// i-block positions to the ℓ'-adorned actual variables, and the Z block to
+// U1^{(ℓ')} except position i, which is U2^{(ℓ')}.
+#pragma once
+
+#include "core/uniformize.h"
+#include "cq/query.h"
+#include "util/status.h"
+
+namespace bagcq::core {
+
+struct ReductionOutput {
+  cq::ConjunctiveQuery q1;
+  cq::ConjunctiveQuery q2;
+  /// Number of branches k of the input (for hom-count checks:
+  /// |hom(Q2, Q1)| = q^n · q · k).
+  int k = 0;
+  int n = 0;
+  int p = 0;
+  int q = 0;
+};
+
+/// Builds the queries. `names` optionally names the original variables
+/// (U1/U2 and copies are derived). The input must Validate().
+util::Result<ReductionOutput> UniformMaxIIToQueries(const UniformMaxII& input);
+
+}  // namespace bagcq::core

@@ -1,0 +1,25 @@
+#include "core/set_containment.h"
+
+#include "cq/homomorphism.h"
+#include "util/check.h"
+
+namespace bagcq::core {
+
+bool SetContained(const cq::ConjunctiveQuery& q1,
+                  const cq::ConjunctiveQuery& q2) {
+  BAGCQ_CHECK(q1.vocab() == q2.vocab());
+  BAGCQ_CHECK_EQ(q1.head().size(), q2.head().size());
+  for (const cq::VarMap& phi : cq::QueryHomomorphisms(q2, q1)) {
+    bool heads_match = true;
+    for (size_t i = 0; i < q2.head().size(); ++i) {
+      if (phi[q2.head()[i]] != q1.head()[i]) {
+        heads_match = false;
+        break;
+      }
+    }
+    if (heads_match) return true;
+  }
+  return false;
+}
+
+}  // namespace bagcq::core

@@ -1,0 +1,19 @@
+// Chandra–Merlin set-semantics containment [CM77] — the classical baseline
+// the paper contrasts with: Q1 ⊆ Q2 under set semantics iff there is a
+// homomorphism Q2 → Q1 (mapping head to head). Bag containment implies set
+// containment but not conversely (Example 3.5 separates them).
+#pragma once
+
+#include "cq/query.h"
+
+namespace bagcq::cq {
+class Structure;
+}
+
+namespace bagcq::core {
+
+/// Q1 ⊆set Q2: exists hom Q2 → canonical(Q1) respecting heads.
+bool SetContained(const cq::ConjunctiveQuery& q1,
+                  const cq::ConjunctiveQuery& q2);
+
+}  // namespace bagcq::core

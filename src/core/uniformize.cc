@@ -1,0 +1,161 @@
+#include "core/uniformize.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace bagcq::core {
+
+using util::BigInt;
+using util::Rational;
+
+util::Status UniformMaxII::Validate() const {
+  if (u_var < 0 || u_var >= num_vars) {
+    return util::Status::InvalidArgument("distinguished variable out of range");
+  }
+  if (q <= 0) return util::Status::InvalidArgument("q must be positive");
+  VarSet full = VarSet::Full(num_vars);
+  for (const auto& chain : chains) {
+    if (static_cast<int>(chain.size()) != p + 1) {
+      return util::Status::InvalidArgument("chain length must be p+1");
+    }
+    if (!chain[0].x.empty()) {
+      return util::Status::InvalidArgument("chain condition: X_0 must be empty");
+    }
+    for (size_t j = 0; j < chain.size(); ++j) {
+      if (!chain[j].y.IsSubsetOf(full) || !chain[j].x.IsSubsetOf(full)) {
+        return util::Status::InvalidArgument("term outside the variable set");
+      }
+      if (j > 0) {
+        if (!chain[j].x.IsSubsetOf(chain[j - 1].y.Intersect(chain[j].y))) {
+          return util::Status::InvalidArgument(
+              "chain condition violated at term " + std::to_string(j));
+        }
+        if (!chain[j].x.Contains(u_var)) {
+          return util::Status::InvalidArgument(
+              "connectedness violated at term " + std::to_string(j));
+        }
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+std::vector<LinearExpr> UniformMaxII::ToBranches() const {
+  std::vector<LinearExpr> out;
+  VarSet full = VarSet::Full(num_vars);
+  VarSet u = VarSet::Singleton(u_var);
+  for (const auto& chain : chains) {
+    LinearExpr e(num_vars);
+    e.Add(u, Rational(n));
+    for (const ChainTerm& term : chain) {
+      e.Add(term.x.Union(term.y), Rational(1));
+      e.Add(term.x, Rational(-1));
+    }
+    e.Add(full, Rational(-q));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string UniformMaxII::ToString() const {
+  std::ostringstream os;
+  os << "(n=" << n << ", p=" << p << ", q=" << q << ") over " << num_vars
+     << " vars, U=X" << u_var << "\n";
+  for (size_t l = 0; l < chains.size(); ++l) {
+    os << "  E" << l << " = " << n << "*h(U)";
+    for (const ChainTerm& t : chains[l]) {
+      os << " + h(" << t.y.ToString() << "|" << t.x.ToString() << ")";
+    }
+    os << " - " << q << "*h(V)\n";
+  }
+  return os.str();
+}
+
+util::Result<UniformMaxII> Uniformize(const std::vector<LinearExpr>& branches) {
+  if (branches.empty()) {
+    return util::Status::InvalidArgument("no branches");
+  }
+  const int n0 = branches[0].num_vars();
+  const VarSet v_full = VarSet::Full(n0);
+
+  // Per branch: positive unit sets Y_i and negative unit sets X_j, after
+  // scaling to integer coefficients (scaling a branch by a positive constant
+  // preserves the sign of the max).
+  struct UnitForm {
+    std::vector<VarSet> positives;
+    std::vector<VarSet> negatives;
+  };
+  std::vector<UnitForm> units;
+  for (const LinearExpr& e : branches) {
+    BAGCQ_CHECK_EQ(e.num_vars(), n0);
+    BigInt scale(1);
+    for (const auto& [x, c] : e.terms()) scale = BigInt::Lcm(scale, c.den());
+    UnitForm form;
+    for (const auto& [x, c] : e.terms()) {
+      Rational scaled = c * Rational(scale);
+      BAGCQ_CHECK(scaled.is_integer());
+      BigInt count = scaled.num().abs();
+      if (count > BigInt(64)) {
+        return util::Status::ResourceExhausted(
+            "coefficient " + scaled.ToString() +
+            " expands to too many unit terms");
+      }
+      for (BigInt i(0); i < count; i += BigInt(1)) {
+        (scaled.sign() > 0 ? form.positives : form.negatives).push_back(x);
+      }
+    }
+    units.push_back(std::move(form));
+  }
+
+  // n = max number of negative unit terms.
+  int n = 0;
+  for (const UnitForm& form : units) {
+    n = std::max(n, static_cast<int>(form.negatives.size()));
+  }
+
+  // Assemble chains over V ∪ {U}; U is the new last variable.
+  const int u = n0;
+  const VarSet u_set = VarSet::Singleton(u);
+  const VarSet uv_full = v_full.Union(u_set);
+
+  UniformMaxII out;
+  out.num_vars = n0 + 1;
+  out.u_var = u;
+  out.n = n;
+  out.q = n + 1;
+
+  int max_len = 0;
+  for (const UnitForm& form : units) {
+    std::vector<ChainTerm> chain;
+    // Leading h(U|∅) — the extracted first term of Eq. (25)'s bracket.
+    chain.push_back({u_set, VarSet()});
+    // Positive unit terms h(U∪Y_i | U).
+    for (VarSet y : form.positives) {
+      chain.push_back({u_set.Union(y), u_set});
+    }
+    // (n - n_ℓ) padding terms h(UV | U) — the h(V) terms added in the proof
+    // to equalize the negative counts.
+    for (size_t i = form.negatives.size(); i < static_cast<size_t>(n); ++i) {
+      chain.push_back({uv_full, u_set});
+    }
+    // The conditional block: h(UV | U) for X_0 = ∅, then h(UV | U∪X_j).
+    chain.push_back({uv_full, u_set});
+    for (VarSet x : form.negatives) {
+      chain.push_back({uv_full, u_set.Union(x)});
+    }
+    max_len = std::max(max_len, static_cast<int>(chain.size()));
+    out.chains.push_back(std::move(chain));
+  }
+  // Pad all chains to a common length with h(U|U) terms.
+  for (auto& chain : out.chains) {
+    while (static_cast<int>(chain.size()) < max_len) {
+      chain.push_back({u_set, u_set});
+    }
+  }
+  out.p = max_len - 1;
+  BAGCQ_RETURN_NOT_OK(out.Validate());
+  return out;
+}
+
+}  // namespace bagcq::core

@@ -1,0 +1,58 @@
+// Lemma 5.3: every Max-IIP is many-one reducible to a *Uniform* Max-IIP —
+// the normal form consumed by the query construction of Section 5.3.
+//
+// An (n,p,q)-uniform expression (Eq. (22)) over variables V ∪ {U} is
+//
+//   E(h) = n·h(U) + Σ_{j=0..p} h(Y_j | X_j) − q·h(V ∪ {U})
+//
+// with the chain condition (X_0 = ∅ and X_j ⊆ Y_{j−1} ∩ Y_j) and the
+// connectedness condition (U ∈ X_j for j ≥ 1). All branches of a uniform
+// Max-II share the same n, p, q and the same distinguished variable U.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "entropy/linear_expr.h"
+#include "util/status.h"
+
+namespace bagcq::core {
+
+using entropy::LinearExpr;
+using util::VarSet;
+
+/// One conditional term h(Y|X) of a chain.
+struct ChainTerm {
+  VarSet y;
+  VarSet x;
+  bool operator==(const ChainTerm& other) const = default;
+};
+
+/// An (n,p,q)-uniform Max-II over num_vars variables with distinguished
+/// variable u_var (Eq. (22)).
+struct UniformMaxII {
+  int num_vars = 0;
+  int u_var = -1;
+  int n = 0;
+  int p = 0;
+  int q = 0;
+  /// chains[ℓ] has exactly p+1 terms (j = 0..p).
+  std::vector<std::vector<ChainTerm>> chains;
+
+  /// Checks uniformity, the chain condition and connectedness.
+  util::Status Validate() const;
+
+  /// The branches E_ℓ as plain linear expressions (for oracle checks).
+  std::vector<LinearExpr> ToBranches() const;
+
+  std::string ToString() const;
+};
+
+/// Lemma 5.3. Input: the branches of "0 ≤ max_ℓ E_ℓ(h)" over n0 variables
+/// with rational coefficients (scaled internally to integers). Output: an
+/// equivalent uniform Max-II over n0+1 variables (U is the new last
+/// variable): valid over a cone closed under the proof's constructions
+/// (Γn and Nn both are) iff the input is.
+util::Result<UniformMaxII> Uniformize(const std::vector<LinearExpr>& branches);
+
+}  // namespace bagcq::core

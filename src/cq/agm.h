@@ -1,0 +1,42 @@
+// The AGM output-size bound (Atserias–Grohe–Marx [AGM13], one of the
+// information-inequality applications the paper's introduction cites):
+// for any fractional edge cover x of the query's variables by its atoms,
+//
+//     |hom(Q, D)|  ≤  Π_atoms |R_atom|^{x_atom}.
+//
+// The cover is computed by the exact simplex (coefficients approximate
+// log2|R| — any *feasible* cover yields a valid bound, so approximating the
+// objective costs only tightness, never soundness), and the final bound and
+// its comparison against the true count are exact (LogRational).
+#pragma once
+
+#include <vector>
+
+#include "cq/query.h"
+#include "cq/structure.h"
+#include "entropy/log_rational.h"
+#include "util/status.h"
+
+namespace bagcq::cq {
+
+struct AgmBound {
+  /// One weight per atom, a fractional edge cover (Σ_{atoms ∋ v} x ≥ 1).
+  std::vector<util::Rational> cover;
+  /// log2 of the bound, exact: Σ x_a · log2|R_a|.
+  entropy::LogRational log_bound;
+  /// Rounded-up integer bound 2^log_bound (for display; may be huge).
+  double bound_approx = 0;
+};
+
+/// Computes a (near-optimal) fractional edge cover and the induced AGM
+/// bound. Fails if some variable is not covered by any atom with a nonempty
+/// relation... more precisely if the cover LP is infeasible (never happens
+/// for well-formed queries) or an atom's relation is empty (bound is 0 —
+/// reported as a cover of that single atom).
+util::Result<AgmBound> ComputeAgmBound(const ConjunctiveQuery& q,
+                                       const Structure& d);
+
+/// Exact check |hom(Q,D)| ≤ AGM bound — big-integer power comparison.
+bool AgmBoundHolds(const AgmBound& bound, int64_t hom_count);
+
+}  // namespace bagcq::cq

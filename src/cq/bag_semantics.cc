@@ -1,0 +1,74 @@
+#include "cq/bag_semantics.h"
+
+#include "cq/homomorphism.h"
+#include "util/check.h"
+
+namespace bagcq::cq {
+
+std::map<std::vector<int>, int64_t> BagSetEvaluate(const ConjunctiveQuery& q,
+                                                   const Structure& d) {
+  std::map<std::vector<int>, int64_t> out;
+  for (const VarMap& f : EnumerateHomomorphisms(q, d)) {
+    std::vector<int> key;
+    key.reserve(q.head().size());
+    for (int v : q.head()) key.push_back(f[v]);
+    ++out[key];
+  }
+  return out;
+}
+
+bool BagLeqOn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+              const Structure& d) {
+  BAGCQ_CHECK_EQ(q1.head().size(), q2.head().size())
+      << "containment compares queries with equal head arity";
+  auto a1 = BagSetEvaluate(q1, d);
+  auto a2 = BagSetEvaluate(q2, d);
+  for (const auto& [key, count] : a1) {
+    auto it = a2.find(key);
+    int64_t other = it == a2.end() ? 0 : it->second;
+    if (count > other) return false;
+  }
+  return true;
+}
+
+std::optional<Structure> SearchBagCounterexample(
+    const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+    const BruteForceOptions& options) {
+  BAGCQ_CHECK(q1.vocab() == q2.vocab());
+  const Vocabulary& vocab = q1.vocab();
+  int64_t budget = options.budget;
+
+  for (int domain = 1; domain <= options.max_domain; ++domain) {
+    // The tuple universe: every relation-tuple pair over [domain].
+    std::vector<std::pair<int, Structure::Tuple>> universe;
+    for (int r = 0; r < vocab.size(); ++r) {
+      Structure::Tuple t(vocab.arity(r), 0);
+      while (true) {
+        universe.emplace_back(r, t);
+        int pos = 0;
+        while (pos < vocab.arity(r)) {
+          if (++t[pos] < domain) break;
+          t[pos] = 0;
+          ++pos;
+        }
+        if (pos == vocab.arity(r)) break;
+        if (vocab.arity(r) == 0) break;
+      }
+    }
+    if (universe.size() > 30) {
+      // 2^|universe| databases is out of reach; let the caller lower bounds.
+      return std::nullopt;
+    }
+    for (uint64_t mask = 0; mask < (uint64_t{1} << universe.size()); ++mask) {
+      if (--budget < 0) return std::nullopt;
+      Structure d(vocab);
+      for (size_t i = 0; i < universe.size(); ++i) {
+        if ((mask >> i) & 1u) d.AddTuple(universe[i].first, universe[i].second);
+      }
+      if (!BagLeqOn(q1, q2, d)) return d;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace bagcq::cq

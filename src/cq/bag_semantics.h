@@ -1,0 +1,43 @@
+// Bag-set semantics (Section 2.2): the answer to Q(x) on D is the map
+// d ↦ |{f ∈ hom(Q,D) : f(x) = d}| — SQL's count(*)-groupby. Containment
+// Q1 ⪯ Q2 compares these maps pointwise on every database.
+//
+// Also provides the brute-force ground truth used by tests: exhaustive
+// enumeration of small databases looking for a containment counterexample.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cq/query.h"
+#include "cq/structure.h"
+
+namespace bagcq::cq {
+
+/// The bag-set answer: head-value tuple -> multiplicity. For Boolean queries
+/// the single key is the empty tuple and the value is |hom(Q, D)|.
+std::map<std::vector<int>, int64_t> BagSetEvaluate(const ConjunctiveQuery& q,
+                                                   const Structure& d);
+
+/// Pointwise Q1(D) ≤ Q2(D) on this one database (both queries must have the
+/// same head arity).
+bool BagLeqOn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+              const Structure& d);
+
+struct BruteForceOptions {
+  /// Databases over domains {0..k-1} for k = 1..max_domain are enumerated.
+  int max_domain = 2;
+  /// Cap on databases examined.
+  int64_t budget = 1'000'000;
+};
+
+/// Exhaustively searches small databases for one where Q1(D) ≰ Q2(D).
+/// A hit disproves Q1 ⪯ Q2; a miss is only evidence. Test-oracle quality,
+/// exponential blowup — keep vocabularies tiny.
+std::optional<Structure> SearchBagCounterexample(
+    const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+    const BruteForceOptions& options = {});
+
+}  // namespace bagcq::cq

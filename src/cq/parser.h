@@ -1,0 +1,36 @@
+// Text formats for queries and databases.
+//
+// Queries (datalog-ish; the head may be omitted for Boolean queries):
+//
+//   Q(x, z) :- P(x), S(u, x), S(v, z), R(z).
+//   R(x,y), R(y,z), R(z,x)
+//
+// Databases:
+//
+//   R = {(1,2), (2,3)}; S = {(1)}
+//
+// Relation arities are inferred on first use; later inconsistent use is a
+// parse error. Variables are identifiers (primes allowed: x').
+#pragma once
+
+#include <string_view>
+
+#include "cq/query.h"
+#include "cq/structure.h"
+#include "util/status.h"
+
+namespace bagcq::cq {
+
+/// Parses a conjunctive query. The vocabulary is inferred.
+util::Result<ConjunctiveQuery> ParseQuery(std::string_view text);
+
+/// Parses a query against an existing vocabulary (symbols may be added).
+util::Result<ConjunctiveQuery> ParseQueryWithVocabulary(std::string_view text,
+                                                        Vocabulary vocab);
+
+/// Parses a database instance; the vocabulary is inferred unless given.
+util::Result<Structure> ParseStructure(std::string_view text);
+util::Result<Structure> ParseStructureWithVocabulary(std::string_view text,
+                                                     Vocabulary vocab);
+
+}  // namespace bagcq::cq

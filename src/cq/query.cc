@@ -1,0 +1,91 @@
+#include "cq/query.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace bagcq::cq {
+
+VarSet Atom::VarSet_() const {
+  VarSet out;
+  for (int v : vars) out = out.With(v);
+  return out;
+}
+
+int ConjunctiveQuery::AddVariable(std::string name) {
+  if (name.empty()) name = "v" + std::to_string(num_vars());
+  BAGCQ_CHECK(FindVariable(name) < 0) << "duplicate variable " << name;
+  BAGCQ_CHECK(num_vars() < VarSet::kMaxVars)
+      << "too many query variables (max " << VarSet::kMaxVars << ")";
+  var_names_.push_back(std::move(name));
+  return num_vars() - 1;
+}
+
+int ConjunctiveQuery::FindVariable(const std::string& name) const {
+  for (int v = 0; v < num_vars(); ++v) {
+    if (var_names_[v] == name) return v;
+  }
+  return -1;
+}
+
+void ConjunctiveQuery::AddAtom(int relation, std::vector<int> vars) {
+  BAGCQ_CHECK(relation >= 0 && relation < vocab_.size());
+  BAGCQ_CHECK_EQ(static_cast<int>(vars.size()), vocab_.arity(relation))
+      << "arity mismatch for " << vocab_.name(relation);
+  for (int v : vars) BAGCQ_CHECK(v >= 0 && v < num_vars());
+  atoms_.push_back(Atom{relation, std::move(vars)});
+}
+
+void ConjunctiveQuery::SetHead(std::vector<int> head) {
+  for (int v : head) BAGCQ_CHECK(v >= 0 && v < num_vars());
+  head_ = std::move(head);
+}
+
+std::vector<VarSet> ConjunctiveQuery::AtomVarSets() const {
+  std::vector<VarSet> out;
+  out.reserve(atoms_.size());
+  for (const Atom& a : atoms_) out.push_back(a.VarSet_());
+  return out;
+}
+
+graph::Graph ConjunctiveQuery::GaifmanGraph() const {
+  graph::Graph g(num_vars());
+  for (const Atom& a : atoms_) {
+    const std::vector<int> vars = a.VarSet_().Elements();
+    for (size_t i = 0; i < vars.size(); ++i) {
+      for (size_t j = i + 1; j < vars.size(); ++j) {
+        g.AddEdge(vars[i], vars[j]);
+      }
+    }
+  }
+  return g;
+}
+
+bool ConjunctiveQuery::AllVarsUsed() const {
+  VarSet used;
+  for (const Atom& a : atoms_) used = used.Union(a.VarSet_());
+  return used == AllVars();
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::ostringstream os;
+  os << "Q(";
+  for (size_t i = 0; i < head_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << var_names_[head_[i]];
+  }
+  os << ") :- ";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << vocab_.name(atoms_[i].relation) << "(";
+    for (size_t j = 0; j < atoms_[i].vars.size(); ++j) {
+      if (j > 0) os << ",";
+      os << var_names_[atoms_[i].vars[j]];
+    }
+    os << ")";
+  }
+  os << ".";
+  return os.str();
+}
+
+}  // namespace bagcq::cq

@@ -1,0 +1,74 @@
+// Conjunctive queries (Section 2.2): Q(x) = A_1 ∧ ... ∧ A_k with atoms over
+// a vocabulary, repeated variables allowed inside atoms, and an optional
+// head. Boolean queries (empty head) are the ones the containment machinery
+// works on; Lemma A.1 (transforms.h) reduces the general case.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cq/vocabulary.h"
+#include "graph/graph.h"
+#include "util/varset.h"
+
+namespace bagcq::cq {
+
+using util::VarSet;
+
+/// One atom R(x_1, ..., x_a): a relation index and a variable per position.
+struct Atom {
+  int relation;
+  std::vector<int> vars;
+
+  /// The *set* of variables (collapses repeats).
+  VarSet VarSet_() const;
+  bool operator==(const Atom& other) const = default;
+};
+
+class ConjunctiveQuery {
+ public:
+  explicit ConjunctiveQuery(Vocabulary vocab) : vocab_(std::move(vocab)) {}
+
+  const Vocabulary& vocab() const { return vocab_; }
+  Vocabulary* mutable_vocab() { return &vocab_; }
+
+  /// Adds a variable; returns its id. Names default to "v<i>".
+  int AddVariable(std::string name = "");
+  int num_vars() const { return static_cast<int>(var_names_.size()); }
+  const std::string& var_name(int v) const { return var_names_[v]; }
+  const std::vector<std::string>& var_names() const { return var_names_; }
+  /// Variable id by name, or -1.
+  int FindVariable(const std::string& name) const;
+
+  /// Adds R(vars); CHECK-fails on arity mismatch or unknown ids.
+  void AddAtom(int relation, std::vector<int> vars);
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  int num_atoms() const { return static_cast<int>(atoms_.size()); }
+
+  void SetHead(std::vector<int> head);
+  const std::vector<int>& head() const { return head_; }
+  bool IsBoolean() const { return head_.empty(); }
+
+  /// All variables of the query as a set (0..num_vars-1).
+  VarSet AllVars() const { return VarSet::Full(num_vars()); }
+  /// Variable sets of all atoms, in atom order (the query's hypergraph).
+  std::vector<VarSet> AtomVarSets() const;
+
+  /// The Gaifman graph: variables adjacent iff they co-occur in an atom.
+  graph::Graph GaifmanGraph() const;
+
+  /// Every variable occurs in some atom (required: head vars must occur in
+  /// the body, Section 2.2).
+  bool AllVarsUsed() const;
+
+  /// Datalog-ish rendering: "Q(x) :- R(x,y), S(y)."
+  std::string ToString() const;
+
+ private:
+  Vocabulary vocab_;
+  std::vector<std::string> var_names_;
+  std::vector<int> head_;
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace bagcq::cq

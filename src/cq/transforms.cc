@@ -1,0 +1,207 @@
+#include "cq/transforms.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace bagcq::cq {
+
+std::pair<ConjunctiveQuery, ConjunctiveQuery> MakeBooleanPair(
+    const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  BAGCQ_CHECK(q1.vocab() == q2.vocab());
+  BAGCQ_CHECK_EQ(q1.head().size(), q2.head().size())
+      << "containment pair must have equal head arity";
+  Vocabulary vocab = q1.vocab();
+  std::vector<int> head_rels;
+  for (size_t i = 0; i < q1.head().size(); ++i) {
+    std::string name = "Head" + std::to_string(i);
+    while (vocab.Find(name) >= 0) name = "_" + name;
+    head_rels.push_back(vocab.AddRelation(name, 1));
+  }
+  auto convert = [&](const ConjunctiveQuery& q) {
+    ConjunctiveQuery out(vocab);
+    for (int v = 0; v < q.num_vars(); ++v) out.AddVariable(q.var_name(v));
+    for (const Atom& a : q.atoms()) out.AddAtom(a.relation, a.vars);
+    for (size_t i = 0; i < q.head().size(); ++i) {
+      out.AddAtom(head_rels[i], {q.head()[i]});
+    }
+    return out;  // Boolean: no head set
+  };
+  return {convert(q1), convert(q2)};
+}
+
+ConjunctiveQuery BagBagToBagSet(const ConjunctiveQuery& q) {
+  Vocabulary vocab;
+  for (int r = 0; r < q.vocab().size(); ++r) {
+    vocab.AddRelation(q.vocab().name(r), q.vocab().arity(r) + 1);
+  }
+  ConjunctiveQuery out(vocab);
+  for (int v = 0; v < q.num_vars(); ++v) out.AddVariable(q.var_name(v));
+  for (size_t i = 0; i < q.atoms().size(); ++i) {
+    const Atom& a = q.atoms()[i];
+    int fresh = out.AddVariable("tid" + std::to_string(i));
+    std::vector<int> vars = a.vars;
+    vars.push_back(fresh);
+    out.AddAtom(a.relation, std::move(vars));
+  }
+  out.SetHead(q.head());
+  return out;
+}
+
+namespace {
+
+// Position subsets are encoded in the closure symbol name: R@02 is the
+// projection of R onto positions {0,2}. Single-digit positions cap the
+// closable arity at 10, far beyond any query here.
+std::string ClosureName(const std::string& base, const std::vector<int>& positions) {
+  std::string name = base + "@";
+  for (int p : positions) {
+    BAGCQ_CHECK(p >= 0 && p <= 9);
+    name += static_cast<char>('0' + p);
+  }
+  return name;
+}
+
+bool IsClosureSymbol(const std::string& name) {
+  return name.find('@') != std::string::npos;
+}
+
+// All proper nonempty position subsets of arity a, each sorted.
+std::vector<std::vector<int>> ProperPositionSubsets(int a) {
+  std::vector<std::vector<int>> out;
+  for (uint32_t mask = 1; mask + 1 < (1u << a); ++mask) {
+    std::vector<int> positions;
+    for (int p = 0; p < a; ++p) {
+      if ((mask >> p) & 1u) positions.push_back(p);
+    }
+    out.push_back(std::move(positions));
+  }
+  return out;
+}
+
+}  // namespace
+
+ConjunctiveQuery ProjectionClosure(const ConjunctiveQuery& q) {
+  Vocabulary vocab = q.vocab();
+  // Closure symbols, created on demand per (relation, subset).
+  for (int r = 0; r < q.vocab().size(); ++r) {
+    if (IsClosureSymbol(q.vocab().name(r))) continue;
+    for (const auto& positions : ProperPositionSubsets(q.vocab().arity(r))) {
+      std::string name = ClosureName(q.vocab().name(r), positions);
+      if (vocab.Find(name) < 0) {
+        vocab.AddRelation(name, static_cast<int>(positions.size()));
+      }
+    }
+  }
+  ConjunctiveQuery out(vocab);
+  for (int v = 0; v < q.num_vars(); ++v) out.AddVariable(q.var_name(v));
+  for (const Atom& a : q.atoms()) {
+    out.AddAtom(a.relation, a.vars);
+    if (IsClosureSymbol(q.vocab().name(a.relation))) continue;
+    for (const auto& positions : ProperPositionSubsets(
+             q.vocab().arity(a.relation))) {
+      std::string name = ClosureName(q.vocab().name(a.relation), positions);
+      std::vector<int> vars;
+      vars.reserve(positions.size());
+      for (int p : positions) vars.push_back(a.vars[p]);
+      out.AddAtom(out.vocab().Find(name), std::move(vars));
+    }
+  }
+  out.SetHead(q.head());
+  return RemoveDuplicateAtoms(out);
+}
+
+Structure ExtendWithProjections(const Structure& d,
+                                const Vocabulary& closed_vocab) {
+  Structure out(closed_vocab);
+  for (int r = 0; r < closed_vocab.size(); ++r) {
+    const std::string& name = closed_vocab.name(r);
+    size_t at = name.find('@');
+    if (at == std::string::npos) {
+      // Original symbol: copy from d.
+      int src = d.vocab().Find(name);
+      if (src < 0) continue;
+      for (const Structure::Tuple& t : d.tuples(src)) out.AddTuple(r, t);
+      continue;
+    }
+    int base = d.vocab().Find(name.substr(0, at));
+    BAGCQ_CHECK(base >= 0) << "closure of unknown relation " << name;
+    std::vector<int> positions;
+    for (char c : name.substr(at + 1)) positions.push_back(c - '0');
+    for (const Structure::Tuple& t : d.tuples(base)) {
+      Structure::Tuple proj;
+      proj.reserve(positions.size());
+      for (int p : positions) proj.push_back(t[p]);
+      out.AddTuple(r, std::move(proj));
+    }
+  }
+  return out;
+}
+
+Structure RestrictToVocabulary(const Structure& d, const Vocabulary& vocab) {
+  Structure out(vocab);
+  for (int r = 0; r < vocab.size(); ++r) {
+    const std::string& name = vocab.name(r);
+    int src = d.vocab().Find(name);
+    if (src < 0) continue;
+    // Semijoin with the closure projections present in d (Fact A.3 proof:
+    // R ⋉ ⋈_S R@S).
+    std::vector<std::pair<int, std::vector<int>>> projections;
+    for (int s = 0; s < d.vocab().size(); ++s) {
+      const std::string& sname = d.vocab().name(s);
+      if (!sname.starts_with(name + "@")) continue;
+      std::vector<int> positions;
+      for (char c : sname.substr(name.size() + 1)) positions.push_back(c - '0');
+      projections.emplace_back(s, std::move(positions));
+    }
+    for (const Structure::Tuple& t : d.tuples(src)) {
+      bool keep = true;
+      for (const auto& [s, positions] : projections) {
+        Structure::Tuple proj;
+        proj.reserve(positions.size());
+        for (int p : positions) proj.push_back(t[p]);
+        if (!d.Contains(s, proj)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) out.AddTuple(r, t);
+    }
+  }
+  return out;
+}
+
+ConjunctiveQuery DisjointCopies(const ConjunctiveQuery& q, int k) {
+  BAGCQ_CHECK(q.IsBoolean()) << "disjoint copies of a Boolean query";
+  BAGCQ_CHECK_GE(k, 1);
+  ConjunctiveQuery out(q.vocab());
+  for (int copy = 0; copy < k; ++copy) {
+    std::vector<int> var_map(q.num_vars());
+    for (int v = 0; v < q.num_vars(); ++v) {
+      var_map[v] = out.AddVariable(q.var_name(v) + "#" + std::to_string(copy));
+    }
+    for (const Atom& a : q.atoms()) {
+      std::vector<int> vars;
+      vars.reserve(a.vars.size());
+      for (int v : a.vars) vars.push_back(var_map[v]);
+      out.AddAtom(a.relation, std::move(vars));
+    }
+  }
+  return out;
+}
+
+ConjunctiveQuery RemoveDuplicateAtoms(const ConjunctiveQuery& q) {
+  ConjunctiveQuery out(q.vocab());
+  for (int v = 0; v < q.num_vars(); ++v) out.AddVariable(q.var_name(v));
+  std::set<std::pair<int, std::vector<int>>> seen;
+  for (const Atom& a : q.atoms()) {
+    if (seen.insert({a.relation, a.vars}).second) {
+      out.AddAtom(a.relation, a.vars);
+    }
+  }
+  out.SetHead(q.head());
+  return out;
+}
+
+}  // namespace bagcq::cq

@@ -1,0 +1,53 @@
+// Query and database transforms from the paper:
+//
+//   * Lemma A.1 — reduce containment with head variables to Boolean
+//     containment by adding one fresh unary atom per head variable;
+//   * bag-bag → bag-set ([JKV06], Section 2.2) — append a fresh attribute to
+//     every relation and a fresh existential variable to every atom;
+//   * Fact A.3 — projection closure: add, for each atom R(x) and each proper
+//     nonempty position subset S, an atom R@S(x_S), so that every bag of a
+//     tree decomposition is covered by atoms (needed by Lemma E.1);
+//   * disjoint copies n·Q — |hom(n·Q, D)| = |hom(Q, D)|^n ([KR11, Lemma
+//     2.2]), the gadget behind the exponent-domination reduction;
+//   * duplicate-atom removal (bag-set semantics ignores repeats).
+#pragma once
+
+#include <vector>
+
+#include "cq/query.h"
+#include "cq/structure.h"
+
+namespace bagcq::cq {
+
+/// Lemma A.1 applied to a containment pair: both queries must have the same
+/// head arity; returns Boolean queries over a common extended vocabulary
+/// with fresh unary relations Head0, Head1, ....
+std::pair<ConjunctiveQuery, ConjunctiveQuery> MakeBooleanPair(
+    const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+/// Bag-bag → bag-set: every relation R/k becomes R/(k+1) and every atom gets
+/// a fresh variable in the new position. Apply to both queries of a pair.
+ConjunctiveQuery BagBagToBagSet(const ConjunctiveQuery& q);
+
+/// Fact A.3 projection closure of a query. Projection relations are named
+/// "R@<positions>"; repeated application is idempotent on original symbols
+/// (already-closed symbols are not re-closed).
+ConjunctiveQuery ProjectionClosure(const ConjunctiveQuery& q);
+
+/// The database counterpart: extends D with R@S = Π_S(R) for every closure
+/// symbol of `closed_vocab`.
+Structure ExtendWithProjections(const Structure& d,
+                                const Vocabulary& closed_vocab);
+
+/// Restriction of a closed-vocabulary database back to the original symbols
+/// (per the proof of Fact A.3, followed by the R ⋉ ⋈_S R@S semijoin).
+Structure RestrictToVocabulary(const Structure& d, const Vocabulary& vocab);
+
+/// k disjoint copies of a Boolean query: variable v of copy i becomes a
+/// fresh variable; |hom(k·Q, D)| = |hom(Q, D)|^k.
+ConjunctiveQuery DisjointCopies(const ConjunctiveQuery& q, int k);
+
+/// Removes duplicate atoms (no-op under bag-set semantics, Section 2.2).
+ConjunctiveQuery RemoveDuplicateAtoms(const ConjunctiveQuery& q);
+
+}  // namespace bagcq::cq

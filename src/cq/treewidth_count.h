@@ -1,0 +1,27 @@
+// Homomorphism counting for *arbitrary* (possibly cyclic) queries by
+// dynamic programming over a junction tree of the minimally triangulated
+// Gaifman graph: O(|adom|^treewidth) per bag. The third counting engine —
+// backtracking (any query), Yannakakis DP (acyclic), and this one — all
+// cross-validate in tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cq/query.h"
+#include "cq/structure.h"
+
+namespace bagcq::cq {
+
+struct TreewidthCountOptions {
+  /// Refuse bags whose assignment space |adom|^|bag| exceeds this.
+  int64_t max_bag_assignments = 50'000'000;
+};
+
+/// |hom(Q, D)|, or nullopt if some bag's assignment space exceeds the
+/// option limit (the caller can fall back to backtracking).
+std::optional<int64_t> CountHomomorphismsTreewidth(
+    const ConjunctiveQuery& q, const Structure& d,
+    const TreewidthCountOptions& options = {});
+
+}  // namespace bagcq::cq

@@ -1,0 +1,57 @@
+#include "cq/vocabulary.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace bagcq::cq {
+
+int Vocabulary::AddRelation(std::string name, int arity) {
+  BAGCQ_CHECK(arity >= 0) << "negative arity";
+  BAGCQ_CHECK(index_.find(name) == index_.end())
+      << "duplicate relation symbol " << name;
+  int id = size();
+  index_[name] = id;
+  symbols_.push_back({std::move(name), arity});
+  return id;
+}
+
+int Vocabulary::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+util::Result<int> Vocabulary::FindOrAdd(const std::string& name, int arity) {
+  int existing = Find(name);
+  if (existing >= 0) {
+    if (symbols_[existing].arity != arity) {
+      return util::Status::InvalidArgument(
+          "relation " + name + " used with arity " + std::to_string(arity) +
+          " but declared with arity " + std::to_string(symbols_[existing].arity));
+    }
+    return existing;
+  }
+  return AddRelation(name, arity);
+}
+
+bool Vocabulary::operator==(const Vocabulary& other) const {
+  if (size() != other.size()) return false;
+  for (int r = 0; r < size(); ++r) {
+    if (symbols_[r].name != other.symbols_[r].name ||
+        symbols_[r].arity != other.symbols_[r].arity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Vocabulary::ToString() const {
+  std::ostringstream os;
+  for (int r = 0; r < size(); ++r) {
+    if (r > 0) os << ", ";
+    os << symbols_[r].name << "/" << symbols_[r].arity;
+  }
+  return os.str();
+}
+
+}  // namespace bagcq::cq

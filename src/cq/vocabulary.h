@@ -1,0 +1,38 @@
+// Relational vocabularies (Section 2.1): named relation symbols with fixed
+// arities, shared between queries and database instances.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bagcq::cq {
+
+class Vocabulary {
+ public:
+  /// Adds a relation symbol; returns its index. CHECK-fails on duplicates.
+  int AddRelation(std::string name, int arity);
+  /// Index of `name`, or -1.
+  int Find(const std::string& name) const;
+  /// Index of `name`, adding it with `arity` if absent; error on arity clash.
+  util::Result<int> FindOrAdd(const std::string& name, int arity);
+
+  int size() const { return static_cast<int>(symbols_.size()); }
+  const std::string& name(int r) const { return symbols_[r].name; }
+  int arity(int r) const { return symbols_[r].arity; }
+
+  bool operator==(const Vocabulary& other) const;
+  std::string ToString() const;
+
+ private:
+  struct Symbol {
+    std::string name;
+    int arity;
+  };
+  std::vector<Symbol> symbols_;
+  std::map<std::string, int> index_;
+};
+
+}  // namespace bagcq::cq

@@ -1,0 +1,300 @@
+#include "entropy/expr_parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace bagcq::entropy {
+
+namespace {
+
+using util::Rational;
+using util::Result;
+using util::Status;
+using util::VarSet;
+
+// Shared variable-name table across a parse session.
+class VarTable {
+ public:
+  int IdOf(const std::string& name) {
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    int id = static_cast<int>(names_.size());
+    if (id >= VarSet::kMaxVars) return -1;
+    index_[name] = id;
+    names_.push_back(name);
+    return id;
+  }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::map<std::string, int> index_;
+  std::vector<std::string> names_;
+};
+
+class ExprLexer {
+ public:
+  explicit ExprLexer(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  bool Consume(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_).starts_with(token)) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeIdentifier(std::string* out) {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ >= text_.size()) return false;
+    unsigned char c = static_cast<unsigned char>(text_[pos_]);
+    if (!std::isalnum(c) && c != '_') return false;
+    while (pos_ < text_.size()) {
+      c = static_cast<unsigned char>(text_[pos_]);
+      if (std::isalnum(c) || c == '_' || c == '\'') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    *out = std::string(text_.substr(start, pos_ - start));
+    return true;
+  }
+  bool ConsumeNumber(Rational* out) {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    std::string num(text_.substr(start, pos_ - start));
+    if (pos_ < text_.size() && text_[pos_] == '/') {
+      size_t den_start = ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == den_start) {
+        pos_ = start;
+        return false;
+      }
+      num += "/" + std::string(text_.substr(den_start, pos_ - den_start));
+    }
+    return Rational::TryParse(num, out);
+  }
+  std::string Context() const {
+    size_t end = std::min(pos_ + 16, text_.size());
+    return "near '" + std::string(text_.substr(pos_, end - pos_)) + "'";
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// Parses "A,B,C" or "A B C" into a VarSet.
+Status ParseVarList(ExprLexer* lex, VarTable* table, VarSet* out,
+                    std::string_view terminators) {
+  *out = VarSet();
+  while (true) {
+    std::string name;
+    if (!lex->ConsumeIdentifier(&name)) {
+      return Status::ParseError("expected variable name " + lex->Context());
+    }
+    int id = table->IdOf(name);
+    if (id < 0) return Status::ParseError("too many distinct variables");
+    *out = out->With(id);
+    char next = lex->Peek();
+    if (terminators.find(next) != std::string_view::npos) return Status::OK();
+    if (next == ',') {
+      lex->Consume(",");
+      continue;
+    }
+    // Space-separated variables: continue if an identifier follows.
+    if (std::isalnum(static_cast<unsigned char>(next)) || next == '_') continue;
+    return Status::ParseError("unexpected character in variable list " +
+                              lex->Context());
+  }
+}
+
+// Parses one H(...) or I(...) term into `out` (coefficient applied later).
+Status ParseEntropyTerm(ExprLexer* lex, VarTable* table,
+                        std::vector<std::pair<VarSet, Rational>>* out) {
+  std::string head;
+  if (!lex->ConsumeIdentifier(&head)) {
+    return Status::ParseError("expected H(...) or I(...) " + lex->Context());
+  }
+  bool is_mi = head == "I";
+  if (!is_mi && head != "H" && head != "h") {
+    return Status::ParseError("unknown function '" + head + "'");
+  }
+  if (!lex->Consume("(")) {
+    return Status::ParseError("expected '(' after " + head);
+  }
+  if (is_mi) {
+    VarSet x, y, z;
+    BAGCQ_RETURN_NOT_OK(ParseVarList(lex, table, &x, ";"));
+    if (!lex->Consume(";")) {
+      return Status::ParseError("expected ';' in I(...) " + lex->Context());
+    }
+    BAGCQ_RETURN_NOT_OK(ParseVarList(lex, table, &y, "|)"));
+    if (lex->Consume("|")) {
+      BAGCQ_RETURN_NOT_OK(ParseVarList(lex, table, &z, ")"));
+    }
+    if (!lex->Consume(")")) {
+      return Status::ParseError("expected ')' " + lex->Context());
+    }
+    // I(X;Y|Z) = h(XZ) + h(YZ) - h(Z) - h(XYZ).
+    out->push_back({x.Union(z), Rational(1)});
+    out->push_back({y.Union(z), Rational(1)});
+    out->push_back({z, Rational(-1)});
+    out->push_back({x.Union(y).Union(z), Rational(-1)});
+    return Status::OK();
+  }
+  VarSet y, x;
+  BAGCQ_RETURN_NOT_OK(ParseVarList(lex, table, &y, "|)"));
+  if (lex->Consume("|")) {
+    BAGCQ_RETURN_NOT_OK(ParseVarList(lex, table, &x, ")"));
+  }
+  if (!lex->Consume(")")) {
+    return Status::ParseError("expected ')' " + lex->Context());
+  }
+  out->push_back({x.Union(y), Rational(1)});
+  out->push_back({x, Rational(-1)});
+  return Status::OK();
+}
+
+// Parses a signed sum of terms; accumulated into (set, coeff) pairs.
+Status ParseSide(ExprLexer* lex, VarTable* table,
+                 std::vector<std::pair<VarSet, Rational>>* accum,
+                 Rational overall_sign) {
+  bool first = true;
+  while (true) {
+    Rational sign = overall_sign;
+    if (lex->Consume("+")) {
+      // keep sign
+    } else if (lex->Consume("-")) {
+      sign = -sign;
+    } else if (!first) {
+      return Status::OK();
+    }
+    Rational coeff(1);
+    Rational number;
+    ExprLexer probe = *lex;
+    if (probe.ConsumeNumber(&number)) {
+      *lex = probe;
+      coeff = number;
+      lex->Consume("*");
+      // A bare number term (e.g. "0") contributes nothing but is legal.
+      char next = lex->Peek();
+      if (next != 'H' && next != 'h' && next != 'I') {
+        if (!number.is_zero()) {
+          return Status::ParseError("constant terms must be zero");
+        }
+        first = false;
+        if (lex->AtEnd() || lex->Peek() == '>' || lex->Peek() == '<') {
+          return Status::OK();
+        }
+        continue;
+      }
+    }
+    std::vector<std::pair<VarSet, Rational>> terms;
+    BAGCQ_RETURN_NOT_OK(ParseEntropyTerm(lex, table, &terms));
+    for (auto& [set, c] : terms) {
+      accum->push_back({set, c * coeff * sign});
+    }
+    first = false;
+    if (lex->AtEnd() || lex->Peek() == '>' || lex->Peek() == '<') {
+      return Status::OK();
+    }
+  }
+}
+
+Result<ParsedInequality> ParseWithTable(std::string_view text,
+                                        VarTable* table) {
+  ExprLexer lex(text);
+  std::vector<std::pair<VarSet, Rational>> accum;
+  BAGCQ_RETURN_NOT_OK(ParseSide(&lex, table, &accum, Rational(1)));
+  if (!lex.AtEnd()) {
+    bool geq = lex.Consume(">=");
+    bool leq = !geq && lex.Consume("<=");
+    if (!geq && !leq) {
+      return Status::ParseError("expected '>=' or '<=' " + lex.Context());
+    }
+    // Right side subtracted for >=, or the whole thing flipped for <=.
+    BAGCQ_RETURN_NOT_OK(
+        ParseSide(&lex, table, &accum, geq ? Rational(-1) : Rational(1)));
+    if (leq) {
+      // lhs <= rhs becomes rhs - lhs >= 0: we accumulated lhs with +1 and
+      // rhs with +1; flip lhs by negating everything then... easier: we
+      // parsed lhs with sign +1 and rhs with sign +1, so flip lhs part is
+      // wrong. Re-parse cleanly instead.
+      accum.clear();
+      ExprLexer relex(text);
+      BAGCQ_RETURN_NOT_OK(ParseSide(&relex, table, &accum, Rational(-1)));
+      relex.Consume("<=");
+      BAGCQ_RETURN_NOT_OK(ParseSide(&relex, table, &accum, Rational(1)));
+      if (!relex.AtEnd()) {
+        return Status::ParseError("trailing input " + relex.Context());
+      }
+    } else if (!lex.AtEnd()) {
+      return Status::ParseError("trailing input " + lex.Context());
+    }
+  }
+  ParsedInequality out{LinearExpr(static_cast<int>(table->names().size())),
+                       table->names()};
+  for (const auto& [set, coeff] : accum) {
+    out.expr.Add(set, coeff);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ParsedInequality> ParseInequality(std::string_view text) {
+  VarTable table;
+  return ParseWithTable(text, &table);
+}
+
+Result<std::vector<ParsedInequality>> ParseInequalityList(
+    const std::vector<std::string>& lines) {
+  VarTable table;
+  // Two passes so every line sees the full variable space: first to collect
+  // variables, then to build expressions with the final dimension.
+  for (const std::string& line : lines) {
+    auto parsed = ParseWithTable(line, &table);
+    if (!parsed.ok()) return parsed.status();
+  }
+  std::vector<ParsedInequality> out;
+  const int n = static_cast<int>(table.names().size());
+  for (const std::string& line : lines) {
+    auto parsed = ParseWithTable(line, &table);
+    if (!parsed.ok()) return parsed.status();
+    // Re-dimension to the shared space.
+    LinearExpr expr(n);
+    for (const auto& [set, coeff] : parsed->expr.terms()) {
+      expr.Add(set, coeff);
+    }
+    out.push_back(ParsedInequality{std::move(expr), table.names()});
+  }
+  return out;
+}
+
+}  // namespace bagcq::entropy

@@ -1,0 +1,36 @@
+// Textual information-inequality parser (ITIP-style): turns strings like
+//
+//   "I(A;B|C) + 3/2*H(A,D) - H(D|B) >= H(A) - H(B)"
+//
+// into a LinearExpr over the variables encountered (reported with their
+// names). Both H(...) entropies (with optional conditioning) and I(...;...)
+// mutual informations (with optional conditioning) are supported; the
+// inequality is normalized to "expr >= 0" form.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "entropy/linear_expr.h"
+#include "util/status.h"
+
+namespace bagcq::entropy {
+
+struct ParsedInequality {
+  /// The inequality as "expr >= 0".
+  LinearExpr expr;
+  /// Variable names in index order.
+  std::vector<std::string> var_names;
+};
+
+/// Parses a single inequality. Variables may appear on either side of ">="
+/// or "<="; a bare expression (no relation) is treated as "expr >= 0".
+util::Result<ParsedInequality> ParseInequality(std::string_view text);
+
+/// Parses several inequalities over a *shared* variable space, for max-II
+/// input: "h(X) <= max(E1; E2; ...)" is expressed as one line per branch.
+util::Result<std::vector<ParsedInequality>> ParseInequalityList(
+    const std::vector<std::string>& lines);
+
+}  // namespace bagcq::entropy

@@ -1,0 +1,71 @@
+#include "entropy/functions.h"
+
+#include "util/check.h"
+
+namespace bagcq::entropy {
+
+SetFunction StepFunction(int n, VarSet w) {
+  VarSet full = VarSet::Full(n);
+  BAGCQ_CHECK(w.IsSubsetOf(full) && w != full)
+      << "step function requires W to be a proper subset of V";
+  SetFunction h(n);
+  for (uint32_t s = 1; s < (1u << n); ++s) {
+    if (!VarSet(s).IsSubsetOf(w)) h[VarSet(s)] = Rational(1);
+  }
+  return h;
+}
+
+SetFunction ModularFunction(const std::vector<Rational>& weights) {
+  int n = static_cast<int>(weights.size());
+  SetFunction h(n);
+  for (uint32_t s = 1; s < (1u << n); ++s) {
+    Rational sum;
+    for (int i = 0; i < n; ++i) {
+      if ((s >> i) & 1u) sum += weights[i];
+    }
+    h[VarSet(s)] = sum;
+  }
+  return h;
+}
+
+SetFunction NormalFunction(int n, const std::map<VarSet, Rational>& coeffs) {
+  SetFunction h(n);
+  for (const auto& [w, c] : coeffs) {
+    BAGCQ_CHECK(c.sign() >= 0) << "normal coefficients must be nonnegative";
+    if (c.is_zero()) continue;
+    h = h + StepFunction(n, w) * c;
+  }
+  return h;
+}
+
+SetFunction ParityFunction() {
+  return GF2RankFunction({0b01, 0b10, 0b11});
+}
+
+SetFunction GF2RankFunction(const std::vector<uint64_t>& columns) {
+  int n = static_cast<int>(columns.size());
+  SetFunction h(n);
+  for (uint32_t s = 1; s < (1u << n); ++s) {
+    // GF(2) rank via an echelon basis indexed by leading-bit position.
+    uint64_t basis[64] = {};
+    int rank = 0;
+    for (int i = 0; i < n; ++i) {
+      if (((s >> i) & 1u) == 0) continue;
+      uint64_t v = columns[i];
+      for (int bit = 63; bit >= 0 && v != 0; --bit) {
+        if (((v >> bit) & 1u) == 0) continue;
+        if (basis[bit] == 0) {
+          basis[bit] = v;
+          ++rank;
+          v = 0;
+        } else {
+          v ^= basis[bit];
+        }
+      }
+    }
+    h[VarSet(s)] = Rational(rank);
+  }
+  return h;
+}
+
+}  // namespace bagcq::entropy

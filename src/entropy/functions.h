@@ -1,0 +1,42 @@
+// Constructors for the distinguished entropy-function families of
+// Section 3.2 and Appendix B:
+//
+//   * step functions h_W (entropies of two-tuple relations P_W),
+//   * modular functions (entropies of product relations),
+//   * normal functions Σ c_W h_W (entropies of normal relations),
+//   * the parity function (the classic entropic-but-not-normal example),
+//   * GF(2) linear rank functions — exact integer-valued *entropic*
+//     functions (group-characterizable via vector spaces over GF(2)),
+//     used as the source of exact entropic test points.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "entropy/set_function.h"
+
+namespace bagcq::entropy {
+
+/// Step function at W ⊊ V: h_W(X) = 0 if X ⊆ W, else 1 (Section 3.2).
+SetFunction StepFunction(int n, VarSet w);
+
+/// Modular function h(X) = Σ_{i∈X} weights[i]; weights must be ≥ 0 for the
+/// result to be a polymatroid.
+SetFunction ModularFunction(const std::vector<Rational>& weights);
+
+/// Σ_W coeffs[W] · h_W. Coefficients must be ≥ 0 and keys proper subsets of
+/// V (CHECK-enforced): this is the cone Nn of Section 3.2.
+SetFunction NormalFunction(int n, const std::map<VarSet, Rational>& coeffs);
+
+/// The parity function on 3 variables (Example B.4): entropy of
+/// {(x,y,z) ∈ {0,1}^3 : x⊕y⊕z = 0}. Entropic but not normal.
+SetFunction ParityFunction();
+
+/// Rank function of GF(2) vectors: h(X) = rank{ columns[i] : i ∈ X } where
+/// each column is a bitmask over up to 64 dimensions. Every such function is
+/// entropic (group-characterizable), so these provide exact entropic test
+/// points; the parity function is GF2RankFunction({0b01, 0b10, 0b11}).
+SetFunction GF2RankFunction(const std::vector<uint64_t>& columns);
+
+}  // namespace bagcq::entropy

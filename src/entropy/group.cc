@@ -1,0 +1,143 @@
+#include "entropy/group.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/check.h"
+
+namespace bagcq::entropy {
+
+namespace {
+
+Permutation Identity(int degree) {
+  Permutation id(degree);
+  for (int i = 0; i < degree; ++i) id[i] = i;
+  return id;
+}
+
+Permutation Compose(const Permutation& f, const Permutation& g) {
+  // (f ∘ g)(x) = f(g(x)).
+  Permutation out(f.size());
+  for (size_t x = 0; x < f.size(); ++x) out[x] = f[g[x]];
+  return out;
+}
+
+}  // namespace
+
+PermutationGroup PermutationGroup::Generate(
+    int degree, const std::vector<Permutation>& generators) {
+  for (const Permutation& g : generators) {
+    BAGCQ_CHECK_EQ(static_cast<int>(g.size()), degree) << "generator degree";
+    std::vector<bool> seen(degree, false);
+    for (int v : g) {
+      BAGCQ_CHECK(v >= 0 && v < degree && !seen[v]) << "not a permutation";
+      seen[v] = true;
+    }
+  }
+  std::set<Permutation> closure;
+  std::vector<Permutation> frontier = {Identity(degree)};
+  closure.insert(frontier[0]);
+  while (!frontier.empty()) {
+    std::vector<Permutation> next;
+    for (const Permutation& element : frontier) {
+      for (const Permutation& g : generators) {
+        Permutation candidate = Compose(g, element);
+        if (closure.insert(candidate).second) {
+          BAGCQ_CHECK(closure.size() <= 100'000) << "group too large";
+          next.push_back(std::move(candidate));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  PermutationGroup out;
+  out.degree_ = degree;
+  out.elements_.assign(closure.begin(), closure.end());
+  return out;
+}
+
+bool PermutationGroup::Contains(const Permutation& p) const {
+  return std::binary_search(elements_.begin(), elements_.end(), p);
+}
+
+PermutationGroup PermutationGroup::PointwiseStabilizer(
+    const std::vector<int>& points) const {
+  PermutationGroup out;
+  out.degree_ = degree_;
+  for (const Permutation& p : elements_) {
+    bool fixes = true;
+    for (int point : points) {
+      if (p[point] != point) {
+        fixes = false;
+        break;
+      }
+    }
+    if (fixes) out.elements_.push_back(p);
+  }
+  return out;
+}
+
+Relation GroupCharacterizableRelation(
+    const PermutationGroup& group,
+    const std::vector<PermutationGroup>& subgroups) {
+  const int n = static_cast<int>(subgroups.size());
+  for (const PermutationGroup& sub : subgroups) {
+    for (const Permutation& p : sub.elements()) {
+      BAGCQ_CHECK(group.Contains(p)) << "subgroup element outside the group";
+    }
+  }
+  // Coset id of a·G_i: the minimal element of {a∘g : g ∈ G_i}, interned.
+  std::vector<std::map<Permutation, int>> coset_ids(n);
+  Relation out(n);
+  for (const Permutation& a : group.elements()) {
+    Relation::Tuple row(n);
+    for (int i = 0; i < n; ++i) {
+      Permutation representative;
+      bool first = true;
+      for (const Permutation& g : subgroups[i].elements()) {
+        Permutation member = Compose(a, g);
+        if (first || member < representative) representative = std::move(member);
+        first = false;
+      }
+      auto [it, inserted] = coset_ids[i].insert(
+          {representative, static_cast<int>(coset_ids[i].size())});
+      row[i] = it->second;
+    }
+    out.AddTuple(std::move(row));
+  }
+  return out;
+}
+
+std::vector<LogRational> GroupEntropy(
+    const PermutationGroup& group,
+    const std::vector<PermutationGroup>& subgroups) {
+  const int n = static_cast<int>(subgroups.size());
+  std::vector<LogRational> out(size_t{1} << n);
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    // |∩_{i∈mask} G_i| by scanning the smallest member subgroup.
+    int smallest = -1;
+    for (int i = 0; i < n; ++i) {
+      if (((mask >> i) & 1u) &&
+          (smallest < 0 ||
+           subgroups[i].order() < subgroups[smallest].order())) {
+        smallest = i;
+      }
+    }
+    int64_t intersection = 0;
+    for (const Permutation& p : subgroups[smallest].elements()) {
+      bool in_all = true;
+      for (int i = 0; i < n && in_all; ++i) {
+        if (((mask >> i) & 1u) && i != smallest) {
+          in_all = subgroups[i].Contains(p);
+        }
+      }
+      if (in_all) ++intersection;
+    }
+    out[mask] = LogRational::Log2(group.order()) -
+                LogRational::Log2(intersection);
+  }
+  return out;
+}
+
+}  // namespace bagcq::entropy

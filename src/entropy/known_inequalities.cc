@@ -1,0 +1,45 @@
+#include "entropy/known_inequalities.h"
+
+#include "util/check.h"
+
+namespace bagcq::entropy {
+
+LinearExpr ZhangYeungExpr() {
+  const int n = 4;
+  VarSet a = VarSet::Singleton(0);
+  VarSet b = VarSet::Singleton(1);
+  VarSet c = VarSet::Singleton(2);
+  VarSet d = VarSet::Singleton(3);
+  return LinearExpr::MI(n, a, b) + LinearExpr::MI(n, a, c.Union(d)) +
+         LinearExpr::MI(n, c, d, a) * Rational(3) + LinearExpr::MI(n, c, d, b) -
+         LinearExpr::MI(n, c, d) * Rational(2);
+}
+
+LinearExpr IngletonExpr() {
+  const int n = 4;
+  VarSet a = VarSet::Singleton(0);
+  VarSet b = VarSet::Singleton(1);
+  VarSet c = VarSet::Singleton(2);
+  VarSet d = VarSet::Singleton(3);
+  return LinearExpr::MI(n, a, b, c) + LinearExpr::MI(n, a, b, d) +
+         LinearExpr::MI(n, c, d) - LinearExpr::MI(n, a, b);
+}
+
+LinearExpr SubmodularityExpr(int n, VarSet x, VarSet y) {
+  LinearExpr e(n);
+  e.Add(x, Rational(1));
+  e.Add(y, Rational(1));
+  e.Add(x.Union(y), Rational(-1));
+  e.Add(x.Intersect(y), Rational(-1));
+  return e;
+}
+
+LinearExpr MonotonicityExpr(int n, VarSet x, VarSet y) {
+  BAGCQ_CHECK(x.IsSubsetOf(y)) << "monotonicity requires X ⊆ Y";
+  LinearExpr e(n);
+  e.Add(y, Rational(1));
+  e.Add(x, Rational(-1));
+  return e;
+}
+
+}  // namespace bagcq::entropy

@@ -1,0 +1,34 @@
+// Named information inequalities from the literature, used by tests and by
+// the E6/E7 experiments to exhibit the boundary between the cones
+// Mn ⊊ Nn ⊊ Γ*n ⊊ Γn that Section 3.2 walks through.
+#pragma once
+
+#include "entropy/linear_expr.h"
+
+namespace bagcq::entropy {
+
+/// Zhang–Yeung 1998 (the first non-Shannon information inequality), over
+/// variables A=0, B=1, C=2, D=3, as "expr ≥ 0":
+///
+///   2·I(C;D) ≤ I(A;B) + I(A;CD) + 3·I(C;D|A) + I(C;D|B)
+///
+/// Valid for all entropic functions (hence on Nn ⊆ Γ*4) but NOT on Γ4:
+/// the prover exhibits a polymatroid counterexample.
+LinearExpr ZhangYeungExpr();
+
+/// Ingleton 1971 over A=0, B=1, C=2, D=3, as "expr ≥ 0":
+///
+///   I(A;B) ≤ I(A;B|C) + I(A;B|D) + I(C;D)
+///
+/// Valid on linear rank functions (hence on Nn) but invalid on Γ4 and even
+/// on the entropic cone Γ*4.
+LinearExpr IngletonExpr();
+
+/// Submodularity on arbitrary sets, h(X) + h(Y) - h(X∪Y) - h(X∩Y) ≥ 0,
+/// as a derived (non-elemental) Shannon inequality.
+LinearExpr SubmodularityExpr(int n, VarSet x, VarSet y);
+
+/// Monotonicity on arbitrary sets, h(Y) - h(X) ≥ 0 for X ⊆ Y.
+LinearExpr MonotonicityExpr(int n, VarSet x, VarSet y);
+
+}  // namespace bagcq::entropy

@@ -1,0 +1,38 @@
+// Lee's information-theoretic characterizations of database constraints
+// ([Lee87], recounted in the paper's Section 6 as the origin of the E_T
+// formula): for the entropy h of the uniform distribution on a relation P,
+//
+//   * the functional dependency X → Y holds   iff  h(Y|X) = 0,
+//   * the multivalued dependency X ↠ Y holds  iff  I(Y ; V−XY | X) = 0,
+//   * P decomposes losslessly along an (acyclic) tree decomposition T
+//     iff  E_T(h) = h(V).
+//
+// All checks are exact (LogRational); each also has a direct combinatorial
+// checker, and the two are property-tested equal.
+#pragma once
+
+#include "entropy/log_rational.h"
+#include "entropy/relation.h"
+#include "graph/tree_decomposition.h"
+
+namespace bagcq::entropy {
+
+/// FD via entropy: h(Y|X) = 0 on the uniform distribution.
+bool FdHoldsEntropic(const Relation& p, util::VarSet x, util::VarSet y);
+/// FD via counting: every X-value maps to a single Y-value.
+bool FdHoldsCombinatorial(const Relation& p, util::VarSet x, util::VarSet y);
+
+/// MVD via entropy: I(Y ; rest | X) = 0 with rest = V − X − Y.
+bool MvdHoldsEntropic(const Relation& p, util::VarSet x, util::VarSet y);
+/// MVD via the exchange property: if t1, t2 agree on X then the tuple
+/// taking Y from t1 and the rest from t2 is also in P.
+bool MvdHoldsCombinatorial(const Relation& p, util::VarSet x, util::VarSet y);
+
+/// Lossless-join test via entropy: E_T(h) = h(V) (Lee's theorem).
+bool DecomposesAlong(const Relation& p, const graph::TreeDecomposition& td);
+/// Lossless-join test by materializing the join of the bag projections and
+/// comparing with P.
+bool DecomposesAlongCombinatorial(const Relation& p,
+                                  const graph::TreeDecomposition& td);
+
+}  // namespace bagcq::entropy

@@ -1,0 +1,182 @@
+#include "entropy/linear_expr.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace bagcq::entropy {
+
+LinearExpr LinearExpr::H(int n, VarSet x) {
+  LinearExpr e(n);
+  e.Add(x, Rational(1));
+  return e;
+}
+
+LinearExpr LinearExpr::HCond(int n, VarSet y, VarSet x) {
+  LinearExpr e(n);
+  e.Add(x.Union(y), Rational(1));
+  e.Add(x, Rational(-1));
+  return e;
+}
+
+LinearExpr LinearExpr::MI(int n, VarSet x, VarSet y, VarSet z) {
+  LinearExpr e(n);
+  e.Add(x.Union(z), Rational(1));
+  e.Add(y.Union(z), Rational(1));
+  e.Add(z, Rational(-1));
+  e.Add(x.Union(y).Union(z), Rational(-1));
+  return e;
+}
+
+Rational LinearExpr::Coeff(VarSet x) const {
+  auto it = terms_.find(x);
+  return it == terms_.end() ? Rational(0) : it->second;
+}
+
+void LinearExpr::Add(VarSet x, const Rational& c) {
+  BAGCQ_DCHECK(x.IsSubsetOf(VarSet::Full(n_)));
+  if (x.empty() || c.is_zero()) return;
+  Rational& slot = terms_[x];
+  slot += c;
+  if (slot.is_zero()) terms_.erase(x);
+}
+
+LinearExpr LinearExpr::operator+(const LinearExpr& other) const {
+  BAGCQ_CHECK_EQ(n_, other.n_);
+  LinearExpr out = *this;
+  for (const auto& [x, c] : other.terms_) out.Add(x, c);
+  return out;
+}
+
+LinearExpr LinearExpr::operator-(const LinearExpr& other) const {
+  BAGCQ_CHECK_EQ(n_, other.n_);
+  LinearExpr out = *this;
+  for (const auto& [x, c] : other.terms_) out.Add(x, -c);
+  return out;
+}
+
+LinearExpr LinearExpr::operator*(const Rational& scale) const {
+  LinearExpr out(n_);
+  if (scale.is_zero()) return out;
+  for (const auto& [x, c] : terms_) out.terms_[x] = c * scale;
+  return out;
+}
+
+Rational LinearExpr::Evaluate(const SetFunction& h) const {
+  BAGCQ_CHECK_EQ(n_, h.num_vars());
+  Rational out;
+  for (const auto& [x, c] : terms_) out += c * h[x];
+  return out;
+}
+
+Rational LinearExpr::EvaluateOnStep(VarSet w) const {
+  Rational out;
+  for (const auto& [x, c] : terms_) {
+    if (!x.IsSubsetOf(w)) out += c;
+  }
+  return out;
+}
+
+LinearExpr LinearExpr::Substitute(const std::vector<int>& phi,
+                                  int target_n) const {
+  BAGCQ_CHECK_GE(static_cast<int>(phi.size()), n_);
+  LinearExpr out(target_n);
+  for (const auto& [x, c] : terms_) {
+    VarSet image;
+    for (int v : x.Elements()) {
+      BAGCQ_CHECK(phi[v] >= 0 && phi[v] < target_n);
+      image = image.With(phi[v]);
+    }
+    out.Add(image, c);
+  }
+  return out;
+}
+
+std::string LinearExpr::ToString() const {
+  return ToString(util::DefaultVarNames(n_));
+}
+
+std::string LinearExpr::ToString(const std::vector<std::string>& names) const {
+  if (terms_.empty()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [x, c] : terms_) {
+    if (c.sign() > 0) {
+      if (!first) os << " + ";
+    } else {
+      os << (first ? "-" : " - ");
+    }
+    Rational a = c.abs();
+    if (a != Rational(1)) os << a << "*";
+    os << "h" << x.ToString(names);
+    first = false;
+  }
+  return os.str();
+}
+
+void CondExpr::Add(VarSet y, VarSet x, const Rational& coeff) {
+  BAGCQ_CHECK(coeff.sign() >= 0)
+      << "conditional expressions have nonnegative coefficients";
+  if (coeff.is_zero()) return;
+  terms_.push_back(CondTerm{y, x, coeff});
+}
+
+bool CondExpr::IsSimple() const {
+  for (const CondTerm& t : terms_) {
+    if (t.x.size() > 1) return false;
+  }
+  return true;
+}
+
+bool CondExpr::IsUnconditioned() const {
+  for (const CondTerm& t : terms_) {
+    if (!t.x.empty()) return false;
+  }
+  return true;
+}
+
+LinearExpr CondExpr::ToLinear() const {
+  LinearExpr out(n_);
+  for (const CondTerm& t : terms_) {
+    out.Add(t.x.Union(t.y), t.coeff);
+    out.Add(t.x, -t.coeff);
+  }
+  return out;
+}
+
+CondExpr CondExpr::Substitute(const std::vector<int>& phi, int target_n) const {
+  CondExpr out(target_n);
+  auto map_set = [&](VarSet s) {
+    VarSet image;
+    for (int v : s.Elements()) {
+      BAGCQ_CHECK(phi[v] >= 0 && phi[v] < target_n);
+      image = image.With(phi[v]);
+    }
+    return image;
+  };
+  for (const CondTerm& t : terms_) {
+    out.Add(map_set(t.y), map_set(t.x), t.coeff);
+  }
+  return out;
+}
+
+std::string CondExpr::ToString() const {
+  return ToString(util::DefaultVarNames(n_));
+}
+
+std::string CondExpr::ToString(const std::vector<std::string>& names) const {
+  if (terms_.empty()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (const CondTerm& t : terms_) {
+    if (!first) os << " + ";
+    if (t.coeff != Rational(1)) os << t.coeff << "*";
+    os << "h(" << t.y.ToString(names);
+    if (!t.x.empty()) os << "|" << t.x.ToString(names);
+    os << ")";
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace bagcq::entropy

@@ -1,0 +1,101 @@
+// Linear expressions of joint entropies: E(h) = Σ_X c_X h(X).
+//
+// These are the bodies of information inequalities "0 ≤ E(h)" (Eq. (2)) and
+// of max-information inequalities "0 ≤ max_ℓ E_ℓ(h)" (Eq. (3)). CondExpr is
+// the structured *conditional* form Σ d_{Y|X} h(Y|X) with d ≥ 0 used by
+// Theorem 3.6, which needs to see the conditioning structure (|X| ≤ 1 =
+// "simple", X = ∅ = "unconditioned") before it is collapsed to a LinearExpr.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "entropy/set_function.h"
+
+namespace bagcq::entropy {
+
+/// Sparse Σ_X c_X h(X) over n variables. The h(∅) coordinate is identically
+/// zero and never stored.
+class LinearExpr {
+ public:
+  explicit LinearExpr(int n) : n_(n) {}
+
+  /// h(X).
+  static LinearExpr H(int n, VarSet x);
+  /// h(Y|X) = h(X ∪ Y) - h(X).
+  static LinearExpr HCond(int n, VarSet y, VarSet x);
+  /// I(X;Y|Z) = h(XZ) + h(YZ) - h(Z) - h(XYZ).
+  static LinearExpr MI(int n, VarSet x, VarSet y, VarSet z = VarSet());
+
+  int num_vars() const { return n_; }
+  const std::map<VarSet, Rational>& terms() const { return terms_; }
+  Rational Coeff(VarSet x) const;
+  bool is_zero() const { return terms_.empty(); }
+
+  /// Adds c·h(X); drops h(∅) and prunes zero coefficients.
+  void Add(VarSet x, const Rational& c);
+
+  LinearExpr operator+(const LinearExpr& other) const;
+  LinearExpr operator-(const LinearExpr& other) const;
+  LinearExpr operator*(const Rational& scale) const;
+  LinearExpr operator-() const { return *this * Rational(-1); }
+  bool operator==(const LinearExpr& other) const = default;
+
+  Rational Evaluate(const SetFunction& h) const;
+
+  /// E(h_W) for the step function at W, in O(#terms): Σ_{X ⊄ W} c_X.
+  /// The cone oracles evaluate every branch on every generator of Nn, so
+  /// this avoids materializing 2^n dense vectors.
+  Rational EvaluateOnStep(VarSet w) const;
+
+  /// Pullback E ∘ φ (Section 4, notation E∘φ): every term h(S) becomes
+  /// h(φ(S)) where φ(S) = { phi[v] : v ∈ S } is a set of variables of a
+  /// target space with target_n variables. phi must have an entry for every
+  /// variable of this expression's space.
+  LinearExpr Substitute(const std::vector<int>& phi, int target_n) const;
+
+  /// E.g. "h{X0,X1} - 2*h{X2}".
+  std::string ToString() const;
+  std::string ToString(const std::vector<std::string>& names) const;
+
+ private:
+  int n_;
+  std::map<VarSet, Rational> terms_;
+};
+
+/// One conditional term d · h(Y|X).
+struct CondTerm {
+  VarSet y;
+  VarSet x;
+  Rational coeff;  // ≥ 0 by construction
+};
+
+/// Conditional linear expression Σ d_{Y|X} h(Y|X), d ≥ 0 (Section 3.2).
+class CondExpr {
+ public:
+  explicit CondExpr(int n) : n_(n) {}
+
+  int num_vars() const { return n_; }
+  const std::vector<CondTerm>& terms() const { return terms_; }
+
+  /// Adds coeff·h(Y|X); CHECK-fails on negative coefficients.
+  void Add(VarSet y, VarSet x, const Rational& coeff);
+
+  /// All conditioning sets have |X| ≤ 1 (Theorem 3.6(ii) applies).
+  bool IsSimple() const;
+  /// All conditioning sets are empty (Theorem 3.6(i) applies).
+  bool IsUnconditioned() const;
+
+  LinearExpr ToLinear() const;
+  CondExpr Substitute(const std::vector<int>& phi, int target_n) const;
+
+  std::string ToString() const;
+  std::string ToString(const std::vector<std::string>& names) const;
+
+ private:
+  int n_;
+  std::vector<CondTerm> terms_;
+};
+
+}  // namespace bagcq::entropy

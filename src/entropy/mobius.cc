@@ -1,0 +1,89 @@
+#include "entropy/mobius.h"
+
+#include "entropy/functions.h"
+#include "util/check.h"
+
+namespace bagcq::entropy {
+
+namespace {
+
+// Superset zeta transform: out(X) = Σ_{Y ⊇ X} in(Y), computed in place per
+// dimension in O(n 2^n).
+SetFunction SupersetZeta(const SetFunction& in) {
+  int n = in.num_vars();
+  SetFunction out = in;
+  for (int i = 0; i < n; ++i) {
+    uint32_t bit = 1u << i;
+    for (uint32_t s = (1u << n); s-- > 0;) {
+      if ((s & bit) == 0) {
+        out[VarSet(s)] += out[VarSet(s | bit)];
+      }
+    }
+  }
+  return out;
+}
+
+// Superset Möbius transform (inverse of SupersetZeta).
+SetFunction SupersetMobius(const SetFunction& in) {
+  int n = in.num_vars();
+  SetFunction out = in;
+  for (int i = 0; i < n; ++i) {
+    uint32_t bit = 1u << i;
+    for (uint32_t s = (1u << n); s-- > 0;) {
+      if ((s & bit) == 0) {
+        out[VarSet(s)] -= out[VarSet(s | bit)];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SetFunction MobiusInverse(const SetFunction& h) { return SupersetMobius(h); }
+
+SetFunction MobiusForward(const SetFunction& g) { return SupersetZeta(g); }
+
+std::map<VarSet, Rational> IMeasure(const SetFunction& h) {
+  SetFunction g = MobiusInverse(h);
+  std::map<VarSet, Rational> mu;
+  VarSet full = h.universe();
+  ForEachSubset(full, [&](VarSet w) {
+    if (w == full) return;  // atom outside Ω
+    mu[w] = -g[w];
+  });
+  return mu;
+}
+
+bool IsNormal(const SetFunction& h) {
+  if (!h.IsGrounded()) return false;
+  SetFunction g = MobiusInverse(h);
+  VarSet full = h.universe();
+  bool normal = true;
+  ForEachSubset(full, [&](VarSet x) {
+    if (x != full && g[x].sign() > 0) normal = false;
+  });
+  return normal;
+}
+
+std::optional<std::map<VarSet, Rational>> NormalDecomposition(
+    const SetFunction& h) {
+  if (!IsNormal(h)) return std::nullopt;
+  SetFunction g = MobiusInverse(h);
+  VarSet full = h.universe();
+  std::map<VarSet, Rational> coeffs;
+  ForEachSubset(full, [&](VarSet w) {
+    if (w == full) return;
+    Rational c = -g[w];
+    if (!c.is_zero()) coeffs[w] = c;
+  });
+  // Exactness cross-check: the decomposition must reproduce h.
+  SetFunction rebuilt(h.num_vars());
+  for (const auto& [w, c] : coeffs) {
+    rebuilt = rebuilt + StepFunction(h.num_vars(), w) * c;
+  }
+  BAGCQ_CHECK(rebuilt == h) << "normal decomposition failed to reproduce h";
+  return coeffs;
+}
+
+}  // namespace bagcq::entropy

@@ -1,0 +1,39 @@
+// Constructive proofs of Lemma 3.7: every polymatroid h can be *decreased*
+// to a tractable function that preserves designated values.
+//
+//   Modularize (Lemma 3.7(1), via the modularization trick of [KNS17]):
+//     a modular h' ≤ h with h'(V) = h(V); uses the chain weights
+//     w_i = h(X_i | X_0..X_{i-1}) — order-dependent.
+//
+//   NormalizePolymatroid (Lemma 3.7(2) = Theorem C.3, the paper's novel
+//     construction): a normal h' ≤ h with h'(V) = h(V) AND h'({i}) = h({i})
+//     for every singleton. Implemented exactly as the recursive g-dual proof
+//     in Appendix C: split the lattice at the last variable, recurse on the
+//     conditional polymatroid h(·|{z}), replace the upper part by the
+//     max-function max_{i∈X} I(X_i; X_z) (Lemma C.2), and glue.
+//
+// This lemma is what turns a polymatroid counterexample of the Max-II
+// oracle into a *normal* counterexample — and hence, through Lemma E.1,
+// into a witness database for non-containment.
+#pragma once
+
+#include <vector>
+
+#include "entropy/set_function.h"
+
+namespace bagcq::entropy {
+
+/// Lemma 3.7(1). `order` is a permutation of 0..n-1 giving the chain order;
+/// empty means identity. CHECK-fails if h is not a polymatroid.
+SetFunction Modularize(const SetFunction& h, std::vector<int> order = {});
+
+/// Lemma C.2: h(X) = max_{i∈X} a_i for nonnegative a_i is a normal
+/// polymatroid. Exposed for tests and for the Appendix C walkthrough.
+SetFunction MaxFunction(const std::vector<Rational>& a);
+
+/// Theorem C.3. CHECK-fails if h is not a polymatroid; the result is
+/// CHECK-verified to be normal, dominated by h, and to agree with h on V and
+/// on all singletons.
+SetFunction NormalizePolymatroid(const SetFunction& h);
+
+}  // namespace bagcq::entropy

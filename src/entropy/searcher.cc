@@ -1,0 +1,124 @@
+#include "entropy/searcher.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bagcq::entropy {
+
+namespace {
+
+// Enumerates t-subsets of the d^n tuple grid in lexicographic order, calling
+// visit(relation) for each; returns false if the budget ran out.
+class RelationEnumerator {
+ public:
+  RelationEnumerator(int n, int num_tuples, int domain, int64_t* budget)
+      : n_(n), num_tuples_(num_tuples), domain_(domain), budget_(budget) {}
+
+  template <typename Visit>
+  bool Run(const Visit& visit) {
+    std::vector<Relation::Tuple> stack;
+    return Extend(&stack, Relation::Tuple(n_, 0), /*has_candidate=*/true,
+                  visit);
+  }
+
+ private:
+  // Advances `t` to the lexicographically next tuple in the grid; returns
+  // false on wrap-around.
+  bool NextTuple(Relation::Tuple* t) const {
+    for (int i = n_; i-- > 0;) {
+      if (++(*t)[i] < domain_) return true;
+      (*t)[i] = 0;
+    }
+    return false;
+  }
+
+  // `candidate` is the smallest tuple still eligible for this position, so
+  // tuples are chosen in strictly increasing order (sets, not sequences).
+  template <typename Visit>
+  bool Extend(std::vector<Relation::Tuple>* stack, Relation::Tuple candidate,
+              bool has_candidate, const Visit& visit) {
+    if (static_cast<int>(stack->size()) == num_tuples_) {
+      if (--*budget_ < 0) return false;
+      // Cheap symmetry filter: every domain value must occur somewhere,
+      // otherwise the same relation already appeared with a smaller domain.
+      std::vector<bool> used(domain_, false);
+      for (const auto& t : *stack) {
+        for (int v : t) used[v] = true;
+      }
+      for (bool u : used) {
+        if (!u) return true;
+      }
+      visit(Relation::FromTuples(n_, *stack));
+      return true;
+    }
+    while (has_candidate) {
+      Relation::Tuple successor = candidate;
+      bool has_successor = NextTuple(&successor);
+      stack->push_back(std::move(candidate));
+      if (!Extend(stack, successor, has_successor, visit)) return false;
+      stack->pop_back();
+      candidate = std::move(successor);
+      has_candidate = has_successor;
+    }
+    return true;
+  }
+
+  int n_;
+  int num_tuples_;
+  int domain_;
+  int64_t* budget_;
+};
+
+}  // namespace
+
+SearchOutcome SearchForEntropicCounterexample(
+    const std::vector<LinearExpr>& branches, const SearchOptions& options) {
+  BAGCQ_CHECK(!branches.empty());
+  const int n = branches[0].num_vars();
+  for (const LinearExpr& e : branches) BAGCQ_CHECK_EQ(e.num_vars(), n);
+
+  SearchOutcome outcome;
+  int64_t budget = options.budget;
+  bool stopped = false;
+
+  for (int t = 1; t <= options.max_tuples && !outcome.counterexample && !stopped;
+       ++t) {
+    int max_d = std::min(options.max_domain, t);
+    for (int d = 1; d <= max_d && !outcome.counterexample && !stopped; ++d) {
+      RelationEnumerator enumerator(n, t, d, &budget);
+      bool completed = enumerator.Run([&](const Relation& p) {
+        if (outcome.counterexample) return;
+        ++outcome.examined;
+        LogSetFunction h(p);
+        if (options.double_prefilter) {
+          // Fast screen: all branches clearly negative in double arithmetic.
+          for (const LinearExpr& e : branches) {
+            if (h.Evaluate(e).ToDouble() > -1e-9) return;
+          }
+        }
+        LogRational max;
+        bool first = true;
+        bool all_negative = true;
+        for (const LinearExpr& e : branches) {
+          LogRational v = h.Evaluate(e);
+          if (v.Sign() >= 0) {
+            all_negative = false;
+            break;
+          }
+          if (first || v > max) max = v;
+          first = false;
+        }
+        if (all_negative) {
+          outcome.counterexample = p;
+          outcome.max_value = max;
+        }
+      });
+      if (!completed) stopped = true;
+    }
+  }
+  outcome.exhausted_bounds = !stopped;
+  return outcome;
+}
+
+}  // namespace bagcq::entropy

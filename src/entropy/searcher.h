@@ -1,0 +1,49 @@
+// Bounded counterexample search over finite relations — the constructive
+// half of Lemma B.9 ("Max-IIP is co-recursively enumerable"): enumerate
+// finite uniform distributions (supports = relations) and test the max
+// inequality exactly via big-integer power products (LogRational).
+//
+// A hit is an *entropic* counterexample, strictly stronger than the
+// polymatroid counterexamples of the LP oracle; a miss within bounds is
+// evidence (not proof) of entropic validity — exactly the asymmetry that
+// makes the decidability of IIP open (Section 2.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "entropy/linear_expr.h"
+#include "entropy/log_rational.h"
+#include "entropy/relation.h"
+
+namespace bagcq::entropy {
+
+struct SearchOptions {
+  /// Relations with up to this many tuples are enumerated.
+  int max_tuples = 4;
+  /// Per-column domain cap (never needs to exceed max_tuples).
+  int max_domain = 4;
+  /// Hard cap on candidate relations examined.
+  int64_t budget = 2'000'000;
+  /// Screen candidates in double arithmetic first and confirm hits exactly.
+  /// Misses narrower than ~1e-9 could be overlooked; disable for full rigor.
+  bool double_prefilter = true;
+};
+
+struct SearchOutcome {
+  /// A relation whose uniform-distribution entropy violates the Max-II.
+  std::optional<Relation> counterexample;
+  /// Exact value of max_ℓ E_ℓ at the counterexample (negative).
+  LogRational max_value;
+  /// Candidates examined.
+  int64_t examined = 0;
+  /// True if every candidate within bounds was examined (budget not hit).
+  bool exhausted_bounds = false;
+};
+
+/// Searches for a relation P with max_ℓ branches[ℓ](entropy of P) < 0.
+SearchOutcome SearchForEntropicCounterexample(
+    const std::vector<LinearExpr>& branches, const SearchOptions& options = {});
+
+}  // namespace bagcq::entropy

@@ -1,0 +1,119 @@
+#include "entropy/set_function.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace bagcq::entropy {
+
+SetFunction::SetFunction(int n) : n_(n) {
+  BAGCQ_CHECK(n >= 0 && n <= 26) << "entropy vectors support at most 26 variables";
+  values_.assign(size_t{1} << n, Rational(0));
+}
+
+Rational SetFunction::Conditional(VarSet y, VarSet x) const {
+  return (*this)[x.Union(y)] - (*this)[x];
+}
+
+Rational SetFunction::MutualInfo(VarSet x, VarSet y, VarSet z) const {
+  return (*this)[x.Union(z)] + (*this)[y.Union(z)] - (*this)[z] -
+         (*this)[x.Union(y).Union(z)];
+}
+
+SetFunction SetFunction::operator+(const SetFunction& other) const {
+  BAGCQ_CHECK_EQ(n_, other.n_);
+  SetFunction out(n_);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    out.values_[i] = values_[i] + other.values_[i];
+  }
+  return out;
+}
+
+SetFunction SetFunction::operator-(const SetFunction& other) const {
+  BAGCQ_CHECK_EQ(n_, other.n_);
+  SetFunction out(n_);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    out.values_[i] = values_[i] - other.values_[i];
+  }
+  return out;
+}
+
+SetFunction SetFunction::operator*(const Rational& scale) const {
+  SetFunction out(n_);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    out.values_[i] = values_[i] * scale;
+  }
+  return out;
+}
+
+bool SetFunction::IsGrounded() const { return values_[0].is_zero(); }
+
+bool SetFunction::IsMonotone() const {
+  // Sufficient to check one-step monotonicity h(S) ≤ h(S ∪ {i}).
+  for (uint32_t s = 0; s < values_.size(); ++s) {
+    for (int i = 0; i < n_; ++i) {
+      if ((s >> i) & 1u) continue;
+      if (values_[s] > values_[s | (1u << i)]) return false;
+    }
+  }
+  return true;
+}
+
+bool SetFunction::IsSubmodular() const {
+  // Elemental form: I(i;j|K) ≥ 0 for all i < j and K ⊆ V - {i,j}.
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) {
+      uint32_t ij = (1u << i) | (1u << j);
+      for (uint32_t k = 0; k < values_.size(); ++k) {
+        if ((k & ij) != 0) continue;
+        // h(K∪i) + h(K∪j) - h(K) - h(K∪i∪j) ≥ 0
+        Rational lhs = values_[k | (1u << i)] + values_[k | (1u << j)];
+        Rational rhs = values_[k] + values_[k | ij];
+        if (lhs < rhs) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool SetFunction::IsPolymatroid() const {
+  return IsGrounded() && IsMonotone() && IsSubmodular();
+}
+
+bool SetFunction::IsModular() const {
+  if (!IsGrounded()) return false;
+  for (uint32_t s = 0; s < values_.size(); ++s) {
+    Rational sum;
+    for (int i = 0; i < n_; ++i) {
+      if ((s >> i) & 1u) sum += values_[1u << i];
+    }
+    if (values_[s] != sum) return false;
+  }
+  // Modular polymatroids also need nonnegative singleton masses.
+  for (int i = 0; i < n_; ++i) {
+    if (values_[1u << i].sign() < 0) return false;
+  }
+  return true;
+}
+
+bool SetFunction::DominatedBy(const SetFunction& other) const {
+  BAGCQ_CHECK_EQ(n_, other.n_);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] > other.values_[i]) return false;
+  }
+  return true;
+}
+
+std::string SetFunction::ToString() const {
+  return ToString(util::DefaultVarNames(n_));
+}
+
+std::string SetFunction::ToString(const std::vector<std::string>& names) const {
+  std::ostringstream os;
+  for (uint32_t s = 1; s < values_.size(); ++s) {
+    os << "h" << VarSet(s).ToString(names) << " = " << values_[s] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bagcq::entropy

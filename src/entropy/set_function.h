@@ -1,0 +1,64 @@
+// SetFunction: an exact function h : 2^V -> Q on the subsets of a variable
+// set V = {X0, ..., X{n-1}}, the basic object of the paper's information
+// theory (Section 2.3). Entropic functions, polymatroids, modular and normal
+// functions are all SetFunctions distinguished by predicates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rational.h"
+#include "util/varset.h"
+
+namespace bagcq::entropy {
+
+using util::Rational;
+using util::VarSet;
+
+/// Dense exact set function over n variables (2^n rational values).
+class SetFunction {
+ public:
+  /// The zero function on n variables.
+  explicit SetFunction(int n);
+
+  int num_vars() const { return n_; }
+  VarSet universe() const { return VarSet::Full(n_); }
+
+  const Rational& operator[](VarSet s) const { return values_[s.mask()]; }
+  Rational& operator[](VarSet s) { return values_[s.mask()]; }
+
+  /// Conditional value h(Y|X) = h(X ∪ Y) - h(X).
+  Rational Conditional(VarSet y, VarSet x) const;
+  /// Conditional mutual information I(X;Y|Z) =
+  /// h(XZ) + h(YZ) - h(Z) - h(XYZ).
+  Rational MutualInfo(VarSet x, VarSet y, VarSet z = VarSet()) const;
+
+  SetFunction operator+(const SetFunction& other) const;
+  SetFunction operator-(const SetFunction& other) const;
+  SetFunction operator*(const Rational& scale) const;
+  bool operator==(const SetFunction& other) const = default;
+
+  /// h(∅) == 0.
+  bool IsGrounded() const;
+  /// X ⊆ Y implies h(X) ≤ h(Y) (checked via the elemental form).
+  bool IsMonotone() const;
+  /// h(X∪Y) + h(X∩Y) ≤ h(X) + h(Y) (checked via elemental I(i;j|K) ≥ 0).
+  bool IsSubmodular() const;
+  /// Grounded, monotone, submodular — membership in Γn (Eq. (5)).
+  bool IsPolymatroid() const;
+  /// h(X) = Σ_{i∈X} h({i}) — membership in Mn.
+  bool IsModular() const;
+
+  /// Pointwise h ≤ other.
+  bool DominatedBy(const SetFunction& other) const;
+
+  /// Table rendering, one "h(S) = v" line per nonempty subset.
+  std::string ToString() const;
+  std::string ToString(const std::vector<std::string>& names) const;
+
+ private:
+  int n_;
+  std::vector<Rational> values_;
+};
+
+}  // namespace bagcq::entropy

@@ -1,0 +1,139 @@
+#include "graph/chordal.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bagcq::graph {
+
+std::vector<int> McsOrder(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<int> weight(n, 0);
+  std::vector<bool> numbered(n, false);
+  std::vector<int> order(n);  // order[n-1] chosen first (elimination order)
+  for (int pos = n - 1; pos >= 0; --pos) {
+    int best = -1;
+    for (int v = 0; v < n; ++v) {
+      if (!numbered[v] && (best == -1 || weight[v] > weight[best])) best = v;
+    }
+    order[pos] = best;
+    numbered[best] = true;
+    for (int u : g.Neighbors(best).Elements()) {
+      if (!numbered[u]) ++weight[u];
+    }
+  }
+  return order;
+}
+
+namespace {
+
+// Later neighbors of order[i] in the elimination order (those with larger
+// position), as a vertex set.
+std::vector<VarSet> LaterNeighborSets(const Graph& g,
+                                      const std::vector<int>& order) {
+  const int n = g.num_vertices();
+  std::vector<int> position(n);
+  for (int i = 0; i < n; ++i) position[order[i]] = i;
+  std::vector<VarSet> later(n);
+  for (int i = 0; i < n; ++i) {
+    int v = order[i];
+    VarSet s;
+    for (int u : g.Neighbors(v).Elements()) {
+      if (position[u] > i) s = s.With(u);
+    }
+    later[i] = s;
+  }
+  return later;
+}
+
+bool IsPerfectEliminationOrder(const Graph& g, const std::vector<int>& order) {
+  std::vector<VarSet> later = LaterNeighborSets(g, order);
+  for (int i = 0; i < g.num_vertices(); ++i) {
+    if (!g.IsClique(later[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsChordal(const Graph& g) {
+  return IsPerfectEliminationOrder(g, McsOrder(g));
+}
+
+std::vector<VarSet> MaximalCliquesChordal(const Graph& g) {
+  std::vector<int> order = McsOrder(g);
+  BAGCQ_CHECK(IsPerfectEliminationOrder(g, order)) << "graph is not chordal";
+  std::vector<VarSet> later = LaterNeighborSets(g, order);
+  // Candidate cliques: {v} ∪ later(v) for each v; keep the maximal ones.
+  std::vector<VarSet> candidates;
+  for (int i = 0; i < g.num_vertices(); ++i) {
+    candidates.push_back(later[i].With(order[i]));
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  std::vector<VarSet> out;
+  for (const VarSet& c : candidates) {
+    bool dominated = false;
+    for (const VarSet& other : candidates) {
+      if (other != c && c.IsSubsetOf(other)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(c);
+  }
+  return out;
+}
+
+Graph MinimalTriangulation(const Graph& g) {
+  // MCS-M (Berry, Blair, Heggernes, Peyton 2004): like MCS, but a vertex u
+  // also gets a weight bump if it can reach the just-chosen vertex v through
+  // unnumbered vertices of strictly smaller weight; such (u,v) become fill
+  // edges.
+  const int n = g.num_vertices();
+  std::vector<int> weight(n, 0);
+  std::vector<bool> numbered(n, false);
+  Graph filled = g;
+  for (int round = 0; round < n; ++round) {
+    int v = -1;
+    for (int u = 0; u < n; ++u) {
+      if (!numbered[u] && (v == -1 || weight[u] > weight[v])) v = u;
+    }
+    numbered[v] = true;
+    // For every unnumbered u: can u reach v via unnumbered intermediates of
+    // weight < weight[u]? (A direct edge always counts.) Weights must be
+    // updated simultaneously at the end of the round, so collect first.
+    std::vector<int> bumped;
+    for (int u = 0; u < n; ++u) {
+      if (numbered[u] || u == v) continue;
+      std::vector<bool> seen(n, false);
+      std::vector<int> stack = {u};
+      seen[u] = true;
+      bool reached = false;
+      while (!stack.empty() && !reached) {
+        int x = stack.back();
+        stack.pop_back();
+        for (int y : filled.Neighbors(x).Elements()) {
+          if (y == v) {
+            reached = true;
+            break;
+          }
+          if (!seen[y] && !numbered[y] && weight[y] < weight[u]) {
+            seen[y] = true;
+            stack.push_back(y);
+          }
+        }
+      }
+      if (reached) bumped.push_back(u);
+    }
+    for (int u : bumped) {
+      ++weight[u];
+      filled.AddEdge(u, v);
+    }
+  }
+  BAGCQ_CHECK(IsChordal(filled)) << "MCS-M produced a non-chordal graph";
+  return filled;
+}
+
+}  // namespace bagcq::graph

@@ -1,0 +1,34 @@
+// Chordality machinery (Section 3.1):
+//
+//   * Maximum Cardinality Search (Tarjan–Yannakakis) produces an elimination
+//     order that is perfect iff the graph is chordal;
+//   * the maximal cliques of a chordal graph fall out of the perfect
+//     elimination order;
+//   * MCS-M (Berry et al.) computes a *minimal triangulation* of an
+//     arbitrary graph — used to build junction trees of chordal completions
+//     when Q2 is not chordal (the sufficient-only mode of Theorem 4.2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace bagcq::graph {
+
+/// Maximum cardinality search order (last-to-first elimination order).
+std::vector<int> McsOrder(const Graph& g);
+
+/// True iff g is chordal (the MCS order is a perfect elimination order).
+bool IsChordal(const Graph& g);
+
+/// Maximal cliques of a chordal graph, each as a vertex set.
+/// CHECK-fails if g is not chordal.
+std::vector<VarSet> MaximalCliquesChordal(const Graph& g);
+
+/// MCS-M: a minimal triangulation (chordal supergraph with an
+/// inclusion-minimal fill). Returns the filled graph; equal to the input
+/// when the input is already chordal.
+Graph MinimalTriangulation(const Graph& g);
+
+}  // namespace bagcq::graph

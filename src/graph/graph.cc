@@ -1,0 +1,82 @@
+#include "graph/graph.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace bagcq::graph {
+
+Graph::Graph(int n) : n_(n), adjacency_(n) {
+  BAGCQ_CHECK(n >= 0 && n <= VarSet::kMaxVars);
+}
+
+Graph Graph::FromEdges(int n, const std::vector<std::pair<int, int>>& edges) {
+  Graph g(n);
+  for (const auto& [u, v] : edges) g.AddEdge(u, v);
+  return g;
+}
+
+int Graph::num_edges() const {
+  int total = 0;
+  for (const VarSet& adj : adjacency_) total += adj.size();
+  return total / 2;
+}
+
+void Graph::AddEdge(int u, int v) {
+  BAGCQ_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
+  if (u == v) return;
+  adjacency_[u] = adjacency_[u].With(v);
+  adjacency_[v] = adjacency_[v].With(u);
+}
+
+bool Graph::HasEdge(int u, int v) const {
+  return u != v && adjacency_[u].Contains(v);
+}
+
+bool Graph::IsClique(VarSet s) const {
+  for (int v : s.Elements()) {
+    if (!adjacency_[v].ContainsAll(s.Without(v))) return false;
+  }
+  return true;
+}
+
+std::vector<VarSet> Graph::ConnectedComponents() const {
+  std::vector<VarSet> out;
+  VarSet visited;
+  for (int start = 0; start < n_; ++start) {
+    if (visited.Contains(start)) continue;
+    // BFS via bitmask frontier.
+    VarSet component = VarSet::Singleton(start);
+    VarSet frontier = component;
+    while (!frontier.empty()) {
+      VarSet next;
+      for (int v : frontier.Elements()) next = next.Union(adjacency_[v]);
+      frontier = next.Minus(component);
+      component = component.Union(next);
+    }
+    out.push_back(component);
+    visited = visited.Union(component);
+  }
+  return out;
+}
+
+Graph Graph::InducedSubgraph(VarSet s) const {
+  Graph g(n_);
+  for (int v : s.Elements()) {
+    g.adjacency_[v] = adjacency_[v].Intersect(s);
+  }
+  return g;
+}
+
+std::string Graph::ToString() const {
+  std::ostringstream os;
+  os << "graph(" << n_ << "):";
+  for (int u = 0; u < n_; ++u) {
+    for (int v : adjacency_[u].Elements()) {
+      if (u < v) os << " " << u << "-" << v;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace bagcq::graph

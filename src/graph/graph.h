@@ -1,0 +1,42 @@
+// Simple undirected graphs on vertex set {0..n-1}, represented with VarSet
+// adjacency rows. Used for Gaifman graphs of queries (Section 3.1), so the
+// vertex count is capped at VarSet::kMaxVars.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/varset.h"
+
+namespace bagcq::graph {
+
+using util::VarSet;
+
+class Graph {
+ public:
+  explicit Graph(int n);
+  static Graph FromEdges(int n, const std::vector<std::pair<int, int>>& edges);
+
+  int num_vertices() const { return n_; }
+  int num_edges() const;
+  /// Adds {u,v}; self-loops are ignored (Gaifman graphs are simple).
+  void AddEdge(int u, int v);
+  bool HasEdge(int u, int v) const;
+  VarSet Neighbors(int v) const { return adjacency_[v]; }
+
+  /// True if every pair inside `s` is adjacent.
+  bool IsClique(VarSet s) const;
+  /// Connected components as vertex sets.
+  std::vector<VarSet> ConnectedComponents() const;
+  /// The subgraph induced on `s` keeps only edges inside `s`.
+  Graph InducedSubgraph(VarSet s) const;
+
+  bool operator==(const Graph& other) const = default;
+  std::string ToString() const;
+
+ private:
+  int n_;
+  std::vector<VarSet> adjacency_;
+};
+
+}  // namespace bagcq::graph

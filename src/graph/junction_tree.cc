@@ -1,0 +1,65 @@
+#include "graph/junction_tree.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace bagcq::graph {
+
+TreeDecomposition JunctionTree(const Graph& g) {
+  std::vector<VarSet> cliques = MaximalCliquesChordal(g);
+  const int m = static_cast<int>(cliques.size());
+
+  // Kruskal on the clique graph with weight |C_i ∩ C_j|, maximized. Edges of
+  // weight zero are skipped: the result is a forest whose components match
+  // the connected components of g, which is exactly what a junction tree of
+  // a disconnected graph should be.
+  struct CliqueEdge {
+    int weight;
+    int a;
+    int b;
+  };
+  std::vector<CliqueEdge> candidates;
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      int w = cliques[i].Intersect(cliques[j]).size();
+      if (w > 0) candidates.push_back({w, i, j});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const CliqueEdge& x, const CliqueEdge& y) {
+              if (x.weight != y.weight) return x.weight > y.weight;
+              return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+            });
+
+  // Union-find.
+  std::vector<int> parent(m);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  std::vector<std::pair<int, int>> edges;
+  for (const CliqueEdge& e : candidates) {
+    int ra = find(e.a), rb = find(e.b);
+    if (ra == rb) continue;
+    parent[ra] = rb;
+    edges.emplace_back(e.a, e.b);
+  }
+
+  TreeDecomposition td(g.num_vertices(), std::move(cliques), std::move(edges));
+  BAGCQ_CHECK(td.HasRunningIntersection())
+      << "junction tree construction violated running intersection";
+  return td;
+}
+
+bool AdmitsSimpleJunctionTree(const Graph& g) {
+  return JunctionTree(g).IsSimple();
+}
+
+}  // namespace bagcq::graph

@@ -1,0 +1,29 @@
+// Junction trees (Section 3.1): tree decompositions of a chordal graph
+// whose bags are its maximal cliques. Built as a maximum-weight spanning
+// tree of the clique graph (weight = |intersection|), which characterizes
+// junction trees exactly.
+//
+// Since all maximum-weight spanning trees of a fixed weight function share
+// the same multiset of edge weights, either *every* junction tree of a graph
+// is simple or none is — so "admits a simple junction tree" (Theorem 3.1's
+// hypothesis) is decided by inspecting a single one.
+#pragma once
+
+#include <optional>
+
+#include "graph/chordal.h"
+#include "graph/graph.h"
+#include "graph/tree_decomposition.h"
+
+namespace bagcq::graph {
+
+/// A junction tree of a chordal graph. CHECK-fails on non-chordal input.
+/// Isolated vertices yield singleton bags in their own components.
+TreeDecomposition JunctionTree(const Graph& g);
+
+/// Whether the chordal graph admits a simple junction tree (every junction
+/// tree edge shares ≤ 1 vertex). Equivalent to JunctionTree(g).IsSimple()
+/// by the max-spanning-tree weight-multiset argument.
+bool AdmitsSimpleJunctionTree(const Graph& g);
+
+}  // namespace bagcq::graph

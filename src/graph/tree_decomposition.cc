@@ -1,0 +1,190 @@
+#include "graph/tree_decomposition.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace bagcq::graph {
+
+using entropy::CondExpr;
+using entropy::LinearExpr;
+using util::Rational;
+
+TreeDecomposition::TreeDecomposition(int num_vars, std::vector<VarSet> bags,
+                                     std::vector<std::pair<int, int>> edges)
+    : num_vars_(num_vars), bags_(std::move(bags)), edges_(std::move(edges)) {
+  adjacency_.resize(bags_.size());
+  for (const auto& [s, t] : edges_) {
+    BAGCQ_CHECK(s >= 0 && s < num_nodes() && t >= 0 && t < num_nodes() && s != t)
+        << "bad tree edge";
+    adjacency_[s].push_back(t);
+    adjacency_[t].push_back(s);
+  }
+  for (const VarSet& bag : bags_) {
+    BAGCQ_CHECK(bag.IsSubsetOf(VarSet::Full(num_vars_)));
+  }
+  // Forest check: acyclic via the parent scan (RootedParents CHECKs).
+  std::vector<int> parents = RootedParents();
+  BAGCQ_CHECK_EQ(parents.size(), bags_.size());
+}
+
+std::vector<int> TreeDecomposition::RootedParents() const {
+  std::vector<int> parent(num_nodes(), -2);  // -2 = unvisited, -1 = root
+  for (int root = 0; root < num_nodes(); ++root) {
+    if (parent[root] != -2) continue;
+    parent[root] = -1;
+    std::vector<int> stack = {root};
+    while (!stack.empty()) {
+      int t = stack.back();
+      stack.pop_back();
+      for (int next : adjacency_[t]) {
+        if (next == parent[t]) continue;
+        BAGCQ_CHECK(parent[next] == -2) << "decomposition contains a cycle";
+        parent[next] = t;
+        stack.push_back(next);
+      }
+    }
+  }
+  return parent;
+}
+
+bool TreeDecomposition::HasRunningIntersection() const {
+  // For each variable: the nodes containing it must form one connected piece.
+  for (int v = 0; v < num_vars_; ++v) {
+    std::vector<bool> holds(num_nodes());
+    int count = 0;
+    int start = -1;
+    for (int t = 0; t < num_nodes(); ++t) {
+      if (bags_[t].Contains(v)) {
+        holds[t] = true;
+        ++count;
+        start = t;
+      }
+    }
+    if (count <= 1) continue;
+    // BFS inside the holding set.
+    std::vector<bool> seen(num_nodes());
+    std::vector<int> stack = {start};
+    seen[start] = true;
+    int reached = 1;
+    while (!stack.empty()) {
+      int t = stack.back();
+      stack.pop_back();
+      for (int next : adjacency_[t]) {
+        if (holds[next] && !seen[next]) {
+          seen[next] = true;
+          ++reached;
+          stack.push_back(next);
+        }
+      }
+    }
+    if (reached != count) return false;
+  }
+  return true;
+}
+
+bool TreeDecomposition::Covers(const std::vector<VarSet>& required) const {
+  for (VarSet need : required) {
+    bool covered = false;
+    for (const VarSet& bag : bags_) {
+      if (need.IsSubsetOf(bag)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool TreeDecomposition::IsSimple() const {
+  for (const auto& [s, t] : edges_) {
+    if (bags_[s].Intersect(bags_[t]).size() > 1) return false;
+  }
+  return true;
+}
+
+bool TreeDecomposition::IsTotallyDisconnected() const {
+  for (const auto& [s, t] : edges_) {
+    if (bags_[s].Intersects(bags_[t])) return false;
+  }
+  return true;
+}
+
+CondExpr TreeDecomposition::EtExpression() const {
+  std::vector<int> parent = RootedParents();
+  CondExpr e(num_vars_);
+  for (int t = 0; t < num_nodes(); ++t) {
+    VarSet shared =
+        parent[t] >= 0 ? bags_[t].Intersect(bags_[parent[t]]) : VarSet();
+    e.Add(bags_[t], shared, Rational(1));
+  }
+  return e;
+}
+
+LinearExpr TreeDecomposition::EtClosedForm() const {
+  LinearExpr e(num_vars_);
+  for (const VarSet& bag : bags_) e.Add(bag, Rational(1));
+  for (const auto& [s, t] : edges_) {
+    e.Add(bags_[s].Intersect(bags_[t]), Rational(-1));
+  }
+  return e;
+}
+
+LinearExpr TreeDecomposition::EtLeeForm() const {
+  // Eq. (32): Σ_{∅≠S⊆nodes} (-1)^{|S|+1} CC(T∩S) · h(∩_{t∈S} χ(t)), where
+  // CC(T∩S) counts the connected components of the subgraph of T induced by
+  // the nodes whose bags intersect ∪_{t∈S} χ(t).
+  const int m = num_nodes();
+  BAGCQ_CHECK_LE(m, 20) << "Lee form is exponential in the node count";
+  LinearExpr e(num_vars_);
+  for (uint32_t s = 1; s < (1u << m); ++s) {
+    VarSet intersection = VarSet::Full(num_vars_);
+    VarSet bag_union;
+    int popcount = 0;
+    for (int t = 0; t < m; ++t) {
+      if ((s >> t) & 1u) {
+        intersection = intersection.Intersect(bags_[t]);
+        bag_union = bag_union.Union(bags_[t]);
+        ++popcount;
+      }
+    }
+    // Induced node set: bags intersecting the union.
+    std::vector<bool> in(m, false);
+    for (int t = 0; t < m; ++t) in[t] = bags_[t].Intersects(bag_union);
+    // Count connected components of the induced subgraph.
+    std::vector<bool> seen(m, false);
+    int components = 0;
+    for (int start = 0; start < m; ++start) {
+      if (!in[start] || seen[start]) continue;
+      ++components;
+      std::vector<int> stack = {start};
+      seen[start] = true;
+      while (!stack.empty()) {
+        int t = stack.back();
+        stack.pop_back();
+        for (int next : adjacency_[t]) {
+          if (in[next] && !seen[next]) {
+            seen[next] = true;
+            stack.push_back(next);
+          }
+        }
+      }
+    }
+    Rational coeff(popcount % 2 == 1 ? components : -components);
+    e.Add(intersection, coeff);
+  }
+  return e;
+}
+
+std::string TreeDecomposition::ToString() const {
+  std::ostringstream os;
+  for (int t = 0; t < num_nodes(); ++t) {
+    if (t > 0) os << " ";
+    os << t << ":" << bags_[t].ToString();
+  }
+  for (const auto& [s, t] : edges_) os << " (" << s << "-" << t << ")";
+  return os.str();
+}
+
+}  // namespace bagcq::graph

@@ -1,0 +1,69 @@
+// Tree decompositions (Definition 2.6) and the ET expression (Eq. (7)) that
+// connects them to information inequalities.
+//
+// A decomposition is a forest whose nodes carry bags χ(t) ⊆ V satisfying the
+// running-intersection property and covering a prescribed family of sets
+// (the atoms of a query, or the edges of a graph). The paper's central
+// expression
+//
+//   E(T,χ)(h) = Σ_t h(χ(t) | χ(t) ∩ χ(parent(t)))
+//
+// is produced here as a CondExpr so that simplicity (|shared| ≤ 1) stays
+// visible for Theorem 3.6. Lee's inclusion-exclusion form (Eq. (32)) is also
+// implemented and property-tested equal.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "entropy/linear_expr.h"
+#include "util/varset.h"
+
+namespace bagcq::graph {
+
+using util::VarSet;
+
+class TreeDecomposition {
+ public:
+  /// Nodes are 0..bags.size()-1; edges must form a forest (validated).
+  TreeDecomposition(int num_vars, std::vector<VarSet> bags,
+                    std::vector<std::pair<int, int>> edges);
+
+  int num_vars() const { return num_vars_; }
+  int num_nodes() const { return static_cast<int>(bags_.size()); }
+  const std::vector<VarSet>& bags() const { return bags_; }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  /// Running-intersection property: for every variable, the nodes whose bags
+  /// contain it induce a connected subtree.
+  bool HasRunningIntersection() const;
+  /// Every set in `required` is inside some bag.
+  bool Covers(const std::vector<VarSet>& required) const;
+
+  /// Every tree edge shares at most one variable (Section 3.1).
+  bool IsSimple() const;
+  /// Every tree edge shares no variable (equivalently, removable edges).
+  bool IsTotallyDisconnected() const;
+
+  /// A parent array from rooting every component (parent[root] = -1).
+  std::vector<int> RootedParents() const;
+
+  /// Eq. (7): Σ_t h(χ(t) | χ(t) ∩ χ(parent(t))) as a conditional expression.
+  /// Independent of the rooting (asserted in tests via the closed form).
+  entropy::CondExpr EtExpression() const;
+  /// The closed form Σ_t h(χ(t)) - Σ_{(s,t)∈E} h(χ(s) ∩ χ(t)).
+  entropy::LinearExpr EtClosedForm() const;
+  /// Lee's inclusion-exclusion form, Eq. (32); exponential in num_nodes().
+  entropy::LinearExpr EtLeeForm() const;
+
+  std::string ToString() const;
+
+ private:
+  int num_vars_;
+  std::vector<VarSet> bags_;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace bagcq::graph

@@ -1,0 +1,83 @@
+#include "lp/lp_problem.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace bagcq::lp {
+
+const char* SenseToString(Sense sense) {
+  switch (sense) {
+    case Sense::kLessEqual:
+      return "<=";
+    case Sense::kGreaterEqual:
+      return ">=";
+    case Sense::kEqual:
+      return "=";
+  }
+  return "?";
+}
+
+int LpProblem::AddVariable(std::string name) {
+  free_.push_back(false);
+  if (name.empty()) name = "x" + std::to_string(free_.size() - 1);
+  names_.push_back(std::move(name));
+  return static_cast<int>(free_.size()) - 1;
+}
+
+int LpProblem::AddFreeVariable(std::string name) {
+  int index = AddVariable(std::move(name));
+  free_[index] = true;
+  return index;
+}
+
+void LpProblem::AddConstraint(std::vector<util::Rational> coeffs, Sense sense,
+                              util::Rational rhs, std::string name) {
+  BAGCQ_CHECK_LE(coeffs.size(), free_.size())
+      << "constraint has more coefficients than variables";
+  coeffs.resize(free_.size());
+  constraints_.push_back(
+      Constraint{std::move(coeffs), sense, std::move(rhs), std::move(name)});
+}
+
+void LpProblem::SetObjective(Objective direction,
+                             std::vector<util::Rational> coeffs) {
+  BAGCQ_CHECK_LE(coeffs.size(), free_.size());
+  objective_sense_ = direction;
+  objective_ = std::move(coeffs);
+}
+
+util::Rational LpProblem::objective_coeff(int j) const {
+  if (j < static_cast<int>(objective_.size())) return objective_[j];
+  return util::Rational(0);
+}
+
+std::string LpProblem::ToString() const {
+  std::ostringstream os;
+  os << (objective_sense_ == Objective::kMinimize ? "minimize" : "maximize");
+  for (int j = 0; j < num_variables(); ++j) {
+    util::Rational c = objective_coeff(j);
+    if (!c.is_zero()) os << " + (" << c << ")*" << names_[j];
+  }
+  os << "\nsubject to\n";
+  for (const Constraint& row : constraints_) {
+    os << "  ";
+    bool any = false;
+    for (size_t j = 0; j < row.coeffs.size(); ++j) {
+      if (!row.coeffs[j].is_zero()) {
+        os << (any ? " + (" : "(") << row.coeffs[j] << ")*" << names_[j];
+        any = true;
+      }
+    }
+    if (!any) os << "0";
+    os << " " << SenseToString(row.sense) << " " << row.rhs;
+    if (!row.name.empty()) os << "   [" << row.name << "]";
+    os << "\n";
+  }
+  for (int j = 0; j < num_variables(); ++j) {
+    if (!free_[j]) os << "  " << names_[j] << " >= 0\n";
+  }
+  return os.str();
+}
+
+}  // namespace bagcq::lp

@@ -1,0 +1,459 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bagcq::lp {
+
+const char* SolveStatusToString(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "Optimal";
+    case SolveStatus::kInfeasible:
+      return "Infeasible";
+    case SolveStatus::kUnbounded:
+      return "Unbounded";
+  }
+  return "?";
+}
+
+namespace {
+
+// Scalar abstraction: exact comparisons for Rational, epsilon for double.
+template <typename Scalar>
+struct Field;
+
+template <>
+struct Field<util::Rational> {
+  static util::Rational FromRational(const util::Rational& r) { return r; }
+  static bool IsZero(const util::Rational& v) { return v.is_zero(); }
+  static bool IsNegative(const util::Rational& v) { return v.sign() < 0; }
+  static bool IsPositive(const util::Rational& v) { return v.sign() > 0; }
+  static bool Less(const util::Rational& a, const util::Rational& b) {
+    return a < b;
+  }
+};
+
+template <>
+struct Field<double> {
+  static constexpr double kEps = 1e-9;
+  static double FromRational(const util::Rational& r) { return r.ToDouble(); }
+  static bool IsZero(double v) { return std::fabs(v) <= kEps; }
+  static bool IsNegative(double v) { return v < -kEps; }
+  static bool IsPositive(double v) { return v > kEps; }
+  static bool Less(double a, double b) { return a < b - kEps; }
+};
+
+// Internal tableau. Columns: structural (original variables, free ones
+// split into x+ - x-), then slacks/surpluses, then artificials; one rhs
+// column. The cost row is maintained incrementally as d_j = c_j - z_j.
+template <typename Scalar>
+class Tableau {
+ public:
+  using F = Field<Scalar>;
+
+  Tableau(const LpProblem& problem, const SolverOptions& options)
+      : problem_(problem), options_(options) {}
+
+  Solution<Scalar> Run() {
+    Build();
+    Solution<Scalar> out;
+
+    // Phase I: minimize the sum of artificial variables.
+    if (!artificials_.empty()) {
+      SetPhaseCosts(/*phase_one=*/true);
+      SolveStatus status = Iterate(/*phase_one=*/true, &out.pivots);
+      BAGCQ_CHECK(status != SolveStatus::kUnbounded)
+          << "phase I cannot be unbounded";
+      if (F::IsPositive(objective_value_)) {
+        out.status = SolveStatus::kInfeasible;
+        out.farkas = ExtractRowMultipliers(/*phase_one=*/true);
+        return out;
+      }
+      PivotOutBasicArtificials();
+    }
+
+    // Phase II: original objective.
+    SetPhaseCosts(/*phase_one=*/false);
+    SolveStatus status = Iterate(/*phase_one=*/false, &out.pivots);
+    if (status == SolveStatus::kUnbounded) {
+      out.status = SolveStatus::kUnbounded;
+      return out;
+    }
+
+    out.status = SolveStatus::kOptimal;
+    // objective_value_ tracks the minimized internal objective.
+    out.objective = maximize_ ? Scalar{} - objective_value_ : objective_value_;
+    out.values = ExtractPrimal();
+    out.duals = ExtractRowMultipliers(/*phase_one=*/false);
+    if (maximize_) {
+      for (Scalar& y : out.duals) y = Scalar{} - y;
+    }
+    return out;
+  }
+
+ private:
+  void Build() {
+    maximize_ = problem_.objective_sense() == Objective::kMaximize;
+    const int n = problem_.num_variables();
+    const int m = problem_.num_constraints();
+
+    // Column layout for structural variables.
+    col_of_var_.resize(n);
+    neg_col_of_var_.assign(n, -1);
+    int col = 0;
+    for (int j = 0; j < n; ++j) {
+      col_of_var_[j] = col++;
+      if (problem_.variable_is_free(j)) neg_col_of_var_[j] = col++;
+    }
+    num_structural_ = col;
+    num_columns_ = num_structural_;
+
+    // Internal (minimization) costs for structural columns.
+    structural_cost_.assign(num_structural_, Scalar{});
+    for (int j = 0; j < n; ++j) {
+      util::Rational c = problem_.objective_coeff(j);
+      if (maximize_) c = -c;
+      structural_cost_[col_of_var_[j]] = F::FromRational(c);
+      if (neg_col_of_var_[j] >= 0) {
+        structural_cost_[neg_col_of_var_[j]] = F::FromRational(-c);
+      }
+    }
+
+    rows_.assign(m, std::vector<Scalar>());
+    rhs_.assign(m, Scalar{});
+    row_sign_.assign(m, 1);
+    identity_col_.assign(m, -1);
+    basis_.assign(m, -1);
+
+    // First pass: structural part and row normalization (rhs >= 0).
+    for (int i = 0; i < m; ++i) {
+      const Constraint& row = problem_.constraints()[i];
+      rows_[i].assign(num_structural_, Scalar{});
+      for (int j = 0; j < n; ++j) {
+        Scalar a = F::FromRational(row.coeffs[j]);
+        rows_[i][col_of_var_[j]] = a;
+        if (neg_col_of_var_[j] >= 0) rows_[i][neg_col_of_var_[j]] = Scalar{} - a;
+      }
+      rhs_[i] = F::FromRational(row.rhs);
+      if (F::IsNegative(rhs_[i])) {
+        row_sign_[i] = -1;
+        for (Scalar& a : rows_[i]) a = Scalar{} - a;
+        rhs_[i] = Scalar{} - rhs_[i];
+      }
+    }
+
+    // Second pass: slack/surplus columns.
+    for (int i = 0; i < m; ++i) {
+      const Constraint& row = problem_.constraints()[i];
+      if (row.sense == Sense::kEqual) continue;
+      // Slack (+1 for <=) or surplus (-1 for >=), then the row-sign flip.
+      int coeff = (row.sense == Sense::kLessEqual ? 1 : -1) * row_sign_[i];
+      int slack_col = AddColumn();
+      rows_[i][slack_col] = coeff == 1 ? Scalar{1} : Scalar{} - Scalar{1};
+      if (coeff == 1) {
+        identity_col_[i] = slack_col;
+        basis_[i] = slack_col;
+      }
+    }
+
+    // Third pass: artificials for rows without a natural basic column.
+    for (int i = 0; i < m; ++i) {
+      if (basis_[i] >= 0) continue;
+      int art_col = AddColumn();
+      rows_[i][art_col] = Scalar{1};
+      identity_col_[i] = art_col;
+      basis_[i] = art_col;
+      artificials_.push_back(art_col);
+    }
+
+    cost_row_.assign(num_columns_, Scalar{});
+    objective_value_ = Scalar{};
+  }
+
+  int AddColumn() {
+    for (auto& row : rows_) row.push_back(Scalar{});
+    structural_cost_.push_back(Scalar{});  // slack/artificial phase-II cost 0
+    return num_columns_++;
+  }
+
+  bool IsArtificial(int col) const {
+    return std::find(artificials_.begin(), artificials_.end(), col) !=
+           artificials_.end();
+  }
+
+  // Recomputes the cost row d_j = c_j - z_j and the objective for the phase.
+  void SetPhaseCosts(bool phase_one) {
+    current_cost_.assign(num_columns_, Scalar{});
+    if (phase_one) {
+      for (int col : artificials_) current_cost_[col] = Scalar{1};
+    } else {
+      for (int j = 0; j < num_columns_; ++j) current_cost_[j] = structural_cost_[j];
+    }
+    for (int j = 0; j < num_columns_; ++j) cost_row_[j] = current_cost_[j];
+    objective_value_ = Scalar{};
+    for (int i = 0; i < static_cast<int>(rows_.size()); ++i) {
+      const Scalar& cb = current_cost_[basis_[i]];
+      if (F::IsZero(cb)) continue;
+      for (int j = 0; j < num_columns_; ++j) {
+        cost_row_[j] = cost_row_[j] - cb * rows_[i][j];
+      }
+      objective_value_ = objective_value_ + cb * rhs_[i];
+    }
+  }
+
+  // Runs pivots until optimal/unbounded. In phase II artificial columns may
+  // not enter the basis (they stay parked at zero, preserving B^-1 columns
+  // for dual extraction).
+  SolveStatus Iterate(bool phase_one, int64_t* pivots) {
+    const int m = static_cast<int>(rows_.size());
+    while (true) {
+      // Entering column.
+      int enter = -1;
+      for (int j = 0; j < num_columns_; ++j) {
+        if (!phase_one && IsArtificial(j)) continue;
+        if (!F::IsNegative(cost_row_[j])) continue;
+        if (enter == -1) {
+          enter = j;
+          if (options_.pivot_rule == PivotRule::kBland) break;
+        } else if (F::Less(cost_row_[j], cost_row_[enter])) {
+          enter = j;  // Dantzig: most negative reduced cost
+        }
+      }
+      if (enter == -1) return SolveStatus::kOptimal;
+
+      // Leaving row: minimum ratio over positive pivot entries; Bland ties
+      // broken by smallest basis column.
+      int leave = -1;
+      for (int i = 0; i < m; ++i) {
+        if (!F::IsPositive(rows_[i][enter])) continue;
+        if (leave == -1) {
+          leave = i;
+          continue;
+        }
+        // Compare rhs_[i]/rows_[i][enter] vs rhs_[leave]/rows_[leave][enter]
+        // without division: cross-multiply (both pivots positive).
+        Scalar lhs = rhs_[i] * rows_[leave][enter];
+        Scalar rhs = rhs_[leave] * rows_[i][enter];
+        if (F::Less(lhs, rhs) ||
+            (!F::Less(rhs, lhs) && basis_[i] < basis_[leave])) {
+          leave = i;
+        }
+      }
+      if (leave == -1) return SolveStatus::kUnbounded;
+
+      Pivot(leave, enter);
+      ++*pivots;
+      BAGCQ_CHECK(*pivots <= options_.max_pivots)
+          << "simplex pivot cap exceeded (cycling?)";
+    }
+  }
+
+  void Pivot(int leave, int enter) {
+    std::vector<Scalar>& prow = rows_[leave];
+    Scalar pivot = prow[enter];
+    BAGCQ_DCHECK(F::IsPositive(pivot));
+    for (Scalar& a : prow) a = a / pivot;
+    rhs_[leave] = rhs_[leave] / pivot;
+    prow[enter] = Scalar{1};  // kill residual rounding for double
+
+    for (int i = 0; i < static_cast<int>(rows_.size()); ++i) {
+      if (i == leave) continue;
+      Scalar factor = rows_[i][enter];
+      if (F::IsZero(factor)) continue;
+      for (int j = 0; j < num_columns_; ++j) {
+        rows_[i][j] = rows_[i][j] - factor * prow[j];
+      }
+      rows_[i][enter] = Scalar{};
+      rhs_[i] = rhs_[i] - factor * rhs_[leave];
+    }
+    Scalar cfactor = cost_row_[enter];
+    if (!F::IsZero(cfactor)) {
+      for (int j = 0; j < num_columns_; ++j) {
+        cost_row_[j] = cost_row_[j] - cfactor * prow[j];
+      }
+      cost_row_[enter] = Scalar{};
+      objective_value_ = objective_value_ + cfactor * rhs_[leave];
+    }
+    basis_[leave] = enter;
+  }
+
+  // After phase I, basic artificials sit at value zero; pivot them out on any
+  // nonzero non-artificial entry (degenerate pivots). Rows that are entirely
+  // zero outside artificial columns are redundant and stay parked.
+  void PivotOutBasicArtificials() {
+    for (int i = 0; i < static_cast<int>(rows_.size()); ++i) {
+      if (!IsArtificial(basis_[i])) continue;
+      for (int j = 0; j < num_columns_; ++j) {
+        if (IsArtificial(j)) continue;
+        if (!F::IsZero(rows_[i][j])) {
+          // Direct elementary pivot (ratio irrelevant: rhs is zero).
+          if (F::IsNegative(rows_[i][j])) {
+            for (Scalar& a : rows_[i]) a = Scalar{} - a;
+            rhs_[i] = Scalar{} - rhs_[i];
+          }
+          Pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Scalar> ExtractPrimal() const {
+    std::vector<Scalar> internal(num_columns_, Scalar{});
+    for (int i = 0; i < static_cast<int>(rows_.size()); ++i) {
+      internal[basis_[i]] = rhs_[i];
+    }
+    const int n = problem_.num_variables();
+    std::vector<Scalar> out(n, Scalar{});
+    for (int j = 0; j < n; ++j) {
+      out[j] = internal[col_of_var_[j]];
+      if (neg_col_of_var_[j] >= 0) {
+        out[j] = out[j] - internal[neg_col_of_var_[j]];
+      }
+    }
+    return out;
+  }
+
+  // Row multipliers y_i = c_identity - d_identity, un-normalized by the row
+  // sign. In phase I these are the Farkas certificate; in phase II the duals.
+  std::vector<Scalar> ExtractRowMultipliers(bool phase_one) const {
+    const int m = static_cast<int>(rows_.size());
+    std::vector<Scalar> out(m, Scalar{});
+    for (int i = 0; i < m; ++i) {
+      int col = identity_col_[i];
+      BAGCQ_CHECK_GE(col, 0) << "row without identity column";
+      Scalar cost = phase_one ? (IsArtificial(col) ? Scalar{1} : Scalar{})
+                              : structural_cost_[col];
+      Scalar y = cost - cost_row_[col];
+      if (row_sign_[i] < 0) y = Scalar{} - y;
+      out[i] = y;
+    }
+    return out;
+  }
+
+  const LpProblem& problem_;
+  SolverOptions options_;
+
+  bool maximize_ = false;
+  int num_structural_ = 0;
+  int num_columns_ = 0;
+  std::vector<int> col_of_var_;
+  std::vector<int> neg_col_of_var_;
+  std::vector<Scalar> structural_cost_;  // phase-II costs per column
+  std::vector<Scalar> current_cost_;
+  std::vector<std::vector<Scalar>> rows_;
+  std::vector<Scalar> rhs_;
+  std::vector<Scalar> cost_row_;
+  Scalar objective_value_{};
+  std::vector<int> basis_;
+  std::vector<int> row_sign_;
+  std::vector<int> identity_col_;
+  std::vector<int> artificials_;
+};
+
+}  // namespace
+
+template <typename Scalar>
+Solution<Scalar> SimplexSolver<Scalar>::Solve(const LpProblem& problem) const {
+  Tableau<Scalar> tableau(problem, options_);
+  return tableau.Run();
+}
+
+bool VerifyDuals(const LpProblem& problem,
+                 const Solution<util::Rational>& solution) {
+  using util::Rational;
+  if (solution.status != SolveStatus::kOptimal) return false;
+  const int n = problem.num_variables();
+  const int m = problem.num_constraints();
+  if (static_cast<int>(solution.values.size()) != n) return false;
+  if (static_cast<int>(solution.duals.size()) != m) return false;
+  const bool maximize = problem.objective_sense() == Objective::kMaximize;
+
+  // Primal feasibility and objective.
+  Rational primal_obj;
+  for (int j = 0; j < n; ++j) {
+    primal_obj += problem.objective_coeff(j) * solution.values[j];
+    if (!problem.variable_is_free(j) && solution.values[j].sign() < 0) {
+      return false;
+    }
+  }
+  if (primal_obj != solution.objective) return false;
+  Rational dual_obj;
+  for (int i = 0; i < m; ++i) {
+    const Constraint& row = problem.constraints()[i];
+    Rational lhs;
+    for (int j = 0; j < n; ++j) lhs += row.coeffs[j] * solution.values[j];
+    switch (row.sense) {
+      case Sense::kLessEqual:
+        if (lhs > row.rhs) return false;
+        break;
+      case Sense::kGreaterEqual:
+        if (lhs < row.rhs) return false;
+        break;
+      case Sense::kEqual:
+        if (lhs != row.rhs) return false;
+        break;
+    }
+    // Dual sign conventions (min; flipped for max).
+    const Rational& y = solution.duals[i];
+    int sign = y.sign();
+    if (maximize) sign = -sign;
+    if (row.sense == Sense::kLessEqual && sign > 0) return false;
+    if (row.sense == Sense::kGreaterEqual && sign < 0) return false;
+    dual_obj += y * row.rhs;
+  }
+  if (dual_obj != solution.objective) return false;
+
+  // Dual feasibility per variable.
+  for (int j = 0; j < n; ++j) {
+    Rational s;
+    for (int i = 0; i < m; ++i) {
+      s += solution.duals[i] * problem.constraints()[i].coeffs[j];
+    }
+    Rational c = problem.objective_coeff(j);
+    if (problem.variable_is_free(j)) {
+      if (s != c) return false;
+    } else if (!maximize && s > c) {
+      return false;
+    } else if (maximize && s < c) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool VerifyFarkas(const LpProblem& problem,
+                  const std::vector<util::Rational>& farkas) {
+  using util::Rational;
+  const int n = problem.num_variables();
+  const int m = problem.num_constraints();
+  if (static_cast<int>(farkas.size()) != m) return false;
+  Rational yb;
+  for (int i = 0; i < m; ++i) {
+    const Constraint& row = problem.constraints()[i];
+    if (row.sense == Sense::kLessEqual && farkas[i].sign() > 0) return false;
+    if (row.sense == Sense::kGreaterEqual && farkas[i].sign() < 0) return false;
+    yb += farkas[i] * row.rhs;
+  }
+  if (yb.sign() <= 0) return false;
+  for (int j = 0; j < n; ++j) {
+    Rational s;
+    for (int i = 0; i < m; ++i) {
+      s += farkas[i] * problem.constraints()[i].coeffs[j];
+    }
+    if (problem.variable_is_free(j)) {
+      if (!s.is_zero()) return false;
+    } else if (s.sign() > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template class SimplexSolver<util::Rational>;
+template class SimplexSolver<double>;
+
+}  // namespace bagcq::lp

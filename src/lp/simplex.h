@@ -1,0 +1,84 @@
+// Two-phase tableau simplex, templated over the scalar field.
+//
+// SimplexSolver<util::Rational> is the exact solver used for all theorem-level
+// results (certificates are proofs, so they must be exact). The <double>
+// instantiation exists for the speed/precision ablation bench and for quick
+// screening.
+//
+// The solver reports, besides the primal solution:
+//   * dual values (one per constraint) satisfying strong duality and the sign
+//     conventions documented at VerifyDuals() — these become the lambda
+//     weights of Theorem 6.1 and the Shannon-proof coefficients;
+//   * a Farkas infeasibility certificate (one multiplier per constraint)
+//     when the program is infeasible — this becomes the counterexample
+//     polymatroid in the entropy layer.
+//
+// Anti-cycling: Bland's rule (default for Rational) guarantees termination;
+// Dantzig's rule is available for the pivoting ablation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lp/lp_problem.h"
+#include "util/rational.h"
+
+namespace bagcq::lp {
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded };
+enum class PivotRule { kBland, kDantzig };
+
+const char* SolveStatusToString(SolveStatus status);
+
+template <typename Scalar>
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  /// Objective value in the problem's own sense (valid when kOptimal).
+  Scalar objective{};
+  /// One value per original variable (valid when kOptimal).
+  std::vector<Scalar> values;
+  /// One dual per constraint (valid when kOptimal); see VerifyDuals.
+  std::vector<Scalar> duals;
+  /// One multiplier per constraint (valid when kInfeasible); see VerifyFarkas.
+  std::vector<Scalar> farkas;
+  /// Total pivot count across both phases.
+  int64_t pivots = 0;
+};
+
+struct SolverOptions {
+  PivotRule pivot_rule = PivotRule::kBland;
+  /// Hard cap on pivots (guards the double instantiation against cycling).
+  int64_t max_pivots = 1'000'000;
+};
+
+template <typename Scalar>
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SolverOptions options = {}) : options_(options) {}
+
+  /// Solves the program. CHECK-fails if the pivot cap is hit (which cannot
+  /// happen with Bland's rule and exact arithmetic).
+  Solution<Scalar> Solve(const LpProblem& problem) const;
+
+ private:
+  SolverOptions options_;
+};
+
+/// Exact (or epsilon, for double) verification that `solution.duals` is a
+/// certificate of optimality:
+///   * primal feasible, and c.x == objective == b.y;
+///   * minimize: ≤-rows have y ≤ 0, ≥-rows have y ≥ 0, =-rows free, and for
+///     every variable j: sum_i y_i A_ij ≤ c_j (== for free variables);
+///   * maximize: all the above inequalities reversed.
+bool VerifyDuals(const LpProblem& problem, const Solution<util::Rational>& solution);
+
+/// Exact verification that `farkas` proves infeasibility:
+///   y.b > 0; ≤-rows have y ≤ 0, ≥-rows y ≥ 0; and for every variable j,
+///   sum_i y_i A_ij ≤ 0 (== 0 for free variables).
+bool VerifyFarkas(const LpProblem& problem, const std::vector<util::Rational>& farkas);
+
+extern template class SimplexSolver<util::Rational>;
+extern template class SimplexSolver<double>;
+
+}  // namespace bagcq::lp

@@ -1,0 +1,429 @@
+#include "util/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace bagcq::util {
+
+BigInt::BigInt(int64_t value) {
+  negative_ = value < 0;
+  // Avoid UB on INT64_MIN: negate in unsigned space.
+  uint64_t magnitude =
+      negative_ ? ~static_cast<uint64_t>(value) + 1 : static_cast<uint64_t>(value);
+  while (magnitude != 0) {
+    limbs_.push_back(static_cast<Limb>(magnitude & 0xffffffffu));
+    magnitude >>= 32;
+  }
+}
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::CompareMagnitude(const std::vector<Limb>& a,
+                             const std::vector<Limb>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<BigInt::Limb> BigInt::AddMagnitude(const std::vector<Limb>& a,
+                                               const std::vector<Limb>& b) {
+  std::vector<Limb> out;
+  out.reserve(std::max(a.size(), b.size()) + 1);
+  Wide carry = 0;
+  for (size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+    Wide sum = carry;
+    if (i < a.size()) sum += a[i];
+    if (i < b.size()) sum += b[i];
+    out.push_back(static_cast<Limb>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry != 0) out.push_back(static_cast<Limb>(carry));
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::SubMagnitude(const std::vector<Limb>& a,
+                                               const std::vector<Limb>& b) {
+  BAGCQ_DCHECK(CompareMagnitude(a, b) >= 0);
+  std::vector<Limb> out;
+  out.reserve(a.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) - borrow -
+                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += (int64_t{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<Limb>(diff));
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::MulMagnitude(const std::vector<Limb>& a,
+                                               const std::vector<Limb>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<Limb> out(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    Wide carry = 0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      Wide cur = static_cast<Wide>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<Limb>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.size();
+    while (carry != 0) {
+      Wide cur = static_cast<Wide>(out[k]) + carry;
+      out[k] = static_cast<Limb>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+// Knuth TAOCP vol. 2, Algorithm 4.3.1 D, base 2^32.
+void BigInt::DivModMagnitude(std::vector<Limb> a, std::vector<Limb> b,
+                             std::vector<Limb>* quotient,
+                             std::vector<Limb>* remainder) {
+  BAGCQ_CHECK(!b.empty()) << "division by zero";
+  if (CompareMagnitude(a, b) < 0) {
+    quotient->clear();
+    *remainder = std::move(a);
+    return;
+  }
+  if (b.size() == 1) {
+    // Short division.
+    std::vector<Limb> q(a.size(), 0);
+    Wide rem = 0;
+    for (size_t i = a.size(); i-- > 0;) {
+      Wide cur = (rem << 32) | a[i];
+      q[i] = static_cast<Limb>(cur / b[0]);
+      rem = cur % b[0];
+    }
+    while (!q.empty() && q.back() == 0) q.pop_back();
+    *quotient = std::move(q);
+    remainder->clear();
+    if (rem != 0) remainder->push_back(static_cast<Limb>(rem));
+    return;
+  }
+
+  // D1: normalize so the divisor's top limb has its high bit set.
+  int shift = 0;
+  for (Limb top = b.back(); (top & 0x80000000u) == 0; top <<= 1) ++shift;
+  auto shl = [shift](const std::vector<Limb>& v) {
+    if (shift == 0) return v;
+    std::vector<Limb> out(v.size() + 1, 0);
+    for (size_t i = 0; i < v.size(); ++i) {
+      out[i] |= v[i] << shift;
+      out[i + 1] = static_cast<Limb>(static_cast<Wide>(v[i]) >> (32 - shift));
+    }
+    while (!out.empty() && out.back() == 0) out.pop_back();
+    return out;
+  };
+  std::vector<Limb> u = shl(a);
+  std::vector<Limb> v = shl(b);
+  const size_t n = v.size();
+  const size_t m = u.size() - n;
+  u.resize(u.size() + 1, 0);  // u has m+n+1 limbs
+
+  std::vector<Limb> q(m + 1, 0);
+  const Wide v_top = v[n - 1];
+  const Wide v_second = v[n - 2];
+
+  for (size_t j = m + 1; j-- > 0;) {
+    // D3: estimate q_hat.
+    Wide numerator = (static_cast<Wide>(u[j + n]) << 32) | u[j + n - 1];
+    Wide q_hat = numerator / v_top;
+    Wide r_hat = numerator % v_top;
+    while (q_hat > 0xffffffffu ||
+           q_hat * v_second > ((r_hat << 32) | u[j + n - 2])) {
+      --q_hat;
+      r_hat += v_top;
+      if (r_hat > 0xffffffffu) break;
+    }
+    // D4: multiply-and-subtract u[j..j+n] -= q_hat * v.
+    int64_t borrow = 0;
+    Wide carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      Wide product = q_hat * v[i] + carry;
+      carry = product >> 32;
+      int64_t diff = static_cast<int64_t>(u[i + j]) -
+                     static_cast<int64_t>(product & 0xffffffffu) - borrow;
+      if (diff < 0) {
+        diff += (int64_t{1} << 32);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<Limb>(diff);
+    }
+    int64_t top_diff = static_cast<int64_t>(u[j + n]) -
+                       static_cast<int64_t>(carry) - borrow;
+    if (top_diff < 0) {
+      // D6: estimate was one too large; add back.
+      top_diff += (int64_t{1} << 32);
+      --q_hat;
+      Wide add_carry = 0;
+      for (size_t i = 0; i < n; ++i) {
+        Wide sum = static_cast<Wide>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<Limb>(sum & 0xffffffffu);
+        add_carry = sum >> 32;
+      }
+      top_diff += static_cast<int64_t>(add_carry);
+      top_diff &= 0xffffffff;
+    }
+    u[j + n] = static_cast<Limb>(top_diff);
+    q[j] = static_cast<Limb>(q_hat);
+  }
+
+  while (!q.empty() && q.back() == 0) q.pop_back();
+  *quotient = std::move(q);
+
+  // D8: denormalize the remainder.
+  u.resize(n);
+  if (shift != 0) {
+    for (size_t i = 0; i < n; ++i) {
+      u[i] >>= shift;
+      if (i + 1 < n) {
+        u[i] |= static_cast<Limb>(static_cast<Wide>(u[i + 1])
+                                  << (32 - shift));
+      }
+    }
+  }
+  while (!u.empty() && u.back() == 0) u.pop_back();
+  *remainder = std::move(u);
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  BigInt out;
+  if (negative_ == other.negative_) {
+    out.limbs_ = AddMagnitude(limbs_, other.limbs_);
+    out.negative_ = negative_;
+  } else if (CompareMagnitude(limbs_, other.limbs_) >= 0) {
+    out.limbs_ = SubMagnitude(limbs_, other.limbs_);
+    out.negative_ = negative_;
+  } else {
+    out.limbs_ = SubMagnitude(other.limbs_, limbs_);
+    out.negative_ = other.negative_;
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  BigInt out;
+  out.limbs_ = MulMagnitude(limbs_, other.limbs_);
+  out.negative_ = negative_ != other.negative_;
+  out.Normalize();
+  return out;
+}
+
+void BigInt::DivMod(const BigInt& dividend, const BigInt& divisor,
+                    BigInt* quotient, BigInt* remainder) {
+  BigInt q, r;
+  DivModMagnitude(dividend.limbs_, divisor.limbs_, &q.limbs_, &r.limbs_);
+  q.negative_ = dividend.negative_ != divisor.negative_;
+  r.negative_ = dividend.negative_;
+  q.Normalize();
+  r.Normalize();
+  *quotient = std::move(q);
+  *remainder = std::move(r);
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  BigInt q, r;
+  DivMod(*this, other, &q, &r);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  BigInt q, r;
+  DivMod(*this, other, &q, &r);
+  return r;
+}
+
+std::strong_ordering BigInt::operator<=>(const BigInt& other) const {
+  if (negative_ != other.negative_) {
+    return negative_ ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  int cmp = CompareMagnitude(limbs_, other.limbs_);
+  if (negative_) cmp = -cmp;
+  if (cmp < 0) return std::strong_ordering::less;
+  if (cmp > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+BigInt BigInt::FromString(std::string_view text) {
+  BigInt out;
+  BAGCQ_CHECK(TryParse(text, &out)) << "malformed integer: " << std::string(text);
+  return out;
+}
+
+bool BigInt::TryParse(std::string_view text, BigInt* out) {
+  bool negative = false;
+  if (!text.empty() && (text[0] == '-' || text[0] == '+')) {
+    negative = text[0] == '-';
+    text.remove_prefix(1);
+  }
+  if (text.empty()) return false;
+  BigInt value;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * BigInt(10) + BigInt(c - '0');
+  }
+  if (negative && !value.is_zero()) value.negative_ = true;
+  *out = std::move(value);
+  return true;
+}
+
+BigInt BigInt::TwoToThe(uint64_t exponent) {
+  BigInt out;
+  out.limbs_.assign(exponent / 32 + 1, 0);
+  out.limbs_.back() = Limb{1} << (exponent % 32);
+  return out;
+}
+
+BigInt BigInt::Pow(const BigInt& base, uint64_t exponent) {
+  BigInt result(1);
+  BigInt acc = base;
+  while (exponent != 0) {
+    if (exponent & 1) result *= acc;
+    exponent >>= 1;
+    if (exponent != 0) acc *= acc;
+  }
+  return result;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::Lcm(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt(0);
+  return (a.abs() / Gcd(a, b)) * b.abs();
+}
+
+std::string BigInt::ToString() const {
+  if (is_zero()) return "0";
+  // Repeated division by 10^9 (fits a limb) for speed.
+  std::vector<Limb> digits_chunks;
+  std::vector<Limb> current = limbs_;
+  const Limb kChunk = 1000000000u;
+  while (!current.empty()) {
+    Wide rem = 0;
+    for (size_t i = current.size(); i-- > 0;) {
+      Wide cur = (rem << 32) | current[i];
+      current[i] = static_cast<Limb>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    while (!current.empty() && current.back() == 0) current.pop_back();
+    digits_chunks.push_back(static_cast<Limb>(rem));
+  }
+  std::string out = negative_ ? "-" : "";
+  out += std::to_string(digits_chunks.back());
+  for (size_t i = digits_chunks.size() - 1; i-- > 0;) {
+    std::string chunk = std::to_string(digits_chunks[i]);
+    out += std::string(9 - chunk.size(), '0') + chunk;
+  }
+  return out;
+}
+
+double BigInt::ToDouble() const {
+  double out = 0.0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    out = out * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return negative_ ? -out : out;
+}
+
+double BigInt::Log2Abs() const {
+  BAGCQ_CHECK(!is_zero()) << "log2(0)";
+  // Use the top 64 bits for the mantissa, the rest contributes exponent.
+  size_t bits = BitLength();
+  if (bits <= 63) return std::log2(std::abs(ToDouble()));
+  // value = top_part * 2^(bits-64) approximately.
+  double top = 0.0;
+  size_t top_limb = limbs_.size() - 1;
+  for (size_t i = 0; i < 3 && i <= top_limb; ++i) {
+    top = top * 4294967296.0 + static_cast<double>(limbs_[top_limb - i]);
+  }
+  size_t consumed = std::min<size_t>(3, limbs_.size()) * 32;
+  return std::log2(top) + static_cast<double>((limbs_.size() * 32) - consumed);
+}
+
+bool BigInt::FitsInt64() const {
+  if (limbs_.size() > 2) return false;
+  if (limbs_.size() < 2) return true;
+  uint64_t magnitude = (static_cast<uint64_t>(limbs_[1]) << 32) | limbs_[0];
+  if (negative_) return magnitude <= (uint64_t{1} << 63);
+  return magnitude < (uint64_t{1} << 63);
+}
+
+int64_t BigInt::ToInt64() const {
+  BAGCQ_CHECK(FitsInt64()) << "BigInt does not fit int64: " << ToString();
+  uint64_t magnitude = 0;
+  if (limbs_.size() >= 1) magnitude |= limbs_[0];
+  if (limbs_.size() >= 2) magnitude |= static_cast<uint64_t>(limbs_[1]) << 32;
+  // Negate in unsigned space so INT64_MIN round-trips without UB.
+  return negative_ ? static_cast<int64_t>(~magnitude + 1)
+                   : static_cast<int64_t>(magnitude);
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  size_t bits = (limbs_.size() - 1) * 32;
+  Limb top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::IsPowerOfTwo() const {
+  if (is_zero()) return false;
+  for (size_t i = 0; i + 1 < limbs_.size(); ++i) {
+    if (limbs_[i] != 0) return false;
+  }
+  Limb top = limbs_.back();
+  return (top & (top - 1)) == 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.ToString();
+}
+
+}  // namespace bagcq::util

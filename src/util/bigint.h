@@ -1,0 +1,109 @@
+// Arbitrary-precision signed integers.
+//
+// The exact simplex solver and the entropy machinery need integers far beyond
+// 64 bits (tableau entries blow up multiplicatively; witness certificates
+// compare numbers like 2^(k·h(V))). Representation: sign + little-endian
+// base-2^32 magnitude. Division is Knuth's Algorithm D.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bagcq::util {
+
+/// Arbitrary-precision signed integer with value semantics.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+  /// From a machine integer.
+  BigInt(int64_t value);  // NOLINT: implicit by design, mirrors int semantics
+
+  /// Parse a decimal string with optional leading '-'. CHECK-fails on
+  /// malformed input; use TryParse for untrusted text.
+  static BigInt FromString(std::string_view text);
+  /// Parse; returns false (leaving *out untouched) on malformed input.
+  static bool TryParse(std::string_view text, BigInt* out);
+
+  /// 2^exponent.
+  static BigInt TwoToThe(uint64_t exponent);
+  /// base^exponent (exponent >= 0).
+  static BigInt Pow(const BigInt& base, uint64_t exponent);
+  /// Greatest common divisor (always >= 0).
+  static BigInt Gcd(BigInt a, BigInt b);
+  /// Least common multiple (always >= 0); Lcm(0, x) == 0.
+  static BigInt Lcm(const BigInt& a, const BigInt& b);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  /// -1, 0, or +1.
+  int sign() const { return is_zero() ? 0 : (negative_ ? -1 : 1); }
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  /// Truncated division (C semantics: quotient rounds toward zero).
+  /// CHECK-fails on division by zero.
+  BigInt operator/(const BigInt& other) const;
+  /// Remainder matching operator/ (same sign as dividend).
+  BigInt operator%(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  BigInt& operator/=(const BigInt& other) { return *this = *this / other; }
+
+  /// Quotient and remainder in one pass.
+  static void DivMod(const BigInt& dividend, const BigInt& divisor,
+                     BigInt* quotient, BigInt* remainder);
+
+  std::strong_ordering operator<=>(const BigInt& other) const;
+  bool operator==(const BigInt& other) const = default;
+
+  /// Decimal rendering.
+  std::string ToString() const;
+  /// Nearest double (may overflow to +/-inf).
+  double ToDouble() const;
+  /// log2 of |value| as a double; CHECK-fails on zero.
+  double Log2Abs() const;
+  /// True if the value fits in int64_t.
+  bool FitsInt64() const;
+  /// Value as int64_t; CHECK-fails if it does not fit.
+  int64_t ToInt64() const;
+  /// Number of bits in the magnitude (0 for zero).
+  size_t BitLength() const;
+  /// True if |value| is a power of two (1, 2, 4, ...).
+  bool IsPowerOfTwo() const;
+
+ private:
+  using Limb = uint32_t;
+  using Wide = uint64_t;
+  static constexpr int kLimbBits = 32;
+
+  static int CompareMagnitude(const std::vector<Limb>& a,
+                              const std::vector<Limb>& b);
+  static std::vector<Limb> AddMagnitude(const std::vector<Limb>& a,
+                                        const std::vector<Limb>& b);
+  // Requires |a| >= |b|.
+  static std::vector<Limb> SubMagnitude(const std::vector<Limb>& a,
+                                        const std::vector<Limb>& b);
+  static std::vector<Limb> MulMagnitude(const std::vector<Limb>& a,
+                                        const std::vector<Limb>& b);
+  static void DivModMagnitude(std::vector<Limb> a, std::vector<Limb> b,
+                              std::vector<Limb>* quotient,
+                              std::vector<Limb>* remainder);
+  void Normalize();
+
+  bool negative_ = false;
+  std::vector<Limb> limbs_;  // little-endian; empty means zero
+};
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+}  // namespace bagcq::util

@@ -1,0 +1,63 @@
+// Internal invariant checking. CHECK-style macros abort with a diagnostic;
+// they guard programmer errors, not user input (user input goes through
+// util::Status). Modeled after the checking macros used throughout
+// database codebases (Arrow, RocksDB).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace bagcq::util {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+// Stream-capture helper so `BAGCQ_CHECK(x) << "context " << v;` works.
+class CheckMessageSink {
+ public:
+  CheckMessageSink(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessageSink() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessageSink& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace bagcq::util
+
+#define BAGCQ_CHECK(condition)                                       \
+  if (condition) {                                                   \
+  } else                                                             \
+    ::bagcq::util::CheckMessageSink(__FILE__, __LINE__, #condition)
+
+#define BAGCQ_CHECK_EQ(a, b) BAGCQ_CHECK((a) == (b))
+#define BAGCQ_CHECK_NE(a, b) BAGCQ_CHECK((a) != (b))
+#define BAGCQ_CHECK_LT(a, b) BAGCQ_CHECK((a) < (b))
+#define BAGCQ_CHECK_LE(a, b) BAGCQ_CHECK((a) <= (b))
+#define BAGCQ_CHECK_GT(a, b) BAGCQ_CHECK((a) > (b))
+#define BAGCQ_CHECK_GE(a, b) BAGCQ_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define BAGCQ_DCHECK(condition) BAGCQ_CHECK(condition)
+#else
+#define BAGCQ_DCHECK(condition) \
+  if (true) {                   \
+  } else                        \
+    ::bagcq::util::CheckMessageSink(__FILE__, __LINE__, #condition)
+#endif

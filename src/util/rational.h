@@ -1,0 +1,76 @@
+// Exact rational numbers over BigInt.
+//
+// All entropy vectors, LP tableaus, and certificates use Rational: a
+// floating-point "proof" of an information inequality is not a proof.
+// Invariant: denominator > 0 and gcd(|num|, den) == 1; zero is 0/1.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "util/bigint.h"
+
+namespace bagcq::util {
+
+/// Exact rational with value semantics, always in lowest terms.
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+  /// From an integer.
+  Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT: implicit
+  Rational(BigInt value) : num_(std::move(value)), den_(1) {}  // NOLINT
+  /// num/den; CHECK-fails if den == 0.
+  Rational(BigInt num, BigInt den);
+  /// Convenience for small fractions, e.g. Rational(1, 3).
+  Rational(int64_t num, int64_t den) : Rational(BigInt(num), BigInt(den)) {}
+
+  /// Parse "a", "-a", or "a/b". CHECK-fails on malformed input.
+  static Rational FromString(std::string_view text);
+  static bool TryParse(std::string_view text, Rational* out);
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+  bool is_zero() const { return num_.is_zero(); }
+  bool is_integer() const { return den_ == BigInt(1); }
+  int sign() const { return num_.sign(); }
+
+  Rational operator-() const;
+  Rational abs() const;
+  /// Multiplicative inverse; CHECK-fails on zero.
+  Rational Inverse() const;
+
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  /// CHECK-fails on division by zero.
+  Rational operator/(const Rational& other) const;
+
+  Rational& operator+=(const Rational& other) { return *this = *this + other; }
+  Rational& operator-=(const Rational& other) { return *this = *this - other; }
+  Rational& operator*=(const Rational& other) { return *this = *this * other; }
+  Rational& operator/=(const Rational& other) { return *this = *this / other; }
+
+  std::strong_ordering operator<=>(const Rational& other) const;
+  bool operator==(const Rational& other) const = default;
+
+  /// Largest integer <= value.
+  BigInt Floor() const;
+  /// Smallest integer >= value.
+  BigInt Ceil() const;
+
+  /// "a" for integers, "a/b" otherwise.
+  std::string ToString() const;
+  double ToDouble() const;
+
+ private:
+  void Reduce();
+
+  BigInt num_;
+  BigInt den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& value);
+
+}  // namespace bagcq::util

@@ -1,0 +1,101 @@
+// Status / Result<T>: exception-free error propagation across public API
+// boundaries (the Arrow idiom). Internal invariant violations use
+// BAGCQ_CHECK instead.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace bagcq::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotSupported,
+  kResourceExhausted,
+  kParseError,
+  kInternal,
+};
+
+/// Outcome of an operation: OK or an error code with a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: arity mismatch".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. `ValueOrDie()` CHECK-fails on error (for tests and
+/// examples); library code should branch on `ok()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}                   // NOLINT
+  Result(Status status) : status_(std::move(status)) {            // NOLINT
+    BAGCQ_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    BAGCQ_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    BAGCQ_CHECK(ok()) << status_.ToString();
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace bagcq::util
+
+/// Propagate an error status out of the current function.
+#define BAGCQ_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::bagcq::util::Status _st = (expr);      \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Assign from a Result or propagate its error.
+#define BAGCQ_ASSIGN_OR_RETURN(lhs, rexpr)   \
+  auto _res_##__LINE__ = (rexpr);            \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = std::move(_res_##__LINE__).ValueOrDie();

@@ -1,0 +1,55 @@
+#include "util/string_util.h"
+
+#include <cctype>
+
+namespace bagcq::util {
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool IsIdentifier(std::string_view text) {
+  if (text.empty()) return false;
+  unsigned char first = static_cast<unsigned char>(text[0]);
+  if (!std::isalpha(first) && first != '_') return false;
+  for (char c : text.substr(1)) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (!std::isalnum(uc) && uc != '_' && uc != '\'') return false;
+  }
+  return true;
+}
+
+}  // namespace bagcq::util

@@ -1,0 +1,25 @@
+// Small string helpers shared across modules (parser, printers).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bagcq::util {
+
+/// Join `parts` with `sep`: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Split on a single character; empty fields are kept.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True for [A-Za-z_][A-Za-z0-9_']* — identifiers in the query language.
+bool IsIdentifier(std::string_view text);
+
+}  // namespace bagcq::util

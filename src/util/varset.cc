@@ -1,0 +1,35 @@
+#include "util/varset.h"
+
+#include <ostream>
+
+#include "util/string_util.h"
+
+namespace bagcq::util {
+
+std::string VarSet::ToString() const {
+  std::vector<std::string> parts;
+  for (int i : Elements()) parts.push_back("X" + std::to_string(i));
+  return "{" + Join(parts, ",") + "}";
+}
+
+std::string VarSet::ToString(const std::vector<std::string>& names) const {
+  std::vector<std::string> parts;
+  for (int i : Elements()) {
+    parts.push_back(i < static_cast<int>(names.size()) ? names[i]
+                                                       : "X" + std::to_string(i));
+  }
+  return "{" + Join(parts, ",") + "}";
+}
+
+std::ostream& operator<<(std::ostream& os, VarSet set) {
+  return os << set.ToString();
+}
+
+std::vector<std::string> DefaultVarNames(int n, const std::string& prefix) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(prefix + std::to_string(i));
+  return out;
+}
+
+}  // namespace bagcq::util

@@ -1,0 +1,107 @@
+// VarSet: a set of variables indexed 0..n-1, represented as a 64-bit mask.
+//
+// Entropy vectors are indexed by subsets of a variable set V; with |V| = n
+// the vector has 2^n coordinates and a VarSet is both the set and the
+// coordinate index. Entropy vectors cap n at 26 (SetFunction enforces it);
+// the mask itself is 64-bit so that query-side variable sets (Section 5
+// reductions build queries with 30+ variables) fit too.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace bagcq::util {
+
+/// Immutable-style bitmask set of variable indices.
+class VarSet {
+ public:
+  static constexpr int kMaxVars = 62;
+
+  /// Empty set.
+  constexpr VarSet() = default;
+  /// From a raw mask.
+  constexpr explicit VarSet(uint64_t mask) : mask_(mask) {}
+  /// Singleton {i}.
+  static VarSet Singleton(int i) {
+    BAGCQ_DCHECK(i >= 0 && i < kMaxVars);
+    return VarSet(uint64_t{1} << i);
+  }
+  /// {0, 1, ..., n-1}.
+  static VarSet Full(int n) {
+    BAGCQ_DCHECK(n >= 0 && n <= kMaxVars);
+    return VarSet(n == 0 ? 0u : ((uint64_t{1} << n) - 1));
+  }
+  /// From a list of indices.
+  static VarSet Of(std::initializer_list<int> indices) {
+    VarSet out;
+    for (int i : indices) out = out.With(i);
+    return out;
+  }
+
+  uint64_t mask() const { return mask_; }
+  bool empty() const { return mask_ == 0; }
+  int size() const { return __builtin_popcountll(mask_); }
+  bool Contains(int i) const { return (mask_ >> i) & 1u; }
+  bool ContainsAll(VarSet other) const { return (mask_ & other.mask_) == other.mask_; }
+  bool Intersects(VarSet other) const { return (mask_ & other.mask_) != 0; }
+  /// True if *this is a (not necessarily proper) subset of other.
+  bool IsSubsetOf(VarSet other) const { return other.ContainsAll(*this); }
+
+  VarSet With(int i) const {
+    BAGCQ_DCHECK(i >= 0 && i < kMaxVars);
+    return VarSet(mask_ | (uint64_t{1} << i));
+  }
+  VarSet Without(int i) const { return VarSet(mask_ & ~(uint64_t{1} << i)); }
+  VarSet Union(VarSet other) const { return VarSet(mask_ | other.mask_); }
+  VarSet Intersect(VarSet other) const { return VarSet(mask_ & other.mask_); }
+  VarSet Minus(VarSet other) const { return VarSet(mask_ & ~other.mask_); }
+
+  /// Smallest element; CHECK-fails on the empty set.
+  int Min() const {
+    BAGCQ_DCHECK(!empty());
+    return __builtin_ctzll(mask_);
+  }
+
+  /// Elements in increasing order.
+  std::vector<int> Elements() const {
+    std::vector<int> out;
+    out.reserve(size());
+    for (uint64_t m = mask_; m != 0; m &= m - 1) {
+      out.push_back(__builtin_ctzll(m));
+    }
+    return out;
+  }
+
+  auto operator<=>(const VarSet& other) const = default;
+
+  /// "{X0,X2}" using default names, or the provided names.
+  std::string ToString() const;
+  std::string ToString(const std::vector<std::string>& names) const;
+
+ private:
+  uint64_t mask_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, VarSet set);
+
+/// Iterate all subsets of `universe` (including empty and universe itself)
+/// in increasing mask order: ForEachSubset(u, [&](VarSet s) { ... }).
+template <typename Fn>
+void ForEachSubset(VarSet universe, Fn&& fn) {
+  uint64_t u = universe.mask();
+  uint64_t s = 0;
+  while (true) {
+    fn(VarSet(s));
+    if (s == u) break;
+    s = (s - u) & u;  // next subset of u after s
+  }
+}
+
+/// Default variable names "X0".."X{n-1}".
+std::vector<std::string> DefaultVarNames(int n, const std::string& prefix = "X");
+
+}  // namespace bagcq::util

@@ -1,0 +1,157 @@
+#include "core/domination.h"
+
+#include <gtest/gtest.h>
+
+#include "core/set_containment.h"
+#include "cq/parser.h"
+
+namespace bagcq::core {
+namespace {
+
+cq::Structure ParseDb(const std::string& text) {
+  return cq::ParseStructure(text).ValueOrDie();
+}
+
+TEST(DominationTest, ForkDominatesTriangle) {
+  // Example 4.3 in DOM form: the fork structure dominates the triangle.
+  cq::Structure triangle = ParseDb("R = {(0,1),(1,2),(2,0)}");
+  cq::Structure fork = cq::ParseStructureWithVocabulary(
+                           "R = {(0,1),(0,2)}", triangle.vocab())
+                           .ValueOrDie();
+  Decision d = DecideDomination(triangle, fork).ValueOrDie();
+  EXPECT_EQ(d.verdict, Verdict::kContained) << d.ToString();
+  Decision rev = DecideDomination(fork, triangle).ValueOrDie();
+  EXPECT_EQ(rev.verdict, Verdict::kNotContained) << rev.ToString();
+}
+
+TEST(DominationTest, EdgeSelfDomination) {
+  cq::Structure edge = ParseDb("R = {(0,1)}");
+  Decision d = DecideDomination(edge, edge).ValueOrDie();
+  EXPECT_EQ(d.verdict, Verdict::kContained);
+}
+
+TEST(DominationTest, MismatchedVocabularies) {
+  cq::Structure a = ParseDb("R = {(0,1)}");
+  cq::Structure b = ParseDb("S = {(0,1)}");
+  EXPECT_FALSE(DecideDomination(a, b).ok());
+}
+
+TEST(ExponentDominationTest, EdgeToSquareRootHolds) {
+  // |hom(edge, D)|^{1/2} ≤ |hom(edge, D)|: true since counts are integers.
+  cq::Structure edge = ParseDb("R = {(0,1)}");
+  Decision d =
+      DecideExponentDomination(edge, edge, util::Rational(1, 2)).ValueOrDie();
+  EXPECT_EQ(d.verdict, Verdict::kContained) << d.ToString();
+}
+
+TEST(ExponentDominationTest, EdgeSquaredFails) {
+  // |hom(edge, D)|^2 ≤ |hom(edge, D)| fails once a database has 2+ edges.
+  cq::Structure edge = ParseDb("R = {(0,1)}");
+  Decision d =
+      DecideExponentDomination(edge, edge, util::Rational(2)).ValueOrDie();
+  EXPECT_EQ(d.verdict, Verdict::kNotContained) << d.ToString();
+  ASSERT_TRUE(d.witness.has_value());
+}
+
+TEST(ExponentDominationTest, GuardsAndErrors) {
+  cq::Structure edge = ParseDb("R = {(0,1)}");
+  EXPECT_FALSE(DecideExponentDomination(edge, edge, util::Rational(-1)).ok());
+  EXPECT_FALSE(DecideExponentDomination(edge, edge, util::Rational(0)).ok());
+  EXPECT_FALSE(
+      DecideExponentDomination(edge, edge, util::Rational(100)).ok());
+}
+
+TEST(SetContainmentTest, ChandraMerlinClassics) {
+  // Boolean: triangle ⊆set fork (hom fork → triangle exists).
+  cq::ConjunctiveQuery tri =
+      cq::ParseQuery("R(x,y), R(y,z), R(z,x)").ValueOrDie();
+  cq::ConjunctiveQuery fork =
+      cq::ParseQueryWithVocabulary("R(a,b), R(a,c)", tri.vocab()).ValueOrDie();
+  EXPECT_TRUE(SetContained(tri, fork));
+  EXPECT_FALSE(SetContained(fork, tri));  // no hom triangle → fork
+  // With heads: Q(x) :- R(x,y) ⊆ Q(x) :- R(x,z) (rename).
+  cq::ConjunctiveQuery h1 = cq::ParseQuery("Q(x) :- R(x,y).").ValueOrDie();
+  cq::ConjunctiveQuery h2 =
+      cq::ParseQueryWithVocabulary("Q(a) :- R(a,b).", h1.vocab()).ValueOrDie();
+  EXPECT_TRUE(SetContained(h1, h2));
+  // Head mismatch blocks the hom: Q(x) :- R(x,y) vs Q(y) :- R(x,y).
+  cq::ConjunctiveQuery h3 =
+      cq::ParseQueryWithVocabulary("Q(d) :- R(c,d).", h1.vocab()).ValueOrDie();
+  EXPECT_FALSE(SetContained(h1, h3));
+}
+
+TEST(ExponentSearchTest, EdgeVsEdgeBoundary) {
+  // hom(edge)^c <= hom(edge) holds iff c <= 1 (integer counts).
+  cq::Structure edge = ParseDb("R = {(0,1)}");
+  auto result = SearchDominationExponent(edge, edge, 3).ValueOrDie();
+  EXPECT_EQ(result.best_lower, util::Rational(1));
+  // Smallest refuted candidate with p,q ≤ 3 above 1 is 3/2.
+  EXPECT_EQ(result.refuted_above, util::Rational(3, 2));
+  EXPECT_FALSE(result.hit_unknown);
+}
+
+TEST(ExponentSearchTest, EdgeVsTwoEdges) {
+  // hom(edge)^c <= hom(edge)^2 iff c <= 2.
+  cq::Structure edge = ParseDb("R = {(0,1)}");
+  cq::Structure two = cq::ParseStructureWithVocabulary("R = {(0,1),(2,3)}",
+                                                       edge.vocab())
+                          .ValueOrDie();
+  auto result = SearchDominationExponent(edge, two, 3).ValueOrDie();
+  EXPECT_EQ(result.best_lower, util::Rational(2));
+  EXPECT_EQ(result.refuted_above, util::Rational(3));
+}
+
+TEST(BagBagTest, SelfContainmentAndRepeatedAtoms) {
+  // Under bag-bag semantics R(x),R(x) and R(x) differ: the doubled query
+  // counts multiplicity squared, so R(x),R(x) is NOT contained in R(x) —
+  // while under bag-set they are the same query.
+  auto q_double = cq::ParseQuery("R(x), R(x)").ValueOrDie();
+  auto q_single =
+      cq::ParseQueryWithVocabulary("R(y)", q_double.vocab()).ValueOrDie();
+  // Bag-set: duplicate removal makes them equal; Contained both ways.
+  Decision set_fwd = DecideBagContainment(q_double, q_single).ValueOrDie();
+  EXPECT_EQ(set_fwd.verdict, Verdict::kContained);
+  // Bag-bag: the doubled query dominates, so single ⪯ double holds...
+  Decision bb_fwd = DecideBagBagContainment(q_single, q_double).ValueOrDie();
+  EXPECT_EQ(bb_fwd.verdict, Verdict::kContained) << bb_fwd.ToString();
+  // ...but double ⪯ single fails (multiplicity m: m^2 > m for m >= 2).
+  Decision bb_rev = DecideBagBagContainment(q_double, q_single).ValueOrDie();
+  EXPECT_EQ(bb_rev.verdict, Verdict::kNotContained) << bb_rev.ToString();
+}
+
+TEST(BagBagTest, MatchesBagSetOnDuplicateFreeQueries) {
+  // Without repeated atoms the two semantics agree on these pairs [JKV06].
+  auto q1 = cq::ParseQuery("R(x,y), R(y,z)").ValueOrDie();
+  auto q2 =
+      cq::ParseQueryWithVocabulary("R(a,b)", q1.vocab()).ValueOrDie();
+  Decision bag_set = DecideBagContainment(q1, q2).ValueOrDie();
+  Decision bag_bag = DecideBagBagContainment(q1, q2).ValueOrDie();
+  EXPECT_EQ(bag_set.verdict, bag_bag.verdict);
+}
+
+TEST(ProductWitnessTest, DisconnectedQ2UsesModularPath) {
+  // Q2 = two disjoint edges: totally disconnected junction tree, so the
+  // decider runs the Mn oracle (Theorem 3.6(i)) and a refutation witness is
+  // a *product* relation (Theorem 3.4(i)).
+  auto q1 = cq::ParseQuery("R(x,y), R(u,v), R(x,v)").ValueOrDie();
+  auto q2 = cq::ParseQueryWithVocabulary("R(a,b), R(c,d)", q1.vocab())
+                .ValueOrDie();
+  Decision d = DecideBagContainment(q1, q2).ValueOrDie();
+  if (d.verdict == Verdict::kNotContained) {
+    ASSERT_TRUE(d.counterexample.has_value());
+    EXPECT_TRUE(d.counterexample->IsModular());
+    EXPECT_NE(d.method.find("3.4(i)"), std::string::npos) << d.method;
+    if (d.witness.has_value()) {
+      // Product relation: every step factor is a co-singleton.
+      for (const auto& [w, levels] : d.witness->factor_levels) {
+        EXPECT_EQ(w.size(), d.counterexample->num_vars() - 1)
+            << "factor " << w.ToString() << " is not co-singleton";
+      }
+    }
+  } else {
+    EXPECT_NE(d.method.find("3.6(i)"), std::string::npos) << d.method;
+  }
+}
+
+}  // namespace
+}  // namespace bagcq::core

@@ -1,0 +1,112 @@
+#include "entropy/expr_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "entropy/known_inequalities.h"
+#include "entropy/shannon.h"
+
+namespace bagcq::entropy {
+namespace {
+
+using util::Rational;
+using util::VarSet;
+
+TEST(ExprParserTest, PlainEntropy) {
+  auto p = ParseInequality("H(A)").ValueOrDie();
+  EXPECT_EQ(p.var_names, (std::vector<std::string>{"A"}));
+  EXPECT_EQ(p.expr, LinearExpr::H(1, VarSet::Of({0})));
+}
+
+TEST(ExprParserTest, JointAndConditional) {
+  auto p = ParseInequality("H(A,B) - H(B|A)").ValueOrDie();
+  // h(AB) - (h(AB) - h(A)) = h(A).
+  EXPECT_EQ(p.expr, LinearExpr::H(2, VarSet::Of({0})));
+}
+
+TEST(ExprParserTest, MutualInformation) {
+  auto p = ParseInequality("I(A;B|C)").ValueOrDie();
+  EXPECT_EQ(p.expr, LinearExpr::MI(3, VarSet::Of({0}), VarSet::Of({1}),
+                                   VarSet::Of({2})));
+  auto unconditioned = ParseInequality("I(A;B)").ValueOrDie();
+  EXPECT_EQ(unconditioned.expr,
+            LinearExpr::MI(2, VarSet::Of({0}), VarSet::Of({1})));
+}
+
+TEST(ExprParserTest, CoefficientsAndFractions) {
+  auto p = ParseInequality("2*H(A) - 1/2*H(B)").ValueOrDie();
+  EXPECT_EQ(p.expr.Coeff(VarSet::Of({0})), Rational(2));
+  EXPECT_EQ(p.expr.Coeff(VarSet::Of({1})), Rational(-1, 2));
+  // Implicit multiplication: "3 H(A)" is 3·H(A).
+  auto q = ParseInequality("3 H(A)").ValueOrDie();
+  EXPECT_EQ(q.expr.Coeff(VarSet::Of({0})), Rational(3));
+}
+
+TEST(ExprParserTest, InequalityNormalization) {
+  // "lhs >= rhs" becomes lhs - rhs.
+  auto p = ParseInequality("H(A) + H(B) >= H(A,B)").ValueOrDie();
+  LinearExpr expected(2);
+  expected.Add(VarSet::Of({0}), Rational(1));
+  expected.Add(VarSet::Of({1}), Rational(1));
+  expected.Add(VarSet::Full(2), Rational(-1));
+  EXPECT_EQ(p.expr, expected);
+
+  // "lhs <= rhs" becomes rhs - lhs.
+  auto q = ParseInequality("H(A,B) <= H(A) + H(B)").ValueOrDie();
+  EXPECT_EQ(q.expr, expected);
+}
+
+TEST(ExprParserTest, MultiCharacterAndPrimedNames) {
+  auto p = ParseInequality("H(X1, X2') - H(X2')").ValueOrDie();
+  EXPECT_EQ(p.var_names, (std::vector<std::string>{"X1", "X2'"}));
+  EXPECT_EQ(p.expr, LinearExpr::HCond(2, VarSet::Of({0}), VarSet::Of({1})));
+}
+
+TEST(ExprParserTest, ZeroConstantAllowed) {
+  auto p = ParseInequality("I(A;B) >= 0").ValueOrDie();
+  EXPECT_EQ(p.expr, LinearExpr::MI(2, VarSet::Of({0}), VarSet::Of({1})));
+}
+
+TEST(ExprParserTest, Errors) {
+  EXPECT_FALSE(ParseInequality("").ok());
+  EXPECT_FALSE(ParseInequality("H(").ok());
+  EXPECT_FALSE(ParseInequality("H()").ok());
+  EXPECT_FALSE(ParseInequality("G(A)").ok());
+  EXPECT_FALSE(ParseInequality("I(A)").ok());          // missing ';'
+  EXPECT_FALSE(ParseInequality("H(A) >= 5").ok());     // nonzero constant
+  EXPECT_FALSE(ParseInequality("H(A) >= H(B) junk").ok());
+  EXPECT_FALSE(ParseInequality("H(A) == H(B)").ok());
+}
+
+TEST(ExprParserTest, ZhangYeungRoundTrip) {
+  // The textual ZY matches the library constant (A,B,C,D in order).
+  auto p = ParseInequality(
+               "I(A;B) + I(A;C,D) + 3*I(C;D|A) + I(C;D|B) - 2*I(C;D)")
+               .ValueOrDie();
+  EXPECT_EQ(p.expr, ZhangYeungExpr());
+}
+
+TEST(ExprParserTest, ParsedInequalityProvable) {
+  auto p = ParseInequality("H(A|B) + I(A;B) >= H(A)").ValueOrDie();
+  // h(A|B) + I(A;B) = h(A): equality, so the difference is 0 — valid.
+  ShannonProver prover(static_cast<int>(p.var_names.size()));
+  EXPECT_TRUE(prover.Prove(p.expr).valid);
+  EXPECT_TRUE(p.expr.is_zero());  // exact identity
+}
+
+TEST(ExprParserTest, ListSharesVariableSpace) {
+  auto list = ParseInequalityList({"H(A) - H(B)", "H(C) - H(A)"})
+                  .ValueOrDie();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].var_names.size(), 3u);
+  EXPECT_EQ(list[0].expr.num_vars(), 3);
+  EXPECT_EQ(list[1].expr.num_vars(), 3);
+  EXPECT_EQ(list[1].expr.Coeff(VarSet::Of({2})), Rational(1));  // C
+}
+
+TEST(ExprParserTest, SpaceSeparatedVariableLists) {
+  auto p = ParseInequality("H(A B)").ValueOrDie();
+  EXPECT_EQ(p.expr, LinearExpr::H(2, VarSet::Of({0, 1})));
+}
+
+}  // namespace
+}  // namespace bagcq::entropy

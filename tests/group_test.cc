@@ -1,0 +1,131 @@
+#include "entropy/group.h"
+
+#include <gtest/gtest.h>
+
+#include "entropy/functions.h"
+#include "entropy/log_rational.h"
+
+namespace bagcq::entropy {
+namespace {
+
+using util::Rational;
+using util::VarSet;
+
+PermutationGroup Z2xZ2() {
+  // Klein four-group acting on 4 points: generators (01)(23)... represent
+  // as two commuting swaps on {0,1} x {2,3}.
+  return PermutationGroup::Generate(4, {{1, 0, 2, 3}, {0, 1, 3, 2}});
+}
+
+TEST(PermutationGroupTest, ClosureSizes) {
+  EXPECT_EQ(PermutationGroup::Generate(3, {}).order(), 1);
+  // S3 from a transposition and a 3-cycle.
+  EXPECT_EQ(PermutationGroup::Generate(3, {{1, 0, 2}, {1, 2, 0}}).order(), 6);
+  // Z4 from a 4-cycle.
+  EXPECT_EQ(PermutationGroup::Generate(4, {{1, 2, 3, 0}}).order(), 4);
+  EXPECT_EQ(Z2xZ2().order(), 4);
+}
+
+TEST(PermutationGroupTest, ContainsAndStabilizer) {
+  PermutationGroup s3 = PermutationGroup::Generate(3, {{1, 0, 2}, {1, 2, 0}});
+  EXPECT_TRUE(s3.Contains({0, 1, 2}));
+  EXPECT_TRUE(s3.Contains({2, 1, 0}));
+  PermutationGroup stab = s3.PointwiseStabilizer({2});
+  EXPECT_EQ(stab.order(), 2);  // {id, (01)}
+  EXPECT_TRUE(stab.Contains({1, 0, 2}));
+  EXPECT_FALSE(stab.Contains({1, 2, 0}));
+}
+
+TEST(GroupCharacterizableTest, RelationSizeAndUniformity) {
+  // Lemma 4.8's claim: group-characterizable relations are totally uniform.
+  PermutationGroup g = Z2xZ2();
+  PermutationGroup g1 = g.PointwiseStabilizer({0});  // kills the first swap
+  PermutationGroup g2 = g.PointwiseStabilizer({2});
+  Relation p = GroupCharacterizableRelation(g, {g1, g2});
+  EXPECT_EQ(p.size(), g.order());
+  EXPECT_TRUE(p.IsTotallyUniform());
+}
+
+TEST(GroupCharacterizableTest, EntropyMatchesFormula) {
+  // h(X) = log|G| - log|∩ G_i| must agree with the entropy of the relation.
+  PermutationGroup g = PermutationGroup::Generate(3, {{1, 0, 2}, {1, 2, 0}});
+  std::vector<PermutationGroup> subgroups = {
+      g.PointwiseStabilizer({0}), g.PointwiseStabilizer({1}),
+      g.PointwiseStabilizer({2})};
+  Relation p = GroupCharacterizableRelation(g, subgroups);
+  LogSetFunction actual(p);
+  auto formula = GroupEntropy(g, subgroups);
+  for (uint32_t s = 1; s < 8; ++s) {
+    EXPECT_EQ(actual[VarSet(s)], formula[s]) << "mask " << s;
+  }
+}
+
+TEST(GroupCharacterizableTest, ParityFromKleinGroup) {
+  // The parity function is group-characterizable: G = Z2 x Z2 with the
+  // three subgroups of order 2.
+  PermutationGroup g = Z2xZ2();
+  PermutationGroup a = PermutationGroup::Generate(4, {{1, 0, 2, 3}});
+  PermutationGroup b = PermutationGroup::Generate(4, {{0, 1, 3, 2}});
+  PermutationGroup c = PermutationGroup::Generate(4, {{1, 0, 3, 2}});
+  Relation p = GroupCharacterizableRelation(g, {a, b, c});
+  EXPECT_EQ(p.size(), 4);
+  EXPECT_TRUE(p.IsTotallyUniform());
+  LogSetFunction h(p);
+  SetFunction parity = ParityFunction();
+  ForEachSubset(VarSet::Full(3), [&](VarSet s) {
+    if (s.empty()) return;
+    EXPECT_EQ(h[s], LogRational::Log2(2) * parity[s]) << s.ToString();
+  });
+}
+
+TEST(GroupCharacterizableTest, FullGroupSubgroupGivesZeroEntropy) {
+  PermutationGroup g = Z2xZ2();
+  Relation p = GroupCharacterizableRelation(g, {g, g.PointwiseStabilizer({0})});
+  LogSetFunction h(p);
+  // Column 0 uses the whole group as subgroup: single coset, zero entropy.
+  EXPECT_EQ(h[VarSet::Of({0})].Sign(), 0);
+  EXPECT_EQ(h[VarSet::Of({1})], LogRational::Log2(2));
+}
+
+TEST(GroupCharacterizableTest, TrivialSubgroupsGiveFullEntropy) {
+  PermutationGroup g = PermutationGroup::Generate(3, {{1, 2, 0}});  // Z3
+  PermutationGroup trivial = PermutationGroup::Generate(3, {});
+  Relation p = GroupCharacterizableRelation(g, {trivial, trivial});
+  LogSetFunction h(p);
+  // Both columns are bijective labelings of G: entropy log 3 everywhere.
+  EXPECT_EQ(h[VarSet::Of({0})], LogRational::Log2(3));
+  EXPECT_EQ(h[VarSet::Full(2)], LogRational::Log2(3));
+}
+
+TEST(GroupCharacterizableTest, EntropiesSatisfyShannonInequalities) {
+  // Group-characterizable => entropic => submodular etc. Check elemental
+  // submodularity exactly on a non-abelian example.
+  PermutationGroup g = PermutationGroup::Generate(4, {{1, 0, 2, 3},
+                                                      {0, 2, 1, 3},
+                                                      {0, 1, 3, 2}});
+  std::vector<PermutationGroup> subs = {g.PointwiseStabilizer({0}),
+                                        g.PointwiseStabilizer({1}),
+                                        g.PointwiseStabilizer({2})};
+  Relation p = GroupCharacterizableRelation(g, subs);
+  LogSetFunction h(p);
+  // I(i;j|K) >= 0 for all elemental triples over 3 columns.
+  for (int i = 0; i < 3; ++i) {
+    for (int j = i + 1; j < 3; ++j) {
+      VarSet rest = VarSet::Full(3).Without(i).Without(j);
+      ForEachSubset(rest, [&](VarSet k) {
+        LogRational mi = h[k.With(i)] + h[k.With(j)] - h[k] -
+                         h[k.With(i).With(j)];
+        EXPECT_GE(mi.Sign(), 0);
+      });
+    }
+  }
+}
+
+TEST(GroupDeathTest, ForeignSubgroupRejected) {
+  PermutationGroup g = PermutationGroup::Generate(3, {{1, 2, 0}});  // Z3
+  PermutationGroup s3 = PermutationGroup::Generate(3, {{1, 0, 2}, {1, 2, 0}});
+  EXPECT_DEATH(GroupCharacterizableRelation(g, {s3}), "outside the group");
+}
+
+}  // namespace
+}  // namespace bagcq::entropy

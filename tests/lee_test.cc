@@ -1,0 +1,109 @@
+#include "entropy/lee.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace bagcq::entropy {
+namespace {
+
+using graph::TreeDecomposition;
+using util::VarSet;
+
+TEST(LeeFdTest, KeyDependency) {
+  // Column 0 is a key: 0 -> {1,2}.
+  Relation p = Relation::FromTuples(3, {{0, 5, 7}, {1, 5, 8}, {2, 6, 7}});
+  EXPECT_TRUE(FdHoldsEntropic(p, VarSet::Of({0}), VarSet::Of({1, 2})));
+  EXPECT_TRUE(FdHoldsCombinatorial(p, VarSet::Of({0}), VarSet::Of({1, 2})));
+  // 1 -> 0 fails (value 5 maps to both 0 and 1).
+  EXPECT_FALSE(FdHoldsEntropic(p, VarSet::Of({1}), VarSet::Of({0})));
+  EXPECT_FALSE(FdHoldsCombinatorial(p, VarSet::Of({1}), VarSet::Of({0})));
+  // 1 -> 1 trivially.
+  EXPECT_TRUE(FdHoldsEntropic(p, VarSet::Of({1}), VarSet::Of({1})));
+}
+
+TEST(LeeMvdTest, ProductDecomposition) {
+  // P = {0,1} x {0,1} on columns 1,2 with constant column 0: 0 ↠ 1 holds.
+  Relation p = Relation::FromTuples(
+      3, {{9, 0, 0}, {9, 0, 1}, {9, 1, 0}, {9, 1, 1}});
+  EXPECT_TRUE(MvdHoldsEntropic(p, VarSet::Of({0}), VarSet::Of({1})));
+  EXPECT_TRUE(MvdHoldsCombinatorial(p, VarSet::Of({0}), VarSet::Of({1})));
+  // Remove one tuple: the MVD breaks.
+  Relation q = Relation::FromTuples(3, {{9, 0, 0}, {9, 0, 1}, {9, 1, 0}});
+  EXPECT_FALSE(MvdHoldsEntropic(q, VarSet::Of({0}), VarSet::Of({1})));
+  EXPECT_FALSE(MvdHoldsCombinatorial(q, VarSet::Of({0}), VarSet::Of({1})));
+}
+
+TEST(LeeMvdTest, FdImpliesMvd) {
+  Relation p = Relation::FromTuples(3, {{0, 5, 7}, {1, 5, 8}, {2, 6, 7}});
+  // 0 -> 1 holds, so 0 ↠ 1 must hold.
+  ASSERT_TRUE(FdHoldsCombinatorial(p, VarSet::Of({0}), VarSet::Of({1})));
+  EXPECT_TRUE(MvdHoldsEntropic(p, VarSet::Of({0}), VarSet::Of({1})));
+  EXPECT_TRUE(MvdHoldsCombinatorial(p, VarSet::Of({0}), VarSet::Of({1})));
+}
+
+TEST(LeeJoinTest, LosslessChain) {
+  // P respects the chain {0,1}-{1,2}: built as a join of two relations.
+  Relation p = Relation::FromTuples(
+      3, {{0, 5, 7}, {1, 5, 7}, {0, 5, 8}, {1, 5, 8}, {2, 6, 9}});
+  TreeDecomposition chain(3, {VarSet::Of({0, 1}), VarSet::Of({1, 2})},
+                          {{0, 1}});
+  EXPECT_TRUE(DecomposesAlong(p, chain));
+  EXPECT_TRUE(DecomposesAlongCombinatorial(p, chain));
+}
+
+TEST(LeeJoinTest, LossyChainDetected) {
+  // The parity relation does NOT decompose along {0,1}-{1,2} (projections
+  // join back to the full cube).
+  Relation parity = Relation::FromTuples(
+      3, {{0, 0, 0}, {0, 1, 1}, {1, 0, 1}, {1, 1, 0}});
+  TreeDecomposition chain(3, {VarSet::Of({0, 1}), VarSet::Of({1, 2})},
+                          {{0, 1}});
+  EXPECT_FALSE(DecomposesAlong(parity, chain));
+  EXPECT_FALSE(DecomposesAlongCombinatorial(parity, chain));
+  // But the trivial single-bag decomposition always works.
+  TreeDecomposition trivial(3, {VarSet::Full(3)}, {});
+  EXPECT_TRUE(DecomposesAlong(parity, trivial));
+  EXPECT_TRUE(DecomposesAlongCombinatorial(parity, trivial));
+}
+
+TEST(LeeJoinTest, ProductDecomposesAlongPartition) {
+  Relation p = Relation::ProductRelation({2, 3, 2});
+  TreeDecomposition partition(3, {VarSet::Of({0}), VarSet::Of({1, 2})}, {});
+  EXPECT_TRUE(DecomposesAlong(p, partition));
+  EXPECT_TRUE(DecomposesAlongCombinatorial(p, partition));
+}
+
+// Property sweep: the entropic and combinatorial checkers agree on random
+// relations — Lee's theorem, computationally.
+class LeeAgreementSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeeAgreementSweep, EntropicEqualsCombinatorial) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> tuples(1, 8);
+  std::uniform_int_distribution<int> value(0, 2);
+  Relation p(3);
+  int t = tuples(rng);
+  for (int i = 0; i < t; ++i) {
+    p.AddTuple({value(rng), value(rng), value(rng)});
+  }
+  for (uint32_t xm = 0; xm < 8; ++xm) {
+    for (uint32_t ym = 1; ym < 8; ++ym) {
+      VarSet x(xm), y(ym);
+      if (x.Intersects(y)) continue;
+      EXPECT_EQ(FdHoldsEntropic(p, x, y), FdHoldsCombinatorial(p, x, y))
+          << p.ToString() << " FD " << x.ToString() << "->" << y.ToString();
+      EXPECT_EQ(MvdHoldsEntropic(p, x, y), MvdHoldsCombinatorial(p, x, y))
+          << p.ToString() << " MVD " << x.ToString() << "->>" << y.ToString();
+    }
+  }
+  TreeDecomposition chain(3, {VarSet::Of({0, 1}), VarSet::Of({1, 2})},
+                          {{0, 1}});
+  EXPECT_EQ(DecomposesAlong(p, chain), DecomposesAlongCombinatorial(p, chain))
+      << p.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeeAgreementSweep, ::testing::Range(1, 40));
+
+}  // namespace
+}  // namespace bagcq::entropy

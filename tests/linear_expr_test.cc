@@ -1,0 +1,136 @@
+#include "entropy/linear_expr.h"
+
+#include <gtest/gtest.h>
+
+#include "entropy/functions.h"
+
+namespace bagcq::entropy {
+namespace {
+
+using util::Rational;
+using util::VarSet;
+
+TEST(LinearExprTest, Builders) {
+  LinearExpr h = LinearExpr::H(3, VarSet::Of({0, 1}));
+  EXPECT_EQ(h.Coeff(VarSet::Of({0, 1})), Rational(1));
+  EXPECT_EQ(h.Coeff(VarSet::Of({0})), Rational(0));
+
+  // h(Y|X) with Y={2}, X={0}: h({0,2}) - h({0}).
+  LinearExpr cond = LinearExpr::HCond(3, VarSet::Of({2}), VarSet::Of({0}));
+  EXPECT_EQ(cond.Coeff(VarSet::Of({0, 2})), Rational(1));
+  EXPECT_EQ(cond.Coeff(VarSet::Of({0})), Rational(-1));
+
+  // I(X;Y|Z).
+  LinearExpr mi = LinearExpr::MI(3, VarSet::Of({0}), VarSet::Of({1}),
+                                 VarSet::Of({2}));
+  EXPECT_EQ(mi.Coeff(VarSet::Of({0, 2})), Rational(1));
+  EXPECT_EQ(mi.Coeff(VarSet::Of({1, 2})), Rational(1));
+  EXPECT_EQ(mi.Coeff(VarSet::Of({2})), Rational(-1));
+  EXPECT_EQ(mi.Coeff(VarSet::Full(3)), Rational(-1));
+}
+
+TEST(LinearExprTest, EmptySetNeverStored) {
+  LinearExpr e(2);
+  e.Add(VarSet(), Rational(5));
+  EXPECT_TRUE(e.is_zero());
+  // h(Y|∅) = h(Y).
+  LinearExpr cond = LinearExpr::HCond(2, VarSet::Of({1}), VarSet());
+  EXPECT_EQ(cond, LinearExpr::H(2, VarSet::Of({1})));
+}
+
+TEST(LinearExprTest, ArithmeticAndCancellation) {
+  LinearExpr a = LinearExpr::H(2, VarSet::Of({0}));
+  LinearExpr b = LinearExpr::H(2, VarSet::Of({1}));
+  LinearExpr sum = a + b - a;
+  EXPECT_EQ(sum, b);
+  EXPECT_TRUE((a - a).is_zero());
+  LinearExpr scaled = a * Rational(0);
+  EXPECT_TRUE(scaled.is_zero());
+  EXPECT_EQ((-a).Coeff(VarSet::Of({0})), Rational(-1));
+}
+
+TEST(LinearExprTest, EvaluateAgainstParity) {
+  SetFunction h = ParityFunction();
+  // I(X0;X1) = 0 and I(X0;X1|X2) = 1 for the parity function.
+  EXPECT_EQ(LinearExpr::MI(3, VarSet::Of({0}), VarSet::Of({1})).Evaluate(h),
+            Rational(0));
+  EXPECT_EQ(LinearExpr::MI(3, VarSet::Of({0}), VarSet::Of({1}), VarSet::Of({2}))
+                .Evaluate(h),
+            Rational(1));
+}
+
+TEST(LinearExprTest, SubstituteMergesVariables) {
+  // E = h({0,1}) over 2 vars; φ maps both to target variable 1:
+  // E∘φ = h({1}) over 3 vars (Example 4.1's collapsing behaviour).
+  LinearExpr e = LinearExpr::H(2, VarSet::Of({0, 1}));
+  LinearExpr sub = e.Substitute({1, 1}, 3);
+  EXPECT_EQ(sub, LinearExpr::H(3, VarSet::Of({1})));
+}
+
+TEST(LinearExprTest, SubstituteExample41) {
+  // Example 4.1: E = 3h(Y1) + 4h(Y2Y3) - 6h(Y3), φ(Y1)=X1, φ(Y2)=φ(Y3)=X2
+  // gives E∘φ = 3h(X1) - 2h(X2).
+  LinearExpr e(3);
+  e.Add(VarSet::Of({0}), Rational(3));
+  e.Add(VarSet::Of({1, 2}), Rational(4));
+  e.Add(VarSet::Of({2}), Rational(-6));
+  LinearExpr sub = e.Substitute({0, 1, 1}, 2);
+  LinearExpr expected(2);
+  expected.Add(VarSet::Of({0}), Rational(3));
+  expected.Add(VarSet::Of({1}), Rational(-2));
+  EXPECT_EQ(sub, expected);
+}
+
+TEST(LinearExprTest, Printing) {
+  LinearExpr e(2);
+  e.Add(VarSet::Of({0}), Rational(1));
+  e.Add(VarSet::Of({1}), Rational(-2));
+  EXPECT_EQ(e.ToString(), "h{X0} - 2*h{X1}");
+  EXPECT_EQ(LinearExpr(2).ToString(), "0");
+}
+
+TEST(CondExprTest, SimpleAndUnconditionedPredicates) {
+  CondExpr e(3);
+  e.Add(VarSet::Of({1, 2}), VarSet(), Rational(1));
+  EXPECT_TRUE(e.IsUnconditioned());
+  EXPECT_TRUE(e.IsSimple());
+  e.Add(VarSet::Of({2}), VarSet::Of({0}), Rational(1));
+  EXPECT_FALSE(e.IsUnconditioned());
+  EXPECT_TRUE(e.IsSimple());
+  e.Add(VarSet::Of({2}), VarSet::Of({0, 1}), Rational(1));
+  EXPECT_FALSE(e.IsSimple());
+}
+
+TEST(CondExprTest, ToLinearCollapses) {
+  CondExpr e(3);
+  e.Add(VarSet::Of({1}), VarSet::Of({0}), Rational(2));
+  LinearExpr expected(3);
+  expected.Add(VarSet::Of({0, 1}), Rational(2));
+  expected.Add(VarSet::Of({0}), Rational(-2));
+  EXPECT_EQ(e.ToLinear(), expected);
+}
+
+TEST(CondExprTest, SubstituteCommutesWithToLinear) {
+  CondExpr e(3);
+  e.Add(VarSet::Of({1, 2}), VarSet::Of({0}), Rational(1));
+  e.Add(VarSet::Of({2}), VarSet(), Rational(3));
+  std::vector<int> phi = {2, 0, 0};
+  EXPECT_EQ(e.Substitute(phi, 3).ToLinear(), e.ToLinear().Substitute(phi, 3));
+}
+
+TEST(CondExprTest, SubstitutePreservesSimplicity) {
+  // |φ(X)| ≤ |X|, so simple stays simple under pullback — the fact that
+  // makes Theorem 3.6 applicable after the homomorphism substitution.
+  CondExpr e(3);
+  e.Add(VarSet::Of({1, 2}), VarSet::Of({0}), Rational(1));
+  ASSERT_TRUE(e.IsSimple());
+  EXPECT_TRUE(e.Substitute({1, 1, 1}, 2).IsSimple());
+}
+
+TEST(CondExprDeathTest, NegativeCoefficientRejected) {
+  CondExpr e(2);
+  EXPECT_DEATH(e.Add(VarSet::Of({1}), VarSet(), Rational(-1)), "nonnegative");
+}
+
+}  // namespace
+}  // namespace bagcq::entropy

@@ -1,0 +1,108 @@
+#include "entropy/log_rational.h"
+
+#include <gtest/gtest.h>
+
+namespace bagcq::entropy {
+namespace {
+
+using util::Rational;
+using util::VarSet;
+
+TEST(LogRationalTest, ZeroAndUnits) {
+  LogRational zero;
+  EXPECT_EQ(zero.Sign(), 0);
+  EXPECT_EQ(LogRational::Log2(1).Sign(), 0);  // log2(1) = 0
+  EXPECT_EQ(LogRational::Log2(2).Sign(), 1);
+  EXPECT_EQ((-LogRational::Log2(2)).Sign(), -1);
+}
+
+TEST(LogRationalTest, ExactIdentities) {
+  // log2(8) = 3·log2(2).
+  EXPECT_EQ(LogRational::Log2(8), LogRational::Log2(2) * Rational(3));
+  // log2(6) = log2(2) + log2(3).
+  EXPECT_EQ(LogRational::Log2(6),
+            LogRational::Log2(2) + LogRational::Log2(3));
+  // log2(9) = 2·log2(3).
+  EXPECT_EQ(LogRational::Log2(9), LogRational::Log2(3) * Rational(2));
+  // (1/2)·log2(4) = log2(2).
+  EXPECT_EQ(LogRational::Log2(4) * Rational(1, 2), LogRational::Log2(2));
+}
+
+TEST(LogRationalTest, ExactComparisons) {
+  // 2^10 = 1024 > 1000 = 10^3: 10·log2(2) > 3·log2(10).
+  EXPECT_GT(LogRational::Log2(2) * Rational(10),
+            LogRational::Log2(10) * Rational(3));
+  // log2(3) < 1.585... < 1.6 = 8/5: 5·log2(3) vs log2(2^8): 243 < 256.
+  EXPECT_LT(LogRational::Log2(3), LogRational::Log2(2) * Rational(8, 5));
+  // And the near-miss the other way: log2(3) > 1.58 = 79/50.
+  EXPECT_GT(LogRational::Log2(3), LogRational::Log2(2) * Rational(79, 50));
+}
+
+TEST(LogRationalTest, FractionalCoefficients) {
+  // (2/3)·log2(27) = 2·log2(3).
+  EXPECT_EQ(LogRational::Log2(27) * Rational(2, 3),
+            LogRational::Log2(3) * Rational(2));
+  // (1/3)·log2(8) - 1 = 0.
+  LogRational v = LogRational::Log2(8) * Rational(1, 3) - LogRational::Log2(2);
+  EXPECT_EQ(v.Sign(), 0);
+}
+
+TEST(LogRationalTest, ToDoubleTracksExactValue) {
+  LogRational v = LogRational::Log2(10) - LogRational::Log2(5);
+  EXPECT_NEAR(v.ToDouble(), 1.0, 1e-12);
+  EXPECT_EQ(v, LogRational::Log2(2));
+}
+
+TEST(LogRationalTest, Printing) {
+  EXPECT_EQ(LogRational().ToString(), "0");
+  EXPECT_EQ(LogRational::Log2(3).ToString(), "log2(3)");
+  LogRational v = LogRational::Log2(3) - LogRational::Log2(2) * Rational(1, 2);
+  EXPECT_EQ(v.ToString(), "-1/2*log2(2) + log2(3)");
+}
+
+TEST(LogSetFunctionTest, UniformPairEntropy) {
+  // P = {(0,0),(1,1)}: h(X0) = h(X1) = h(X0X1) = 1 bit, exactly.
+  Relation p = Relation::FromTuples(2, {{0, 0}, {1, 1}});
+  LogSetFunction h(p);
+  EXPECT_EQ(h[VarSet::Of({0})], LogRational::Log2(2));
+  EXPECT_EQ(h[VarSet::Of({1})], LogRational::Log2(2));
+  EXPECT_EQ(h[VarSet::Full(2)], LogRational::Log2(2));
+}
+
+TEST(LogSetFunctionTest, NonUniformMarginalExact) {
+  // P = {(0,0),(0,1),(1,0)}: H(X0) = log2(3) - (2/3)·log2(2)... computed as
+  // log2(3) - (2/3)·1 = 1.585 - 0.667 ≈ 0.918 (the (2,1) marginal).
+  Relation p = Relation::FromTuples(2, {{0, 0}, {0, 1}, {1, 0}});
+  LogSetFunction h(p);
+  LogRational expected =
+      LogRational::Log2(3) - LogRational::Log2(2) * Rational(2, 3);
+  EXPECT_EQ(h[VarSet::Of({0})], expected);
+  EXPECT_EQ(h[VarSet::Full(2)], LogRational::Log2(3));
+}
+
+TEST(LogSetFunctionTest, EvaluateLinearExpr) {
+  // Submodularity evaluated exactly on a non-uniform relation.
+  Relation p = Relation::FromTuples(2, {{0, 0}, {0, 1}, {1, 0}});
+  LogSetFunction h(p);
+  LinearExpr submod(2);
+  submod.Add(VarSet::Of({0}), Rational(1));
+  submod.Add(VarSet::Of({1}), Rational(1));
+  submod.Add(VarSet::Full(2), Rational(-1));
+  EXPECT_GE(h.Evaluate(submod).Sign(), 0);
+  // I(X0;X1) > 0 strictly for this correlated relation.
+  EXPECT_EQ(h.Evaluate(submod).Sign(), 1);
+}
+
+TEST(LogSetFunctionTest, IndependenceDetectedExactly) {
+  // Product relation: I(X0;X1) = 0 exactly.
+  Relation p = Relation::ProductRelation({3, 5});
+  LogSetFunction h(p);
+  LinearExpr mi(2);
+  mi.Add(VarSet::Of({0}), Rational(1));
+  mi.Add(VarSet::Of({1}), Rational(1));
+  mi.Add(VarSet::Full(2), Rational(-1));
+  EXPECT_EQ(h.Evaluate(mi).Sign(), 0);
+}
+
+}  // namespace
+}  // namespace bagcq::entropy

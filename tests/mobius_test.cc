@@ -1,0 +1,145 @@
+#include "entropy/mobius.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "entropy/functions.h"
+
+namespace bagcq::entropy {
+namespace {
+
+using util::Rational;
+using util::VarSet;
+
+TEST(MobiusTest, RoundTrip) {
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<int64_t> dist(-10, 10);
+  for (int trial = 0; trial < 50; ++trial) {
+    SetFunction h(4);
+    for (uint32_t s = 0; s < 16; ++s) h[VarSet(s)] = Rational(dist(rng));
+    EXPECT_EQ(MobiusForward(MobiusInverse(h)), h);
+    EXPECT_EQ(MobiusInverse(MobiusForward(h)), h);
+  }
+}
+
+TEST(MobiusTest, StepFunctionInverse) {
+  // Per Appendix B: g_W(V) = 1, g_W(W) = -1, 0 elsewhere.
+  for (int n : {2, 3, 4}) {
+    ForEachSubset(VarSet::Full(n), [&](VarSet w) {
+      if (w == VarSet::Full(n)) return;
+      SetFunction g = MobiusInverse(StepFunction(n, w));
+      ForEachSubset(VarSet::Full(n), [&](VarSet x) {
+        Rational expected(0);
+        if (x == VarSet::Full(n)) expected = Rational(1);
+        if (x == w) expected += Rational(-1);  // += handles W almost-full edge
+        EXPECT_EQ(g[x], expected)
+            << "n=" << n << " W=" << w.ToString() << " X=" << x.ToString();
+      });
+    });
+  }
+}
+
+TEST(MobiusTest, ParityTableFromPaper) {
+  // Appendix B table:  W:   ∅  X  Y  Z  XY XZ YZ XYZ
+  //                    h:   0  1  1  1  2  2  2  2
+  //                    g:   1 -1 -1 -1  0  0  0  2
+  SetFunction h = ParityFunction();
+  SetFunction g = MobiusInverse(h);
+  EXPECT_EQ(g[VarSet()], Rational(1));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(h[VarSet::Singleton(i)], Rational(1));
+    EXPECT_EQ(g[VarSet::Singleton(i)], Rational(-1));
+  }
+  for (VarSet pair : {VarSet::Of({0, 1}), VarSet::Of({0, 2}), VarSet::Of({1, 2})}) {
+    EXPECT_EQ(h[pair], Rational(2));
+    EXPECT_EQ(g[pair], Rational(0));
+  }
+  EXPECT_EQ(h[VarSet::Full(3)], Rational(2));
+  EXPECT_EQ(g[VarSet::Full(3)], Rational(2));
+}
+
+TEST(MobiusTest, ParityIsNotNormal) {
+  // Corollary B.8.
+  EXPECT_FALSE(IsNormal(ParityFunction()));
+  EXPECT_FALSE(NormalDecomposition(ParityFunction()).has_value());
+}
+
+TEST(MobiusTest, StepAndModularAreNormal) {
+  EXPECT_TRUE(IsNormal(StepFunction(3, VarSet::Of({0, 2}))));
+  EXPECT_TRUE(IsNormal(ModularFunction({Rational(1), Rational(2)})));
+  EXPECT_TRUE(IsNormal(SetFunction(3)));  // zero function
+}
+
+TEST(MobiusTest, NormalDecompositionRoundTrips) {
+  std::map<VarSet, Rational> coeffs = {
+      {VarSet(), Rational(2)},
+      {VarSet::Of({0}), Rational(1, 2)},
+      {VarSet::Of({1, 2}), Rational(3)},
+  };
+  SetFunction h = NormalFunction(3, coeffs);
+  EXPECT_TRUE(IsNormal(h));
+  auto decomposed = NormalDecomposition(h);
+  ASSERT_TRUE(decomposed.has_value());
+  EXPECT_EQ(*decomposed, coeffs);
+}
+
+TEST(MobiusTest, ModularDecomposesIntoCoSingletonSteps) {
+  // The proof in Section 3.2: modular h = Σ_i h({i}) · h_{V-{i}}.
+  SetFunction h = ModularFunction({Rational(3), Rational(1, 3)});
+  auto decomposed = NormalDecomposition(h);
+  ASSERT_TRUE(decomposed.has_value());
+  std::map<VarSet, Rational> expected = {
+      {VarSet::Of({1}), Rational(3)},   // W = V-{0}
+      {VarSet::Of({0}), Rational(1, 3)},
+  };
+  EXPECT_EQ(*decomposed, expected);
+}
+
+TEST(MobiusTest, IMeasureMatchesNegatedMobius) {
+  SetFunction h = ParityFunction();
+  SetFunction g = MobiusInverse(h);
+  auto mu = IMeasure(h);
+  EXPECT_EQ(mu.size(), 7u);  // 2^3 - 1 atoms (W = V excluded)
+  for (const auto& [w, value] : mu) {
+    EXPECT_EQ(value, -g[w]);
+  }
+}
+
+TEST(MobiusTest, IMeasureNonNegativeIffNormal) {
+  auto nonneg = [](const SetFunction& h) {
+    for (const auto& [w, v] : IMeasure(h)) {
+      if (v.sign() < 0) return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(nonneg(NormalFunction(
+      3, {{VarSet::Of({1}), Rational(2)}, {VarSet(), Rational(1)}})));
+  EXPECT_FALSE(nonneg(ParityFunction()));
+}
+
+TEST(MobiusTest, IMeasureRecoversEntropyViaEq35) {
+  // h(X) = Σ_{atoms C ⊆ X̂} μ(C); an atom (with negative-set W) is contained
+  // in X̂ iff X ⊄ W.
+  SetFunction h = NormalFunction(
+      3, {{VarSet::Of({0}), Rational(1)}, {VarSet::Of({1, 2}), Rational(2)}});
+  auto mu = IMeasure(h);
+  ForEachSubset(VarSet::Full(3), [&](VarSet x) {
+    if (x.empty()) return;
+    Rational total;
+    for (const auto& [w, value] : mu) {
+      if (!x.IsSubsetOf(w)) total += value;
+    }
+    EXPECT_EQ(total, h[x]) << x.ToString();
+  });
+}
+
+TEST(MobiusTest, GF2RankFunctionsOftenNonNormal) {
+  // The parity function is a GF(2) rank function and is not normal; a
+  // direct sum of independent dimensions is normal.
+  EXPECT_FALSE(IsNormal(GF2RankFunction({0b01, 0b10, 0b11})));
+  EXPECT_TRUE(IsNormal(GF2RankFunction({0b001, 0b010, 0b100})));
+}
+
+}  // namespace
+}  // namespace bagcq::entropy

@@ -1,0 +1,134 @@
+#include "core/reduction_to_queries.h"
+
+#include <gtest/gtest.h>
+
+#include "core/containment_inequality.h"
+#include "core/decider.h"
+#include "cq/bag_semantics.h"
+#include "cq/homomorphism.h"
+#include "cq/yannakakis.h"
+#include "entropy/max_ii.h"
+
+namespace bagcq::core {
+namespace {
+
+using entropy::ConeKind;
+using entropy::LinearExpr;
+using entropy::MaxIIOracle;
+using util::Rational;
+using util::VarSet;
+
+LinearExpr Subadditivity2() {
+  LinearExpr e(2);
+  e.Add(VarSet::Of({0}), Rational(1));
+  e.Add(VarSet::Of({1}), Rational(1));
+  e.Add(VarSet::Full(2), Rational(-1));
+  return e;
+}
+
+LinearExpr NotValid2() {
+  LinearExpr e(2);
+  e.Add(VarSet::Of({0}), Rational(1));
+  e.Add(VarSet::Of({1}), Rational(-1));
+  return e;
+}
+
+TEST(ReductionTest, Q2IsAcyclicWithExpectedShape) {
+  auto uniform = Uniformize({Subadditivity2()}).ValueOrDie();
+  auto reduction = UniformMaxIIToQueries(uniform).ValueOrDie();
+  const auto& q2 = reduction.q2;
+  EXPECT_TRUE(cq::IsAcyclic(q2)) << q2.ToString();
+  // n S-atoms plus p+1 R-atoms.
+  EXPECT_EQ(q2.num_atoms(), reduction.n + reduction.p + 1);
+  // Q1 uses q adornments of (V ∪ {U1,U2}).
+  EXPECT_EQ(reduction.q1.num_vars(), reduction.q * (2 + 2));
+}
+
+TEST(ReductionTest, HomomorphismCountMatchesAdornmentStructure) {
+  // |hom(Q2, Q1)| = q^n · q · k: q choices per S pair, and the chain maps
+  // rigidly into one (branch, adornment) block.
+  for (const auto& branches :
+       std::vector<std::vector<LinearExpr>>{{Subadditivity2()},
+                                            {NotValid2()},
+                                            {Subadditivity2(), NotValid2()}}) {
+    auto uniform = Uniformize(branches).ValueOrDie();
+    auto reduction = UniformMaxIIToQueries(uniform).ValueOrDie();
+    auto homs = cq::QueryHomomorphisms(reduction.q2, reduction.q1);
+    int64_t expected = reduction.q * reduction.k;
+    for (int t = 0; t < reduction.n; ++t) expected *= reduction.q;
+    EXPECT_EQ(static_cast<int64_t>(homs.size()), expected)
+        << "k=" << reduction.k;
+  }
+}
+
+TEST(ReductionTest, EndToEndValidityEquivalence) {
+  // The full Theorem 5.1 pipeline, checked over the normal cone (closed
+  // under every construction in the proof): the original Max-II is valid
+  // iff Eq. (8) for the constructed queries is valid.
+  struct Case {
+    std::vector<LinearExpr> branches;
+    bool expect_valid;
+  };
+  std::vector<Case> cases = {
+      {{Subadditivity2()}, true},
+      {{NotValid2()}, false},
+  };
+  for (const auto& test_case : cases) {
+    ASSERT_EQ(MaxIIOracle(2, ConeKind::kNormal).Check(test_case.branches).valid,
+              test_case.expect_valid);
+    auto uniform = Uniformize(test_case.branches).ValueOrDie();
+    auto reduction = UniformMaxIIToQueries(uniform).ValueOrDie();
+    auto inequality =
+        BuildContainmentInequality(reduction.q1, reduction.q2).ValueOrDie();
+    bool eq8_valid = MaxIIOracle(reduction.q1.num_vars(), ConeKind::kNormal)
+                         .Check(inequality.branches)
+                         .valid;
+    EXPECT_EQ(eq8_valid, test_case.expect_valid);
+  }
+}
+
+TEST(ReductionTest, InvalidIIYieldsRefutableContainment) {
+  // For the invalid inequality h(A) - h(B) ≥ 0, the reduction's Q1 ⪯ Q2
+  // must be refutable: the decider (Q2 is acyclic, so Theorem 4.4 necessity
+  // applies to the normal counterexample) produces a verified witness.
+  auto uniform = Uniformize({NotValid2()}).ValueOrDie();
+  auto reduction = UniformMaxIIToQueries(uniform).ValueOrDie();
+  Decision d =
+      DecideBagContainment(reduction.q1, reduction.q2).ValueOrDie();
+  EXPECT_EQ(d.verdict, Verdict::kNotContained) << d.ToString();
+  ASSERT_TRUE(d.witness.has_value());
+  EXPECT_TRUE(d.witness->counts_verified ||
+              d.witness->symbolic_certificate_holds);
+  if (d.witness->counts_verified) {
+    EXPECT_FALSE(cq::BagLeqOn(reduction.q1, reduction.q2,
+                              d.witness->database));
+  }
+}
+
+TEST(ReductionTest, SharedVocabularyAndBooleanOutputs) {
+  auto uniform = Uniformize({Subadditivity2()}).ValueOrDie();
+  auto reduction = UniformMaxIIToQueries(uniform).ValueOrDie();
+  EXPECT_TRUE(reduction.q1.vocab() == reduction.q2.vocab());
+  EXPECT_TRUE(reduction.q1.IsBoolean());
+  EXPECT_TRUE(reduction.q2.IsBoolean());
+  EXPECT_TRUE(reduction.q1.AllVarsUsed());
+  EXPECT_TRUE(reduction.q2.AllVarsUsed());
+}
+
+TEST(ReductionTest, RejectsOversizedInstances) {
+  // Many branches with large chains overflow the variable budget; the
+  // reduction reports ResourceExhausted instead of aborting.
+  LinearExpr big(5);
+  for (uint32_t s = 1; s < 32; ++s) big.Add(VarSet(s), Rational((s % 3) - 1));
+  auto uniform = Uniformize({big, -big, big - big + big});
+  if (uniform.ok()) {
+    auto reduction = UniformMaxIIToQueries(*uniform);
+    if (!reduction.ok()) {
+      EXPECT_EQ(reduction.status().code(),
+                util::StatusCode::kResourceExhausted);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bagcq::core

@@ -1,0 +1,119 @@
+#include "entropy/searcher.h"
+
+#include <gtest/gtest.h>
+
+#include "entropy/known_inequalities.h"
+#include "entropy/log_rational.h"
+
+namespace bagcq::entropy {
+namespace {
+
+using util::Rational;
+using util::VarSet;
+
+TEST(SearcherTest, FindsTrivialCounterexample) {
+  // h(X1) - h(X0) ≥ 0 is violated by any relation where column 0 varies and
+  // column 1 is constant.
+  LinearExpr e = LinearExpr::H(2, VarSet::Of({1})) -
+                 LinearExpr::H(2, VarSet::Of({0}));
+  SearchOutcome out = SearchForEntropicCounterexample({e});
+  ASSERT_TRUE(out.counterexample.has_value());
+  LogSetFunction h(*out.counterexample);
+  EXPECT_EQ(h.Evaluate(e).Sign(), -1);
+  EXPECT_EQ(out.max_value.Sign(), -1);
+}
+
+TEST(SearcherTest, ExhaustsBoundsOnValidInequality) {
+  // Submodularity is entropically valid; the search must come up empty and
+  // report exhaustion of the bounded space.
+  LinearExpr e(2);
+  e.Add(VarSet::Of({0}), Rational(1));
+  e.Add(VarSet::Of({1}), Rational(1));
+  e.Add(VarSet::Full(2), Rational(-1));
+  SearchOptions options;
+  options.max_tuples = 3;
+  SearchOutcome out = SearchForEntropicCounterexample({e}, options);
+  EXPECT_FALSE(out.counterexample.has_value());
+  EXPECT_TRUE(out.exhausted_bounds);
+  EXPECT_GT(out.examined, 0);
+}
+
+TEST(SearcherTest, MaxSemanticsRequireAllBranchesNegative) {
+  // max(h(X0)-h(X1), h(X1)-h(X0)) ≥ 0 is valid (one of them is always ≥ 0);
+  // no relation can violate both branches.
+  LinearExpr a = LinearExpr::H(2, VarSet::Of({0})) -
+                 LinearExpr::H(2, VarSet::Of({1}));
+  SearchOptions options;
+  options.max_tuples = 3;
+  SearchOutcome out = SearchForEntropicCounterexample({a, -a}, options);
+  EXPECT_FALSE(out.counterexample.has_value());
+}
+
+TEST(SearcherTest, ZhangYeungHasNoSmallEntropicCounterexample) {
+  // ZY is valid for all entropic functions; in particular no relation with
+  // ≤ 4 tuples violates it. (This is the co-r.e. check of Lemma B.9 coming
+  // back empty, as it must.)
+  SearchOptions options;
+  options.max_tuples = 4;
+  options.max_domain = 2;
+  options.budget = 60'000;
+  SearchOutcome out =
+      SearchForEntropicCounterexample({ZhangYeungExpr()}, options);
+  EXPECT_FALSE(out.counterexample.has_value());
+  EXPECT_TRUE(out.exhausted_bounds);
+}
+
+TEST(SearcherTest, FindsExample35StyleViolation) {
+  // The containment inequality of Example 3.5 (after the homomorphism
+  // substitution): h(V) ≤ max over the two homomorphisms of
+  // 3h(x1x2) - h(x1) - h(x2)   and   3h(x1'x2') - h(x1') - h(x2').
+  // The paper's witness P = {(u,u,v,v)} violates it; the bounded searcher
+  // finds a violating relation on its own.
+  const int n = 4;
+  auto branch = [&](int a, int b) {
+    LinearExpr e(n);
+    e.Add(VarSet::Of({a, b}), Rational(3));
+    e.Add(VarSet::Of({a}), Rational(-1));
+    e.Add(VarSet::Of({b}), Rational(-1));
+    e.Add(VarSet::Full(n), Rational(-1));
+    return e;
+  };
+  SearchOptions options;
+  options.max_tuples = 4;
+  options.max_domain = 2;
+  SearchOutcome out =
+      SearchForEntropicCounterexample({branch(0, 1), branch(2, 3)}, options);
+  ASSERT_TRUE(out.counterexample.has_value());
+  EXPECT_EQ(out.max_value.Sign(), -1);
+  // The found relation is a genuine entropic violation; check exactly.
+  LogSetFunction h(*out.counterexample);
+  EXPECT_EQ(h.Evaluate(branch(0, 1)).Sign(), -1);
+  EXPECT_EQ(h.Evaluate(branch(2, 3)).Sign(), -1);
+}
+
+TEST(SearcherTest, BudgetIsRespected) {
+  LinearExpr e(3);
+  e.Add(VarSet::Full(3), Rational(1));  // h(V) ≥ 0, valid: searches all
+  SearchOptions options;
+  options.max_tuples = 4;
+  options.budget = 50;
+  SearchOutcome out = SearchForEntropicCounterexample({e}, options);
+  EXPECT_FALSE(out.exhausted_bounds);
+  EXPECT_LE(out.examined, 51);
+}
+
+TEST(SearcherTest, ExactModeMatchesPrefilteredMode) {
+  LinearExpr e = LinearExpr::H(2, VarSet::Of({1})) -
+                 LinearExpr::H(2, VarSet::Of({0}));
+  SearchOptions filtered;
+  SearchOptions exact;
+  exact.double_prefilter = false;
+  auto a = SearchForEntropicCounterexample({e}, filtered);
+  auto b = SearchForEntropicCounterexample({e}, exact);
+  ASSERT_TRUE(a.counterexample.has_value());
+  ASSERT_TRUE(b.counterexample.has_value());
+  EXPECT_EQ(a.counterexample->tuples(), b.counterexample->tuples());
+}
+
+}  // namespace
+}  // namespace bagcq::entropy

@@ -1,0 +1,118 @@
+#include "entropy/set_function.h"
+
+#include <gtest/gtest.h>
+
+#include "entropy/functions.h"
+
+namespace bagcq::entropy {
+namespace {
+
+using util::Rational;
+using util::VarSet;
+
+TEST(SetFunctionTest, ZeroByDefault) {
+  SetFunction h(3);
+  EXPECT_EQ(h.num_vars(), 3);
+  EXPECT_EQ(h[VarSet::Full(3)], Rational(0));
+  EXPECT_TRUE(h.IsPolymatroid());
+  EXPECT_TRUE(h.IsModular());
+}
+
+TEST(SetFunctionTest, ConditionalAndMutualInfo) {
+  // Parity: h(X|Y) = 1 and I(X;Y) = 0 for distinct singletons.
+  SetFunction h = ParityFunction();
+  VarSet x = VarSet::Singleton(0), y = VarSet::Singleton(1),
+         z = VarSet::Singleton(2);
+  EXPECT_EQ(h.Conditional(x, y), Rational(1));
+  EXPECT_EQ(h.MutualInfo(x, y), Rational(0));
+  // Given the third variable, the first two determine each other:
+  // I(X;Y|Z) = h(XZ)+h(YZ)-h(Z)-h(XYZ) = 2+2-1-2 = 1.
+  EXPECT_EQ(h.MutualInfo(x, y, z), Rational(1));
+  EXPECT_EQ(h.Conditional(x, y.Union(z)), Rational(0));
+}
+
+TEST(SetFunctionTest, ParityIsPolymatroidNotModular) {
+  SetFunction h = ParityFunction();
+  EXPECT_TRUE(h.IsPolymatroid());
+  EXPECT_TRUE(h.IsGrounded());
+  EXPECT_TRUE(h.IsMonotone());
+  EXPECT_TRUE(h.IsSubmodular());
+  EXPECT_FALSE(h.IsModular());
+}
+
+TEST(SetFunctionTest, ModularPredicate) {
+  SetFunction m = ModularFunction({Rational(1), Rational(2), Rational(1, 2)});
+  EXPECT_TRUE(m.IsModular());
+  EXPECT_TRUE(m.IsPolymatroid());
+  EXPECT_EQ(m[VarSet::Full(3)], Rational(7, 2));
+  // Negative mass breaks the polymatroid property.
+  SetFunction bad = ModularFunction({Rational(-1), Rational(2)});
+  EXPECT_FALSE(bad.IsModular());
+  EXPECT_FALSE(bad.IsPolymatroid());
+}
+
+TEST(SetFunctionTest, MonotoneButNotSubmodular) {
+  // h(∅)=0, h(1)=h(2)=1, h(12)=3: monotone, violates submodularity.
+  SetFunction h(2);
+  h[VarSet::Of({0})] = Rational(1);
+  h[VarSet::Of({1})] = Rational(1);
+  h[VarSet::Full(2)] = Rational(3);
+  EXPECT_TRUE(h.IsMonotone());
+  EXPECT_FALSE(h.IsSubmodular());
+  EXPECT_FALSE(h.IsPolymatroid());
+}
+
+TEST(SetFunctionTest, SubmodularButNotMonotone) {
+  // h(1) = 2, h(12) = 1: submodular fails? Use h(∅)=0,h(1)=2,h(2)=2,h(12)=1:
+  // I(1;2) = 2+2-0-1 = 3 ≥ 0, but h(12) < h(1) breaks monotonicity.
+  SetFunction h(2);
+  h[VarSet::Of({0})] = Rational(2);
+  h[VarSet::Of({1})] = Rational(2);
+  h[VarSet::Full(2)] = Rational(1);
+  EXPECT_TRUE(h.IsSubmodular());
+  EXPECT_FALSE(h.IsMonotone());
+}
+
+TEST(SetFunctionTest, GroundednessChecked) {
+  SetFunction h(2);
+  h[VarSet()] = Rational(1);
+  EXPECT_FALSE(h.IsGrounded());
+  EXPECT_FALSE(h.IsPolymatroid());
+}
+
+TEST(SetFunctionTest, Arithmetic) {
+  SetFunction a = StepFunction(2, VarSet());
+  SetFunction b = StepFunction(2, VarSet::Of({0}));
+  SetFunction sum = a + b;
+  EXPECT_EQ(sum[VarSet::Of({0})], Rational(1));   // a:1 b:0
+  EXPECT_EQ(sum[VarSet::Of({1})], Rational(2));   // a:1 b:1
+  EXPECT_EQ(sum[VarSet::Full(2)], Rational(2));
+  SetFunction diff = sum - b;
+  EXPECT_EQ(diff, a);
+  SetFunction scaled = a * Rational(3, 2);
+  EXPECT_EQ(scaled[VarSet::Of({1})], Rational(3, 2));
+}
+
+TEST(SetFunctionTest, DominatedBy) {
+  SetFunction small = StepFunction(2, VarSet::Of({0}));
+  SetFunction big = StepFunction(2, VarSet()) * Rational(2);
+  EXPECT_TRUE(small.DominatedBy(big));
+  EXPECT_FALSE(big.DominatedBy(small));
+  EXPECT_TRUE(small.DominatedBy(small));
+}
+
+TEST(SetFunctionTest, SumOfPolymatroidsIsPolymatroid) {
+  SetFunction h = ParityFunction() + StepFunction(3, VarSet::Of({1}));
+  EXPECT_TRUE(h.IsPolymatroid());
+}
+
+TEST(SetFunctionTest, Printing) {
+  SetFunction h = StepFunction(2, VarSet::Of({0}));
+  std::string s = h.ToString({"A", "B"});
+  EXPECT_NE(s.find("h{B} = 1"), std::string::npos);
+  EXPECT_NE(s.find("h{A} = 0"), std::string::npos);
+  EXPECT_NE(s.find("h{A,B} = 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bagcq::entropy

@@ -1,0 +1,292 @@
+#include "lp/simplex.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "lp/lp_problem.h"
+#include "util/rational.h"
+
+namespace bagcq::lp {
+namespace {
+
+using util::Rational;
+
+using RationalSolver = SimplexSolver<util::Rational>;
+using DoubleSolver = SimplexSolver<double>;
+
+Rational R(int64_t n, int64_t d = 1) { return Rational(n, d); }
+
+TEST(SimplexTest, SimpleMaximization) {
+  // max 3x + 5y  s.t.  x <= 4,  2y <= 12,  3x + 2y <= 18  (classic Dantzig).
+  LpProblem lp;
+  lp.AddVariable("x");
+  lp.AddVariable("y");
+  lp.AddConstraint({R(1), R(0)}, Sense::kLessEqual, R(4));
+  lp.AddConstraint({R(0), R(2)}, Sense::kLessEqual, R(12));
+  lp.AddConstraint({R(3), R(2)}, Sense::kLessEqual, R(18));
+  lp.SetObjective(Objective::kMaximize, {R(3), R(5)});
+
+  auto sol = RationalSolver().Solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_EQ(sol.objective, R(36));
+  EXPECT_EQ(sol.values[0], R(2));
+  EXPECT_EQ(sol.values[1], R(6));
+  EXPECT_TRUE(VerifyDuals(lp, sol));
+}
+
+TEST(SimplexTest, SimpleMinimizationWithGreaterEqual) {
+  // min 2x + 3y  s.t.  x + y >= 4,  x + 3y >= 6,  x,y >= 0.
+  LpProblem lp;
+  lp.AddVariable("x");
+  lp.AddVariable("y");
+  lp.AddConstraint({R(1), R(1)}, Sense::kGreaterEqual, R(4));
+  lp.AddConstraint({R(1), R(3)}, Sense::kGreaterEqual, R(6));
+  lp.SetObjective(Objective::kMinimize, {R(2), R(3)});
+
+  auto sol = RationalSolver().Solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_EQ(sol.objective, R(9));  // x=3, y=1
+  EXPECT_EQ(sol.values[0], R(3));
+  EXPECT_EQ(sol.values[1], R(1));
+  EXPECT_TRUE(VerifyDuals(lp, sol));
+}
+
+TEST(SimplexTest, EqualityConstraints) {
+  // min x + y  s.t.  x + 2y = 3,  x - y = 0.
+  LpProblem lp;
+  lp.AddVariable("x");
+  lp.AddVariable("y");
+  lp.AddConstraint({R(1), R(2)}, Sense::kEqual, R(3));
+  lp.AddConstraint({R(1), R(-1)}, Sense::kEqual, R(0));
+  lp.SetObjective(Objective::kMinimize, {R(1), R(1)});
+
+  auto sol = RationalSolver().Solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_EQ(sol.values[0], R(1));
+  EXPECT_EQ(sol.values[1], R(1));
+  EXPECT_EQ(sol.objective, R(2));
+  EXPECT_TRUE(VerifyDuals(lp, sol));
+}
+
+TEST(SimplexTest, FreeVariables) {
+  // min x + y with free x: x + y = -5, y >= 0 forces x = -5 at y = 0.
+  LpProblem lp;
+  lp.AddFreeVariable("x");
+  lp.AddVariable("y");
+  lp.AddConstraint({R(1), R(1)}, Sense::kEqual, R(-5));
+  lp.SetObjective(Objective::kMinimize, {R(1), R(1)});
+
+  auto sol = RationalSolver().Solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_EQ(sol.objective, R(-5));
+  EXPECT_TRUE(VerifyDuals(lp, sol));
+}
+
+TEST(SimplexTest, NegativeRhsNormalization) {
+  // min x  s.t.  -x <= -3  (i.e. x >= 3).
+  LpProblem lp;
+  lp.AddVariable("x");
+  lp.AddConstraint({R(-1)}, Sense::kLessEqual, R(-3));
+  lp.SetObjective(Objective::kMinimize, {R(1)});
+
+  auto sol = RationalSolver().Solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_EQ(sol.objective, R(3));
+  EXPECT_TRUE(VerifyDuals(lp, sol));
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  LpProblem lp;
+  lp.AddVariable("x");
+  lp.AddVariable("y");
+  lp.AddConstraint({R(1), R(-1)}, Sense::kLessEqual, R(1));
+  lp.SetObjective(Objective::kMaximize, {R(1), R(1)});
+  auto sol = RationalSolver().Solve(lp);
+  EXPECT_EQ(sol.status, SolveStatus::kUnbounded);
+}
+
+TEST(SimplexTest, InfeasibleWithFarkasCertificate) {
+  // x + y <= 1 and x + y >= 3 cannot both hold.
+  LpProblem lp;
+  lp.AddVariable("x");
+  lp.AddVariable("y");
+  lp.AddConstraint({R(1), R(1)}, Sense::kLessEqual, R(1));
+  lp.AddConstraint({R(1), R(1)}, Sense::kGreaterEqual, R(3));
+  lp.SetObjective(Objective::kMinimize, {R(1), R(0)});
+
+  auto sol = RationalSolver().Solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kInfeasible);
+  EXPECT_TRUE(VerifyFarkas(lp, sol.farkas));
+}
+
+TEST(SimplexTest, InfeasibleEqualitySystem) {
+  // x = 1, x = 2.
+  LpProblem lp;
+  lp.AddVariable("x");
+  lp.AddConstraint({R(1)}, Sense::kEqual, R(1));
+  lp.AddConstraint({R(1)}, Sense::kEqual, R(2));
+  lp.SetObjective(Objective::kMinimize, {R(0)});
+  auto sol = RationalSolver().Solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kInfeasible);
+  EXPECT_TRUE(VerifyFarkas(lp, sol.farkas));
+}
+
+TEST(SimplexTest, InfeasibleByNonnegativity) {
+  // x + y = -1 with x, y >= 0.
+  LpProblem lp;
+  lp.AddVariable("x");
+  lp.AddVariable("y");
+  lp.AddConstraint({R(1), R(1)}, Sense::kEqual, R(-1));
+  lp.SetObjective(Objective::kMinimize, {R(0), R(0)});
+  auto sol = RationalSolver().Solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kInfeasible);
+  EXPECT_TRUE(VerifyFarkas(lp, sol.farkas));
+}
+
+TEST(SimplexTest, DegenerateBealeCycleGuard) {
+  // Beale's classic cycling example; Bland's rule must terminate.
+  LpProblem lp;
+  for (int j = 0; j < 4; ++j) lp.AddVariable();
+  lp.AddConstraint({R(1, 4), R(-8), R(-1), R(9)}, Sense::kLessEqual, R(0));
+  lp.AddConstraint({R(1, 2), R(-12), R(-1, 2), R(3)}, Sense::kLessEqual, R(0));
+  lp.AddConstraint({R(0), R(0), R(1), R(0)}, Sense::kLessEqual, R(1));
+  lp.SetObjective(Objective::kMinimize,
+                  {R(-3, 4), R(20), R(-1, 2), R(6)});
+
+  auto sol = RationalSolver().Solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_EQ(sol.objective, R(-5, 4));
+  EXPECT_TRUE(VerifyDuals(lp, sol));
+}
+
+TEST(SimplexTest, RedundantConstraintsHandled) {
+  // Duplicate equality rows exercise the parked-artificial path.
+  LpProblem lp;
+  lp.AddVariable("x");
+  lp.AddVariable("y");
+  lp.AddConstraint({R(1), R(1)}, Sense::kEqual, R(2));
+  lp.AddConstraint({R(1), R(1)}, Sense::kEqual, R(2));
+  lp.AddConstraint({R(2), R(2)}, Sense::kEqual, R(4));
+  lp.SetObjective(Objective::kMinimize, {R(1), R(2)});
+  auto sol = RationalSolver().Solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_EQ(sol.objective, R(2));  // x=2, y=0
+  EXPECT_TRUE(VerifyDuals(lp, sol));
+}
+
+TEST(SimplexTest, ZeroConstraintProblem) {
+  LpProblem lp;
+  lp.AddVariable("x");
+  lp.SetObjective(Objective::kMinimize, {R(1)});
+  auto sol = RationalSolver().Solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_EQ(sol.objective, R(0));
+
+  lp.SetObjective(Objective::kMaximize, {R(1)});
+  auto sol2 = RationalSolver().Solve(lp);
+  EXPECT_EQ(sol2.status, SolveStatus::kUnbounded);
+}
+
+TEST(SimplexTest, DualValuesMatchShadowPrices) {
+  // max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6. Known duals 3/4, 1/2.
+  LpProblem lp;
+  lp.AddVariable("x");
+  lp.AddVariable("y");
+  lp.AddConstraint({R(6), R(4)}, Sense::kLessEqual, R(24));
+  lp.AddConstraint({R(1), R(2)}, Sense::kLessEqual, R(6));
+  lp.SetObjective(Objective::kMaximize, {R(5), R(4)});
+  auto sol = RationalSolver().Solve(lp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_EQ(sol.objective, R(21));
+  ASSERT_EQ(sol.duals.size(), 2u);
+  EXPECT_EQ(sol.duals[0], R(3, 4));
+  EXPECT_EQ(sol.duals[1], R(1, 2));
+  EXPECT_TRUE(VerifyDuals(lp, sol));
+}
+
+TEST(SimplexTest, DantzigRuleAgreesWithBland) {
+  LpProblem lp;
+  lp.AddVariable("x");
+  lp.AddVariable("y");
+  lp.AddVariable("z");
+  lp.AddConstraint({R(2), R(1), R(1)}, Sense::kLessEqual, R(14));
+  lp.AddConstraint({R(4), R(2), R(3)}, Sense::kLessEqual, R(28));
+  lp.AddConstraint({R(2), R(5), R(5)}, Sense::kLessEqual, R(30));
+  lp.SetObjective(Objective::kMaximize, {R(1), R(2), R(-1)});
+
+  auto bland = RationalSolver(SolverOptions{PivotRule::kBland, 100000}).Solve(lp);
+  auto dantzig =
+      RationalSolver(SolverOptions{PivotRule::kDantzig, 100000}).Solve(lp);
+  ASSERT_EQ(bland.status, SolveStatus::kOptimal);
+  ASSERT_EQ(dantzig.status, SolveStatus::kOptimal);
+  EXPECT_EQ(bland.objective, dantzig.objective);
+  EXPECT_TRUE(VerifyDuals(lp, bland));
+  EXPECT_TRUE(VerifyDuals(lp, dantzig));
+}
+
+TEST(SimplexTest, DoubleSolverTracksExactSolver) {
+  LpProblem lp;
+  lp.AddVariable("x");
+  lp.AddVariable("y");
+  lp.AddConstraint({R(3), R(2)}, Sense::kLessEqual, R(12));
+  lp.AddConstraint({R(1), R(2)}, Sense::kGreaterEqual, R(2));
+  lp.SetObjective(Objective::kMaximize, {R(2), R(3)});
+
+  auto exact = RationalSolver().Solve(lp);
+  auto approx = DoubleSolver().Solve(lp);
+  ASSERT_EQ(exact.status, SolveStatus::kOptimal);
+  ASSERT_EQ(approx.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(approx.objective, exact.objective.ToDouble(), 1e-6);
+}
+
+// Property sweep: random small LPs; exact solver results must satisfy the
+// certificate checks, and the double solver must agree on status and value.
+class RandomLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLpTest, CertificatesAlwaysVerify) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> coeff(-5, 5);
+  std::uniform_int_distribution<int> nvars(1, 5);
+  std::uniform_int_distribution<int> nrows(1, 6);
+  std::uniform_int_distribution<int> sense_pick(0, 2);
+
+  LpProblem lp;
+  int n = nvars(rng);
+  for (int j = 0; j < n; ++j) lp.AddVariable();
+  int m = nrows(rng);
+  for (int i = 0; i < m; ++i) {
+    std::vector<Rational> row;
+    for (int j = 0; j < n; ++j) row.push_back(R(coeff(rng)));
+    Sense sense = static_cast<Sense>(sense_pick(rng));
+    lp.AddConstraint(std::move(row), sense, R(coeff(rng)));
+  }
+  std::vector<Rational> obj;
+  for (int j = 0; j < n; ++j) obj.push_back(R(coeff(rng)));
+  lp.SetObjective(GetParam() % 2 ? Objective::kMaximize : Objective::kMinimize,
+                  std::move(obj));
+
+  auto sol = RationalSolver().Solve(lp);
+  switch (sol.status) {
+    case SolveStatus::kOptimal:
+      EXPECT_TRUE(VerifyDuals(lp, sol)) << lp.ToString();
+      break;
+    case SolveStatus::kInfeasible:
+      EXPECT_TRUE(VerifyFarkas(lp, sol.farkas)) << lp.ToString();
+      break;
+    case SolveStatus::kUnbounded:
+      break;  // nothing to verify
+  }
+
+  // Status must agree with the double solver on these benign instances.
+  auto approx = DoubleSolver().Solve(lp);
+  EXPECT_EQ(approx.status, sol.status) << lp.ToString();
+  if (sol.status == SolveStatus::kOptimal) {
+    EXPECT_NEAR(approx.objective, sol.objective.ToDouble(), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpTest, ::testing::Range(1, 60));
+
+}  // namespace
+}  // namespace bagcq::lp

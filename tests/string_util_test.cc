@@ -1,0 +1,49 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace bagcq::util {
+namespace {
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_FALSE(StartsWith("hello", "hello!"));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(StringUtilTest, IsIdentifier) {
+  EXPECT_TRUE(IsIdentifier("x"));
+  EXPECT_TRUE(IsIdentifier("X1"));
+  EXPECT_TRUE(IsIdentifier("_tmp"));
+  EXPECT_TRUE(IsIdentifier("x'"));  // primed variables as in the paper
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("1x"));
+  EXPECT_FALSE(IsIdentifier("a b"));
+  EXPECT_FALSE(IsIdentifier("'x"));
+}
+
+}  // namespace
+}  // namespace bagcq::util

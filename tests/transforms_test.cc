@@ -1,0 +1,174 @@
+#include "cq/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/bag_semantics.h"
+#include "cq/homomorphism.h"
+#include "cq/parser.h"
+#include "cq/yannakakis.h"
+#include "graph/chordal.h"
+#include "graph/junction_tree.h"
+
+namespace bagcq::cq {
+namespace {
+
+ConjunctiveQuery Parse(const std::string& text) {
+  return ParseQuery(text).ValueOrDie();
+}
+
+TEST(MakeBooleanTest, LemmaA1Shape) {
+  // Example A.2's reduction: head vars x, z become unary guards.
+  ConjunctiveQuery q1 = Parse("Q(x,z) :- P(x), S(u,x), S(v,z), R(z).");
+  auto q2 = ParseQueryWithVocabulary("Q(x,z) :- P(x), S(u,y), S(v,y), R(z).",
+                                     q1.vocab());
+  auto [b1, b2] = MakeBooleanPair(q1, *q2);
+  EXPECT_TRUE(b1.IsBoolean());
+  EXPECT_TRUE(b2.IsBoolean());
+  EXPECT_EQ(b1.num_atoms(), q1.num_atoms() + 2);
+  EXPECT_EQ(b2.num_atoms(), q2->num_atoms() + 2);
+  EXPECT_TRUE(b1.vocab() == b2.vocab());
+  EXPECT_GE(b1.vocab().Find("Head0"), 0);
+  EXPECT_GE(b1.vocab().Find("Head1"), 0);
+}
+
+TEST(MakeBooleanTest, PreservesAcyclicityAndChordality) {
+  ConjunctiveQuery q1 = Parse("Q(x) :- R(x,y), S(y,z).");
+  auto q2 = ParseQueryWithVocabulary("Q(w) :- R(w,y), S(y,y).", q1.vocab());
+  ASSERT_TRUE(IsAcyclic(q1));
+  auto [b1, b2] = MakeBooleanPair(q1, *q2);
+  EXPECT_TRUE(IsAcyclic(b1));
+  EXPECT_TRUE(IsAcyclic(b2));
+  EXPECT_TRUE(graph::IsChordal(b1.GaifmanGraph()));
+}
+
+TEST(MakeBooleanTest, ContainmentTransfersOnInstances) {
+  // Lemma A.1 ⇒ direction, spot-checked: pick a database for the Boolean
+  // pair, decode it for the original pair.
+  ConjunctiveQuery q1 = Parse("Q(x) :- R(x,y), R(x,z).");
+  auto q2 = ParseQueryWithVocabulary("Q(x) :- R(x,y).", q1.vocab());
+  auto [b1, b2] = MakeBooleanPair(q1, *q2);
+  // Brute-force counterexample for the original pair translates: Q1 ⋠ Q2.
+  auto witness = SearchBagCounterexample(q1, *q2);
+  ASSERT_TRUE(witness.has_value());
+  // Build the Boolean-side database: original relations plus Head0 = active
+  // domain restricted to the violating head value.
+  auto a1 = BagSetEvaluate(q1, *witness);
+  auto a2 = BagSetEvaluate(*q2, *witness);
+  std::vector<int> bad_head;
+  for (const auto& [key, count] : a1) {
+    auto it = a2.find(key);
+    if (it == a2.end() || it->second < count) {
+      bad_head = key;
+      break;
+    }
+  }
+  ASSERT_EQ(bad_head.size(), 1u);
+  Structure boolean_db(b1.vocab());
+  int r = witness->vocab().Find("R");
+  for (const auto& t : witness->tuples(r)) {
+    boolean_db.AddTuple(b1.vocab().Find("R"), t);
+  }
+  boolean_db.AddTuple(b1.vocab().Find("Head0"), {bad_head[0]});
+  EXPECT_GT(CountHomomorphisms(b1, boolean_db),
+            CountHomomorphisms(b2, boolean_db));
+}
+
+TEST(BagBagTest, AddsTupleIdAttribute) {
+  ConjunctiveQuery q = Parse("R(x,y), R(y,z), S(x)");
+  ConjunctiveQuery out = BagBagToBagSet(q);
+  EXPECT_EQ(out.vocab().arity(out.vocab().Find("R")), 3);
+  EXPECT_EQ(out.vocab().arity(out.vocab().Find("S")), 2);
+  EXPECT_EQ(out.num_vars(), q.num_vars() + q.num_atoms());
+  // Each atom got a distinct fresh variable in the last position.
+  std::set<int> fresh;
+  for (const Atom& a : out.atoms()) fresh.insert(a.vars.back());
+  EXPECT_EQ(fresh.size(), static_cast<size_t>(out.num_atoms()));
+}
+
+TEST(ProjectionClosureTest, FactA3Shape) {
+  ConjunctiveQuery q = Parse("R(x,y,z)");
+  ConjunctiveQuery closed = ProjectionClosure(q);
+  // 2^3 - 2 = 6 proper nonempty subsets.
+  EXPECT_EQ(closed.num_atoms(), 1 + 6);
+  EXPECT_GE(closed.vocab().Find("R@0"), 0);
+  EXPECT_GE(closed.vocab().Find("R@02"), 0);
+  EXPECT_EQ(closed.vocab().arity(closed.vocab().Find("R@02")), 2);
+  // Idempotent on closure symbols.
+  ConjunctiveQuery twice = ProjectionClosure(closed);
+  EXPECT_EQ(twice.num_atoms(), closed.num_atoms());
+}
+
+TEST(ProjectionClosureTest, PreservesGaifmanGraphAndHoms) {
+  ConjunctiveQuery q1 = Parse("R(x,y), R(y,z), R(z,x)");
+  auto q2 = ParseQueryWithVocabulary("R(a,b), R(b,c)", q1.vocab());
+  ConjunctiveQuery c1 = ProjectionClosure(q1);
+  ConjunctiveQuery c2 = ProjectionClosure(*q2);
+  EXPECT_EQ(c1.GaifmanGraph(), q1.GaifmanGraph());
+  // Homomorphism sets are unchanged by the closure.
+  EXPECT_EQ(QueryHomomorphisms(c2, c1).size(),
+            QueryHomomorphisms(*q2, q1).size());
+}
+
+TEST(ProjectionClosureTest, DatabaseExtensionMatchesQueriesOnCounts) {
+  ConjunctiveQuery q = Parse("R(x,y), R(y,z)");
+  ConjunctiveQuery closed = ProjectionClosure(q);
+  Structure d = ParseStructureWithVocabulary("R = {(1,2),(2,3),(2,2)}",
+                                             q.vocab())
+                    .ValueOrDie();
+  Structure extended = ExtendWithProjections(d, closed.vocab());
+  // hom counts agree between (Q, D) and (closure(Q), extended(D)).
+  EXPECT_EQ(CountHomomorphisms(q, d), CountHomomorphisms(closed, extended));
+  // Projections contain exactly the column values.
+  int r0 = extended.vocab().Find("R@0");
+  ASSERT_GE(r0, 0);
+  EXPECT_EQ(extended.tuples(r0).size(), 2u);  // {1, 2}
+}
+
+TEST(ProjectionClosureTest, RestrictionSemijoins) {
+  // A closed database with a *missing* projection tuple loses the base
+  // tuple under restriction.
+  ConjunctiveQuery q = Parse("R(x,y)");
+  ConjunctiveQuery closed = ProjectionClosure(q);
+  Structure d(closed.vocab());
+  int r = closed.vocab().Find("R");
+  int r0 = closed.vocab().Find("R@0");
+  int r1 = closed.vocab().Find("R@1");
+  d.AddTuple(r, {1, 2});
+  d.AddTuple(r, {3, 4});
+  d.AddTuple(r0, {1});  // (3,4) has no R@0 entry
+  d.AddTuple(r1, {2});
+  d.AddTuple(r1, {4});
+  Structure restricted = RestrictToVocabulary(d, q.vocab());
+  EXPECT_TRUE(restricted.Contains(0, {1, 2}));
+  EXPECT_FALSE(restricted.Contains(0, {3, 4}));
+}
+
+TEST(DisjointCopiesTest, HomCountsExponentiate) {
+  // [KR11, Lemma 2.2]: |hom(k·Q, D)| = |hom(Q, D)|^k.
+  ConjunctiveQuery q = Parse("R(x,y), R(y,z)");
+  Structure d = ParseStructureWithVocabulary("R = {(1,2),(2,1),(2,2)}",
+                                             q.vocab())
+                    .ValueOrDie();
+  int64_t base = CountHomomorphisms(q, d);
+  ASSERT_GT(base, 1);
+  for (int k = 1; k <= 3; ++k) {
+    ConjunctiveQuery copies = DisjointCopies(q, k);
+    int64_t expect = 1;
+    for (int i = 0; i < k; ++i) expect *= base;
+    EXPECT_EQ(CountHomomorphisms(copies, d), expect) << "k=" << k;
+  }
+}
+
+TEST(RemoveDuplicateAtomsTest, BagSetSemanticsUnchanged) {
+  // Section 2.2: repeated atoms can be eliminated under bag-set semantics.
+  ConjunctiveQuery with_dup = Parse("R(x), R(x), S(x,y)");
+  ConjunctiveQuery without = RemoveDuplicateAtoms(with_dup);
+  EXPECT_EQ(without.num_atoms(), 2);
+  Structure d = ParseStructureWithVocabulary("R = {(1),(2)}; S = {(1,5),(1,6)}",
+                                             with_dup.vocab())
+                    .ValueOrDie();
+  EXPECT_EQ(CountHomomorphisms(with_dup, d), CountHomomorphisms(without, d));
+}
+
+}  // namespace
+}  // namespace bagcq::cq

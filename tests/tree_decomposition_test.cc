@@ -1,0 +1,136 @@
+#include "graph/tree_decomposition.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "entropy/functions.h"
+#include "graph/junction_tree.h"
+
+namespace bagcq::graph {
+namespace {
+
+using entropy::LinearExpr;
+using entropy::SetFunction;
+using util::Rational;
+using util::VarSet;
+
+TreeDecomposition Chain3() {
+  // {0,2} - {0,1} - {1,3}: Example 3.5's simple junction tree shape.
+  return TreeDecomposition(
+      4, {VarSet::Of({0, 2}), VarSet::Of({0, 1}), VarSet::Of({1, 3})},
+      {{0, 1}, {1, 2}});
+}
+
+TEST(TreeDecompositionTest, Validation) {
+  TreeDecomposition td = Chain3();
+  EXPECT_TRUE(td.HasRunningIntersection());
+  EXPECT_TRUE(td.IsSimple());
+  EXPECT_FALSE(td.IsTotallyDisconnected());
+  EXPECT_TRUE(td.Covers({VarSet::Of({0, 1}), VarSet::Of({2})}));
+  EXPECT_FALSE(td.Covers({VarSet::Of({2, 3})}));
+}
+
+TEST(TreeDecompositionTest, RunningIntersectionViolationDetected) {
+  // Variable 0 appears in bags 0 and 2 but not the middle bag.
+  TreeDecomposition td(
+      3, {VarSet::Of({0}), VarSet::Of({1}), VarSet::Of({0, 2})},
+      {{0, 1}, {1, 2}});
+  EXPECT_FALSE(td.HasRunningIntersection());
+}
+
+TEST(TreeDecompositionDeathTest, CycleRejected) {
+  EXPECT_DEATH(
+      TreeDecomposition(2, {VarSet::Of({0}), VarSet::Of({1}), VarSet::Of({0, 1})},
+                        {{0, 1}, {1, 2}, {2, 0}}),
+      "cycle");
+}
+
+TEST(TreeDecompositionTest, EtExpressionMatchesClosedForm) {
+  TreeDecomposition td = Chain3();
+  EXPECT_EQ(td.EtExpression().ToLinear(), td.EtClosedForm());
+}
+
+TEST(TreeDecompositionTest, EtOfExample43) {
+  // T = {Y1,Y2} - {Y1,Y3}: ET = h(Y1Y2) + h(Y1Y3) - h(Y1).
+  TreeDecomposition td(3, {VarSet::Of({0, 1}), VarSet::Of({0, 2})}, {{0, 1}});
+  LinearExpr expected(3);
+  expected.Add(VarSet::Of({0, 1}), Rational(1));
+  expected.Add(VarSet::Of({0, 2}), Rational(1));
+  expected.Add(VarSet::Of({0}), Rational(-1));
+  EXPECT_EQ(td.EtClosedForm(), expected);
+  EXPECT_EQ(td.EtExpression().ToLinear(), expected);
+  EXPECT_TRUE(td.EtExpression().IsSimple());
+}
+
+TEST(TreeDecompositionTest, SimpleDecompositionGivesSimpleEt) {
+  TreeDecomposition td = Chain3();
+  EXPECT_TRUE(td.EtExpression().IsSimple());
+  // A non-simple decomposition yields a non-simple ET.
+  TreeDecomposition wide(
+      4, {VarSet::Of({0, 1, 2}), VarSet::Of({1, 2, 3})}, {{0, 1}});
+  EXPECT_FALSE(wide.IsSimple());
+  EXPECT_FALSE(wide.EtExpression().IsSimple());
+}
+
+TEST(TreeDecompositionTest, LeeFormMatchesEtOnExamples) {
+  // Eq. (32) equals Eq. (7) — checked on the paper's chain and on a
+  // disconnected forest.
+  EXPECT_EQ(Chain3().EtLeeForm(), Chain3().EtClosedForm());
+
+  TreeDecomposition forest(4, {VarSet::Of({0, 1}), VarSet::Of({2, 3})}, {});
+  EXPECT_EQ(forest.EtLeeForm(), forest.EtClosedForm());
+
+  TreeDecomposition single(3, {VarSet::Of({0, 1, 2})}, {});
+  EXPECT_EQ(single.EtLeeForm(), single.EtClosedForm());
+}
+
+TEST(TreeDecompositionTest, LeeFormMatchesEtOnJunctionTrees) {
+  // Random chordal graphs (via triangulated random graphs) — the two forms
+  // of the remarkable formula agree on every junction tree.
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 3 + static_cast<int>(rng() % 4);
+    Graph g(n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng() % 2) g.AddEdge(i, j);
+      }
+    }
+    TreeDecomposition td = JunctionTree(MinimalTriangulation(g));
+    EXPECT_EQ(td.EtLeeForm(), td.EtClosedForm()) << td.ToString();
+  }
+}
+
+TEST(TreeDecompositionTest, EtEvaluatesOnEntropy) {
+  // Lee's theorem flavor: for the join-decomposable relation entropy, the
+  // chain decomposition is exact: ET(h) = h(V) when the tree matches the
+  // dependency structure.
+  // Take h modular (full independence): any decomposition covering V gives
+  // ET(h) ≥ h(V) with equality for partition-like trees.
+  SetFunction h = entropy::ModularFunction(
+      {Rational(1), Rational(2), Rational(3), Rational(4)});
+  TreeDecomposition partition(4, {VarSet::Of({0, 1}), VarSet::Of({2, 3})}, {});
+  EXPECT_EQ(partition.EtClosedForm().Evaluate(h), h[VarSet::Full(4)]);
+  // Overlapping bags double-count the shared variable, then subtract it.
+  TreeDecomposition chain = Chain3();
+  EXPECT_EQ(chain.EtClosedForm().Evaluate(h),
+            h[VarSet::Of({0, 2})] + h[VarSet::Of({0, 1})] +
+                h[VarSet::Of({1, 3})] - h[VarSet::Of({0})] -
+                h[VarSet::Of({1})]);
+}
+
+TEST(TreeDecompositionTest, RootedParentsFormsForest) {
+  TreeDecomposition forest(4, {VarSet::Of({0}), VarSet::Of({1}),
+                               VarSet::Of({2}), VarSet::Of({3})},
+                           {{0, 1}, {2, 3}});
+  auto parents = forest.RootedParents();
+  int roots = 0;
+  for (int p : parents) {
+    if (p == -1) ++roots;
+  }
+  EXPECT_EQ(roots, 2);
+}
+
+}  // namespace
+}  // namespace bagcq::graph

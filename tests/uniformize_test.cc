@@ -1,0 +1,171 @@
+#include "core/uniformize.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "entropy/max_ii.h"
+
+namespace bagcq::core {
+namespace {
+
+using entropy::ConeKind;
+using entropy::LinearExpr;
+using entropy::MaxIIOracle;
+using util::Rational;
+using util::VarSet;
+
+LinearExpr Subadditivity2() {
+  // h(A) + h(B) - h(AB) over 2 vars.
+  LinearExpr e(2);
+  e.Add(VarSet::Of({0}), Rational(1));
+  e.Add(VarSet::Of({1}), Rational(1));
+  e.Add(VarSet::Full(2), Rational(-1));
+  return e;
+}
+
+LinearExpr NotValid2() {
+  // h(A) - h(B): invalid.
+  LinearExpr e(2);
+  e.Add(VarSet::Of({0}), Rational(1));
+  e.Add(VarSet::Of({1}), Rational(-1));
+  return e;
+}
+
+TEST(UniformizeTest, ShapeOfSubadditivity) {
+  auto uniform = Uniformize({Subadditivity2()}).ValueOrDie();
+  EXPECT_EQ(uniform.num_vars, 3);
+  EXPECT_EQ(uniform.u_var, 2);
+  EXPECT_EQ(uniform.n, 1);   // one negative unit term
+  EXPECT_EQ(uniform.q, 2);   // n + 1
+  EXPECT_TRUE(uniform.Validate().ok());
+  ASSERT_EQ(uniform.chains.size(), 1u);
+  EXPECT_EQ(static_cast<int>(uniform.chains[0].size()), uniform.p + 1);
+}
+
+TEST(UniformizeTest, ChainAndConnectednessConditionsHold) {
+  std::vector<LinearExpr> branches = {Subadditivity2(), NotValid2()};
+  auto uniform = Uniformize(branches).ValueOrDie();
+  EXPECT_TRUE(uniform.Validate().ok());
+  // All chains share the same length.
+  for (const auto& chain : uniform.chains) {
+    EXPECT_EQ(static_cast<int>(chain.size()), uniform.p + 1);
+    EXPECT_TRUE(chain[0].x.empty());
+  }
+}
+
+TEST(UniformizeTest, RationalCoefficientsScaled) {
+  LinearExpr e(2);
+  e.Add(VarSet::Of({0}), Rational(1, 2));
+  e.Add(VarSet::Of({1}), Rational(-1, 3));
+  auto uniform = Uniformize({e}).ValueOrDie();
+  EXPECT_TRUE(uniform.Validate().ok());
+  // lcm(2,3)=6: 3 positive + 2 negative unit terms.
+  EXPECT_EQ(uniform.n, 2);
+}
+
+TEST(UniformizeTest, ValidityPreservedOverGammaAndNormal) {
+  // Lemma 5.3: the uniform Max-II is valid iff the original is — checked
+  // over both Γ and N cones (the proof's constructions stay inside both).
+  struct Case {
+    std::vector<LinearExpr> branches;
+    bool expect_valid;
+  };
+  LinearExpr mono(2);  // h(AB) - h(A) ≥ 0
+  mono.Add(VarSet::Full(2), Rational(1));
+  mono.Add(VarSet::Of({0}), Rational(-1));
+
+  std::vector<Case> cases = {
+      {{Subadditivity2()}, true},
+      {{mono}, true},
+      {{NotValid2()}, false},
+      {{NotValid2(), -NotValid2()}, true},  // max(E, -E) ≥ 0
+  };
+  for (const auto& test_case : cases) {
+    const int n0 = 2;
+    for (ConeKind cone : {ConeKind::kPolymatroid, ConeKind::kNormal}) {
+      bool original_valid =
+          MaxIIOracle(n0, cone).Check(test_case.branches).valid;
+      ASSERT_EQ(original_valid, test_case.expect_valid)
+          << ConeKindToString(cone);
+      auto uniform = Uniformize(test_case.branches).ValueOrDie();
+      bool uniform_valid =
+          MaxIIOracle(uniform.num_vars, cone).Check(uniform.ToBranches()).valid;
+      EXPECT_EQ(uniform_valid, original_valid) << ConeKindToString(cone);
+    }
+  }
+}
+
+TEST(UniformizeTest, Example38RoundTrip) {
+  // The three-branch Max-II of Example 3.8 stays valid through Lemma 5.3.
+  const int n = 3;
+  VarSet x1 = VarSet::Of({0}), x2 = VarSet::Of({1}), x3 = VarSet::Of({2});
+  std::vector<LinearExpr> exprs;
+  exprs.push_back(LinearExpr::H(n, x1.Union(x2)) +
+                  LinearExpr::HCond(n, x2, x1));
+  exprs.push_back(LinearExpr::H(n, x2.Union(x3)) +
+                  LinearExpr::HCond(n, x3, x2));
+  exprs.push_back(LinearExpr::H(n, x1.Union(x3)) +
+                  LinearExpr::HCond(n, x1, x3));
+  auto branches = entropy::BranchesForBoundedForm(n, Rational(1), exprs);
+  ASSERT_TRUE(MaxIIOracle(n, ConeKind::kNormal).Check(branches).valid);
+
+  auto uniform = Uniformize(branches).ValueOrDie();
+  EXPECT_TRUE(uniform.Validate().ok());
+  EXPECT_TRUE(MaxIIOracle(uniform.num_vars, ConeKind::kNormal)
+                  .Check(uniform.ToBranches())
+                  .valid);
+}
+
+// Random sweep: validity over Nn is preserved by uniformization.
+class UniformizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(UniformizeSweep, NormalConeValidityPreserved) {
+  std::mt19937_64 rng(GetParam());
+  const int n0 = 2 + GetParam() % 2;
+  std::uniform_int_distribution<int> coeff(-2, 2);
+  std::uniform_int_distribution<int> nbranch(1, 2);
+  std::vector<LinearExpr> branches;
+  int k = nbranch(rng);
+  for (int l = 0; l < k; ++l) {
+    LinearExpr e(n0);
+    for (uint32_t s = 1; s < (1u << n0); ++s) {
+      e.Add(VarSet(s), Rational(coeff(rng)));
+    }
+    branches.push_back(std::move(e));
+  }
+  bool original =
+      MaxIIOracle(n0, ConeKind::kNormal).Check(branches).valid;
+  auto uniform = Uniformize(branches);
+  ASSERT_TRUE(uniform.ok());
+  bool after = MaxIIOracle(uniform->num_vars, ConeKind::kNormal)
+                   .Check(uniform->ToBranches())
+                   .valid;
+  EXPECT_EQ(original, after);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UniformizeSweep, ::testing::Range(1, 30));
+
+TEST(UniformizeTest, ValidatorCatchesBrokenChains) {
+  UniformMaxII broken;
+  broken.num_vars = 3;
+  broken.u_var = 2;
+  broken.n = 1;
+  broken.p = 1;
+  broken.q = 2;
+  // X_1 ⊄ Y_0: chain violation.
+  broken.chains = {{{VarSet::Of({2}), VarSet()},
+                    {VarSet::Full(3), VarSet::Of({0, 2})}}};
+  EXPECT_FALSE(broken.Validate().ok());
+  // Fix the chain but break connectedness (U ∉ X_1).
+  broken.chains = {{{VarSet::Of({0, 2}), VarSet()},
+                    {VarSet::Full(3), VarSet::Of({0})}}};
+  EXPECT_FALSE(broken.Validate().ok());
+  // Non-empty X_0.
+  broken.chains = {{{VarSet::Of({0, 2}), VarSet::Of({2})},
+                    {VarSet::Full(3), VarSet::Of({0, 2})}}};
+  EXPECT_FALSE(broken.Validate().ok());
+}
+
+}  // namespace
+}  // namespace bagcq::core

@@ -1,0 +1,96 @@
+#include "util/varset.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace bagcq::util {
+namespace {
+
+TEST(VarSetTest, BasicOps) {
+  VarSet empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0);
+
+  VarSet s = VarSet::Of({0, 2, 5});
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_EQ(s.Min(), 0);
+  EXPECT_EQ(s.Elements(), (std::vector<int>{0, 2, 5}));
+}
+
+TEST(VarSetTest, SetAlgebra) {
+  VarSet a = VarSet::Of({0, 1, 2});
+  VarSet b = VarSet::Of({2, 3});
+  EXPECT_EQ(a.Union(b), VarSet::Of({0, 1, 2, 3}));
+  EXPECT_EQ(a.Intersect(b), VarSet::Of({2}));
+  EXPECT_EQ(a.Minus(b), VarSet::Of({0, 1}));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(VarSet::Of({4})));
+  EXPECT_TRUE(VarSet::Of({1}).IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.ContainsAll(VarSet::Of({0, 2})));
+}
+
+TEST(VarSetTest, WithWithout) {
+  VarSet s;
+  s = s.With(3).With(1);
+  EXPECT_EQ(s, VarSet::Of({1, 3}));
+  s = s.Without(3);
+  EXPECT_EQ(s, VarSet::Of({1}));
+  s = s.Without(7);  // removing an absent element is a no-op
+  EXPECT_EQ(s, VarSet::Of({1}));
+}
+
+TEST(VarSetTest, FullAndSingleton) {
+  EXPECT_EQ(VarSet::Full(0), VarSet());
+  EXPECT_EQ(VarSet::Full(3), VarSet::Of({0, 1, 2}));
+  EXPECT_EQ(VarSet::Full(3).size(), 3);
+  EXPECT_EQ(VarSet::Singleton(4), VarSet::Of({4}));
+}
+
+TEST(VarSetTest, SubsetEnumerationCountsPowerSet) {
+  VarSet u = VarSet::Of({1, 3, 4});
+  std::set<uint32_t> seen;
+  ForEachSubset(u, [&](VarSet s) {
+    EXPECT_TRUE(s.IsSubsetOf(u));
+    seen.insert(s.mask());
+  });
+  EXPECT_EQ(seen.size(), 8u);  // 2^3 subsets
+  EXPECT_TRUE(seen.count(0));
+  EXPECT_TRUE(seen.count(u.mask()));
+}
+
+TEST(VarSetTest, SubsetEnumerationOfEmptySet) {
+  int count = 0;
+  ForEachSubset(VarSet(), [&](VarSet s) {
+    EXPECT_TRUE(s.empty());
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(VarSetTest, Printing) {
+  EXPECT_EQ(VarSet::Of({0, 2}).ToString(), "{X0,X2}");
+  EXPECT_EQ(VarSet().ToString(), "{}");
+  std::vector<std::string> names = {"a", "b", "c"};
+  EXPECT_EQ(VarSet::Of({0, 2}).ToString(names), "{a,c}");
+  EXPECT_EQ(VarSet::Of({0, 5}).ToString(names), "{a,X5}");  // fallback name
+}
+
+TEST(VarSetTest, Ordering) {
+  EXPECT_LT(VarSet::Of({0}), VarSet::Of({1}));
+  EXPECT_LT(VarSet(), VarSet::Of({0}));
+}
+
+TEST(VarSetTest, DefaultVarNames) {
+  EXPECT_EQ(DefaultVarNames(3), (std::vector<std::string>{"X0", "X1", "X2"}));
+  EXPECT_EQ(DefaultVarNames(2, "Y"), (std::vector<std::string>{"Y0", "Y1"}));
+  EXPECT_TRUE(DefaultVarNames(0).empty());
+}
+
+}  // namespace
+}  // namespace bagcq::util
