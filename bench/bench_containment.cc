@@ -1,10 +1,11 @@
 // P2: end-to-end containment decision time across query families — the
 // cost profile of Theorem 3.1's exponential-time procedure: homomorphism
-// enumeration, junction-tree construction, and the cone LP.
+// enumeration, junction-tree construction, and the cone LP. All decisions
+// run through bagcq::Engine; the session-vs-fresh pair quantifies what the
+// prover cache and LP-workspace reuse buy on repeated decisions.
 #include <benchmark/benchmark.h>
 
-#include "core/decider.h"
-#include "cq/parser.h"
+#include "api/engine.h"
 
 namespace {
 
@@ -36,8 +37,9 @@ cq::ConjunctiveQuery Star(int rays, const cq::Vocabulary& vocab) {
 void BM_CycleInFork(benchmark::State& state) {
   auto q1 = Cycle(static_cast<int>(state.range(0)), nullptr);
   auto q2 = Star(2, q1.vocab());
+  Engine engine;
   for (auto _ : state) {
-    auto d = core::DecideBagContainment(q1, q2).ValueOrDie();
+    auto d = engine.Decide(q1, q2).ValueOrDie();
     benchmark::DoNotOptimize(d.verdict);
   }
 }
@@ -48,8 +50,9 @@ void BM_StarInStar(benchmark::State& state) {
   auto base = cq::ParseQuery("R(x,y)").ValueOrDie();
   auto q1 = Star(static_cast<int>(state.range(0)), base.vocab());
   auto q2 = Star(static_cast<int>(state.range(1)), base.vocab());
+  Engine engine;
   for (auto _ : state) {
-    auto d = core::DecideBagContainment(q1, q2).ValueOrDie();
+    auto d = engine.Decide(q1, q2).ValueOrDie();
     benchmark::DoNotOptimize(d.verdict);
   }
 }
@@ -57,15 +60,15 @@ BENCHMARK(BM_StarInStar)->Args({3, 2})->Args({2, 3})->Args({4, 3})->Args({4, 4})
 
 // The Example 3.5 refutation including witness construction+verification.
 void BM_Example35Refutation(benchmark::State& state) {
-  auto q1 = cq::ParseQuery(
-                "A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), "
-                "C(x1',x2')")
-                .ValueOrDie();
-  auto q2 = cq::ParseQueryWithVocabulary("A(y1,y2), B(y1,y3), C(y4,y2)",
-                                         q1.vocab())
-                .ValueOrDie();
+  Engine engine;
+  auto pair = engine
+                  .ParsePair(
+                      "A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), "
+                      "C(x1',x2')",
+                      "A(y1,y2), B(y1,y3), C(y4,y2)")
+                  .ValueOrDie();
   for (auto _ : state) {
-    auto d = core::DecideBagContainment(q1, q2).ValueOrDie();
+    auto d = engine.Decide(pair.q1, pair.q2).ValueOrDie();
     benchmark::DoNotOptimize(d.witness);
   }
 }
@@ -73,21 +76,73 @@ BENCHMARK(BM_Example35Refutation);
 
 // Witness-free vs witness-included refutation cost.
 void BM_Example35NoWitnessVerify(benchmark::State& state) {
-  auto q1 = cq::ParseQuery(
-                "A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), "
-                "C(x1',x2')")
-                .ValueOrDie();
-  auto q2 = cq::ParseQueryWithVocabulary("A(y1,y2), B(y1,y3), C(y4,y2)",
-                                         q1.vocab())
-                .ValueOrDie();
-  core::DeciderOptions options;
-  options.witness.verify_counts = false;
+  Engine engine{EngineOptions().set_verify_witness_counts(false)};
+  auto pair = engine
+                  .ParsePair(
+                      "A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), "
+                      "C(x1',x2')",
+                      "A(y1,y2), B(y1,y3), C(y4,y2)")
+                  .ValueOrDie();
   for (auto _ : state) {
-    auto d = core::DecideBagContainment(q1, q2, options).ValueOrDie();
+    auto d = engine.Decide(pair.q1, pair.q2).ValueOrDie();
     benchmark::DoNotOptimize(d.witness);
   }
 }
 BENCHMARK(BM_Example35NoWitnessVerify);
+
+// What the session buys: the same decision repeated against a long-lived
+// Engine (elemental system built once, LP workspace warm) versus a fresh
+// Engine per decision (the old free-function behavior).
+void BM_RepeatDecisionSessionEngine(benchmark::State& state) {
+  Engine engine;
+  auto pair = engine
+                  .ParsePair("R(x1,x2), R(x2,x3), R(x3,x1)",
+                             "R(y1,y2), R(y1,y3)")
+                  .ValueOrDie();
+  for (auto _ : state) {
+    auto d = engine.Decide(pair.q1, pair.q2).ValueOrDie();
+    benchmark::DoNotOptimize(d.verdict);
+  }
+  state.counters["elementals_built"] =
+      static_cast<double>(engine.stats().prover_constructions);
+}
+BENCHMARK(BM_RepeatDecisionSessionEngine);
+
+void BM_RepeatDecisionFreshEngine(benchmark::State& state) {
+  Engine parse_engine;
+  auto pair = parse_engine
+                  .ParsePair("R(x1,x2), R(x2,x3), R(x3,x1)",
+                             "R(y1,y2), R(y1,y3)")
+                  .ValueOrDie();
+  int64_t built = 0;
+  for (auto _ : state) {
+    Engine engine;
+    auto d = engine.Decide(pair.q1, pair.q2).ValueOrDie();
+    benchmark::DoNotOptimize(d.verdict);
+    built += engine.stats().prover_constructions;
+  }
+  state.counters["elementals_built"] = static_cast<double>(built);
+}
+BENCHMARK(BM_RepeatDecisionFreshEngine);
+
+// DecideBatch over a mixed workload at one fixed n.
+void BM_DecideBatch(benchmark::State& state) {
+  Engine engine;
+  std::vector<QueryPair> pairs;
+  pairs.push_back(engine
+                      .ParsePair("R(x1,x2), R(x2,x3), R(x3,x1)",
+                                 "R(y1,y2), R(y1,y3)")
+                      .ValueOrDie());
+  pairs.push_back(engine
+                      .ParsePair("R(x,y), R(y,z)", "R(a,b), R(b,c)")
+                      .ValueOrDie());
+  pairs.push_back(engine.ParsePair("R(x,y), R(y,x)", "R(a,b)").ValueOrDie());
+  for (auto _ : state) {
+    auto results = engine.DecideBatch(pairs);
+    benchmark::DoNotOptimize(results.size());
+  }
+}
+BENCHMARK(BM_DecideBatch);
 
 }  // namespace
 

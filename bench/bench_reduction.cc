@@ -3,11 +3,11 @@
 // output sizes it produces (arity and variable counts grow with the input).
 #include <benchmark/benchmark.h>
 
+#include "api/engine.h"
 #include "core/containment_inequality.h"
 #include "core/reduction_to_queries.h"
 #include "core/uniformize.h"
 #include "cq/homomorphism.h"
-#include "entropy/max_ii.h"
 
 namespace {
 
@@ -66,10 +66,13 @@ void BM_ReducedEq8OverNormalCone(benchmark::State& state) {
   auto reduction = core::UniformMaxIIToQueries(uniform).ValueOrDie();
   auto inequality =
       core::BuildContainmentInequality(reduction.q1, reduction.q2).ValueOrDie();
-  entropy::MaxIIOracle oracle(reduction.q1.num_vars(),
-                              entropy::ConeKind::kNormal);
+  bagcq::Engine engine;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(oracle.Check(inequality.branches).valid);
+    auto r = engine
+                 .CheckMaxInequality(inequality.branches,
+                                     entropy::ConeKind::kNormal)
+                 .ValueOrDie();
+    benchmark::DoNotOptimize(r.valid);
   }
 }
 BENCHMARK(BM_ReducedEq8OverNormalCone);

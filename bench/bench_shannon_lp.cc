@@ -1,18 +1,20 @@
 // P1: Shannon-prover and Max-II-oracle scaling with the number of random
-// variables n. The elemental system has n + C(n,2)·2^{n-2} inequalities, so
-// exact-arithmetic LP cost grows steeply — this bench charts where the
-// exponential-time algorithm of Theorem 3.1 is practical.
+// variables n, through the Engine facade. The elemental system has
+// n + C(n,2)·2^{n-2} inequalities, so exact-arithmetic LP cost grows steeply
+// — this bench charts where the exponential-time algorithm of Theorem 3.1 is
+// practical, and what the session's prover cache saves over cold starts.
 #include <benchmark/benchmark.h>
 
+#include "api/engine.h"
 #include "entropy/known_inequalities.h"
-#include "entropy/max_ii.h"
-#include "entropy/shannon.h"
 
 namespace {
 
-using namespace bagcq::entropy;
-using bagcq::util::Rational;
-using bagcq::util::VarSet;
+using namespace bagcq;
+using entropy::ConeKind;
+using entropy::LinearExpr;
+using util::Rational;
+using util::VarSet;
 
 // Submodularity on the "split halves" of V: a derived Shannon inequality
 // whose certificate needs a chain of elementals.
@@ -22,46 +24,57 @@ LinearExpr SplitSubmodularity(int n) {
     if (i % 2 == 0) left = left.With(i);
     right = right.With(i);  // right = everything; overlap = left
   }
-  return SubmodularityExpr(n, left, right);
+  return entropy::SubmodularityExpr(n, left, right);
 }
 
 void BM_ShannonProveValid(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  ShannonProver prover(n);
+  Engine engine;
   LinearExpr e = SplitSubmodularity(n);
   int64_t pivots = 0;
   for (auto _ : state) {
-    IIResult r = prover.Prove(e);
+    auto r = engine.ProveInequality(e).ValueOrDie();
     benchmark::DoNotOptimize(r.valid);
-    pivots = r.lp_pivots;
+    pivots = r.stats.lp_pivots;
   }
   state.counters["elementals"] =
-      static_cast<double>(prover.elementals().size());
+      static_cast<double>(engine.prover(n).elementals().size());
   state.counters["pivots"] = static_cast<double>(pivots);
 }
 BENCHMARK(BM_ShannonProveValid)->DenseRange(2, 6);
 
 void BM_ShannonProveInvalid(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  ShannonProver prover(n);
+  Engine engine;
   // h(X0) - h(X1) >= 0: invalid; the prover must emit a counterexample.
   LinearExpr e = LinearExpr::H(n, VarSet::Of({0})) -
                  LinearExpr::H(n, VarSet::Of({1}));
   for (auto _ : state) {
-    IIResult r = prover.Prove(e);
+    auto r = engine.ProveInequality(e).ValueOrDie();
     benchmark::DoNotOptimize(r.counterexample);
   }
 }
 BENCHMARK(BM_ShannonProveInvalid)->DenseRange(2, 6);
 
 void BM_ZhangYeungRefutation(benchmark::State& state) {
-  ShannonProver prover(4);
+  Engine engine;
   for (auto _ : state) {
-    IIResult r = prover.Prove(ZhangYeungExpr());
+    auto r = engine.ProveInequality(entropy::ZhangYeungExpr()).ValueOrDie();
     benchmark::DoNotOptimize(r.valid);
   }
 }
 BENCHMARK(BM_ZhangYeungRefutation);
+
+// Cold start: a fresh Engine per proof rebuilds the n=4 elemental system
+// every time — the cost the session cache removes.
+void BM_ZhangYeungRefutationColdStart(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine engine;
+    auto r = engine.ProveInequality(entropy::ZhangYeungExpr()).ValueOrDie();
+    benchmark::DoNotOptimize(r.valid);
+  }
+}
+BENCHMARK(BM_ZhangYeungRefutationColdStart);
 
 // The three-branch Example 3.8 Max-II over each cone: the Γn path carries
 // the elemental system, the Nn path only 2^n - 1 step evaluations.
@@ -72,10 +85,10 @@ void MaxIIBench(benchmark::State& state, ConeKind cone) {
   exprs.push_back(LinearExpr::H(n, x1.Union(x2)) + LinearExpr::HCond(n, x2, x1));
   exprs.push_back(LinearExpr::H(n, x2.Union(x3)) + LinearExpr::HCond(n, x3, x2));
   exprs.push_back(LinearExpr::H(n, x1.Union(x3)) + LinearExpr::HCond(n, x1, x3));
-  auto branches = BranchesForBoundedForm(n, Rational(1), exprs);
-  MaxIIOracle oracle(n, cone);
+  auto branches = entropy::BranchesForBoundedForm(n, Rational(1), exprs);
+  Engine engine;
   for (auto _ : state) {
-    auto r = oracle.Check(branches);
+    auto r = engine.CheckMaxInequality(branches, cone).ValueOrDie();
     benchmark::DoNotOptimize(r.valid);
   }
 }

@@ -63,6 +63,44 @@ BENCHMARK(BM_ExactDantzig)->RangeMultiplier(2)->Range(4, 32);
 BENCHMARK(BM_DoubleBland)->RangeMultiplier(2)->Range(4, 32);
 BENCHMARK(BM_DoubleDantzig)->RangeMultiplier(2)->Range(4, 32);
 
+// Workspace reuse (the Engine batch path): one long-lived solver keeps its
+// tableau capacity across solves, versus constructing a solver per solve.
+// The delta is pure allocation/free traffic — pivots are identical.
+template <typename Scalar>
+void ReuseBench(benchmark::State& state, bool reuse) {
+  auto problem = RandomLp(static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(0)), 1234);
+  lp::SimplexSolver<Scalar> session_solver;
+  for (auto _ : state) {
+    if (reuse) {
+      auto sol = session_solver.Solve(problem);
+      benchmark::DoNotOptimize(sol.status);
+    } else {
+      lp::SimplexSolver<Scalar> fresh;
+      auto sol = fresh.Solve(problem);
+      benchmark::DoNotOptimize(sol.status);
+    }
+  }
+  state.counters["retained_bytes"] = static_cast<double>(
+      session_solver.workspace().RetainedRowCapacity());
+}
+void BM_ExactWorkspaceReused(benchmark::State& state) {
+  ReuseBench<Rational>(state, /*reuse=*/true);
+}
+void BM_ExactWorkspaceFresh(benchmark::State& state) {
+  ReuseBench<Rational>(state, /*reuse=*/false);
+}
+void BM_DoubleWorkspaceReused(benchmark::State& state) {
+  ReuseBench<double>(state, /*reuse=*/true);
+}
+void BM_DoubleWorkspaceFresh(benchmark::State& state) {
+  ReuseBench<double>(state, /*reuse=*/false);
+}
+BENCHMARK(BM_ExactWorkspaceReused)->RangeMultiplier(2)->Range(8, 64);
+BENCHMARK(BM_ExactWorkspaceFresh)->RangeMultiplier(2)->Range(8, 64);
+BENCHMARK(BM_DoubleWorkspaceReused)->RangeMultiplier(2)->Range(8, 64);
+BENCHMARK(BM_DoubleWorkspaceFresh)->RangeMultiplier(2)->Range(8, 64);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -8,8 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "core/decider.h"
-#include "cq/parser.h"
+#include "api/engine.h"
 
 using namespace bagcq;
 
@@ -25,6 +24,7 @@ struct Row {
 
 int main() {
   std::printf("E10 / decidability map (verdict + deciding theorem per pair)\n");
+  Engine engine{EngineOptions().set_want_shannon_certificate(false)};
   std::vector<Row> rows = {
       {"triangle vs fork (Ex 4.3)", "R(x,y), R(y,z), R(z,x)",
        "R(a,b), R(a,c)"},
@@ -52,17 +52,13 @@ int main() {
 
   int unknowns = 0;
   for (const Row& row : rows) {
-    auto q1 = cq::ParseQuery(row.q1).ValueOrDie();
-    auto q2 = cq::ParseQueryWithVocabulary(row.q2, q1.vocab()).ValueOrDie();
-    core::DeciderOptions options;
-    options.want_shannon_certificate = false;
-    auto decision = core::DecideBagContainment(q1, q2, options);
+    auto decision = engine.Decide(row.q1, row.q2);
     if (!decision.ok()) {
       std::printf("  %-48s ERROR %s\n", row.label,
                   decision.status().ToString().c_str());
       continue;
     }
-    if (decision->verdict == core::Verdict::kUnknown) ++unknowns;
+    if (decision->verdict == api::Verdict::kUnknown) ++unknowns;
     std::printf("  %-48s %-13s a=%d c=%d s=%d  %s\n", row.label,
                 core::VerdictToString(decision->verdict),
                 decision->analysis.acyclic, decision->analysis.chordal,

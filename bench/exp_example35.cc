@@ -2,24 +2,24 @@
 // (Theorem 3.4). Paper numbers at n = 2: |P| = 4 > |hom(Q2, D)| = 2.
 #include <cstdio>
 
-#include "core/decider.h"
-#include "core/set_containment.h"
+#include "api/engine.h"
 #include "core/witness.h"
 #include "cq/homomorphism.h"
-#include "cq/parser.h"
 #include "entropy/mobius.h"
 
 using namespace bagcq;
 
 int main() {
   std::printf("E3 / Example 3.5\n");
-  auto q1 = cq::ParseQuery(
-                "A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), "
-                "C(x1',x2')")
-                .ValueOrDie();
-  auto q2 = cq::ParseQueryWithVocabulary("A(y1,y2), B(y1,y3), C(y4,y2)",
-                                         q1.vocab())
-                .ValueOrDie();
+  Engine engine;
+  auto pair = engine
+                  .ParsePair(
+                      "A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), "
+                      "C(x1',x2')",
+                      "A(y1,y2), B(y1,y3), C(y4,y2)")
+                  .ValueOrDie();
+  const cq::ConjunctiveQuery& q1 = pair.q1;
+  const cq::ConjunctiveQuery& q2 = pair.q2;
   int failures = 0;
   auto check = [&](const char* what, bool ok) {
     std::printf("  %-64s %s\n", what, ok ? "OK" : "FAIL");
@@ -28,18 +28,18 @@ int main() {
 
   // Paper: Q2 is acyclic with the simple junction tree
   // {y1,y3} - {y1,y2} - {y2,y4}.
-  auto decision = core::DecideBagContainment(q1, q2).ValueOrDie();
+  auto decision = engine.Decide(q1, q2).ValueOrDie();
   check("Q2 acyclic with a simple junction tree (paper: yes)",
         decision.analysis.acyclic && decision.analysis.simple_junction_tree);
   check("verdict NotContained (paper: Q1 not contained in Q2)",
-        decision.verdict == core::Verdict::kNotContained);
+        decision.verdict == api::Verdict::kNotContained);
   check("counterexample is a NORMAL entropic function (Theorem 3.4(ii))",
         decision.counterexample.has_value() &&
             entropy::IsNormal(*decision.counterexample));
   check("witness database verified (|hom(Q1,D)| > |hom(Q2,D)|)",
         decision.witness.has_value() && decision.witness->counts_verified);
   check("set-semantics containment still holds (the bag/set separation)",
-        core::SetContained(q1, q2));
+        engine.SetContained(q1, q2));
 
   // Paper's explicit numbers at n = 2: P = {(u,u,v,v)}.
   entropy::Relation p(4);

@@ -3,10 +3,8 @@
 // essentially Shannon; each single branch is insufficient.
 #include <cstdio>
 
-#include "core/decider.h"
-#include "cq/bag_semantics.h"
-#include "cq/parser.h"
-#include "entropy/max_ii.h"
+#include "api/engine.h"
+#include "cq/homomorphism.h"
 
 using namespace bagcq;
 using entropy::ConeKind;
@@ -19,13 +17,17 @@ int main() {
     if (!ok) ++failures;
   };
 
-  auto q1 = cq::ParseQuery("R(x1,x2), R(x2,x3), R(x3,x1)").ValueOrDie();
-  auto q2 = cq::ParseQueryWithVocabulary("R(y1,y2), R(y1,y3)", q1.vocab())
-                .ValueOrDie();
+  Engine engine;
+  auto pair = engine
+                  .ParsePair("R(x1,x2), R(x2,x3), R(x3,x1)",
+                             "R(y1,y2), R(y1,y3)")
+                  .ValueOrDie();
+  const cq::ConjunctiveQuery& q1 = pair.q1;
+  const cq::ConjunctiveQuery& q2 = pair.q2;
 
-  auto d = core::DecideBagContainment(q1, q2).ValueOrDie();
+  auto d = engine.Decide(q1, q2).ValueOrDie();
   check("verdict Contained (paper: Q1 ⪯ Q2)",
-        d.verdict == core::Verdict::kContained);
+        d.verdict == api::Verdict::kContained);
   check("|hom(Q2,Q1)| = 3 (paper: three homomorphisms)",
         d.inequality.has_value() && d.inequality->homs.size() == 3);
   check("every branch pulls back to a simple conditional expression",
@@ -36,16 +38,21 @@ int main() {
   // Example 3.8: valid over Γ3 (hence over Γ*3 and N3); single branches are
   // not valid — the max is essential.
   if (d.inequality.has_value()) {
-    entropy::MaxIIOracle gamma(q1.num_vars(), ConeKind::kPolymatroid);
-    check("Max-II valid over Gamma_3 (Example 3.8)",
-          gamma.Check(d.inequality->branches).valid);
+    auto over_gamma =
+        engine.CheckMaxInequality(d.inequality->branches, ConeKind::kPolymatroid)
+            .ValueOrDie();
+    check("Max-II valid over Gamma_3 (Example 3.8)", over_gamma.valid);
     bool any_single = false;
     for (const auto& branch : d.inequality->branches) {
-      if (gamma.Check({branch}).valid) any_single = true;
+      if (engine.CheckMaxInequality({branch}, ConeKind::kPolymatroid)
+              .ValueOrDie()
+              .valid) {
+        any_single = true;
+      }
     }
     check("no single branch suffices (the max is necessary)", !any_single);
     // λ = (1/3, 1/3, 1/3) per the paper's averaging proof.
-    auto result = gamma.Check(d.inequality->branches);
+    const auto& result = over_gamma;
     bool thirds = result.lambda.size() == 3;
     for (const auto& l : result.lambda) {
       if (l != util::Rational(1, 3)) thirds = false;

@@ -4,14 +4,12 @@
 // hand construction *and* runs the general Section 5.3 pipeline.
 #include <cstdio>
 
+#include "api/engine.h"
 #include "core/containment_inequality.h"
 #include "core/reduction_to_queries.h"
 #include "core/uniformize.h"
 #include "cq/homomorphism.h"
-#include "cq/parser.h"
 #include "cq/yannakakis.h"
-#include "entropy/max_ii.h"
-#include "entropy/shannon.h"
 
 using namespace bagcq;
 using entropy::ConeKind;
@@ -21,6 +19,7 @@ using util::VarSet;
 
 int main() {
   std::printf("E5 / Example 5.2 and the Section 5 reduction\n");
+  Engine engine;
   int failures = 0;
   auto check = [&](const char* what, bool ok) {
     std::printf("  %-64s %s\n", what, ok ? "OK" : "FAIL");
@@ -34,9 +33,8 @@ int main() {
   e19.Add(VarSet::Of({2}), Rational(1));
   e19.Add(VarSet::Of({0, 1}), Rational(-1));
   e19.Add(VarSet::Of({1, 2}), Rational(-1));
-  entropy::ShannonProver prover(3);
   check("(19) is Shannon-valid (paper: 'this IIP holds')",
-        prover.Prove(e19).valid);
+        engine.ProveInequality(e19).ValueOrDie().valid);
 
   // --- The paper's hand-built queries of Example 5.2. ---
   auto q1 = cq::ParseQuery(
@@ -67,8 +65,8 @@ int main() {
   // Eq. (8) for the hand-built pair, decided over N9 (the proof-carrying
   // cone for this construction; see DESIGN.md).
   auto inequality = core::BuildContainmentInequality(q1, q2).ValueOrDie();
-  bool eq8 = entropy::MaxIIOracle(q1.num_vars(), ConeKind::kNormal)
-                 .Check(inequality.branches)
+  bool eq8 = engine.CheckMaxInequality(inequality.branches, ConeKind::kNormal)
+                 .ValueOrDie()
                  .valid;
   check("Eq. (8) of the hand-built pair valid over N9 (as (19) is valid)",
         eq8);
@@ -93,8 +91,8 @@ int main() {
       core::BuildContainmentInequality(reduction.q1, reduction.q2)
           .ValueOrDie();
   check("general-pipeline Eq. (8) valid over the normal cone",
-        entropy::MaxIIOracle(reduction.q1.num_vars(), ConeKind::kNormal)
-            .Check(general_ineq.branches)
+        engine.CheckMaxInequality(general_ineq.branches, ConeKind::kNormal)
+            .ValueOrDie()
             .valid);
 
   std::printf("%s (%d failures)\n",

@@ -3,9 +3,8 @@
 // decider resolves both directions of the classic example.
 #include <cstdio>
 
-#include "core/decider.h"
+#include "api/engine.h"
 #include "cq/bag_semantics.h"
-#include "cq/parser.h"
 #include "cq/transforms.h"
 #include "cq/yannakakis.h"
 
@@ -19,11 +18,13 @@ int main() {
     if (!ok) ++failures;
   };
 
-  auto q1 = cq::ParseQuery("Q(x,z) :- P(x), S(u,x), S(v,z), R(z).")
-                .ValueOrDie();
-  auto q2 = cq::ParseQueryWithVocabulary(
-                "Q(x,z) :- P(x), S(u,y), S(v,y), R(z).", q1.vocab())
-                .ValueOrDie();
+  Engine engine;
+  auto pair = engine
+                  .ParsePair("Q(x,z) :- P(x), S(u,x), S(v,z), R(z).",
+                             "Q(x,z) :- P(x), S(u,y), S(v,y), R(z).")
+                  .ValueOrDie();
+  const cq::ConjunctiveQuery& q1 = pair.q1;
+  const cq::ConjunctiveQuery& q2 = pair.q2;
 
   // Lemma A.1 shape: both Boolean, two fresh unary guards, properties kept.
   auto [b1, b2] = cq::MakeBooleanPair(q1, q2);
@@ -34,11 +35,11 @@ int main() {
         cq::IsAcyclic(b1) && cq::IsAcyclic(b2));
 
   // The paper's containment: Q1 ⪯ Q2 (Cauchy–Schwarz), reverse fails.
-  auto forward = core::DecideBagContainment(q1, q2).ValueOrDie();
-  check("Q1 ⪯ Q2 decided Contained", forward.verdict == core::Verdict::kContained);
-  auto backward = core::DecideBagContainment(q2, q1).ValueOrDie();
+  auto forward = engine.Decide(q1, q2).ValueOrDie();
+  check("Q1 ⪯ Q2 decided Contained", forward.verdict == api::Verdict::kContained);
+  auto backward = engine.Decide(q2, q1).ValueOrDie();
   check("Q2 ⪯ Q1 decided NotContained with verified witness",
-        backward.verdict == core::Verdict::kNotContained &&
+        backward.verdict == api::Verdict::kNotContained &&
             backward.witness.has_value() &&
             backward.witness->counts_verified);
 

@@ -4,14 +4,14 @@
 // Lemma B.9 searcher finds no entropic counterexample).
 #include <cstdio>
 
+#include "api/engine.h"
 #include "entropy/functions.h"
 #include "entropy/known_inequalities.h"
-#include "entropy/max_ii.h"
 #include "entropy/mobius.h"
 #include "entropy/searcher.h"
-#include "entropy/shannon.h"
 
 using namespace bagcq::entropy;
+using bagcq::Engine;
 using bagcq::util::Rational;
 using bagcq::util::VarSet;
 
@@ -45,8 +45,8 @@ int main() {
         h.IsPolymatroid() && !IsNormal(h));
 
   // Zhang-Yeung: not Shannon (Γ4-refutable) …
-  ShannonProver prover(4);
-  IIResult zy = prover.Prove(ZhangYeungExpr());
+  Engine engine;
+  auto zy = engine.ProveInequality(ZhangYeungExpr()).ValueOrDie();
   check("ZY is NOT a Shannon inequality (paper: first non-Shannon II)",
         !zy.valid);
   check("refuting polymatroid verified and non-normal",
@@ -71,12 +71,16 @@ int main() {
 
   // Ingleton: the same refutation pattern, plus validity over Nn (linear
   // rank functions satisfy Ingleton).
-  check("Ingleton is not Shannon", !prover.Prove(IngletonExpr()).valid);
-  MaxIIOracle normal4(4, ConeKind::kNormal);
+  check("Ingleton is not Shannon",
+        !engine.ProveInequality(IngletonExpr()).ValueOrDie().valid);
   check("Ingleton valid over N4 (normal ⊆ linear-representable)",
-        normal4.Check({IngletonExpr()}).valid);
+        engine.CheckMaxInequality({IngletonExpr()}, ConeKind::kNormal)
+            .ValueOrDie()
+            .valid);
   check("ZY valid over N4 (N4 ⊆ Γ*4)",
-        normal4.Check({ZhangYeungExpr()}).valid);
+        engine.CheckMaxInequality({ZhangYeungExpr()}, ConeKind::kNormal)
+            .ValueOrDie()
+            .valid);
 
   std::printf("%s (%d failures)\n",
               failures == 0 ? "E6 REPRODUCED" : "MISMATCH", failures);

@@ -8,10 +8,11 @@
 
 #include <random>
 
+#include "api/engine.h"
 #include "entropy/known_inequalities.h"
-#include "entropy/max_ii.h"
 
 using namespace bagcq::entropy;
+using bagcq::Engine;
 using bagcq::util::Rational;
 using bagcq::util::VarSet;
 
@@ -23,7 +24,8 @@ struct SweepStats {
   int agree = 0;
 };
 
-SweepStats Sweep(int n, bool unconditioned, int trials, uint64_t seed) {
+SweepStats Sweep(Engine& engine, int n, bool unconditioned, int trials,
+                 uint64_t seed) {
   std::mt19937_64 rng(seed);
   std::uniform_int_distribution<int> num_branches(1, 3);
   std::uniform_int_distribution<int> num_terms(1, 3);
@@ -50,8 +52,11 @@ SweepStats Sweep(int n, bool unconditioned, int trials, uint64_t seed) {
     }
     auto branches = BranchesForBoundedForm(n, Rational(qdist(rng)), exprs);
     bool over_gamma =
-        MaxIIOracle(n, ConeKind::kPolymatroid).Check(branches).valid;
-    bool over_small = MaxIIOracle(n, small_cone).Check(branches).valid;
+        engine.CheckMaxInequality(branches, ConeKind::kPolymatroid)
+            .ValueOrDie()
+            .valid;
+    bool over_small =
+        engine.CheckMaxInequality(branches, small_cone).ValueOrDie().valid;
     ++stats.total;
     if (over_gamma) ++stats.valid;
     if (over_gamma == over_small) ++stats.agree;
@@ -63,11 +68,12 @@ SweepStats Sweep(int n, bool unconditioned, int trials, uint64_t seed) {
 
 int main() {
   std::printf("E7 / Theorem 3.6: essentially-Shannon classes\n");
+  Engine engine;
   int failures = 0;
 
   for (int n : {3, 4}) {
     for (bool unconditioned : {false, true}) {
-      SweepStats s = Sweep(n, unconditioned, 40, 1000 + n);
+      SweepStats s = Sweep(engine, n, unconditioned, 40, 1000 + n);
       const char* cls = unconditioned ? "unconditioned (Mn vs Γn)"
                                       : "simple      (Nn vs Γn)";
       std::printf("  n=%d %-26s: %2d/%2d valid, agreement %2d/%2d %s\n", n,
@@ -79,9 +85,13 @@ int main() {
 
   // The non-simple escape hatch: ZY is valid over N4 but not over Γ4 — the
   // equivalence genuinely needs simplicity.
-  bool zy_nn = MaxIIOracle(4, ConeKind::kNormal).Check({ZhangYeungExpr()}).valid;
+  bool zy_nn = engine.CheckMaxInequality({ZhangYeungExpr()}, ConeKind::kNormal)
+                   .ValueOrDie()
+                   .valid;
   bool zy_gn =
-      MaxIIOracle(4, ConeKind::kPolymatroid).Check({ZhangYeungExpr()}).valid;
+      engine.CheckMaxInequality({ZhangYeungExpr()}, ConeKind::kPolymatroid)
+          .ValueOrDie()
+          .valid;
   std::printf("  non-simple separation (Zhang-Yeung): N4 says %s, Γ4 says %s "
               "%s\n",
               zy_nn ? "valid" : "invalid", zy_gn ? "valid" : "invalid",

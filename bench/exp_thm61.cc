@@ -7,15 +7,16 @@
 
 #include <random>
 
-#include "entropy/max_ii.h"
-#include "entropy/shannon.h"
+#include "api/engine.h"
 
 using namespace bagcq::entropy;
+using bagcq::Engine;
 using bagcq::util::Rational;
 using bagcq::util::VarSet;
 
 int main() {
   std::printf("E8 / Theorem 6.1: lambda certificates for valid Max-IIs\n");
+  Engine engine;
   int failures = 0;
   int verified = 0;
 
@@ -51,7 +52,8 @@ int main() {
   for (size_t i = 0; i < instances.size(); ++i) {
     const auto& branches = instances[i];
     const int n = branches[0].num_vars();
-    auto result = MaxIIOracle(n, ConeKind::kPolymatroid).Check(branches);
+    auto result = engine.CheckMaxInequality(branches, ConeKind::kPolymatroid)
+                      .ValueOrDie();
     if (!result.valid) {
       std::printf("  instance %zu unexpectedly invalid FAIL\n", i);
       ++failures;
@@ -65,7 +67,7 @@ int main() {
       total += result.lambda[l];
     }
     bool convex = total == Rational(1);
-    IIResult proof = ShannonProver(n).Prove(combined);
+    auto proof = engine.ProveInequality(combined).ValueOrDie();
     bool ok = convex && proof.valid && proof.certificate->Verify(combined);
     std::printf("  instance %zu: k=%zu, lambda convex: %s, Σλ·E Shannon: %s "
                 "%s\n",

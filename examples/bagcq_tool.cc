@@ -1,4 +1,5 @@
-// bagcq_tool: command-line front end for the library.
+// bagcq_tool: command-line front end for the library, on top of the
+// bagcq::Engine facade.
 //
 //   bagcq_tool check "Q1 body" "Q2 body"      decide Q1 ⪯ Q2 (bag-set)
 //   bagcq_tool set   "Q1 body" "Q2 body"      Chandra–Merlin set containment
@@ -13,13 +14,10 @@
 #include <cstring>
 #include <string>
 
-#include "core/decider.h"
-#include "core/set_containment.h"
+#include "api/engine.h"
 #include "cq/bag_semantics.h"
-#include "cq/parser.h"
+#include "cq/homomorphism.h"
 #include "cq/yannakakis.h"
-#include "entropy/expr_parser.h"
-#include "entropy/shannon.h"
 #include "graph/chordal.h"
 #include "graph/junction_tree.h"
 
@@ -32,44 +30,43 @@ int Fail(const util::Status& status) {
   return 1;
 }
 
-int CmdCheck(const std::string& text1, const std::string& text2) {
-  auto q1 = cq::ParseQuery(text1);
-  if (!q1.ok()) return Fail(q1.status());
-  auto q2 = cq::ParseQueryWithVocabulary(text2, q1->vocab());
-  if (!q2.ok()) return Fail(q2.status());
-  auto decision = core::DecideBagContainment(*q1, *q2);
+int CmdCheck(Engine& engine, const std::string& text1,
+             const std::string& text2) {
+  auto pair = engine.ParsePair(text1, text2);
+  if (!pair.ok()) return Fail(pair.status());
+  auto decision = engine.Decide(pair->q1, pair->q2);
   if (!decision.ok()) return Fail(decision.status());
   std::printf("%s\n", decision->ToString().c_str());
-  if (decision->verdict == core::Verdict::kNotContained &&
+  if (decision->verdict == api::Verdict::kNotContained &&
       decision->witness.has_value()) {
     std::printf("%s\nwitness database: %s\n",
-                decision->witness->ToString(*q1).c_str(),
+                decision->witness->ToString(pair->q1).c_str(),
                 decision->witness->database.ToString().c_str());
   }
-  if (decision->verdict == core::Verdict::kContained &&
+  if (decision->verdict == api::Verdict::kContained &&
       decision->validity.has_value() &&
       decision->validity->certificate.has_value()) {
     std::printf("Shannon certificate:\n%s",
                 decision->validity->certificate
-                    ->ToString(q1->num_vars(), q1->var_names())
+                    ->ToString(pair->q1.num_vars(), pair->q1.var_names())
                     .c_str());
   }
-  return decision->verdict == core::Verdict::kUnknown ? 2 : 0;
+  return decision->verdict == api::Verdict::kUnknown ? 2 : 0;
 }
 
-int CmdSet(const std::string& text1, const std::string& text2) {
-  auto q1 = cq::ParseQuery(text1);
-  if (!q1.ok()) return Fail(q1.status());
-  auto q2 = cq::ParseQueryWithVocabulary(text2, q1->vocab());
-  if (!q2.ok()) return Fail(q2.status());
+int CmdSet(Engine& engine, const std::string& text1,
+           const std::string& text2) {
+  auto pair = engine.ParsePair(text1, text2);
+  if (!pair.ok()) return Fail(pair.status());
   std::printf("set containment: %s\n",
-              core::SetContained(*q1, *q2) ? "Contained" : "NotContained");
+              engine.SetContained(pair->q1, pair->q2) ? "Contained"
+                                                      : "NotContained");
   return 0;
 }
 
-int CmdEval(const std::string& query_text, const std::string& db_text,
-            bool count_only) {
-  auto q = cq::ParseQuery(query_text);
+int CmdEval(Engine& engine, const std::string& query_text,
+            const std::string& db_text, bool count_only) {
+  auto q = engine.ParseQuery(query_text);
   if (!q.ok()) return Fail(q.status());
   auto d = cq::ParseStructureWithVocabulary(db_text, q->vocab());
   if (!d.ok()) return Fail(d.status());
@@ -93,38 +90,34 @@ int CmdEval(const std::string& query_text, const std::string& db_text,
   return 0;
 }
 
-int CmdProve(const std::string& text) {
-  auto parsed = entropy::ParseInequality(text);
-  if (!parsed.ok()) return Fail(parsed.status());
-  entropy::ShannonProver prover(static_cast<int>(parsed->var_names.size()));
-  auto result = prover.Prove(parsed->expr);
-  if (result.valid) {
+int CmdProve(Engine& engine, const std::string& text) {
+  auto result = engine.ProveInequality(text);
+  if (!result.ok()) return Fail(result.status());
+  const int n = static_cast<int>(result->var_names.size());
+  if (result->valid) {
     std::printf("Shannon-valid.\n%s",
-                result.certificate
-                    ->ToString(static_cast<int>(parsed->var_names.size()),
-                               parsed->var_names)
-                    .c_str());
+                result->certificate->ToString(n, result->var_names).c_str());
     return 0;
   }
   std::printf("not Shannon-provable; counterexample polymatroid:\n%s",
-              result.counterexample->ToString(parsed->var_names).c_str());
+              result->counterexample->ToString(result->var_names).c_str());
   return 2;
 }
 
-int CmdAnalyze(const std::string& text) {
-  auto q = cq::ParseQuery(text);
+int CmdAnalyze(Engine& engine, const std::string& text) {
+  auto q = engine.ParseQuery(text);
   if (!q.ok()) return Fail(q.status());
   std::printf("query: %s\n", q->ToString().c_str());
-  std::printf("acyclic: %s\n", cq::IsAcyclic(*q) ? "yes" : "no");
+  core::Q2Analysis analysis = engine.Analyze(*q);
+  std::printf("acyclic: %s\n", analysis.acyclic ? "yes" : "no");
+  std::printf("chordal Gaifman graph: %s\n", analysis.chordal ? "yes" : "no");
   graph::Graph g = q->GaifmanGraph();
-  bool chordal = graph::IsChordal(g);
-  std::printf("chordal Gaifman graph: %s\n", chordal ? "yes" : "no");
-  if (chordal) {
+  if (analysis.chordal) {
     auto jt = graph::JunctionTree(g);
     std::printf("junction tree: %s\n", jt.ToString().c_str());
     std::printf("simple: %s  (decidable as the containing query: %s)\n",
-                jt.IsSimple() ? "yes" : "no",
-                jt.IsSimple() ? "yes, Theorem 3.1" : "no");
+                analysis.simple_junction_tree ? "yes" : "no",
+                analysis.decidable() ? "yes, Theorem 3.1" : "no");
   } else {
     auto filled = graph::MinimalTriangulation(g);
     std::printf("minimal triangulation: %s\n",
@@ -136,23 +129,24 @@ int CmdAnalyze(const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  Engine engine;
   if (argc >= 4 && std::strcmp(argv[1], "check") == 0) {
-    return CmdCheck(argv[2], argv[3]);
+    return CmdCheck(engine, argv[2], argv[3]);
   }
   if (argc >= 4 && std::strcmp(argv[1], "set") == 0) {
-    return CmdSet(argv[2], argv[3]);
+    return CmdSet(engine, argv[2], argv[3]);
   }
   if (argc >= 4 && std::strcmp(argv[1], "eval") == 0) {
-    return CmdEval(argv[2], argv[3], /*count_only=*/false);
+    return CmdEval(engine, argv[2], argv[3], /*count_only=*/false);
   }
   if (argc >= 4 && std::strcmp(argv[1], "count") == 0) {
-    return CmdEval(argv[2], argv[3], /*count_only=*/true);
+    return CmdEval(engine, argv[2], argv[3], /*count_only=*/true);
   }
   if (argc >= 3 && std::strcmp(argv[1], "prove") == 0) {
-    return CmdProve(argv[2]);
+    return CmdProve(engine, argv[2]);
   }
   if (argc >= 3 && std::strcmp(argv[1], "analyze") == 0) {
-    return CmdAnalyze(argv[2]);
+    return CmdAnalyze(engine, argv[2]);
   }
   std::fprintf(stderr,
                "usage:\n"

@@ -1,30 +1,29 @@
-// An ITIP-style prover on the command line: decide whether an information
-// inequality is a Shannon inequality (valid over the polymatroid cone Γn),
-// print the elemental-combination proof or a counterexample polymatroid,
-// and optionally hunt for entropic counterexamples (Lemma B.9 search).
+// An ITIP-style prover on the command line, backed by a bagcq::Engine
+// session: decide whether an information inequality is a Shannon inequality
+// (valid over the polymatroid cone Γn), print the elemental-combination
+// proof or a counterexample polymatroid, and optionally hunt for entropic
+// counterexamples (Lemma B.9 search).
 //
 // Usage:
 //   itip_cli "I(A;B|C) + I(A;B|D) + I(C;D) >= I(A;B)"     # Ingleton
 //   itip_cli "H(A)+H(B) >= H(A,B)"
 //   itip_cli --max "H(A,B,C) <= H(A,B) + H(B|A)" "H(A,B,C) <= H(B,C)+H(C|B)" ...
 //
-// With no arguments, runs a demonstration batch.
+// With no arguments, runs a demonstration batch. The Engine's prover cache
+// makes the batch cheap: the n-variable elemental system is built once.
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "entropy/expr_parser.h"
-#include "entropy/max_ii.h"
+#include "api/engine.h"
 #include "entropy/searcher.h"
-#include "entropy/shannon.h"
 
 using namespace bagcq;
-using entropy::ConeKind;
 
 namespace {
 
-void ProveSingle(const std::string& text) {
+void ProveSingle(Engine& engine, const std::string& text) {
   std::printf("=== %s\n", text.c_str());
   auto parsed = entropy::ParseInequality(text);
   if (!parsed.ok()) {
@@ -32,15 +31,18 @@ void ProveSingle(const std::string& text) {
     return;
   }
   const int n = static_cast<int>(parsed->var_names.size());
-  entropy::ShannonProver prover(n);
-  entropy::IIResult result = prover.Prove(parsed->expr);
-  if (result.valid) {
+  auto result = engine.ProveInequality(parsed->expr);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  if (result->valid) {
     std::printf("SHANNON-VALID. Proof as a nonnegative elemental combination:\n%s",
-                result.certificate->ToString(n, parsed->var_names).c_str());
+                result->certificate->ToString(n, parsed->var_names).c_str());
   } else {
     std::printf("NOT Shannon-provable; violating polymatroid (violation %s):\n%s",
-                result.violation.ToString().c_str(),
-                result.counterexample->ToString(parsed->var_names).c_str());
+                result->violation.ToString().c_str(),
+                result->counterexample->ToString(parsed->var_names).c_str());
     entropy::SearchOptions options;
     options.max_tuples = 4;
     options.budget = 50'000;
@@ -59,7 +61,7 @@ void ProveSingle(const std::string& text) {
   std::printf("\n");
 }
 
-void ProveMax(const std::vector<std::string>& lines) {
+void ProveMax(Engine& engine, const std::vector<std::string>& lines) {
   std::printf("=== 0 <= max of %zu branches\n", lines.size());
   auto parsed = entropy::ParseInequalityList(lines);
   if (!parsed.ok()) {
@@ -69,18 +71,25 @@ void ProveMax(const std::vector<std::string>& lines) {
   const int n = static_cast<int>((*parsed)[0].var_names.size());
   std::vector<entropy::LinearExpr> branches;
   for (const auto& p : *parsed) branches.push_back(p.expr);
-  auto result = entropy::MaxIIOracle(n, ConeKind::kPolymatroid).Check(branches);
-  if (result.valid) {
+  auto result =
+      engine.CheckMaxInequality(branches, entropy::ConeKind::kPolymatroid);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  if (result->valid) {
     std::printf("VALID over Gamma_n. lambda =");
-    for (const auto& l : result.lambda) std::printf(" %s", l.ToString().c_str());
+    for (const auto& l : result->lambda) {
+      std::printf(" %s", l.ToString().c_str());
+    }
     std::printf("\nShannon proof of the lambda combination:\n%s",
-                result.certificate
+                result->certificate
                     ->ToString(n, (*parsed)[0].var_names)
                     .c_str());
   } else {
     std::printf("INVALID over Gamma_n; polymatroid with max = %s:\n%s",
-                result.max_at_counterexample.ToString().c_str(),
-                result.counterexample->ToString((*parsed)[0].var_names).c_str());
+                result->violation.ToString().c_str(),
+                result->counterexample->ToString((*parsed)[0].var_names).c_str());
   }
   std::printf("\n");
 }
@@ -88,6 +97,7 @@ void ProveMax(const std::vector<std::string>& lines) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  Engine engine;
   if (argc >= 2 && std::strcmp(argv[1], "--max") == 0) {
     std::vector<std::string> lines;
     for (int i = 2; i < argc; ++i) lines.emplace_back(argv[i]);
@@ -95,23 +105,24 @@ int main(int argc, char** argv) {
       std::printf("--max requires at least one branch\n");
       return 1;
     }
-    ProveMax(lines);
+    ProveMax(engine, lines);
     return 0;
   }
   if (argc >= 2) {
-    for (int i = 1; i < argc; ++i) ProveSingle(argv[i]);
+    for (int i = 1; i < argc; ++i) ProveSingle(engine, argv[i]);
     return 0;
   }
   // Demonstration batch.
-  ProveSingle("H(A) + H(B) >= H(A,B)");                     // subadditivity
-  ProveSingle("H(A,B) >= H(A)");                            // monotonicity
-  ProveSingle("I(A;B|C) >= 0");                             // elemental
-  ProveSingle("H(A) >= H(B)");                              // invalid
+  ProveSingle(engine, "H(A) + H(B) >= H(A,B)");                 // subadditivity
+  ProveSingle(engine, "H(A,B) >= H(A)");                        // monotonicity
+  ProveSingle(engine, "I(A;B|C) >= 0");                         // elemental
+  ProveSingle(engine, "H(A) >= H(B)");                          // invalid
   ProveSingle(
+      engine,
       "I(A;B) + I(A;C,D) + 3*I(C;D|A) + I(C;D|B) >= 2*I(C;D)");  // Zhang-Yeung
-  ProveSingle("I(A;B|C) + I(A;B|D) + I(C;D) >= I(A;B)");    // Ingleton
-  ProveMax({"H(X1,X2) + H(X2|X1) >= H(X1,X2,X3)",
-            "H(X2,X3) + H(X3|X2) >= H(X1,X2,X3)",
-            "H(X1,X3) + H(X1|X3) >= H(X1,X2,X3)"});         // Example 3.8
+  ProveSingle(engine, "I(A;B|C) + I(A;B|D) + I(C;D) >= I(A;B)");  // Ingleton
+  ProveMax(engine, {"H(X1,X2) + H(X2|X1) >= H(X1,X2,X3)",
+                    "H(X2,X3) + H(X3|X2) >= H(X1,X2,X3)",
+                    "H(X1,X3) + H(X1|X3) >= H(X1,X2,X3)"});       // Example 3.8
   return 0;
 }

@@ -11,13 +11,12 @@
 // valid over the normal cone exactly because (19) is valid.
 #include <cstdio>
 
+#include "api/engine.h"
 #include "core/containment_inequality.h"
 #include "core/reduction_to_queries.h"
 #include "core/uniformize.h"
 #include "cq/homomorphism.h"
 #include "cq/yannakakis.h"
-#include "entropy/max_ii.h"
-#include "entropy/shannon.h"
 
 using namespace bagcq;
 using entropy::ConeKind;
@@ -26,6 +25,7 @@ using util::Rational;
 using util::VarSet;
 
 int main() {
+  Engine engine;
   // (19): h(X1) + 2h(X2) + h(X3) - h(X1X2) - h(X2X3) >= 0 over X1,X2,X3.
   const int n0 = 3;
   LinearExpr e19(n0);
@@ -36,8 +36,7 @@ int main() {
   e19.Add(VarSet::Of({1, 2}), Rational(-1));
   std::printf("inequality (19): 0 <= %s\n", e19.ToString().c_str());
 
-  entropy::ShannonProver prover(n0);
-  auto proof = prover.Prove(e19);
+  auto proof = engine.ProveInequality(e19).ValueOrDie();
   std::printf("Shannon-valid: %s\n", proof.valid ? "yes" : "no");
   if (proof.valid) {
     std::printf("%s\n",
@@ -47,9 +46,10 @@ int main() {
   // Lemma 5.3: uniformize.
   auto uniform = core::Uniformize({e19}).ValueOrDie();
   std::printf("uniform form %s\n", uniform.ToString().c_str());
-  bool uniform_valid = entropy::MaxIIOracle(uniform.num_vars, ConeKind::kNormal)
-                           .Check(uniform.ToBranches())
-                           .valid;
+  bool uniform_valid =
+      engine.CheckMaxInequality(uniform.ToBranches(), ConeKind::kNormal)
+          .ValueOrDie()
+          .valid;
   std::printf("uniform Max-II valid over N_n: %s (Lemma 5.3 preserved it)\n\n",
               uniform_valid ? "yes" : "no");
 
@@ -71,8 +71,8 @@ int main() {
   auto inequality =
       core::BuildContainmentInequality(reduction.q1, reduction.q2).ValueOrDie();
   bool eq8_valid =
-      entropy::MaxIIOracle(reduction.q1.num_vars(), ConeKind::kNormal)
-          .Check(inequality.branches)
+      engine.CheckMaxInequality(inequality.branches, ConeKind::kNormal)
+          .ValueOrDie()
           .valid;
   std::printf(
       "Eq. (8) for (Q1,Q2) valid over N_n: %s — matching the validity of "

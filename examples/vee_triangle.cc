@@ -4,27 +4,30 @@
 //
 //   h(X1X2X3) <= max( h(X1X2)+h(X2|X1), h(X2X3)+h(X3|X2), h(X1X3)+h(X1|X3) )
 //
-// This walkthrough rebuilds each step the paper performs: the junction tree
-// of Q2, the three homomorphisms, the pulled-back branches, validity over
-// the three cones, the Shannon certificate, and a numeric spot check.
+// This walkthrough rebuilds each step the paper performs through one Engine
+// session: the decision, the junction tree of Q2, the three homomorphisms,
+// the pulled-back branches, validity over the three cones, the Shannon
+// certificate, and a numeric spot check.
 #include <cstdio>
 
-#include "core/containment_inequality.h"
-#include "core/decider.h"
-#include "cq/bag_semantics.h"
-#include "cq/parser.h"
-#include "entropy/max_ii.h"
+#include "api/engine.h"
+#include "cq/homomorphism.h"
 
 using namespace bagcq;
 
 int main() {
-  auto q1 = cq::ParseQuery("R(x1,x2), R(x2,x3), R(x3,x1)").ValueOrDie();
-  auto q2 =
-      cq::ParseQueryWithVocabulary("R(y1,y2), R(y1,y3)", q1.vocab()).ValueOrDie();
+  Engine engine;
+  auto pair = engine
+                  .ParsePair("R(x1,x2), R(x2,x3), R(x3,x1)",
+                             "R(y1,y2), R(y1,y3)")
+                  .ValueOrDie();
+  const cq::ConjunctiveQuery& q1 = pair.q1;
   std::printf("Q1 (triangle): %s\nQ2 (fork):     %s\n\n",
-              q1.ToString().c_str(), q2.ToString().c_str());
+              pair.q1.ToString().c_str(), pair.q2.ToString().c_str());
 
-  auto inequality = core::BuildContainmentInequality(q1, q2).ValueOrDie();
+  api::DecisionResult d = engine.Decide(pair.q1, pair.q2).ValueOrDie();
+  std::printf("verdict: %s\n\n", d.ToString().c_str());
+  const core::ContainmentInequality& inequality = *d.inequality;
   std::printf("junction tree of Q2: %s\n",
               inequality.decomposition.ToString().c_str());
   std::printf("simple: %s   homs |hom(Q2,Q1)| = %zu\n\n",
@@ -33,13 +36,15 @@ int main() {
 
   for (auto cone : {entropy::ConeKind::kModular, entropy::ConeKind::kNormal,
                     entropy::ConeKind::kPolymatroid}) {
-    auto result = entropy::MaxIIOracle(q1.num_vars(), cone)
-                      .Check(inequality.branches);
+    auto result =
+        engine.CheckMaxInequality(inequality.branches, cone).ValueOrDie();
     std::printf("valid over %-28s : %s\n", entropy::ConeKindToString(cone),
                 result.valid ? "yes" : "no");
     if (result.valid && cone == entropy::ConeKind::kPolymatroid) {
       std::printf("lambda =");
-      for (const auto& l : result.lambda) std::printf(" %s", l.ToString().c_str());
+      for (const auto& l : result.lambda) {
+        std::printf(" %s", l.ToString().c_str());
+      }
       std::printf("\nShannon certificate of the combination:\n%s",
                   result.certificate->ToString(q1.num_vars(), q1.var_names())
                       .c_str());
@@ -48,12 +53,12 @@ int main() {
 
   // Numeric spot check on a concrete database: triangles never outnumber
   // fork matches.
-  auto d = cq::ParseStructureWithVocabulary(
-               "R = {(0,1),(1,2),(2,0),(0,2),(2,2)}", q1.vocab())
-               .ValueOrDie();
-  std::printf("\nspot check on D = %s\n", d.ToString().c_str());
+  auto db = cq::ParseStructureWithVocabulary(
+                "R = {(0,1),(1,2),(2,0),(0,2),(2,2)}", q1.vocab())
+                .ValueOrDie();
+  std::printf("\nspot check on D = %s\n", db.ToString().c_str());
   std::printf("|hom(Q1,D)| = %lld  <=  |hom(Q2,D)| = %lld\n",
-              static_cast<long long>(cq::CountHomomorphisms(q1, d)),
-              static_cast<long long>(cq::CountHomomorphisms(q2, d)));
+              static_cast<long long>(cq::CountHomomorphisms(q1, db)),
+              static_cast<long long>(cq::CountHomomorphisms(pair.q2, db)));
   return 0;
 }

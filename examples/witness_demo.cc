@@ -1,32 +1,34 @@
 // Example 3.5 in full: Q1 is NOT contained in Q2, the refutation is a
 // *normal* witness P = {(u,u,v,v)}, and no *product* witness exists —
 // separating Theorem 3.4(i) from 3.4(ii). Also shows the separation from
-// set semantics: Q1 ⊆ Q2 holds under set semantics.
+// set semantics: Q1 ⊆ Q2 holds under set semantics. All decisions go
+// through one Engine session.
 #include <cstdio>
 
-#include "core/decider.h"
-#include "core/set_containment.h"
+#include "api/engine.h"
 #include "core/witness.h"
-#include "cq/bag_semantics.h"
-#include "cq/parser.h"
+#include "cq/homomorphism.h"
+#include "entropy/mobius.h"
 #include "entropy/relation.h"
 
 using namespace bagcq;
 
 int main() {
-  auto q1 = cq::ParseQuery(
-                "A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), "
-                "C(x1',x2')")
-                .ValueOrDie();
-  auto q2 = cq::ParseQueryWithVocabulary("A(y1,y2), B(y1,y3), C(y4,y2)",
-                                         q1.vocab())
-                .ValueOrDie();
+  Engine engine;
+  auto pair = engine
+                  .ParsePair(
+                      "A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), "
+                      "C(x1',x2')",
+                      "A(y1,y2), B(y1,y3), C(y4,y2)")
+                  .ValueOrDie();
+  const cq::ConjunctiveQuery& q1 = pair.q1;
+  const cq::ConjunctiveQuery& q2 = pair.q2;
   std::printf("Q1: %s\nQ2: %s\n\n", q1.ToString().c_str(),
               q2.ToString().c_str());
   std::printf("set-semantics containment Q1 ⊆ Q2: %s\n",
-              core::SetContained(q1, q2) ? "holds" : "fails");
+              engine.SetContained(q1, q2) ? "holds" : "fails");
 
-  core::Decision d = core::DecideBagContainment(q1, q2).ValueOrDie();
+  api::DecisionResult d = engine.Decide(q1, q2).ValueOrDie();
   std::printf("bag-semantics containment:         %s\n\n",
               core::VerdictToString(d.verdict));
   if (d.counterexample.has_value()) {

@@ -1,0 +1,266 @@
+#include "api/engine.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "core/set_containment.h"
+
+namespace bagcq::api {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+DecisionResult FromDecision(core::Decision decision) {
+  DecisionResult result;
+  result.verdict = decision.verdict;
+  result.method = std::move(decision.method);
+  result.analysis = decision.analysis;
+  result.inequality = std::move(decision.inequality);
+  result.validity = std::move(decision.validity);
+  result.counterexample = std::move(decision.counterexample);
+  result.witness = std::move(decision.witness);
+  result.stats.lp_pivots = decision.lp_pivots;
+  return result;
+}
+
+}  // namespace
+
+std::string DecisionResult::ToString() const {
+  std::ostringstream os;
+  os << core::VerdictToString(verdict) << " [" << method << "]";
+  os << " (Q2: acyclic=" << (analysis.acyclic ? "yes" : "no")
+     << ", chordal=" << (analysis.chordal ? "yes" : "no")
+     << ", simple-JT=" << (analysis.simple_junction_tree ? "yes" : "no")
+     << "; " << stats.lp_pivots << " pivots, " << stats.elapsed_ms << " ms"
+     << (stats.prover_cache_hit ? ", prover cached" : "") << ")";
+  return os.str();
+}
+
+std::string ProofResult::ToString() const {
+  std::ostringstream os;
+  if (valid) {
+    os << "valid";
+    if (certificate.has_value()) os << " (Shannon certificate)";
+    if (!lambda.empty()) os << " (lambda weights: " << lambda.size() << ")";
+  } else {
+    os << "invalid (violation " << violation.ToString() << ")";
+  }
+  os << " [" << stats.lp_pivots << " pivots, " << stats.elapsed_ms << " ms]";
+  return os.str();
+}
+
+namespace {
+lp::SolverOptions SolverOptionsFor(const EngineOptions& options) {
+  lp::SolverOptions solver_options;  // inherit the shared max_pivots default
+  solver_options.pivot_rule = options.pivot_rule();
+  return solver_options;
+}
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : options_(options), solver_(SolverOptionsFor(options)) {}
+
+util::Result<DecisionResult> Engine::Decide(const cq::ConjunctiveQuery& q1,
+                                            const cq::ConjunctiveQuery& q2) {
+  return DecideImpl(q1, q2, /*bag_bag=*/false);
+}
+
+util::Result<DecisionResult> Engine::Decide(std::string_view q1_text,
+                                            std::string_view q2_text) {
+  auto pair = ParsePair(q1_text, q2_text);
+  if (!pair.ok()) {
+    ++stats_.decisions;
+    ++stats_.errors;
+    return pair.status();
+  }
+  return DecideImpl(pair->q1, pair->q2, /*bag_bag=*/false);
+}
+
+util::Result<DecisionResult> Engine::DecideBagBag(
+    const cq::ConjunctiveQuery& q1, const cq::ConjunctiveQuery& q2) {
+  return DecideImpl(q1, q2, /*bag_bag=*/true);
+}
+
+util::Result<DecisionResult> Engine::DecideBagBag(std::string_view q1_text,
+                                                  std::string_view q2_text) {
+  auto pair = ParsePair(q1_text, q2_text);
+  if (!pair.ok()) {
+    ++stats_.decisions;
+    ++stats_.errors;
+    return pair.status();
+  }
+  return DecideImpl(pair->q1, pair->q2, /*bag_bag=*/true);
+}
+
+std::vector<util::Result<DecisionResult>> Engine::DecideBatch(
+    std::span<const QueryPair> pairs) {
+  std::vector<util::Result<DecisionResult>> out;
+  out.reserve(pairs.size());
+  for (const QueryPair& pair : pairs) {
+    out.push_back(DecideImpl(pair.q1, pair.q2, /*bag_bag=*/false));
+  }
+  return out;
+}
+
+util::Result<DecisionResult> Engine::DecideImpl(
+    const cq::ConjunctiveQuery& q1, const cq::ConjunctiveQuery& q2,
+    bool bag_bag) {
+  const auto start = Clock::now();
+  const int64_t constructions_before = provers_.constructions();
+  core::DeciderContext context{&provers_, &solver_};
+  const core::DeciderOptions decider_options = options_.ToDeciderOptions();
+  auto decision =
+      bag_bag ? core::DecideBagBagContainmentWithContext(q1, q2,
+                                                         decider_options,
+                                                         context)
+              : core::DecideBagContainmentWithContext(q1, q2, decider_options,
+                                                      context);
+  ++stats_.decisions;
+  const double elapsed = MsSince(start);
+  stats_.total_ms += elapsed;
+  if (!decision.ok()) {
+    ++stats_.errors;
+    return decision.status();
+  }
+  DecisionResult result = FromDecision(std::move(decision).ValueOrDie());
+  result.stats.elapsed_ms = elapsed;
+  result.stats.prover_cache_hit =
+      provers_.constructions() == constructions_before;
+  stats_.lp_pivots += result.stats.lp_pivots;
+  return result;
+}
+
+util::Result<ProofResult> Engine::ProveInequality(
+    const entropy::LinearExpr& e) {
+  const auto start = Clock::now();
+  ++stats_.proofs;
+  if (e.num_vars() < 1) {
+    ++stats_.errors;
+    return util::Status::InvalidArgument(
+        "inequality must mention at least one variable");
+  }
+  const int64_t constructions_before = provers_.constructions();
+  const entropy::ShannonProver& prover = provers_.Get(e.num_vars());
+  entropy::IIResult ii = prover.Prove(e, &solver_);
+
+  ProofResult result;
+  result.valid = ii.valid;
+  result.certificate = std::move(ii.certificate);
+  result.counterexample = std::move(ii.counterexample);
+  result.violation = ii.violation;
+  result.stats.lp_pivots = ii.lp_pivots;
+  result.stats.elapsed_ms = MsSince(start);
+  result.stats.prover_cache_hit =
+      provers_.constructions() == constructions_before;
+  stats_.lp_pivots += ii.lp_pivots;
+  stats_.total_ms += result.stats.elapsed_ms;
+  return result;
+}
+
+util::Result<ProofResult> Engine::ProveInequality(std::string_view itip_text) {
+  auto parsed = entropy::ParseInequality(itip_text);
+  if (!parsed.ok()) {
+    ++stats_.proofs;
+    ++stats_.errors;
+    return parsed.status();
+  }
+  auto result = ProveInequality(parsed->expr);
+  if (result.ok()) {
+    ProofResult named = std::move(result).ValueOrDie();
+    named.var_names = std::move(parsed).ValueOrDie().var_names;
+    return named;
+  }
+  return result;
+}
+
+util::Result<ProofResult> Engine::CheckMaxInequality(
+    const std::vector<entropy::LinearExpr>& branches,
+    entropy::ConeKind cone) {
+  const auto start = Clock::now();
+  ++stats_.proofs;
+  if (branches.empty()) {
+    ++stats_.errors;
+    return util::Status::InvalidArgument(
+        "max-inequality needs at least one branch");
+  }
+  const int n = branches[0].num_vars();
+  if (n < 1) {
+    ++stats_.errors;
+    return util::Status::InvalidArgument(
+        "inequality must mention at least one variable");
+  }
+  for (const entropy::LinearExpr& e : branches) {
+    if (e.num_vars() != n) {
+      ++stats_.errors;
+      return util::Status::InvalidArgument(
+          "all branches must share one variable space");
+    }
+  }
+  const int64_t constructions_before = provers_.constructions();
+  // The generator-form cones (Nn, Mn) never touch the elemental system, so
+  // only the Γn route pays for (and caches) a prover.
+  const entropy::ShannonProver* prover =
+      cone == entropy::ConeKind::kPolymatroid ? &provers_.Get(n) : nullptr;
+  entropy::MaxIIResult max_result =
+      entropy::MaxIIOracle(n, cone, prover, &solver_).Check(branches);
+
+  ProofResult result;
+  result.valid = max_result.valid;
+  result.certificate = std::move(max_result.certificate);
+  result.lambda = std::move(max_result.lambda);
+  result.counterexample = std::move(max_result.counterexample);
+  result.violation = max_result.max_at_counterexample;
+  result.stats.lp_pivots = max_result.lp_pivots;
+  result.stats.elapsed_ms = MsSince(start);
+  result.stats.prover_cache_hit =
+      provers_.constructions() == constructions_before;
+  stats_.lp_pivots += max_result.lp_pivots;
+  stats_.total_ms += result.stats.elapsed_ms;
+  return result;
+}
+
+core::Q2Analysis Engine::Analyze(const cq::ConjunctiveQuery& q2) const {
+  return core::AnalyzeQ2(q2);
+}
+
+bool Engine::SetContained(const cq::ConjunctiveQuery& q1,
+                          const cq::ConjunctiveQuery& q2) const {
+  return core::SetContained(q1, q2);
+}
+
+util::Result<cq::ConjunctiveQuery> Engine::ParseQuery(
+    std::string_view text) const {
+  return cq::ParseQuery(text);
+}
+
+util::Result<QueryPair> Engine::ParsePair(std::string_view q1_text,
+                                          std::string_view q2_text) const {
+  BAGCQ_ASSIGN_OR_RETURN(cq::ConjunctiveQuery q1, cq::ParseQuery(q1_text));
+  BAGCQ_ASSIGN_OR_RETURN(cq::ConjunctiveQuery q2,
+                         cq::ParseQueryWithVocabulary(q2_text, q1.vocab()));
+  return QueryPair{std::move(q1), std::move(q2)};
+}
+
+EngineStats Engine::stats() const {
+  EngineStats out = stats_;
+  out.prover_constructions = provers_.constructions();
+  out.prover_cache_hits = provers_.hits();
+  out.lp_solves = solver_.solves() - lp_solves_baseline_;
+  return out;
+}
+
+void Engine::ClearCache() {
+  provers_.Clear();
+  solver_.Reset();
+  lp_solves_baseline_ = solver_.solves();
+  stats_ = EngineStats{};
+}
+
+}  // namespace bagcq::api

@@ -1,0 +1,148 @@
+// bagcq::api::Engine — the library's front door.
+//
+// One Engine is one decision session: it owns parsing, reduction, structural
+// analysis, and the exact-LP decision procedure behind three calls —
+//
+//   Decide(q1, q2)            one containment decision
+//   DecideBatch(pairs)        many decisions, amortizing session state
+//   ProveInequality(expr)     the ITIP-style Shannon prover
+//
+// — all returning unified result objects (api/result.h) built on
+// util::Status: malformed input comes back as InvalidArgument/ParseError,
+// never as a CHECK abort.
+//
+// What the session caches (the reason the Engine exists):
+//   * a per-n ShannonProver pool — the elemental system of Γn (which grows
+//     as ~n·2ⁿ constraints) is constructed once per variable count and
+//     shared by every subsequent decision, proof, and batch element;
+//   * one lp::SimplexSolver whose tableau workspace persists across calls,
+//     so repeated decisions stop reallocating rows/costs/rhs.
+//
+// Engines are not thread-safe; use one Engine per thread (they share
+// nothing). For a one-off decision the deprecated free functions in
+// core/decider.h still work — they spin up the state above per call.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/options.h"
+#include "api/result.h"
+#include "cq/parser.h"
+#include "cq/query.h"
+#include "entropy/expr_parser.h"
+#include "entropy/max_ii.h"
+#include "entropy/prover_cache.h"
+#include "lp/simplex.h"
+#include "util/status.h"
+
+namespace bagcq::api {
+
+/// One containment question, for the batch API.
+struct QueryPair {
+  cq::ConjunctiveQuery q1;
+  cq::ConjunctiveQuery q2;
+};
+
+/// Session-level counters (monotone since construction / ClearCache).
+struct EngineStats {
+  int64_t decisions = 0;        // Decide/DecideBagBag/DecideBatch elements
+  int64_t proofs = 0;           // ProveInequality / CheckMaxInequality calls
+  int64_t errors = 0;           // calls that returned a non-OK status
+  int64_t prover_constructions = 0;  // elemental systems built
+  int64_t prover_cache_hits = 0;     // decisions served from the pool
+  int64_t lp_solves = 0;        // LPs run in the shared workspace
+  int64_t lp_pivots = 0;        // pivots across those LPs
+  double total_ms = 0.0;        // wall-clock across all calls
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  // ----------------------------------------------------------- containment
+  /// Decides Q1 ⪯ Q2 under bag-set semantics. Queries must share a
+  /// vocabulary and head arity (else InvalidArgument). Non-Boolean inputs
+  /// are reduced via Lemma A.1 automatically.
+  util::Result<DecisionResult> Decide(const cq::ConjunctiveQuery& q1,
+                                      const cq::ConjunctiveQuery& q2);
+  /// Parses both queries (Q2 against Q1's vocabulary) and decides.
+  util::Result<DecisionResult> Decide(std::string_view q1_text,
+                                      std::string_view q2_text);
+
+  /// Bag-bag semantics (input database is a bag), via the [JKV06] tuple-id
+  /// transform.
+  util::Result<DecisionResult> DecideBagBag(const cq::ConjunctiveQuery& q1,
+                                            const cq::ConjunctiveQuery& q2);
+  util::Result<DecisionResult> DecideBagBag(std::string_view q1_text,
+                                            std::string_view q2_text);
+
+  /// Decides every pair, in order, reusing the session's prover pool and LP
+  /// workspace throughout — at a fixed variable count the elemental system
+  /// is constructed exactly once for the whole batch. Per-pair failures come
+  /// back as per-pair error results; the batch never aborts early.
+  std::vector<util::Result<DecisionResult>> DecideBatch(
+      std::span<const QueryPair> pairs);
+
+  // ---------------------------------------------------------------- prover
+  /// Is 0 ≤ e(h) for every polymatroid h ∈ Γn (a Shannon inequality)?
+  /// Valid → elemental-combination proof; invalid → counterexample
+  /// polymatroid. Exact either way.
+  util::Result<ProofResult> ProveInequality(const entropy::LinearExpr& e);
+  /// ITIP-style text entry point: "I(A;B|C) + H(A) >= H(B)".
+  util::Result<ProofResult> ProveInequality(std::string_view itip_text);
+
+  /// Validity of 0 ≤ max_ℓ branches[ℓ](h) over a cone (Theorem 3.6 / 6.1
+  /// machinery). All branches must agree on the variable count.
+  util::Result<ProofResult> CheckMaxInequality(
+      const std::vector<entropy::LinearExpr>& branches,
+      entropy::ConeKind cone = entropy::ConeKind::kPolymatroid);
+
+  // ------------------------------------------------- pipeline passthroughs
+  /// Structural analysis of a containing query (acyclic / chordal / simple
+  /// junction tree — the decidability frontier).
+  core::Q2Analysis Analyze(const cq::ConjunctiveQuery& q2) const;
+  /// Chandra–Merlin set-semantics containment (the classical baseline).
+  bool SetContained(const cq::ConjunctiveQuery& q1,
+                    const cq::ConjunctiveQuery& q2) const;
+
+  /// Parses a query (vocabulary inferred).
+  util::Result<cq::ConjunctiveQuery> ParseQuery(std::string_view text) const;
+  /// Parses Q1, then Q2 against Q1's vocabulary — the usual way to build a
+  /// comparable pair (or a batch) from text.
+  util::Result<QueryPair> ParsePair(std::string_view q1_text,
+                                    std::string_view q2_text) const;
+
+  // --------------------------------------------------------------- session
+  const EngineOptions& options() const { return options_; }
+  /// Counters below are cumulative across the session.
+  EngineStats stats() const;
+  /// The session's cached prover for n variables (constructing on first
+  /// use) — for callers that want the elemental system itself.
+  const entropy::ShannonProver& prover(int n) { return provers_.Get(n); }
+  /// Drops every cached prover and the LP workspace; counters reset.
+  void ClearCache();
+
+ private:
+  util::Result<DecisionResult> DecideImpl(const cq::ConjunctiveQuery& q1,
+                                          const cq::ConjunctiveQuery& q2,
+                                          bool bag_bag);
+
+  EngineOptions options_;
+  entropy::ProverCache provers_;
+  lp::SimplexSolver<util::Rational> solver_;
+  int64_t lp_solves_baseline_ = 0;
+  EngineStats stats_;
+};
+
+}  // namespace bagcq::api
+
+namespace bagcq {
+/// The facade is the library's public name: bagcq::Engine.
+using api::Engine;
+using api::EngineOptions;
+using api::EngineStats;
+using api::QueryPair;
+}  // namespace bagcq

@@ -1,0 +1,63 @@
+// EngineOptions: every knob of an Engine session in one builder, replacing
+// the core::DeciderOptions + core::WitnessOptions pair at the public
+// boundary. Defaults match the paper's reference configuration: exact
+// arithmetic, Shannon certificates on Contained verdicts, witnesses verified
+// by brute-force homomorphism counting.
+#pragma once
+
+#include <cstdint>
+
+#include "core/decider.h"
+
+namespace bagcq::api {
+
+class EngineOptions {
+ public:
+  /// Also run the Γn LP on Contained verdicts to extract a Shannon
+  /// certificate (the Nn LP alone decides but certifies differently).
+  EngineOptions& set_want_shannon_certificate(bool v) {
+    want_shannon_certificate_ = v;
+    return *this;
+  }
+  bool want_shannon_certificate() const { return want_shannon_certificate_; }
+
+  /// Refuse to materialize witness relations/databases beyond this many
+  /// tuples (the symbolic certificate is still produced).
+  EngineOptions& set_witness_max_tuples(int64_t v) {
+    witness_max_tuples_ = v;
+    return *this;
+  }
+  int64_t witness_max_tuples() const { return witness_max_tuples_; }
+
+  /// Double-check witnesses by counting homomorphisms (slow on big ones).
+  EngineOptions& set_verify_witness_counts(bool v) {
+    verify_witness_counts_ = v;
+    return *this;
+  }
+  bool verify_witness_counts() const { return verify_witness_counts_; }
+
+  /// Pivot rule for every LP the session runs. Bland guarantees termination
+  /// with exact arithmetic; Dantzig is the ablation alternative.
+  EngineOptions& set_pivot_rule(lp::PivotRule rule) {
+    pivot_rule_ = rule;
+    return *this;
+  }
+  lp::PivotRule pivot_rule() const { return pivot_rule_; }
+
+  /// The legacy options pair consumed by the core decider.
+  core::DeciderOptions ToDeciderOptions() const {
+    core::DeciderOptions options;
+    options.want_shannon_certificate = want_shannon_certificate_;
+    options.witness.max_tuples = witness_max_tuples_;
+    options.witness.verify_counts = verify_witness_counts_;
+    return options;
+  }
+
+ private:
+  bool want_shannon_certificate_ = true;
+  int64_t witness_max_tuples_ = 100'000;
+  bool verify_witness_counts_ = true;
+  lp::PivotRule pivot_rule_ = lp::PivotRule::kBland;
+};
+
+}  // namespace bagcq::api

@@ -25,15 +25,21 @@ const char* VerdictToString(Verdict v) {
   return "?";
 }
 
-util::Result<Decision> DecideBagContainment(const cq::ConjunctiveQuery& q1_in,
-                                            const cq::ConjunctiveQuery& q2_in,
-                                            const DeciderOptions& options) {
+util::Result<Decision> DecideBagContainmentWithContext(
+    const cq::ConjunctiveQuery& q1_in, const cq::ConjunctiveQuery& q2_in,
+    const DeciderOptions& options, const DeciderContext& context) {
   if (!(q1_in.vocab() == q2_in.vocab())) {
     return util::Status::InvalidArgument("queries must share a vocabulary");
   }
   if (q1_in.head().size() != q2_in.head().size()) {
     return util::Status::InvalidArgument(
         "containment requires equal head arities");
+  }
+  // Variable-free queries are degenerate constants; the junction-tree and
+  // entropy machinery needs at least one variable per side.
+  if (q1_in.num_vars() == 0 || q2_in.num_vars() == 0) {
+    return util::Status::InvalidArgument(
+        "queries must mention at least one variable");
   }
   // Lemma A.1 + duplicate-atom removal (Section 2.2).
   cq::ConjunctiveQuery q1 = cq::RemoveDuplicateAtoms(q1_in);
@@ -72,6 +78,13 @@ util::Result<Decision> DecideBagContainment(const cq::ConjunctiveQuery& q1_in,
   BAGCQ_ASSIGN_OR_RETURN(ContainmentInequality inequality,
                          BuildContainmentInequality(q1, q2));
   const int n = q1.num_vars();
+  // Session state: the reusable LP workspace, and — fetched lazily, since
+  // only the Γn (kPolymatroid) route consumes it — the cached elemental
+  // system, built once per n and shared across every decision of the batch.
+  lp::SimplexSolver<util::Rational>* solver = context.solver;
+  auto gamma_prover = [&context, n]() -> const entropy::ShannonProver* {
+    return context.provers != nullptr ? &context.provers->Get(n) : nullptr;
+  };
   const bool necessity_applies =
       decision.analysis.decidable() ||
       (decision.analysis.acyclic && !inequality.branches.empty());
@@ -85,8 +98,10 @@ util::Result<Decision> DecideBagContainment(const cq::ConjunctiveQuery& q1_in,
   const bool totally_disconnected =
       inequality.decomposition.IsTotallyDisconnected();
   MaxIIOracle normal_oracle(
-      n, totally_disconnected ? ConeKind::kModular : ConeKind::kNormal);
+      n, totally_disconnected ? ConeKind::kModular : ConeKind::kNormal,
+      /*prover=*/nullptr, solver);
   MaxIIResult over_normal = normal_oracle.Check(inequality.branches);
+  decision.lp_pivots += over_normal.lp_pivots;
 
   if (!over_normal.valid) {
     decision.counterexample = over_normal.counterexample;
@@ -137,8 +152,10 @@ util::Result<Decision> DecideBagContainment(const cq::ConjunctiveQuery& q1_in,
             : "Theorem 3.1: valid over Nn = Γn = Γ*n (simple junction tree)";
     decision.validity = std::move(over_normal);
     if (options.want_shannon_certificate) {
-      MaxIIResult over_gamma =
-          MaxIIOracle(n, ConeKind::kPolymatroid).Check(inequality.branches);
+      MaxIIResult over_gamma = MaxIIOracle(n, ConeKind::kPolymatroid,
+                                           gamma_prover(), solver)
+                                   .Check(inequality.branches);
+      decision.lp_pivots += over_gamma.lp_pivots;
       BAGCQ_CHECK(over_gamma.valid) << "Theorem 3.6 equivalence violated";
       decision.validity = std::move(over_gamma);
     }
@@ -147,7 +164,9 @@ util::Result<Decision> DecideBagContainment(const cq::ConjunctiveQuery& q1_in,
   }
 
   MaxIIResult over_gamma =
-      MaxIIOracle(n, ConeKind::kPolymatroid).Check(inequality.branches);
+      MaxIIOracle(n, ConeKind::kPolymatroid, gamma_prover(), solver)
+          .Check(inequality.branches);
+  decision.lp_pivots += over_gamma.lp_pivots;
   if (over_gamma.valid) {
     decision.verdict = Verdict::kContained;
     decision.method = "Theorem 4.2: Eq. (8) valid over Gamma_n (sufficient)";
@@ -163,9 +182,9 @@ util::Result<Decision> DecideBagContainment(const cq::ConjunctiveQuery& q1_in,
   return decision;
 }
 
-util::Result<Decision> DecideBagBagContainment(
+util::Result<Decision> DecideBagBagContainmentWithContext(
     const cq::ConjunctiveQuery& q1, const cq::ConjunctiveQuery& q2,
-    const DeciderOptions& options) {
+    const DeciderOptions& options, const DeciderContext& context) {
   if (!(q1.vocab() == q2.vocab())) {
     return util::Status::InvalidArgument("queries must share a vocabulary");
   }
@@ -173,7 +192,19 @@ util::Result<Decision> DecideBagBagContainment(
   // use the *same* rebuilt vocabulary object for the decider.
   cq::ConjunctiveQuery t1 = cq::BagBagToBagSet(q1);
   cq::ConjunctiveQuery t2 = cq::BagBagToBagSet(q2);
-  return DecideBagContainment(t1, t2, options);
+  return DecideBagContainmentWithContext(t1, t2, options, context);
+}
+
+util::Result<Decision> DecideBagContainment(const cq::ConjunctiveQuery& q1,
+                                            const cq::ConjunctiveQuery& q2,
+                                            const DeciderOptions& options) {
+  return DecideBagContainmentWithContext(q1, q2, options, DeciderContext{});
+}
+
+util::Result<Decision> DecideBagBagContainment(
+    const cq::ConjunctiveQuery& q1, const cq::ConjunctiveQuery& q2,
+    const DeciderOptions& options) {
+  return DecideBagBagContainmentWithContext(q1, q2, options, DeciderContext{});
 }
 
 std::string Decision::ToString() const {

@@ -27,6 +27,7 @@
 #include "core/containment_inequality.h"
 #include "core/witness.h"
 #include "entropy/max_ii.h"
+#include "entropy/prover_cache.h"
 #include "util/status.h"
 
 namespace bagcq::core {
@@ -42,6 +43,15 @@ struct DeciderOptions {
   WitnessOptions witness;
 };
 
+/// Borrowed session state threaded through a decision (the bagcq::Engine
+/// path). `provers` supplies per-n elemental systems built once and reused;
+/// `solver` supplies a persistent LP workspace so repeated decisions stop
+/// reallocating tableaus. Either member may be null.
+struct DeciderContext {
+  entropy::ProverCache* provers = nullptr;
+  lp::SimplexSolver<util::Rational>* solver = nullptr;
+};
+
 struct Decision {
   Verdict verdict = Verdict::kUnknown;
   /// Structural facts about Q2 and which theorem applied.
@@ -55,21 +65,43 @@ struct Decision {
   std::optional<entropy::SetFunction> counterexample;
   /// NotContained: the verified witness database.
   std::optional<Witness> witness;
+  /// Total simplex pivots across every LP run for this decision.
+  int64_t lp_pivots = 0;
 
   std::string ToString() const;
 };
 
-/// Decides Q1 ⪯ Q2 for Boolean queries over a common vocabulary.
-/// Non-Boolean inputs are reduced via Lemma A.1 automatically.
-util::Result<Decision> DecideBagContainment(const cq::ConjunctiveQuery& q1,
-                                            const cq::ConjunctiveQuery& q2,
-                                            const DeciderOptions& options = {});
+/// Decides Q1 ⪯ Q2 for Boolean queries over a common vocabulary, reusing the
+/// caller's session state (prover cache + LP workspace) when provided.
+/// Non-Boolean inputs are reduced via Lemma A.1 automatically. This is the
+/// implementation entry point behind bagcq::Engine — prefer the Engine for
+/// anything beyond a one-off decision.
+util::Result<Decision> DecideBagContainmentWithContext(
+    const cq::ConjunctiveQuery& q1, const cq::ConjunctiveQuery& q2,
+    const DeciderOptions& options, const DeciderContext& context);
 
 /// Containment under *bag-bag* semantics (the input database is a bag too):
 /// reduced to the bag-set problem by the tuple-id transform of [JKV06]
 /// (Section 2.2), then decided as above. Note that repeated atoms are
 /// meaningful under bag-bag semantics, so no duplicate removal happens
 /// before the transform.
+util::Result<Decision> DecideBagBagContainmentWithContext(
+    const cq::ConjunctiveQuery& q1, const cq::ConjunctiveQuery& q2,
+    const DeciderOptions& options, const DeciderContext& context);
+
+/// One-off decision without session state. Thin compatibility wrapper:
+/// every call rebuilds the elemental system and LP workspace from scratch.
+[[deprecated(
+    "use bagcq::Engine (api/engine.h), which caches prover state across "
+    "calls")]]
+util::Result<Decision> DecideBagContainment(const cq::ConjunctiveQuery& q1,
+                                            const cq::ConjunctiveQuery& q2,
+                                            const DeciderOptions& options = {});
+
+/// One-off bag-bag decision. Thin compatibility wrapper; see above.
+[[deprecated(
+    "use bagcq::Engine (api/engine.h), which caches prover state across "
+    "calls")]]
 util::Result<Decision> DecideBagBagContainment(
     const cq::ConjunctiveQuery& q1, const cq::ConjunctiveQuery& q2,
     const DeciderOptions& options = {});

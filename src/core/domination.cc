@@ -9,19 +9,21 @@ namespace bagcq::core {
 
 util::Result<Decision> DecideDomination(const cq::Structure& a,
                                         const cq::Structure& b,
-                                        const DeciderOptions& options) {
+                                        const DeciderOptions& options,
+                                        const DeciderContext& context) {
   if (!(a.vocab() == b.vocab())) {
     return util::Status::InvalidArgument(
         "domination requires a common vocabulary");
   }
-  return DecideBagContainment(cq::StructureToQuery(a), cq::StructureToQuery(b),
-                              options);
+  return DecideBagContainmentWithContext(
+      cq::StructureToQuery(a), cq::StructureToQuery(b), options, context);
 }
 
 util::Result<Decision> DecideExponentDomination(const cq::Structure& a,
                                                 const cq::Structure& b,
                                                 const util::Rational& c,
-                                                const DeciderOptions& options) {
+                                                const DeciderOptions& options,
+                                                const DeciderContext& context) {
   if (c.sign() < 0) {
     return util::Status::InvalidArgument("exponent must be nonnegative");
   }
@@ -48,12 +50,12 @@ util::Result<Decision> DecideExponentDomination(const cq::Structure& a,
       cq::DisjointCopies(cq::StructureToQuery(a), static_cast<int>(p));
   cq::ConjunctiveQuery qb =
       cq::DisjointCopies(cq::StructureToQuery(b), static_cast<int>(q));
-  return DecideBagContainment(qa, qb, options);
+  return DecideBagContainmentWithContext(qa, qb, options, context);
 }
 
 util::Result<ExponentSearchResult> SearchDominationExponent(
     const cq::Structure& a, const cq::Structure& b, int max_denominator,
-    const DeciderOptions& options) {
+    const DeciderOptions& options, const DeciderContext& context) {
   // Candidate exponents p/q, deduplicated and sorted ascending. Monotonicity
   // (c' < c and c works ⇒ c' works, on the |hom| ≥ 1 side) is not exploited:
   // every candidate is decided independently and cross-checked.
@@ -73,7 +75,7 @@ util::Result<ExponentSearchResult> SearchDominationExponent(
   ExponentSearchResult out;
   bool have_refuted = false;
   for (const util::Rational& c : candidates) {
-    auto decision = DecideExponentDomination(a, b, c, options);
+    auto decision = DecideExponentDomination(a, b, c, options, context);
     if (!decision.ok()) return decision.status();
     switch (decision->verdict) {
       case Verdict::kContained:

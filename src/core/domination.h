@@ -15,14 +15,15 @@ namespace bagcq::core {
 /// decider.
 util::Result<Decision> DecideDomination(const cq::Structure& a,
                                         const cq::Structure& b,
-                                        const DeciderOptions& options = {});
+                                        const DeciderOptions& options = {},
+                                        const DeciderContext& context = {});
 
 /// Exponent domination: |hom(A,D)|^c ≤ |hom(B,D)| for all D, with c = p/q a
 /// nonnegative rational — decided as q·... i.e. DisjointCopies(A,p) ⪯
 /// DisjointCopies(B,q).
 util::Result<Decision> DecideExponentDomination(
     const cq::Structure& a, const cq::Structure& b, const util::Rational& c,
-    const DeciderOptions& options = {});
+    const DeciderOptions& options = {}, const DeciderContext& context = {});
 
 /// A bounded search for the homomorphism domination exponent of [KR11]:
 /// sup { c : |hom(A,D)|^c ≤ |hom(B,D)| for all D }.
@@ -39,6 +40,6 @@ struct ExponentSearchResult {
 /// against DecideExponentDomination.
 util::Result<ExponentSearchResult> SearchDominationExponent(
     const cq::Structure& a, const cq::Structure& b, int max_denominator = 3,
-    const DeciderOptions& options = {});
+    const DeciderOptions& options = {}, const DeciderContext& context = {});
 
 }  // namespace bagcq::core

@@ -45,6 +45,19 @@ std::vector<SetFunction> ConeGenerators(int n, ConeKind kind) {
 
 MaxIIOracle::MaxIIOracle(int n, ConeKind kind) : n_(n), kind_(kind) {}
 
+MaxIIOracle::MaxIIOracle(int n, ConeKind kind, const ShannonProver* prover,
+                         lp::SimplexSolver<Rational>* solver)
+    : n_(n), kind_(kind), prover_(prover), solver_(solver) {
+  BAGCQ_CHECK(prover == nullptr || prover->num_vars() == n)
+      << "cached prover variable count mismatch";
+}
+
+lp::Solution<Rational> MaxIIOracle::RunSimplex(
+    const lp::LpProblem& problem) const {
+  if (solver_ != nullptr) return solver_->Solve(problem);
+  return lp::SimplexSolver<Rational>().Solve(problem);
+}
+
 MaxIIResult MaxIIOracle::Check(const std::vector<LinearExpr>& branches) const {
   BAGCQ_CHECK(!branches.empty()) << "max over the empty set is -infinity";
   for (const LinearExpr& e : branches) BAGCQ_CHECK_EQ(e.num_vars(), n_);
@@ -81,7 +94,12 @@ MaxIIResult MaxIIOracle::Check(const std::vector<LinearExpr>& branches) const {
 // polymatroid h with max_ℓ E_ℓ(h) ≤ -g < 0.
 MaxIIResult MaxIIOracle::CheckConstraintForm(
     const std::vector<LinearExpr>& branches) const {
-  const auto elementals = ElementalInequalities(n_);
+  // Cached elemental system when a session prover is attached; otherwise a
+  // per-call build (standalone use).
+  std::vector<ElementalInequality> local_elementals;
+  if (prover_ == nullptr) local_elementals = ElementalInequalities(n_);
+  const std::vector<ElementalInequality>& elementals =
+      prover_ != nullptr ? prover_->elementals() : local_elementals;
   const size_t k = branches.size();
   const size_t m = elementals.size();
   const uint32_t num_sets = (1u << n_) - 1;
@@ -111,7 +129,7 @@ MaxIIResult MaxIIOracle::CheckConstraintForm(
                         "convexity");
   problem.SetObjective(lp::Objective::kMinimize, {});
 
-  auto solution = lp::SimplexSolver<Rational>().Solve(problem);
+  auto solution = RunSimplex(problem);
   MaxIIResult out;
   out.lp_pivots = solution.pivots;
 
@@ -186,7 +204,7 @@ MaxIIResult MaxIIOracle::CheckGeneratorForm(
   problem.SetObjective(lp::Objective::kMinimize,
                        std::vector<Rational>(num_gens, Rational(1)));
 
-  auto solution = lp::SimplexSolver<Rational>().Solve(problem);
+  auto solution = RunSimplex(problem);
   MaxIIResult out;
   out.lp_pivots = solution.pivots;
 

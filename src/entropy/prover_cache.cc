@@ -1,0 +1,27 @@
+#include "entropy/prover_cache.h"
+
+#include "util/check.h"
+
+namespace bagcq::entropy {
+
+const ShannonProver& ProverCache::Get(int n) {
+  BAGCQ_CHECK_GE(n, 1) << "prover needs at least one variable";
+  auto it = provers_.find(n);
+  if (it != provers_.end()) {
+    ++hits_;
+    return *it->second;
+  }
+  ++constructions_;
+  auto prover = std::make_unique<ShannonProver>(n);
+  const ShannonProver& ref = *prover;
+  provers_.emplace(n, std::move(prover));
+  return ref;
+}
+
+void ProverCache::Clear() {
+  provers_.clear();
+  constructions_ = 0;
+  hits_ = 0;
+}
+
+}  // namespace bagcq::entropy

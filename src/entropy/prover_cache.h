@@ -1,0 +1,42 @@
+// ProverCache: per-n memoization of ShannonProver instances.
+//
+// The elemental system of Γn has n + C(n,2)·2^(n-2) inequalities and is by
+// far the most expensive prover state to build; it depends only on n. A
+// cache shared across decisions (the Engine session, the batch API) builds
+// each elemental system exactly once and reuses it for every subsequent
+// decision at the same variable count.
+//
+// Not thread-safe: one cache per Engine, one Engine per thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "entropy/shannon.h"
+
+namespace bagcq::entropy {
+
+class ProverCache {
+ public:
+  /// The prover for n variables, constructing (and counting a miss) on first
+  /// use. The reference stays valid until Clear() — entries are never
+  /// evicted.
+  const ShannonProver& Get(int n);
+
+  /// Number of ShannonProver constructions (= distinct n seen since the last
+  /// Clear()).
+  int64_t constructions() const { return constructions_; }
+  /// Number of Get() calls served from the cache.
+  int64_t hits() const { return hits_; }
+  size_t size() const { return provers_.size(); }
+
+  void Clear();
+
+ private:
+  std::map<int, std::unique_ptr<ShannonProver>> provers_;
+  int64_t constructions_ = 0;
+  int64_t hits_ = 0;
+};
+
+}  // namespace bagcq::entropy

@@ -29,7 +29,8 @@ std::string ShannonCertificate::ToString(
 ShannonProver::ShannonProver(int n)
     : n_(n), elementals_(ElementalInequalities(n)) {}
 
-IIResult ShannonProver::Prove(const LinearExpr& e) const {
+IIResult ShannonProver::Prove(const LinearExpr& e,
+                              lp::SimplexSolver<Rational>* solver) const {
   BAGCQ_CHECK_EQ(e.num_vars(), n_);
   // Dual-cone form (the Theorem F.1 / Appendix F argument, specialized to a
   // single expression): E is valid on Γn iff E lies in the dual cone of Γn,
@@ -62,8 +63,8 @@ IIResult ShannonProver::Prove(const LinearExpr& e) const {
   }
   problem.SetObjective(lp::Objective::kMinimize, {});
 
-  lp::SimplexSolver<Rational> solver;
-  auto solution = solver.Solve(problem);
+  lp::SimplexSolver<Rational> local_solver;
+  auto solution = (solver ? *solver : local_solver).Solve(problem);
   IIResult out;
   out.lp_pivots = solution.pivots;
 

@@ -20,6 +20,11 @@
 #include "entropy/linear_expr.h"
 #include "entropy/set_function.h"
 
+namespace bagcq::lp {
+template <typename Scalar>
+class SimplexSolver;
+}  // namespace bagcq::lp
+
 namespace bagcq::entropy {
 
 /// An exact proof: E = Σ weight_t · elemental_t with all weights ≥ 0.
@@ -54,8 +59,11 @@ class ShannonProver {
   }
 
   /// Is 0 ≤ E(h) for all h ∈ Γn? Certificates and counterexamples are
-  /// CHECK-verified before being returned.
-  IIResult Prove(const LinearExpr& e) const;
+  /// CHECK-verified before being returned. With a non-null `solver`, the LP
+  /// runs in that solver's persistent workspace (the Engine batch path);
+  /// otherwise a throwaway solver is used.
+  IIResult Prove(const LinearExpr& e,
+                 lp::SimplexSolver<Rational>* solver = nullptr) const;
 
  private:
   int n_;

@@ -49,20 +49,23 @@ struct Field<double> {
 // Internal tableau. Columns: structural (original variables, free ones
 // split into x+ - x-), then slacks/surpluses, then artificials; one rhs
 // column. The cost row is maintained incrementally as d_j = c_j - z_j.
+// All storage lives in the caller's SimplexWorkspace and is rebuilt with
+// capacity-preserving assigns, so back-to-back solves do not reallocate.
 template <typename Scalar>
 class Tableau {
  public:
   using F = Field<Scalar>;
 
-  Tableau(const LpProblem& problem, const SolverOptions& options)
-      : problem_(problem), options_(options) {}
+  Tableau(const LpProblem& problem, const SolverOptions& options,
+          SimplexWorkspace<Scalar>& workspace)
+      : problem_(problem), options_(options), ws_(workspace) {}
 
   Solution<Scalar> Run() {
     Build();
     Solution<Scalar> out;
 
     // Phase I: minimize the sum of artificial variables.
-    if (!artificials_.empty()) {
+    if (!ws_.artificials.empty()) {
       SetPhaseCosts(/*phase_one=*/true);
       SolveStatus status = Iterate(/*phase_one=*/true, &out.pivots);
       BAGCQ_CHECK(status != SolveStatus::kUnbounded)
@@ -101,47 +104,51 @@ class Tableau {
     const int m = problem_.num_constraints();
 
     // Column layout for structural variables.
-    col_of_var_.resize(n);
-    neg_col_of_var_.assign(n, -1);
+    ws_.col_of_var.resize(n);
+    ws_.neg_col_of_var.assign(n, -1);
     int col = 0;
     for (int j = 0; j < n; ++j) {
-      col_of_var_[j] = col++;
-      if (problem_.variable_is_free(j)) neg_col_of_var_[j] = col++;
+      ws_.col_of_var[j] = col++;
+      if (problem_.variable_is_free(j)) ws_.neg_col_of_var[j] = col++;
     }
     num_structural_ = col;
     num_columns_ = num_structural_;
 
     // Internal (minimization) costs for structural columns.
-    structural_cost_.assign(num_structural_, Scalar{});
+    ws_.structural_cost.assign(num_structural_, Scalar{});
     for (int j = 0; j < n; ++j) {
       util::Rational c = problem_.objective_coeff(j);
       if (maximize_) c = -c;
-      structural_cost_[col_of_var_[j]] = F::FromRational(c);
-      if (neg_col_of_var_[j] >= 0) {
-        structural_cost_[neg_col_of_var_[j]] = F::FromRational(-c);
+      ws_.structural_cost[ws_.col_of_var[j]] = F::FromRational(c);
+      if (ws_.neg_col_of_var[j] >= 0) {
+        ws_.structural_cost[ws_.neg_col_of_var[j]] = F::FromRational(-c);
       }
     }
 
-    rows_.assign(m, std::vector<Scalar>());
-    rhs_.assign(m, Scalar{});
-    row_sign_.assign(m, 1);
-    identity_col_.assign(m, -1);
-    basis_.assign(m, -1);
+    // Resize the row list without discarding inner-vector capacity: assign()
+    // with a prototype would replace every row by a fresh empty vector.
+    if (static_cast<int>(ws_.rows.size()) > m) ws_.rows.resize(m);
+    while (static_cast<int>(ws_.rows.size()) < m) ws_.rows.emplace_back();
+    ws_.rhs.assign(m, Scalar{});
+    ws_.row_sign.assign(m, 1);
+    ws_.identity_col.assign(m, -1);
+    ws_.basis.assign(m, -1);
+    ws_.artificials.clear();
 
     // First pass: structural part and row normalization (rhs >= 0).
     for (int i = 0; i < m; ++i) {
       const Constraint& row = problem_.constraints()[i];
-      rows_[i].assign(num_structural_, Scalar{});
+      ws_.rows[i].assign(num_structural_, Scalar{});
       for (int j = 0; j < n; ++j) {
         Scalar a = F::FromRational(row.coeffs[j]);
-        rows_[i][col_of_var_[j]] = a;
-        if (neg_col_of_var_[j] >= 0) rows_[i][neg_col_of_var_[j]] = Scalar{} - a;
+        ws_.rows[i][ws_.col_of_var[j]] = a;
+        if (ws_.neg_col_of_var[j] >= 0) ws_.rows[i][ws_.neg_col_of_var[j]] = Scalar{} - a;
       }
-      rhs_[i] = F::FromRational(row.rhs);
-      if (F::IsNegative(rhs_[i])) {
-        row_sign_[i] = -1;
-        for (Scalar& a : rows_[i]) a = Scalar{} - a;
-        rhs_[i] = Scalar{} - rhs_[i];
+      ws_.rhs[i] = F::FromRational(row.rhs);
+      if (F::IsNegative(ws_.rhs[i])) {
+        ws_.row_sign[i] = -1;
+        for (Scalar& a : ws_.rows[i]) a = Scalar{} - a;
+        ws_.rhs[i] = Scalar{} - ws_.rhs[i];
       }
     }
 
@@ -150,57 +157,57 @@ class Tableau {
       const Constraint& row = problem_.constraints()[i];
       if (row.sense == Sense::kEqual) continue;
       // Slack (+1 for <=) or surplus (-1 for >=), then the row-sign flip.
-      int coeff = (row.sense == Sense::kLessEqual ? 1 : -1) * row_sign_[i];
+      int coeff = (row.sense == Sense::kLessEqual ? 1 : -1) * ws_.row_sign[i];
       int slack_col = AddColumn();
-      rows_[i][slack_col] = coeff == 1 ? Scalar{1} : Scalar{} - Scalar{1};
+      ws_.rows[i][slack_col] = coeff == 1 ? Scalar{1} : Scalar{} - Scalar{1};
       if (coeff == 1) {
-        identity_col_[i] = slack_col;
-        basis_[i] = slack_col;
+        ws_.identity_col[i] = slack_col;
+        ws_.basis[i] = slack_col;
       }
     }
 
     // Third pass: artificials for rows without a natural basic column.
     for (int i = 0; i < m; ++i) {
-      if (basis_[i] >= 0) continue;
+      if (ws_.basis[i] >= 0) continue;
       int art_col = AddColumn();
-      rows_[i][art_col] = Scalar{1};
-      identity_col_[i] = art_col;
-      basis_[i] = art_col;
-      artificials_.push_back(art_col);
+      ws_.rows[i][art_col] = Scalar{1};
+      ws_.identity_col[i] = art_col;
+      ws_.basis[i] = art_col;
+      ws_.artificials.push_back(art_col);
     }
 
-    cost_row_.assign(num_columns_, Scalar{});
+    ws_.cost_row.assign(num_columns_, Scalar{});
     objective_value_ = Scalar{};
   }
 
   int AddColumn() {
-    for (auto& row : rows_) row.push_back(Scalar{});
-    structural_cost_.push_back(Scalar{});  // slack/artificial phase-II cost 0
+    for (auto& row : ws_.rows) row.push_back(Scalar{});
+    ws_.structural_cost.push_back(Scalar{});  // slack/artificial phase-II cost 0
     return num_columns_++;
   }
 
   bool IsArtificial(int col) const {
-    return std::find(artificials_.begin(), artificials_.end(), col) !=
-           artificials_.end();
+    return std::find(ws_.artificials.begin(), ws_.artificials.end(), col) !=
+           ws_.artificials.end();
   }
 
   // Recomputes the cost row d_j = c_j - z_j and the objective for the phase.
   void SetPhaseCosts(bool phase_one) {
-    current_cost_.assign(num_columns_, Scalar{});
+    ws_.current_cost.assign(num_columns_, Scalar{});
     if (phase_one) {
-      for (int col : artificials_) current_cost_[col] = Scalar{1};
+      for (int col : ws_.artificials) ws_.current_cost[col] = Scalar{1};
     } else {
-      for (int j = 0; j < num_columns_; ++j) current_cost_[j] = structural_cost_[j];
+      for (int j = 0; j < num_columns_; ++j) ws_.current_cost[j] = ws_.structural_cost[j];
     }
-    for (int j = 0; j < num_columns_; ++j) cost_row_[j] = current_cost_[j];
+    for (int j = 0; j < num_columns_; ++j) ws_.cost_row[j] = ws_.current_cost[j];
     objective_value_ = Scalar{};
-    for (int i = 0; i < static_cast<int>(rows_.size()); ++i) {
-      const Scalar& cb = current_cost_[basis_[i]];
+    for (int i = 0; i < static_cast<int>(ws_.rows.size()); ++i) {
+      const Scalar& cb = ws_.current_cost[ws_.basis[i]];
       if (F::IsZero(cb)) continue;
       for (int j = 0; j < num_columns_; ++j) {
-        cost_row_[j] = cost_row_[j] - cb * rows_[i][j];
+        ws_.cost_row[j] = ws_.cost_row[j] - cb * ws_.rows[i][j];
       }
-      objective_value_ = objective_value_ + cb * rhs_[i];
+      objective_value_ = objective_value_ + cb * ws_.rhs[i];
     }
   }
 
@@ -208,17 +215,17 @@ class Tableau {
   // not enter the basis (they stay parked at zero, preserving B^-1 columns
   // for dual extraction).
   SolveStatus Iterate(bool phase_one, int64_t* pivots) {
-    const int m = static_cast<int>(rows_.size());
+    const int m = static_cast<int>(ws_.rows.size());
     while (true) {
       // Entering column.
       int enter = -1;
       for (int j = 0; j < num_columns_; ++j) {
         if (!phase_one && IsArtificial(j)) continue;
-        if (!F::IsNegative(cost_row_[j])) continue;
+        if (!F::IsNegative(ws_.cost_row[j])) continue;
         if (enter == -1) {
           enter = j;
           if (options_.pivot_rule == PivotRule::kBland) break;
-        } else if (F::Less(cost_row_[j], cost_row_[enter])) {
+        } else if (F::Less(ws_.cost_row[j], ws_.cost_row[enter])) {
           enter = j;  // Dantzig: most negative reduced cost
         }
       }
@@ -228,17 +235,17 @@ class Tableau {
       // broken by smallest basis column.
       int leave = -1;
       for (int i = 0; i < m; ++i) {
-        if (!F::IsPositive(rows_[i][enter])) continue;
+        if (!F::IsPositive(ws_.rows[i][enter])) continue;
         if (leave == -1) {
           leave = i;
           continue;
         }
-        // Compare rhs_[i]/rows_[i][enter] vs rhs_[leave]/rows_[leave][enter]
+        // Compare ws_.rhs[i]/ws_.rows[i][enter] vs ws_.rhs[leave]/ws_.rows[leave][enter]
         // without division: cross-multiply (both pivots positive).
-        Scalar lhs = rhs_[i] * rows_[leave][enter];
-        Scalar rhs = rhs_[leave] * rows_[i][enter];
+        Scalar lhs = ws_.rhs[i] * ws_.rows[leave][enter];
+        Scalar rhs = ws_.rhs[leave] * ws_.rows[i][enter];
         if (F::Less(lhs, rhs) ||
-            (!F::Less(rhs, lhs) && basis_[i] < basis_[leave])) {
+            (!F::Less(rhs, lhs) && ws_.basis[i] < ws_.basis[leave])) {
           leave = i;
         }
       }
@@ -252,47 +259,47 @@ class Tableau {
   }
 
   void Pivot(int leave, int enter) {
-    std::vector<Scalar>& prow = rows_[leave];
+    std::vector<Scalar>& prow = ws_.rows[leave];
     Scalar pivot = prow[enter];
     BAGCQ_DCHECK(F::IsPositive(pivot));
     for (Scalar& a : prow) a = a / pivot;
-    rhs_[leave] = rhs_[leave] / pivot;
+    ws_.rhs[leave] = ws_.rhs[leave] / pivot;
     prow[enter] = Scalar{1};  // kill residual rounding for double
 
-    for (int i = 0; i < static_cast<int>(rows_.size()); ++i) {
+    for (int i = 0; i < static_cast<int>(ws_.rows.size()); ++i) {
       if (i == leave) continue;
-      Scalar factor = rows_[i][enter];
+      Scalar factor = ws_.rows[i][enter];
       if (F::IsZero(factor)) continue;
       for (int j = 0; j < num_columns_; ++j) {
-        rows_[i][j] = rows_[i][j] - factor * prow[j];
+        ws_.rows[i][j] = ws_.rows[i][j] - factor * prow[j];
       }
-      rows_[i][enter] = Scalar{};
-      rhs_[i] = rhs_[i] - factor * rhs_[leave];
+      ws_.rows[i][enter] = Scalar{};
+      ws_.rhs[i] = ws_.rhs[i] - factor * ws_.rhs[leave];
     }
-    Scalar cfactor = cost_row_[enter];
+    Scalar cfactor = ws_.cost_row[enter];
     if (!F::IsZero(cfactor)) {
       for (int j = 0; j < num_columns_; ++j) {
-        cost_row_[j] = cost_row_[j] - cfactor * prow[j];
+        ws_.cost_row[j] = ws_.cost_row[j] - cfactor * prow[j];
       }
-      cost_row_[enter] = Scalar{};
-      objective_value_ = objective_value_ + cfactor * rhs_[leave];
+      ws_.cost_row[enter] = Scalar{};
+      objective_value_ = objective_value_ + cfactor * ws_.rhs[leave];
     }
-    basis_[leave] = enter;
+    ws_.basis[leave] = enter;
   }
 
   // After phase I, basic artificials sit at value zero; pivot them out on any
   // nonzero non-artificial entry (degenerate pivots). Rows that are entirely
   // zero outside artificial columns are redundant and stay parked.
   void PivotOutBasicArtificials() {
-    for (int i = 0; i < static_cast<int>(rows_.size()); ++i) {
-      if (!IsArtificial(basis_[i])) continue;
+    for (int i = 0; i < static_cast<int>(ws_.rows.size()); ++i) {
+      if (!IsArtificial(ws_.basis[i])) continue;
       for (int j = 0; j < num_columns_; ++j) {
         if (IsArtificial(j)) continue;
-        if (!F::IsZero(rows_[i][j])) {
+        if (!F::IsZero(ws_.rows[i][j])) {
           // Direct elementary pivot (ratio irrelevant: rhs is zero).
-          if (F::IsNegative(rows_[i][j])) {
-            for (Scalar& a : rows_[i]) a = Scalar{} - a;
-            rhs_[i] = Scalar{} - rhs_[i];
+          if (F::IsNegative(ws_.rows[i][j])) {
+            for (Scalar& a : ws_.rows[i]) a = Scalar{} - a;
+            ws_.rhs[i] = Scalar{} - ws_.rhs[i];
           }
           Pivot(i, j);
           break;
@@ -303,15 +310,15 @@ class Tableau {
 
   std::vector<Scalar> ExtractPrimal() const {
     std::vector<Scalar> internal(num_columns_, Scalar{});
-    for (int i = 0; i < static_cast<int>(rows_.size()); ++i) {
-      internal[basis_[i]] = rhs_[i];
+    for (int i = 0; i < static_cast<int>(ws_.rows.size()); ++i) {
+      internal[ws_.basis[i]] = ws_.rhs[i];
     }
     const int n = problem_.num_variables();
     std::vector<Scalar> out(n, Scalar{});
     for (int j = 0; j < n; ++j) {
-      out[j] = internal[col_of_var_[j]];
-      if (neg_col_of_var_[j] >= 0) {
-        out[j] = out[j] - internal[neg_col_of_var_[j]];
+      out[j] = internal[ws_.col_of_var[j]];
+      if (ws_.neg_col_of_var[j] >= 0) {
+        out[j] = out[j] - internal[ws_.neg_col_of_var[j]];
       }
     }
     return out;
@@ -320,15 +327,15 @@ class Tableau {
   // Row multipliers y_i = c_identity - d_identity, un-normalized by the row
   // sign. In phase I these are the Farkas certificate; in phase II the duals.
   std::vector<Scalar> ExtractRowMultipliers(bool phase_one) const {
-    const int m = static_cast<int>(rows_.size());
+    const int m = static_cast<int>(ws_.rows.size());
     std::vector<Scalar> out(m, Scalar{});
     for (int i = 0; i < m; ++i) {
-      int col = identity_col_[i];
+      int col = ws_.identity_col[i];
       BAGCQ_CHECK_GE(col, 0) << "row without identity column";
       Scalar cost = phase_one ? (IsArtificial(col) ? Scalar{1} : Scalar{})
-                              : structural_cost_[col];
-      Scalar y = cost - cost_row_[col];
-      if (row_sign_[i] < 0) y = Scalar{} - y;
+                              : ws_.structural_cost[col];
+      Scalar y = cost - ws_.cost_row[col];
+      if (ws_.row_sign[i] < 0) y = Scalar{} - y;
       out[i] = y;
     }
     return out;
@@ -336,29 +343,32 @@ class Tableau {
 
   const LpProblem& problem_;
   SolverOptions options_;
+  SimplexWorkspace<Scalar>& ws_;
 
   bool maximize_ = false;
   int num_structural_ = 0;
   int num_columns_ = 0;
-  std::vector<int> col_of_var_;
-  std::vector<int> neg_col_of_var_;
-  std::vector<Scalar> structural_cost_;  // phase-II costs per column
-  std::vector<Scalar> current_cost_;
-  std::vector<std::vector<Scalar>> rows_;
-  std::vector<Scalar> rhs_;
-  std::vector<Scalar> cost_row_;
   Scalar objective_value_{};
-  std::vector<int> basis_;
-  std::vector<int> row_sign_;
-  std::vector<int> identity_col_;
-  std::vector<int> artificials_;
 };
 
 }  // namespace
 
 template <typename Scalar>
-Solution<Scalar> SimplexSolver<Scalar>::Solve(const LpProblem& problem) const {
-  Tableau<Scalar> tableau(problem, options_);
+void SimplexWorkspace<Scalar>::Release() {
+  *this = SimplexWorkspace<Scalar>();
+}
+
+template <typename Scalar>
+size_t SimplexWorkspace<Scalar>::RetainedRowCapacity() const {
+  size_t bytes = rows.capacity() * sizeof(std::vector<Scalar>);
+  for (const auto& row : rows) bytes += row.capacity() * sizeof(Scalar);
+  return bytes;
+}
+
+template <typename Scalar>
+Solution<Scalar> SimplexSolver<Scalar>::Solve(const LpProblem& problem) {
+  ++solves_;
+  Tableau<Scalar> tableau(problem, options_, workspace_);
   return tableau.Run();
 }
 
@@ -453,6 +463,8 @@ bool VerifyFarkas(const LpProblem& problem,
   return true;
 }
 
+template struct SimplexWorkspace<util::Rational>;
+template struct SimplexWorkspace<double>;
 template class SimplexSolver<util::Rational>;
 template class SimplexSolver<double>;
 

@@ -52,17 +52,54 @@ struct SolverOptions {
   int64_t max_pivots = 1'000'000;
 };
 
+/// Persistent tableau storage. Kept inside the solver across Solve() calls so
+/// that repeated solves of similarly-sized programs (the Engine batch path)
+/// reuse vector capacity instead of reallocating rows, costs, and rhs each
+/// time. All members are rebuilt (capacity-preserving `assign`/`resize`) at
+/// the start of every solve; none carry semantic state between calls.
+template <typename Scalar>
+struct SimplexWorkspace {
+  std::vector<int> col_of_var;
+  std::vector<int> neg_col_of_var;
+  std::vector<Scalar> structural_cost;
+  std::vector<Scalar> current_cost;
+  std::vector<std::vector<Scalar>> rows;
+  std::vector<Scalar> rhs;
+  std::vector<Scalar> cost_row;
+  std::vector<int> basis;
+  std::vector<int> row_sign;
+  std::vector<int> identity_col;
+  std::vector<int> artificials;
+
+  /// Releases all held memory (capacity included).
+  void Release();
+  /// Bytes of tableau capacity currently retained (rows only; a proxy for
+  /// the reuse benefit, reported by benches).
+  size_t RetainedRowCapacity() const;
+};
+
 template <typename Scalar>
 class SimplexSolver {
  public:
   explicit SimplexSolver(SolverOptions options = {}) : options_(options) {}
 
   /// Solves the program. CHECK-fails if the pivot cap is hit (which cannot
-  /// happen with Bland's rule and exact arithmetic).
-  Solution<Scalar> Solve(const LpProblem& problem) const;
+  /// happen with Bland's rule and exact arithmetic). Non-const: the call
+  /// reuses (and regrows) the solver's persistent tableau workspace, so a
+  /// long-lived solver amortizes allocation across a batch of solves.
+  Solution<Scalar> Solve(const LpProblem& problem);
+
+  /// Drops the persistent workspace memory. Subsequent solves start cold.
+  void Reset() { workspace_.Release(); }
+
+  /// Number of Solve() calls served by this solver instance.
+  int64_t solves() const { return solves_; }
+  const SimplexWorkspace<Scalar>& workspace() const { return workspace_; }
 
  private:
   SolverOptions options_;
+  SimplexWorkspace<Scalar> workspace_;
+  int64_t solves_ = 0;
 };
 
 /// Exact (or epsilon, for double) verification that `solution.duals` is a
@@ -78,6 +115,8 @@ bool VerifyDuals(const LpProblem& problem, const Solution<util::Rational>& solut
 ///   sum_i y_i A_ij ≤ 0 (== 0 for free variables).
 bool VerifyFarkas(const LpProblem& problem, const std::vector<util::Rational>& farkas);
 
+extern template struct SimplexWorkspace<util::Rational>;
+extern template struct SimplexWorkspace<double>;
 extern template class SimplexSolver<util::Rational>;
 extern template class SimplexSolver<double>;
 

@@ -94,8 +94,15 @@ class Result {
     if (!_st.ok()) return _st;               \
   } while (0)
 
-/// Assign from a Result or propagate its error.
-#define BAGCQ_ASSIGN_OR_RETURN(lhs, rexpr)   \
-  auto _res_##__LINE__ = (rexpr);            \
-  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
-  lhs = std::move(_res_##__LINE__).ValueOrDie();
+/// Assign from a Result or propagate its error. The temporary's name goes
+/// through two expansion layers so __LINE__ actually expands — direct
+/// token-pasting would name every temporary `_res___LINE__` and collide on
+/// the second use in a function.
+#define BAGCQ_STATUS_CONCAT_INNER(a, b) a##b
+#define BAGCQ_STATUS_CONCAT(a, b) BAGCQ_STATUS_CONCAT_INNER(a, b)
+#define BAGCQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie();
+#define BAGCQ_ASSIGN_OR_RETURN(lhs, rexpr) \
+  BAGCQ_ASSIGN_OR_RETURN_IMPL(BAGCQ_STATUS_CONCAT(_res_, __LINE__), lhs, rexpr)

@@ -1,3 +1,6 @@
+// This test deliberately exercises the deprecated one-off free functions
+// (the compatibility wrappers around the Engine path).
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include "core/domination.h"
 
 #include <gtest/gtest.h>

@@ -1,0 +1,313 @@
+#include "api/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "entropy/known_inequalities.h"
+#include "entropy/mobius.h"
+
+namespace bagcq::api {
+namespace {
+
+using entropy::ConeKind;
+using entropy::LinearExpr;
+using util::Rational;
+using util::StatusCode;
+using util::VarSet;
+
+// ---------------------------------------------------------------- Decide
+
+TEST(EngineDecideTest, Example43TriangleContainedInFork) {
+  // Example 4.3 (Eric Vee): Q1 = triangle, Q2 = fork; Q1 ⪯ Q2, certified.
+  Engine engine;
+  auto d = engine.Decide("R(x1,x2), R(x2,x3), R(x3,x1)", "R(y1,y2), R(y1,y3)")
+               .ValueOrDie();
+  EXPECT_EQ(d.verdict, Verdict::kContained) << d.ToString();
+  EXPECT_TRUE(d.analysis.acyclic);
+  EXPECT_TRUE(d.analysis.decidable());
+  ASSERT_TRUE(d.inequality.has_value());
+  EXPECT_EQ(d.inequality->homs.size(), 3u);
+  ASSERT_TRUE(d.validity.has_value());
+  EXPECT_TRUE(d.validity->certificate.has_value());
+  EXPECT_GT(d.stats.lp_pivots, 0);
+  EXPECT_GE(d.stats.elapsed_ms, 0.0);
+}
+
+TEST(EngineDecideTest, Example35NotContainedWithWitness) {
+  // Example 3.5: Q1 ⋢ Q2 with a normal counterexample and verified witness;
+  // still contained under set semantics (the paper's separation).
+  Engine engine;
+  auto pair = engine
+                  .ParsePair(
+                      "A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), "
+                      "C(x1',x2')",
+                      "A(y1,y2), B(y1,y3), C(y4,y2)")
+                  .ValueOrDie();
+  auto d = engine.Decide(pair.q1, pair.q2).ValueOrDie();
+  EXPECT_EQ(d.verdict, Verdict::kNotContained) << d.ToString();
+  ASSERT_TRUE(d.counterexample.has_value());
+  EXPECT_TRUE(entropy::IsNormal(*d.counterexample));
+  ASSERT_TRUE(d.witness.has_value());
+  EXPECT_TRUE(d.witness->counts_verified);
+  EXPECT_GT(d.witness->hom_q1, d.witness->hom_q2);
+  EXPECT_TRUE(engine.SetContained(pair.q1, pair.q2));
+}
+
+TEST(EngineDecideTest, BagBagSemantics) {
+  Engine engine;
+  auto d = engine.DecideBagBag("R(x,y)", "R(a,b)").ValueOrDie();
+  EXPECT_EQ(d.verdict, Verdict::kContained) << d.ToString();
+}
+
+// ------------------------------------------------------- error discipline
+
+TEST(EngineErrorTest, MismatchedVocabularyIsInvalidArgument) {
+  Engine engine;
+  auto q1 = engine.ParseQuery("R(x,y)").ValueOrDie();
+  auto q2 = engine.ParseQuery("S(x,y)").ValueOrDie();
+  auto result = engine.Decide(q1, q2);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineErrorTest, MismatchedHeadArityIsInvalidArgument) {
+  Engine engine;
+  auto pair =
+      engine.ParsePair("Q(x) :- R(x,y).", "Q(x,y) :- R(x,y).").ValueOrDie();
+  auto result = engine.Decide(pair.q1, pair.q2);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineErrorTest, UnparsableQueryIsParseError) {
+  Engine engine;
+  auto result = engine.Decide("this is not a query((", "R(x,y)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  // Parse failures are accounted like every other failed decision.
+  EXPECT_EQ(engine.stats().decisions, 1);
+  EXPECT_EQ(engine.stats().errors, 1);
+}
+
+TEST(EngineErrorTest, VariableFreeQueryIsInvalidArgument) {
+  // "R()" parses (nullary relation) but is a degenerate constant query; the
+  // pipeline must reject it instead of CHECK-aborting in the junction tree.
+  Engine engine;
+  auto result = engine.Decide("R()", "R()");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  auto mixed = engine.Decide("R(), S(x)", "R()");
+  ASSERT_FALSE(mixed.ok());
+  EXPECT_EQ(mixed.status().code(), StatusCode::kInvalidArgument);
+  // Zero-variable atoms alongside real variables on both sides still decide.
+  EXPECT_TRUE(engine.Decide("R(), S(x)", "S(a)").ok());
+}
+
+TEST(EngineErrorTest, UnparsableInequalityIsParseError) {
+  Engine engine;
+  auto result = engine.ProveInequality("H(A >= nonsense");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(EngineErrorTest, EmptyBranchListIsInvalidArgument) {
+  Engine engine;
+  auto result = engine.CheckMaxInequality({});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineErrorTest, MixedVariableSpacesAreInvalidArgument) {
+  Engine engine;
+  auto result = engine.CheckMaxInequality(
+      {LinearExpr::H(3, VarSet::Of({0})), LinearExpr::H(4, VarSet::Of({0}))});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineErrorTest, ZeroVariableInequalityIsInvalidArgument) {
+  Engine engine;
+  auto result = engine.ProveInequality(LinearExpr(0));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineErrorTest, BatchReportsPerPairErrorsWithoutAborting) {
+  Engine engine;
+  auto good = engine.ParsePair("R(x,y), R(y,z)", "R(a,b)").ValueOrDie();
+  QueryPair bad{engine.ParseQuery("R(x,y)").ValueOrDie(),
+                engine.ParseQuery("S(x,y)").ValueOrDie()};
+  std::vector<QueryPair> pairs = {good, bad, good};
+  auto results = engine.DecideBatch(pairs);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_EQ(engine.stats().errors, 1);
+}
+
+// ----------------------------------------------------------------- prover
+
+TEST(EngineProverTest, BasicShannonInequalities) {
+  Engine engine;
+  EXPECT_TRUE(engine.ProveInequality("H(A) + H(B) >= H(A,B)")
+                  .ValueOrDie()
+                  .valid);
+  EXPECT_TRUE(engine.ProveInequality("H(A,B) >= H(A)").ValueOrDie().valid);
+  auto invalid = engine.ProveInequality("H(A) >= H(B)").ValueOrDie();
+  EXPECT_FALSE(invalid.valid);
+  ASSERT_TRUE(invalid.counterexample.has_value());
+  EXPECT_LT(invalid.violation.sign(), 0);
+  // The text entry point reports variable names.
+  EXPECT_EQ(invalid.var_names.size(), 2u);
+}
+
+TEST(EngineProverTest, ZhangYeungSeparatesGammaFromEntropic) {
+  // Section 3.2: ZY is NOT Shannon (a Γ4 polymatroid refutes it) yet holds
+  // over N4 ⊆ Γ*4 — the non-Shannon phenomenon.
+  Engine engine;
+  auto zy = engine.ProveInequality(entropy::ZhangYeungExpr()).ValueOrDie();
+  EXPECT_FALSE(zy.valid);
+  ASSERT_TRUE(zy.counterexample.has_value());
+  EXPECT_TRUE(zy.counterexample->IsPolymatroid());
+  EXPECT_FALSE(entropy::IsNormal(*zy.counterexample));
+
+  auto over_normal =
+      engine.CheckMaxInequality({entropy::ZhangYeungExpr()}, ConeKind::kNormal)
+          .ValueOrDie();
+  EXPECT_TRUE(over_normal.valid);
+}
+
+TEST(EngineProverTest, MaxInequalityExample38) {
+  // Example 3.8: the triangle bound needs all three branches; λ = 1/3 each.
+  Engine engine;
+  const int n = 3;
+  VarSet x1 = VarSet::Of({0}), x2 = VarSet::Of({1}), x3 = VarSet::Of({2});
+  std::vector<LinearExpr> exprs;
+  exprs.push_back(LinearExpr::H(n, x1.Union(x2)) +
+                  LinearExpr::HCond(n, x2, x1));
+  exprs.push_back(LinearExpr::H(n, x2.Union(x3)) +
+                  LinearExpr::HCond(n, x3, x2));
+  exprs.push_back(LinearExpr::H(n, x1.Union(x3)) +
+                  LinearExpr::HCond(n, x1, x3));
+  auto branches = entropy::BranchesForBoundedForm(n, Rational(1), exprs);
+  auto result = engine.CheckMaxInequality(branches).ValueOrDie();
+  EXPECT_TRUE(result.valid);
+  ASSERT_EQ(result.lambda.size(), 3u);
+  ASSERT_TRUE(result.certificate.has_value());
+  // No single branch suffices.
+  for (const LinearExpr& branch : branches) {
+    EXPECT_FALSE(engine.CheckMaxInequality({branch}).ValueOrDie().valid);
+  }
+}
+
+// ------------------------------------------------------------ cache reuse
+
+TEST(EngineCacheTest, BatchOf100ConstructsElementalSystemOnce) {
+  // The acceptance property of the session API: at a fixed variable count,
+  // a batch of 100 decisions builds the Γn elemental system exactly once.
+  Engine engine;
+  auto pair = engine
+                  .ParsePair("R(x1,x2), R(x2,x3), R(x3,x1)",
+                             "R(y1,y2), R(y1,y3)")
+                  .ValueOrDie();
+  std::vector<QueryPair> pairs(100, pair);
+  auto results = engine.DecideBatch(pairs);
+  ASSERT_EQ(results.size(), 100u);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->verdict, Verdict::kContained);
+  }
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.decisions, 100);
+  EXPECT_EQ(stats.prover_constructions, 1);  // built once, reused 99 times
+  EXPECT_EQ(stats.prover_cache_hits, 99);
+  // Per-call stats agree: only the first call misses.
+  EXPECT_FALSE(results[0]->stats.prover_cache_hit);
+  EXPECT_TRUE(results[1]->stats.prover_cache_hit);
+  EXPECT_TRUE(results[99]->stats.prover_cache_hit);
+}
+
+TEST(EngineCacheTest, RefutationsNeverBuildTheElementalSystem) {
+  // The Γn elemental system is fetched lazily: a decision refuted on the
+  // cheap generator-form cone (Example 3.5) must not pay for it.
+  Engine engine;
+  auto pair = engine
+                  .ParsePair(
+                      "A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), "
+                      "C(x1',x2')",
+                      "A(y1,y2), B(y1,y3), C(y4,y2)")
+                  .ValueOrDie();
+  auto d = engine.Decide(pair.q1, pair.q2).ValueOrDie();
+  EXPECT_EQ(d.verdict, Verdict::kNotContained);
+  EXPECT_EQ(engine.stats().prover_constructions, 0);
+  EXPECT_TRUE(d.stats.prover_cache_hit);  // "never needed one" counts as hit
+}
+
+TEST(EngineCacheTest, RepeatedProofsHitTheCache) {
+  Engine engine;
+  auto first = engine.ProveInequality("H(A) + H(B) >= H(A,B)").ValueOrDie();
+  EXPECT_FALSE(first.stats.prover_cache_hit);
+  auto second = engine.ProveInequality("H(A,B) >= H(B)").ValueOrDie();
+  EXPECT_TRUE(second.stats.prover_cache_hit);
+  EXPECT_EQ(engine.stats().prover_constructions, 1);
+}
+
+TEST(EngineCacheTest, DistinctVariableCountsGetDistinctProvers) {
+  Engine engine;
+  engine.ProveInequality(LinearExpr::H(2, VarSet::Of({0}))).ValueOrDie();
+  engine.ProveInequality(LinearExpr::H(3, VarSet::Of({0}))).ValueOrDie();
+  engine.ProveInequality(LinearExpr::H(2, VarSet::Of({1}))).ValueOrDie();
+  EXPECT_EQ(engine.stats().prover_constructions, 2);
+  EXPECT_EQ(engine.prover(2).num_vars(), 2);
+  EXPECT_EQ(engine.prover(3).num_vars(), 3);
+}
+
+TEST(EngineCacheTest, ClearCacheResetsSessionState) {
+  Engine engine;
+  engine.ProveInequality("H(A) + H(B) >= H(A,B)").ValueOrDie();
+  EXPECT_GT(engine.stats().prover_constructions, 0);
+  EXPECT_GT(engine.stats().lp_solves, 0);
+  engine.ClearCache();
+  EXPECT_EQ(engine.stats().prover_constructions, 0);
+  EXPECT_EQ(engine.stats().lp_solves, 0);
+  EXPECT_EQ(engine.stats().proofs, 0);
+  // The session still works after a reset.
+  EXPECT_TRUE(
+      engine.ProveInequality("H(A) + H(B) >= H(A,B)").ValueOrDie().valid);
+}
+
+TEST(EngineCacheTest, SharedSolverWorkspaceAccumulatesSolves) {
+  Engine engine;
+  engine.Decide("R(x,y), R(y,z)", "R(a,b)").ValueOrDie();
+  int64_t after_one = engine.stats().lp_solves;
+  EXPECT_GT(after_one, 0);
+  engine.Decide("R(x,y), R(y,z)", "R(a,b)").ValueOrDie();
+  EXPECT_GT(engine.stats().lp_solves, after_one);
+}
+
+// --------------------------------------------------------------- options
+
+TEST(EngineOptionsTest, CertificateCanBeDisabled) {
+  Engine engine{EngineOptions().set_want_shannon_certificate(false)};
+  auto d = engine.Decide("R(x1,x2), R(x2,x3), R(x3,x1)", "R(y1,y2), R(y1,y3)")
+               .ValueOrDie();
+  EXPECT_EQ(d.verdict, Verdict::kContained);
+  ASSERT_TRUE(d.validity.has_value());
+  EXPECT_FALSE(d.validity->certificate.has_value());
+}
+
+TEST(EngineOptionsTest, BuilderFoldsDeciderAndWitnessOptions) {
+  EngineOptions options = EngineOptions()
+                              .set_want_shannon_certificate(false)
+                              .set_witness_max_tuples(42)
+                              .set_verify_witness_counts(false)
+                              .set_pivot_rule(lp::PivotRule::kDantzig);
+  core::DeciderOptions legacy = options.ToDeciderOptions();
+  EXPECT_FALSE(legacy.want_shannon_certificate);
+  EXPECT_EQ(legacy.witness.max_tuples, 42);
+  EXPECT_FALSE(legacy.witness.verify_counts);
+  EXPECT_EQ(options.pivot_rule(), lp::PivotRule::kDantzig);
+}
+
+}  // namespace
+}  // namespace bagcq::api

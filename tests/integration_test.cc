@@ -1,6 +1,9 @@
 // Cross-cutting integration sweeps: the decider against exhaustive
 // ground truth on randomized query pairs, and the direct unit surface of
 // BuildContainmentInequality.
+// This test deliberately exercises the deprecated one-off free functions
+// (the compatibility wrappers around the Engine path).
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include <random>
 
 #include <gtest/gtest.h>

@@ -288,5 +288,72 @@ TEST_P(RandomLpTest, CertificatesAlwaysVerify) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpTest, ::testing::Range(1, 60));
 
+TEST(SimplexWorkspaceTest, ReusedSolverMatchesFreshSolver) {
+  // A long-lived solver must give bit-identical answers while retaining its
+  // tableau capacity across solves of different shapes and senses.
+  RationalSolver session;
+  for (int round = 0; round < 3; ++round) {
+    for (int size : {2, 5, 3}) {
+      LpProblem lp;
+      for (int j = 0; j < size; ++j) lp.AddVariable();
+      std::vector<Rational> obj;
+      for (int j = 0; j < size; ++j) {
+        std::vector<Rational> row(size, R(0));
+        row[j] = R(1);
+        if (j + 1 < size) row[j + 1] = R(1);
+        lp.AddConstraint(std::move(row), Sense::kLessEqual, R(j + 2));
+        obj.push_back(R(1 + (j % 3)));
+      }
+      lp.SetObjective(Objective::kMaximize, std::move(obj));
+
+      auto reused = session.Solve(lp);
+      auto fresh = RationalSolver().Solve(lp);
+      ASSERT_EQ(reused.status, fresh.status);
+      ASSERT_EQ(reused.status, SolveStatus::kOptimal);
+      EXPECT_EQ(reused.objective, fresh.objective);
+      EXPECT_EQ(reused.values, fresh.values);
+      EXPECT_EQ(reused.duals, fresh.duals);
+      EXPECT_EQ(reused.pivots, fresh.pivots);
+      EXPECT_TRUE(VerifyDuals(lp, reused));
+    }
+  }
+  EXPECT_EQ(session.solves(), 9);
+  EXPECT_GT(session.workspace().RetainedRowCapacity(), 0u);
+
+  session.Reset();
+  EXPECT_EQ(session.workspace().RetainedRowCapacity(), 0u);
+  // Still solves after a Reset.
+  LpProblem lp;
+  lp.AddVariable();
+  lp.AddConstraint({R(1)}, Sense::kLessEqual, R(7));
+  lp.SetObjective(Objective::kMaximize, {R(1)});
+  EXPECT_EQ(session.Solve(lp).objective, R(7));
+}
+
+TEST(SimplexWorkspaceTest, InfeasibleThenFeasibleReuse) {
+  // Artificial bookkeeping must reset between solves: an infeasible program
+  // (which leaves artificials in play) followed by a feasible one.
+  RationalSolver session;
+  LpProblem infeasible;
+  infeasible.AddVariable();
+  infeasible.AddConstraint({R(1)}, Sense::kLessEqual, R(1));
+  infeasible.AddConstraint({R(1)}, Sense::kGreaterEqual, R(2));
+  infeasible.SetObjective(Objective::kMaximize, {R(1)});
+  auto bad = session.Solve(infeasible);
+  EXPECT_EQ(bad.status, SolveStatus::kInfeasible);
+  EXPECT_TRUE(VerifyFarkas(infeasible, bad.farkas));
+
+  LpProblem feasible;
+  feasible.AddVariable();
+  feasible.AddConstraint({R(1)}, Sense::kLessEqual, R(3));
+  feasible.SetObjective(Objective::kMaximize, {R(2)});
+  auto good = session.Solve(feasible);
+  ASSERT_EQ(good.status, SolveStatus::kOptimal);
+  EXPECT_EQ(good.objective, R(6));
+  EXPECT_TRUE(VerifyDuals(feasible, good));
+}
+
+
+
 }  // namespace
 }  // namespace bagcq::lp
