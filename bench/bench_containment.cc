@@ -144,6 +144,74 @@ void BM_DecideBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_DecideBatch);
 
+// Exact vs tiered backend on a repeated end-to-end decision: the whole
+// decision pipeline (homomorphisms, junction tree, witness) rides along,
+// so this is the user-visible speedup, not the LP-only one.
+void RepeatDecisionBackend(benchmark::State& state, lp::SolverBackend backend) {
+  Engine engine{EngineOptions().set_solver_backend(backend)};
+  auto pair = engine
+                  .ParsePair("R(x1,x2), R(x2,x3), R(x3,x1)",
+                             "R(y1,y2), R(y1,y3)")
+                  .ValueOrDie();
+  for (auto _ : state) {
+    auto d = engine.Decide(pair.q1, pair.q2).ValueOrDie();
+    benchmark::DoNotOptimize(d.verdict);
+  }
+  state.counters["screen_accepts"] =
+      static_cast<double>(engine.stats().lp_screen_accepts);
+}
+void BM_RepeatDecisionExactBackend(benchmark::State& state) {
+  RepeatDecisionBackend(state, lp::SolverBackend::kExactRational);
+}
+void BM_RepeatDecisionTieredBackend(benchmark::State& state) {
+  RepeatDecisionBackend(state, lp::SolverBackend::kDoubleScreened);
+}
+BENCHMARK(BM_RepeatDecisionExactBackend);
+BENCHMARK(BM_RepeatDecisionTieredBackend);
+
+// Serial vs sharded DecideBatch on a mixed 32-pair workload; arg = threads.
+// Deterministic output either way — the threads only split the work.
+void BM_DecideBatchThreads(benchmark::State& state) {
+  Engine engine{
+      EngineOptions().set_num_threads(static_cast<int>(state.range(0)))};
+  const char* rows[][2] = {
+      {"R(x1,x2), R(x2,x3), R(x3,x1)", "R(y1,y2), R(y1,y3)"},
+      {"R(x,y), R(y,z)", "R(a,b), R(b,c)"},
+      {"R(x,y), R(y,x)", "R(a,b)"},
+      {"R(x,y), R(y,z), R(z,x)", "R(a,b), R(b,c), R(c,a)"},
+  };
+  std::vector<QueryPair> pairs;
+  for (int rep = 0; rep < 8; ++rep) {
+    for (const auto& row : rows) {
+      pairs.push_back(engine.ParsePair(row[0], row[1]).ValueOrDie());
+    }
+  }
+  for (auto _ : state) {
+    auto results = engine.DecideBatch(pairs);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.counters["pairs"] = static_cast<double>(pairs.size());
+}
+BENCHMARK(BM_DecideBatchThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Memoized repeated traffic: the second and later passes over the same pair
+// skip the decision procedure entirely.
+void BM_DecideBatchMemoized(benchmark::State& state) {
+  Engine engine{EngineOptions().set_memoize_decisions(true)};
+  auto pair = engine
+                  .ParsePair("R(x1,x2), R(x2,x3), R(x3,x1)",
+                             "R(y1,y2), R(y1,y3)")
+                  .ValueOrDie();
+  std::vector<QueryPair> pairs(32, pair);
+  for (auto _ : state) {
+    auto results = engine.DecideBatch(pairs);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.counters["memo_hits"] =
+      static_cast<double>(engine.stats().decision_memo_hits);
+}
+BENCHMARK(BM_DecideBatchMemoized);
+
 }  // namespace
 
 BENCHMARK_MAIN();

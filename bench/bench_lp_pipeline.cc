@@ -1,0 +1,166 @@
+// LP-pipeline perf tracker: times the exact backend against the tiered
+// (double-screened) pipeline on the bench_shannon_lp workloads (n=4/n=5
+// prove, the Zhang–Yeung refutation) and serial vs sharded DecideBatch, then
+// writes a machine-readable BENCH_lp.json so the perf trajectory is
+// comparable across PRs. No Google Benchmark dependency: this driver always
+// builds, and `--smoke` (1 iteration) keeps it CI-cheap.
+//
+// Usage: bench_lp_pipeline [--smoke] [--out PATH]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "entropy/known_inequalities.h"
+
+using namespace bagcq;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Measurement {
+  std::string name;
+  int iters = 0;
+  double ms_per_iter = 0.0;
+};
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+entropy::LinearExpr SplitSubmodularity(int n) {
+  util::VarSet left, right;
+  for (int i = 0; i < n; ++i) {
+    if (i % 2 == 0) left = left.With(i);
+    right = right.With(i);
+  }
+  return entropy::SubmodularityExpr(n, left, right);
+}
+
+template <typename Fn>
+Measurement Time(const std::string& name, int iters, Fn&& fn) {
+  fn();  // warm-up (prover caches, workspace capacity)
+  const auto start = Clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  Measurement m{name, iters, MsSince(start) / iters};
+  std::printf("  %-38s %10.3f ms/iter  (%d iters)\n", name.c_str(),
+              m.ms_per_iter, iters);
+  return m;
+}
+
+std::vector<QueryPair> BatchWorkload(Engine& engine, int reps) {
+  const char* rows[][2] = {
+      {"R(x1,x2), R(x2,x3), R(x3,x1)", "R(y1,y2), R(y1,y3)"},
+      {"R(x,y), R(y,z)", "R(a,b), R(b,c)"},
+      {"R(x,y), R(y,x)", "R(a,b)"},
+      {"R(x,y), R(y,z), R(z,x)", "R(a,b), R(b,c), R(c,a)"},
+  };
+  std::vector<QueryPair> pairs;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const auto& row : rows) {
+      pairs.push_back(engine.ParsePair(row[0], row[1]).ValueOrDie());
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_lp.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  const int prove4_iters = smoke ? 1 : 50;
+  const int prove5_iters = smoke ? 1 : 10;
+  const int batch_iters = smoke ? 1 : 5;
+
+  std::printf("LP pipeline benchmark (%s mode)\n", smoke ? "smoke" : "full");
+  std::vector<Measurement> results;
+
+  for (auto backend :
+       {lp::SolverBackend::kExactRational, lp::SolverBackend::kDoubleScreened}) {
+    const std::string tag = lp::SolverBackendToString(backend);
+    Engine engine{EngineOptions().set_solver_backend(backend)};
+    auto e4 = SplitSubmodularity(4);
+    auto e5 = SplitSubmodularity(5);
+    results.push_back(Time("shannon_prove_n4/" + tag, prove4_iters, [&] {
+      engine.ProveInequality(e4).ValueOrDie();
+    }));
+    results.push_back(Time("shannon_prove_n5/" + tag, prove5_iters, [&] {
+      engine.ProveInequality(e5).ValueOrDie();
+    }));
+    results.push_back(Time("zhang_yeung_refute/" + tag, prove4_iters, [&] {
+      engine.ProveInequality(entropy::ZhangYeungExpr()).ValueOrDie();
+    }));
+  }
+
+  for (int threads : {1, 4}) {
+    Engine engine{EngineOptions().set_num_threads(threads)};
+    auto pairs = BatchWorkload(engine, smoke ? 2 : 8);
+    results.push_back(Time(
+        "decide_batch_t" + std::to_string(threads), batch_iters, [&] {
+          auto out = engine.DecideBatch(pairs);
+          if (out.size() != pairs.size()) std::abort();
+        }));
+  }
+
+  // Derived speedups (exact / tiered per workload; t1 / t4 for the batch).
+  auto find = [&](const std::string& name) -> const Measurement* {
+    for (const Measurement& m : results) {
+      if (m.name == name) return &m;
+    }
+    return nullptr;
+  };
+  std::vector<std::pair<std::string, double>> speedups;
+  for (const char* w : {"shannon_prove_n4", "shannon_prove_n5",
+                        "zhang_yeung_refute"}) {
+    const Measurement* exact = find(std::string(w) + "/exact");
+    const Measurement* tiered = find(std::string(w) + "/tiered");
+    if (exact != nullptr && tiered != nullptr && tiered->ms_per_iter > 0) {
+      speedups.emplace_back(std::string(w) + ":tiered_vs_exact",
+                            exact->ms_per_iter / tiered->ms_per_iter);
+    }
+  }
+  const Measurement* t1 = find("decide_batch_t1");
+  const Measurement* t4 = find("decide_batch_t4");
+  if (t1 != nullptr && t4 != nullptr && t4->ms_per_iter > 0) {
+    speedups.emplace_back("decide_batch:t4_vs_t1",
+                          t1->ms_per_iter / t4->ms_per_iter);
+  }
+  for (const auto& [name, factor] : speedups) {
+    std::printf("  %-38s %10.2fx\n", name.c_str(), factor);
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"schema\": \"bagcq-bench-lp/1\",\n");
+  std::fprintf(out, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"iters\": %d, \"ms_per_iter\": "
+                 "%.6f}%s\n",
+                 results[i].name.c_str(), results[i].iters,
+                 results[i].ms_per_iter, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"speedups\": {\n");
+  for (size_t i = 0; i < speedups.size(); ++i) {
+    std::fprintf(out, "    \"%s\": %.4f%s\n", speedups[i].first.c_str(),
+                 speedups[i].second, i + 1 < speedups.size() ? "," : "");
+  }
+  std::fprintf(out, "  }\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

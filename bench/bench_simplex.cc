@@ -1,11 +1,12 @@
-// P4: simplex ablations — exact rationals vs double, Bland vs Dantzig — on
-// random dense LPs. Exactness is mandatory for certificates; this bench
-// quantifies its price.
+// P4: simplex ablations — exact rationals vs double, Bland vs Dantzig, and
+// the exact backend vs the tiered (double-screened) pipeline — on random
+// dense LPs. Exactness is mandatory for certificates; this bench quantifies
+// its price and what the screening tier claws back.
 #include <benchmark/benchmark.h>
 
 #include <random>
 
-#include "lp/simplex.h"
+#include "lp/solver.h"
 
 namespace {
 
@@ -100,6 +101,31 @@ BENCHMARK(BM_ExactWorkspaceReused)->RangeMultiplier(2)->Range(8, 64);
 BENCHMARK(BM_ExactWorkspaceFresh)->RangeMultiplier(2)->Range(8, 64);
 BENCHMARK(BM_DoubleWorkspaceReused)->RangeMultiplier(2)->Range(8, 64);
 BENCHMARK(BM_DoubleWorkspaceFresh)->RangeMultiplier(2)->Range(8, 64);
+
+// Exact backend vs tiered pipeline on the same programs: both return exact,
+// certificate-verified solutions; the delta is the screening win. The
+// screen_accepts counter shows how often the double tier carried the solve.
+void BackendBench(benchmark::State& state, lp::SolverBackend backend) {
+  auto problem = RandomLp(static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(0)), 1234);
+  auto solver = lp::MakeSolver(backend);
+  for (auto _ : state) {
+    auto sol = solver->Solve(problem);
+    benchmark::DoNotOptimize(sol.status);
+  }
+  state.counters["screen_accepts"] =
+      static_cast<double>(solver->stats().screen_accepts);
+  state.counters["exact_fallbacks"] =
+      static_cast<double>(solver->stats().exact_fallbacks);
+}
+void BM_BackendExact(benchmark::State& state) {
+  BackendBench(state, lp::SolverBackend::kExactRational);
+}
+void BM_BackendTiered(benchmark::State& state) {
+  BackendBench(state, lp::SolverBackend::kDoubleScreened);
+}
+BENCHMARK(BM_BackendExact)->RangeMultiplier(2)->Range(4, 32);
+BENCHMARK(BM_BackendTiered)->RangeMultiplier(2)->Range(4, 32);
 
 }  // namespace
 

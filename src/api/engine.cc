@@ -1,7 +1,10 @@
 #include "api/engine.h"
 
+#include <atomic>
 #include <chrono>
+#include <optional>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "core/set_containment.h"
@@ -28,6 +31,41 @@ DecisionResult FromDecision(core::Decision decision) {
   result.witness = std::move(decision.witness);
   result.stats.lp_pivots = decision.lp_pivots;
   return result;
+}
+
+/// One decision against explicit session state — shared by the sequential
+/// path (session cache + solver) and parallel-batch workers (their own).
+/// `*elapsed_ms` is written on success and failure alike.
+util::Result<DecisionResult> DecideOne(const cq::ConjunctiveQuery& q1,
+                                       const cq::ConjunctiveQuery& q2,
+                                       bool bag_bag,
+                                       const core::DeciderOptions& options,
+                                       entropy::ProverCache* provers,
+                                       lp::Solver* solver,
+                                       double* elapsed_ms) {
+  const auto start = Clock::now();
+  const int64_t constructions_before = provers->constructions();
+  core::DeciderContext context{provers, solver};
+  auto decision =
+      bag_bag
+          ? core::DecideBagBagContainmentWithContext(q1, q2, options, context)
+          : core::DecideBagContainmentWithContext(q1, q2, options, context);
+  *elapsed_ms = MsSince(start);
+  if (!decision.ok()) return decision.status();
+  DecisionResult result = FromDecision(std::move(decision).ValueOrDie());
+  result.stats.elapsed_ms = *elapsed_ms;
+  result.stats.prover_cache_hit =
+      provers->constructions() == constructions_before;
+  return result;
+}
+
+std::string MemoKey(const cq::ConjunctiveQuery& q1,
+                    const cq::ConjunctiveQuery& q2, bool bag_bag) {
+  std::string key = q1.ToString();
+  key += '\x1f';
+  key += q2.ToString();
+  key += bag_bag ? "|bag-bag" : "|bag-set";
+  return key;
 }
 
 }  // namespace
@@ -65,7 +103,9 @@ lp::SolverOptions SolverOptionsFor(const EngineOptions& options) {
 }  // namespace
 
 Engine::Engine(EngineOptions options)
-    : options_(options), solver_(SolverOptionsFor(options)) {}
+    : options_(options),
+      solver_(lp::MakeSolver(options.solver_backend(),
+                             SolverOptionsFor(options))) {}
 
 util::Result<DecisionResult> Engine::Decide(const cq::ConjunctiveQuery& q1,
                                             const cq::ConjunctiveQuery& q2) {
@@ -101,6 +141,11 @@ util::Result<DecisionResult> Engine::DecideBagBag(std::string_view q1_text,
 
 std::vector<util::Result<DecisionResult>> Engine::DecideBatch(
     std::span<const QueryPair> pairs) {
+  int threads = options_.num_threads();
+  if (threads > static_cast<int>(pairs.size())) {
+    threads = static_cast<int>(pairs.size());
+  }
+  if (threads > 1) return DecideBatchParallel(pairs, threads);
   std::vector<util::Result<DecisionResult>> out;
   out.reserve(pairs.size());
   for (const QueryPair& pair : pairs) {
@@ -109,31 +154,146 @@ std::vector<util::Result<DecisionResult>> Engine::DecideBatch(
   return out;
 }
 
+std::vector<util::Result<DecisionResult>> Engine::DecideBatchParallel(
+    std::span<const QueryPair> pairs, int threads) {
+  const auto start = Clock::now();
+  const size_t count = pairs.size();
+  const core::DeciderOptions decider_options = options_.ToDeciderOptions();
+
+  // Per-worker session state: Engines are not thread-safe, so each worker
+  // gets its own solver workspace and prover-cache handle. The session cache
+  // backs each worker cache read-only (no copies; the session is not mutated
+  // until after the join), so only genuinely new variable counts build.
+  struct Worker {
+    entropy::ProverCache provers;
+    std::unique_ptr<lp::Solver> solver;
+    int64_t decisions = 0;
+    int64_t errors = 0;
+    int64_t lp_pivots = 0;
+    int64_t memo_hits = 0;
+  };
+  std::vector<Worker> workers(threads);
+  for (Worker& w : workers) {
+    w.provers.SetFallback(&provers_);
+    w.solver =
+        lp::MakeSolver(options_.solver_backend(), SolverOptionsFor(options_));
+  }
+
+  // Slots are indexed by input position, so output order is deterministic no
+  // matter how the dynamic work-stealing interleaves.
+  std::vector<std::optional<util::Result<DecisionResult>>> slots(count);
+  std::atomic<size_t> next{0};
+  auto run = [&](Worker& w) {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= count) break;
+      const QueryPair& pair = pairs[i];
+      ++w.decisions;
+      bool memo_hit = false;
+      double elapsed = 0.0;
+      auto result =
+          DecideMemoized(pair.q1, pair.q2, /*bag_bag=*/false, decider_options,
+                         &w.provers, w.solver.get(), &memo_hit, &elapsed);
+      if (memo_hit) {
+        ++w.memo_hits;
+      } else if (!result.ok()) {
+        ++w.errors;
+      } else {
+        w.lp_pivots += result->stats.lp_pivots;
+      }
+      slots[i] = std::move(result);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (Worker& w : workers) pool.emplace_back([&run, &w] { run(w); });
+  for (std::thread& t : pool) t.join();
+
+  // Fold worker counters into the session and absorb worker-built elemental
+  // systems so the next batch (or call) starts warm.
+  for (Worker& w : workers) {
+    stats_.decisions += w.decisions;
+    stats_.errors += w.errors;
+    stats_.lp_pivots += w.lp_pivots;
+    stats_.decision_memo_hits += w.memo_hits;
+    worker_stats_.prover_constructions += w.provers.constructions();
+    worker_stats_.prover_cache_hits += w.provers.hits();
+    const lp::SolverStats& ss = w.solver->stats();
+    worker_stats_.lp_solves += ss.solves;
+    worker_stats_.lp_screen_accepts += ss.screen_accepts;
+    worker_stats_.lp_exact_fallbacks += ss.exact_fallbacks;
+    provers_.AbsorbFrom(std::move(w.provers));
+  }
+  stats_.total_ms += MsSince(start);  // batch wall-clock, not worker-ms sum
+
+  std::vector<util::Result<DecisionResult>> out;
+  out.reserve(count);
+  for (std::optional<util::Result<DecisionResult>>& slot : slots) {
+    out.push_back(*std::move(slot));
+  }
+  return out;
+}
+
+bool Engine::MemoLookup(const std::string& key, DecisionResult* out) {
+  std::shared_ptr<const DecisionResult> entry;
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    auto it = memo_.find(key);
+    if (it == memo_.end()) return false;
+    entry = it->second;
+  }
+  // The (potentially large: witnesses) copy happens outside the lock so
+  // parallel-batch workers do not serialize on hot repeated traffic.
+  *out = *entry;
+  out->stats.memo_hit = true;
+  return true;
+}
+
+void Engine::MemoInsert(const std::string& key, const DecisionResult& result) {
+  auto entry = std::make_shared<const DecisionResult>(result);
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  if (memo_.size() >= kMemoMaxEntries) return;  // bounded; first-seen wins
+  memo_.emplace(key, std::move(entry));
+}
+
+util::Result<DecisionResult> Engine::DecideMemoized(
+    const cq::ConjunctiveQuery& q1, const cq::ConjunctiveQuery& q2,
+    bool bag_bag, const core::DeciderOptions& decider_options,
+    entropy::ProverCache* provers, lp::Solver* solver, bool* memo_hit,
+    double* elapsed_ms) {
+  *memo_hit = false;
+  *elapsed_ms = 0.0;
+  std::string key;
+  if (options_.memoize_decisions()) {
+    key = MemoKey(q1, q2, bag_bag);
+    DecisionResult memoized;
+    if (MemoLookup(key, &memoized)) {
+      *memo_hit = true;
+      return memoized;
+    }
+  }
+  auto result =
+      DecideOne(q1, q2, bag_bag, decider_options, provers, solver, elapsed_ms);
+  if (result.ok() && options_.memoize_decisions()) MemoInsert(key, *result);
+  return result;
+}
+
 util::Result<DecisionResult> Engine::DecideImpl(
     const cq::ConjunctiveQuery& q1, const cq::ConjunctiveQuery& q2,
     bool bag_bag) {
-  const auto start = Clock::now();
-  const int64_t constructions_before = provers_.constructions();
-  core::DeciderContext context{&provers_, &solver_};
-  const core::DeciderOptions decider_options = options_.ToDeciderOptions();
-  auto decision =
-      bag_bag ? core::DecideBagBagContainmentWithContext(q1, q2,
-                                                         decider_options,
-                                                         context)
-              : core::DecideBagContainmentWithContext(q1, q2, decider_options,
-                                                      context);
   ++stats_.decisions;
-  const double elapsed = MsSince(start);
+  bool memo_hit = false;
+  double elapsed = 0.0;
+  auto result = DecideMemoized(q1, q2, bag_bag, options_.ToDeciderOptions(),
+                               &provers_, solver_.get(), &memo_hit, &elapsed);
   stats_.total_ms += elapsed;
-  if (!decision.ok()) {
+  if (memo_hit) {
+    ++stats_.decision_memo_hits;
+  } else if (!result.ok()) {
     ++stats_.errors;
-    return decision.status();
+  } else {
+    stats_.lp_pivots += result->stats.lp_pivots;
   }
-  DecisionResult result = FromDecision(std::move(decision).ValueOrDie());
-  result.stats.elapsed_ms = elapsed;
-  result.stats.prover_cache_hit =
-      provers_.constructions() == constructions_before;
-  stats_.lp_pivots += result.stats.lp_pivots;
   return result;
 }
 
@@ -148,7 +308,7 @@ util::Result<ProofResult> Engine::ProveInequality(
   }
   const int64_t constructions_before = provers_.constructions();
   const entropy::ShannonProver& prover = provers_.Get(e.num_vars());
-  entropy::IIResult ii = prover.Prove(e, &solver_);
+  entropy::IIResult ii = prover.Prove(e, solver_.get());
 
   ProofResult result;
   result.valid = ii.valid;
@@ -209,7 +369,7 @@ util::Result<ProofResult> Engine::CheckMaxInequality(
   const entropy::ShannonProver* prover =
       cone == entropy::ConeKind::kPolymatroid ? &provers_.Get(n) : nullptr;
   entropy::MaxIIResult max_result =
-      entropy::MaxIIOracle(n, cone, prover, &solver_).Check(branches);
+      entropy::MaxIIOracle(n, cone, prover, solver_.get()).Check(branches);
 
   ProofResult result;
   result.valid = max_result.valid;
@@ -250,17 +410,27 @@ util::Result<QueryPair> Engine::ParsePair(std::string_view q1_text,
 
 EngineStats Engine::stats() const {
   EngineStats out = stats_;
-  out.prover_constructions = provers_.constructions();
-  out.prover_cache_hits = provers_.hits();
-  out.lp_solves = solver_.solves() - lp_solves_baseline_;
+  out.prover_constructions =
+      provers_.constructions() + worker_stats_.prover_constructions;
+  out.prover_cache_hits = provers_.hits() + worker_stats_.prover_cache_hits;
+  const lp::SolverStats& ss = solver_->stats();
+  out.lp_solves = ss.solves + worker_stats_.lp_solves;
+  out.lp_screen_accepts = ss.screen_accepts + worker_stats_.lp_screen_accepts;
+  out.lp_exact_fallbacks =
+      ss.exact_fallbacks + worker_stats_.lp_exact_fallbacks;
   return out;
 }
 
 void Engine::ClearCache() {
   provers_.Clear();
-  solver_.Reset();
-  lp_solves_baseline_ = solver_.solves();
+  solver_->Reset();
+  solver_->ResetStats();
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    memo_.clear();
+  }
   stats_ = EngineStats{};
+  worker_stats_ = EngineStats{};
 }
 
 }  // namespace bagcq::api

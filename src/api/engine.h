@@ -15,14 +15,24 @@
 //   * a per-n ShannonProver pool — the elemental system of Γn (which grows
 //     as ~n·2ⁿ constraints) is constructed once per variable count and
 //     shared by every subsequent decision, proof, and batch element;
-//   * one lp::SimplexSolver whose tableau workspace persists across calls,
-//     so repeated decisions stop reallocating rows/costs/rhs.
+//   * one lp::Solver backend (exact or double-screened tiered, selected via
+//     EngineOptions) whose tableau workspace persists across calls, so
+//     repeated decisions stop reallocating rows/costs/rhs;
+//   * optionally, a query-pair → DecisionResult memo for repeated traffic
+//     (EngineOptions::set_memoize_decisions).
+//
+// DecideBatch shards across EngineOptions::num_threads() workers, each with
+// its own solver workspace and prover-cache handle (warmed from the session
+// cache, absorbed back afterwards); output order is deterministic.
 //
 // Engines are not thread-safe; use one Engine per thread (they share
 // nothing). For a one-off decision the deprecated free functions in
 // core/decider.h still work — they spin up the state above per call.
 #pragma once
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -35,7 +45,7 @@
 #include "entropy/expr_parser.h"
 #include "entropy/max_ii.h"
 #include "entropy/prover_cache.h"
-#include "lp/simplex.h"
+#include "lp/solver.h"
 #include "util/status.h"
 
 namespace bagcq::api {
@@ -47,14 +57,19 @@ struct QueryPair {
 };
 
 /// Session-level counters (monotone since construction / ClearCache).
+/// Parallel batches fold their per-worker prover/solver counters in here
+/// after the join, so the totals cover every worker.
 struct EngineStats {
   int64_t decisions = 0;        // Decide/DecideBagBag/DecideBatch elements
   int64_t proofs = 0;           // ProveInequality / CheckMaxInequality calls
   int64_t errors = 0;           // calls that returned a non-OK status
   int64_t prover_constructions = 0;  // elemental systems built
   int64_t prover_cache_hits = 0;     // decisions served from the pool
-  int64_t lp_solves = 0;        // LPs run in the shared workspace
+  int64_t lp_solves = 0;        // LPs run across session + batch workers
   int64_t lp_pivots = 0;        // pivots across those LPs
+  int64_t lp_screen_accepts = 0;   // tiered: float solves exactly verified
+  int64_t lp_exact_fallbacks = 0;  // tiered: solves that re-ran exactly
+  int64_t decision_memo_hits = 0;  // decisions served from the memo cache
   double total_ms = 0.0;        // wall-clock across all calls
 };
 
@@ -79,10 +94,13 @@ class Engine {
   util::Result<DecisionResult> DecideBagBag(std::string_view q1_text,
                                             std::string_view q2_text);
 
-  /// Decides every pair, in order, reusing the session's prover pool and LP
-  /// workspace throughout — at a fixed variable count the elemental system
-  /// is constructed exactly once for the whole batch. Per-pair failures come
-  /// back as per-pair error results; the batch never aborts early.
+  /// Decides every pair, reusing the session's prover pool and LP workspace —
+  /// at a fixed variable count the elemental system is constructed once per
+  /// worker for the whole batch. With EngineOptions::num_threads() > 1 the
+  /// batch is sharded across a worker pool (one solver workspace and
+  /// prover-cache handle each, warmed from the session cache); results come
+  /// back in input order either way, and per-pair failures come back as
+  /// per-pair error results — the batch never aborts early.
   std::vector<util::Result<DecisionResult>> DecideBatch(
       std::span<const QueryPair> pairs);
 
@@ -122,19 +140,43 @@ class Engine {
   /// The session's cached prover for n variables (constructing on first
   /// use) — for callers that want the elemental system itself.
   const entropy::ShannonProver& prover(int n) { return provers_.Get(n); }
-  /// Drops every cached prover and the LP workspace; counters reset.
+  /// Drops every cached prover, the LP workspace, and the decision memo;
+  /// counters reset.
   void ClearCache();
 
  private:
   util::Result<DecisionResult> DecideImpl(const cq::ConjunctiveQuery& q1,
                                           const cq::ConjunctiveQuery& q2,
                                           bool bag_bag);
+  /// The memo-wrapped decision core shared verbatim by DecideImpl and the
+  /// parallel-batch workers (so sequential and sharded batches cannot drift):
+  /// lookup → decide against the given state → insert. Thread-safe for
+  /// concurrent workers (only the memo is shared, behind its mutex).
+  util::Result<DecisionResult> DecideMemoized(
+      const cq::ConjunctiveQuery& q1, const cq::ConjunctiveQuery& q2,
+      bool bag_bag, const core::DeciderOptions& decider_options,
+      entropy::ProverCache* provers, lp::Solver* solver, bool* memo_hit,
+      double* elapsed_ms);
+  std::vector<util::Result<DecisionResult>> DecideBatchParallel(
+      std::span<const QueryPair> pairs, int threads);
+  /// Memo lookup/insert (no-ops unless memoize_decisions is on). Shared by
+  /// the sequential and worker paths; the mutex makes them batch-safe. The
+  /// stored entries are shared immutable snapshots, so a hit holds the lock
+  /// only for a pointer grab; the map stops growing at kMemoMaxEntries
+  /// (results can carry witness databases — the memo must stay bounded).
+  bool MemoLookup(const std::string& key, DecisionResult* out);
+  void MemoInsert(const std::string& key, const DecisionResult& result);
+  static constexpr size_t kMemoMaxEntries = 65'536;
 
   EngineOptions options_;
   entropy::ProverCache provers_;
-  lp::SimplexSolver<util::Rational> solver_;
-  int64_t lp_solves_baseline_ = 0;
+  std::unique_ptr<lp::Solver> solver_;
   EngineStats stats_;
+  /// Prover/solver counters folded in from parallel-batch workers (their
+  /// caches are transient; the numbers must survive the join).
+  EngineStats worker_stats_;
+  std::map<std::string, std::shared_ptr<const DecisionResult>> memo_;
+  std::mutex memo_mutex_;
 };
 
 }  // namespace bagcq::api

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "core/decider.h"
+#include "lp/solver.h"
 
 namespace bagcq::api {
 
@@ -36,13 +37,43 @@ class EngineOptions {
   }
   bool verify_witness_counts() const { return verify_witness_counts_; }
 
-  /// Pivot rule for every LP the session runs. Bland guarantees termination
-  /// with exact arithmetic; Dantzig is the ablation alternative.
+  /// Pivot rule for every exact LP the session runs. Bland guarantees
+  /// termination with exact arithmetic; Dantzig is the ablation alternative.
   EngineOptions& set_pivot_rule(lp::PivotRule rule) {
     pivot_rule_ = rule;
     return *this;
   }
   lp::PivotRule pivot_rule() const { return pivot_rule_; }
+
+  /// LP backend for every program the session solves (lp/solver.h). The
+  /// default kDoubleScreened tier screens in double and falls back to the
+  /// exact simplex whenever exact verification of the screened certificate
+  /// fails — verdicts and certificate guarantees are identical to
+  /// kExactRational, typically several times faster.
+  EngineOptions& set_solver_backend(lp::SolverBackend backend) {
+    solver_backend_ = backend;
+    return *this;
+  }
+  lp::SolverBackend solver_backend() const { return solver_backend_; }
+
+  /// Worker threads for DecideBatch. 1 = sequential (the default); k > 1
+  /// shards the batch across k workers, each with its own solver workspace
+  /// and prover-cache handle. Output order and per-pair results are
+  /// deterministic regardless of the thread count.
+  EngineOptions& set_num_threads(int threads) {
+    num_threads_ = threads < 1 ? 1 : threads;
+    return *this;
+  }
+  int num_threads() const { return num_threads_; }
+
+  /// Memoize whole decisions (query-pair → DecisionResult) across the
+  /// session, for repeated traffic. Off by default: memoized replies recount
+  /// no LP work, which changes the meaning of the per-call stats.
+  EngineOptions& set_memoize_decisions(bool v) {
+    memoize_decisions_ = v;
+    return *this;
+  }
+  bool memoize_decisions() const { return memoize_decisions_; }
 
   /// The legacy options pair consumed by the core decider.
   core::DeciderOptions ToDeciderOptions() const {
@@ -58,6 +89,9 @@ class EngineOptions {
   int64_t witness_max_tuples_ = 100'000;
   bool verify_witness_counts_ = true;
   lp::PivotRule pivot_rule_ = lp::PivotRule::kBland;
+  lp::SolverBackend solver_backend_ = lp::SolverBackend::kDoubleScreened;
+  int num_threads_ = 1;
+  bool memoize_decisions_ = false;
 };
 
 }  // namespace bagcq::api

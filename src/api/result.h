@@ -28,6 +28,10 @@ struct CallStats {
   /// No elemental system was (re)built for this call — the per-n prover came
   /// from the session cache (or the call never needed one).
   bool prover_cache_hit = false;
+  /// The whole decision came from the session's query-pair memo cache
+  /// (EngineOptions::set_memoize_decisions); elapsed_ms/lp_pivots are those
+  /// of the originally computed decision.
+  bool memo_hit = false;
 };
 
 /// Outcome of Engine::Decide / DecideBatch.

@@ -81,7 +81,7 @@ util::Result<Decision> DecideBagContainmentWithContext(
   // Session state: the reusable LP workspace, and — fetched lazily, since
   // only the Γn (kPolymatroid) route consumes it — the cached elemental
   // system, built once per n and shared across every decision of the batch.
-  lp::SimplexSolver<util::Rational>* solver = context.solver;
+  lp::Solver* solver = context.solver;
   auto gamma_prover = [&context, n]() -> const entropy::ShannonProver* {
     return context.provers != nullptr ? &context.provers->Get(n) : nullptr;
   };

@@ -45,11 +45,12 @@ struct DeciderOptions {
 
 /// Borrowed session state threaded through a decision (the bagcq::Engine
 /// path). `provers` supplies per-n elemental systems built once and reused;
-/// `solver` supplies a persistent LP workspace so repeated decisions stop
-/// reallocating tableaus. Either member may be null.
+/// `solver` supplies an LP backend (exact or tiered, lp/solver.h) with a
+/// persistent workspace so repeated decisions stop reallocating tableaus.
+/// Either member may be null.
 struct DeciderContext {
   entropy::ProverCache* provers = nullptr;
-  lp::SimplexSolver<util::Rational>* solver = nullptr;
+  lp::Solver* solver = nullptr;
 };
 
 struct Decision {

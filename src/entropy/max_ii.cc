@@ -46,7 +46,7 @@ std::vector<SetFunction> ConeGenerators(int n, ConeKind kind) {
 MaxIIOracle::MaxIIOracle(int n, ConeKind kind) : n_(n), kind_(kind) {}
 
 MaxIIOracle::MaxIIOracle(int n, ConeKind kind, const ShannonProver* prover,
-                         lp::SimplexSolver<Rational>* solver)
+                         lp::Solver* solver)
     : n_(n), kind_(kind), prover_(prover), solver_(solver) {
   BAGCQ_CHECK(prover == nullptr || prover->num_vars() == n)
       << "cached prover variable count mismatch";
@@ -55,7 +55,7 @@ MaxIIOracle::MaxIIOracle(int n, ConeKind kind, const ShannonProver* prover,
 lp::Solution<Rational> MaxIIOracle::RunSimplex(
     const lp::LpProblem& problem) const {
   if (solver_ != nullptr) return solver_->Solve(problem);
-  return lp::SimplexSolver<Rational>().Solve(problem);
+  return lp::ExactSolver().Solve(problem);
 }
 
 MaxIIResult MaxIIOracle::Check(const std::vector<LinearExpr>& branches) const {

@@ -11,11 +11,27 @@ const ShannonProver& ProverCache::Get(int n) {
     ++hits_;
     return *it->second;
   }
+  if (fallback_ != nullptr) {
+    auto fb = fallback_->provers_.find(n);
+    if (fb != fallback_->provers_.end()) {
+      ++hits_;
+      return *fb->second;
+    }
+  }
   ++constructions_;
   auto prover = std::make_unique<ShannonProver>(n);
   const ShannonProver& ref = *prover;
   provers_.emplace(n, std::move(prover));
   return ref;
+}
+
+void ProverCache::AbsorbFrom(ProverCache&& other) {
+  for (auto& [n, prover] : other.provers_) {
+    if (provers_.count(n) == 0) {
+      provers_.emplace(n, std::move(prover));
+    }
+  }
+  other.provers_.clear();
 }
 
 void ProverCache::Clear() {

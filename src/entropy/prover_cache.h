@@ -31,10 +31,23 @@ class ProverCache {
   int64_t hits() const { return hits_; }
   size_t size() const { return provers_.size(); }
 
+  /// Read-only warm start: Get() consults `fallback` (without copying — the
+  /// elemental systems are large) before constructing. Used to back
+  /// per-worker caches with the session cache during a parallel batch; the
+  /// fallback must outlive this cache's last Get() and must not be mutated
+  /// concurrently. Serving from the fallback counts as a hit here.
+  void SetFallback(const ProverCache* fallback) { fallback_ = fallback; }
+
+  /// Moves every prover `other` holds that this cache lacks into this cache
+  /// (after a parallel batch, worker-built systems join the session so the
+  /// next batch starts warm). Counters untouched.
+  void AbsorbFrom(ProverCache&& other);
+
   void Clear();
 
  private:
   std::map<int, std::unique_ptr<ShannonProver>> provers_;
+  const ProverCache* fallback_ = nullptr;
   int64_t constructions_ = 0;
   int64_t hits_ = 0;
 };

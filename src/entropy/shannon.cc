@@ -3,7 +3,7 @@
 #include <sstream>
 
 #include "lp/lp_problem.h"
-#include "lp/simplex.h"
+#include "lp/solver.h"
 #include "util/check.h"
 
 namespace bagcq::entropy {
@@ -29,8 +29,7 @@ std::string ShannonCertificate::ToString(
 ShannonProver::ShannonProver(int n)
     : n_(n), elementals_(ElementalInequalities(n)) {}
 
-IIResult ShannonProver::Prove(const LinearExpr& e,
-                              lp::SimplexSolver<Rational>* solver) const {
+IIResult ShannonProver::Prove(const LinearExpr& e, lp::Solver* solver) const {
   BAGCQ_CHECK_EQ(e.num_vars(), n_);
   // Dual-cone form (the Theorem F.1 / Appendix F argument, specialized to a
   // single expression): E is valid on Γn iff E lies in the dual cone of Γn,
@@ -63,8 +62,10 @@ IIResult ShannonProver::Prove(const LinearExpr& e,
   }
   problem.SetObjective(lp::Objective::kMinimize, {});
 
-  lp::SimplexSolver<Rational> local_solver;
-  auto solution = (solver ? *solver : local_solver).Solve(problem);
+  lp::ExactSolver local_solver;
+  auto solution =
+      (solver != nullptr ? *solver : static_cast<lp::Solver&>(local_solver))
+          .Solve(problem);
   IIResult out;
   out.lp_pivots = solution.pivots;
 

@@ -21,8 +21,7 @@
 #include "entropy/set_function.h"
 
 namespace bagcq::lp {
-template <typename Scalar>
-class SimplexSolver;
+class Solver;
 }  // namespace bagcq::lp
 
 namespace bagcq::entropy {
@@ -60,10 +59,9 @@ class ShannonProver {
 
   /// Is 0 ≤ E(h) for all h ∈ Γn? Certificates and counterexamples are
   /// CHECK-verified before being returned. With a non-null `solver`, the LP
-  /// runs in that solver's persistent workspace (the Engine batch path);
-  /// otherwise a throwaway solver is used.
-  IIResult Prove(const LinearExpr& e,
-                 lp::SimplexSolver<Rational>* solver = nullptr) const;
+  /// runs on that backend with its persistent workspace (the Engine batch
+  /// path); otherwise a throwaway exact solver is used.
+  IIResult Prove(const LinearExpr& e, lp::Solver* solver = nullptr) const;
 
  private:
   int n_;

@@ -15,6 +15,8 @@ const char* SolveStatusToString(SolveStatus status) {
       return "Infeasible";
     case SolveStatus::kUnbounded:
       return "Unbounded";
+    case SolveStatus::kPivotLimit:
+      return "PivotLimit";
   }
   return "?";
 }
@@ -70,9 +72,14 @@ class Tableau {
       SolveStatus status = Iterate(/*phase_one=*/true, &out.pivots);
       BAGCQ_CHECK(status != SolveStatus::kUnbounded)
           << "phase I cannot be unbounded";
+      if (status == SolveStatus::kPivotLimit) {
+        out.status = SolveStatus::kPivotLimit;
+        return out;
+      }
       if (F::IsPositive(objective_value_)) {
         out.status = SolveStatus::kInfeasible;
         out.farkas = ExtractRowMultipliers(/*phase_one=*/true);
+        out.basis = ExtractBasis();
         return out;
       }
       PivotOutBasicArtificials();
@@ -81,8 +88,8 @@ class Tableau {
     // Phase II: original objective.
     SetPhaseCosts(/*phase_one=*/false);
     SolveStatus status = Iterate(/*phase_one=*/false, &out.pivots);
-    if (status == SolveStatus::kUnbounded) {
-      out.status = SolveStatus::kUnbounded;
+    if (status == SolveStatus::kUnbounded || status == SolveStatus::kPivotLimit) {
+      out.status = status;
       return out;
     }
 
@@ -91,6 +98,7 @@ class Tableau {
     out.objective = maximize_ ? Scalar{} - objective_value_ : objective_value_;
     out.values = ExtractPrimal();
     out.duals = ExtractRowMultipliers(/*phase_one=*/false);
+    out.basis = ExtractBasis();
     if (maximize_) {
       for (Scalar& y : out.duals) y = Scalar{} - y;
     }
@@ -106,10 +114,15 @@ class Tableau {
     // Column layout for structural variables.
     ws_.col_of_var.resize(n);
     ws_.neg_col_of_var.assign(n, -1);
+    ws_.col_entry.clear();
     int col = 0;
     for (int j = 0; j < n; ++j) {
       ws_.col_of_var[j] = col++;
-      if (problem_.variable_is_free(j)) ws_.neg_col_of_var[j] = col++;
+      ws_.col_entry.push_back({BasisKind::kStructural, j});
+      if (problem_.variable_is_free(j)) {
+        ws_.neg_col_of_var[j] = col++;
+        ws_.col_entry.push_back({BasisKind::kNegStructural, j});
+      }
     }
     num_structural_ = col;
     num_columns_ = num_structural_;
@@ -158,7 +171,7 @@ class Tableau {
       if (row.sense == Sense::kEqual) continue;
       // Slack (+1 for <=) or surplus (-1 for >=), then the row-sign flip.
       int coeff = (row.sense == Sense::kLessEqual ? 1 : -1) * ws_.row_sign[i];
-      int slack_col = AddColumn();
+      int slack_col = AddColumn({BasisKind::kSlack, i});
       ws_.rows[i][slack_col] = coeff == 1 ? Scalar{1} : Scalar{} - Scalar{1};
       if (coeff == 1) {
         ws_.identity_col[i] = slack_col;
@@ -169,7 +182,7 @@ class Tableau {
     // Third pass: artificials for rows without a natural basic column.
     for (int i = 0; i < m; ++i) {
       if (ws_.basis[i] >= 0) continue;
-      int art_col = AddColumn();
+      int art_col = AddColumn({BasisKind::kArtificial, i});
       ws_.rows[i][art_col] = Scalar{1};
       ws_.identity_col[i] = art_col;
       ws_.basis[i] = art_col;
@@ -180,9 +193,10 @@ class Tableau {
     objective_value_ = Scalar{};
   }
 
-  int AddColumn() {
+  int AddColumn(BasisEntry entry) {
     for (auto& row : ws_.rows) row.push_back(Scalar{});
     ws_.structural_cost.push_back(Scalar{});  // slack/artificial phase-II cost 0
+    ws_.col_entry.push_back(entry);
     return num_columns_++;
   }
 
@@ -253,8 +267,9 @@ class Tableau {
 
       Pivot(leave, enter);
       ++*pivots;
-      BAGCQ_CHECK(*pivots <= options_.max_pivots)
-          << "simplex pivot cap exceeded (cycling?)";
+      // A solve needing exactly max_pivots still completes; only the pivot
+      // after the cap fails (matching the pre-kPivotLimit CHECK semantics).
+      if (*pivots > options_.max_pivots) return SolveStatus::kPivotLimit;
     }
   }
 
@@ -306,6 +321,15 @@ class Tableau {
         }
       }
     }
+  }
+
+  std::vector<BasisEntry> ExtractBasis() const {
+    std::vector<BasisEntry> out;
+    out.reserve(ws_.rows.size());
+    for (size_t i = 0; i < ws_.rows.size(); ++i) {
+      out.push_back(ws_.col_entry[ws_.basis[i]]);
+    }
+    return out;
   }
 
   std::vector<Scalar> ExtractPrimal() const {

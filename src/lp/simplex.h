@@ -26,10 +26,31 @@
 
 namespace bagcq::lp {
 
-enum class SolveStatus { kOptimal, kInfeasible, kUnbounded };
+/// kPivotLimit is a soft failure: the pivot cap was hit (cycling, or a cap
+/// deliberately set low by a screening tier) and the reported solution
+/// carries no certificate. With Bland's rule and exact arithmetic the cap is
+/// unreachable at the default setting.
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kPivotLimit };
 enum class PivotRule { kBland, kDantzig };
 
 const char* SolveStatusToString(SolveStatus status);
+
+/// What occupies one basis slot at termination, in *problem* terms (not
+/// internal tableau columns): the positive or negative half of a structural
+/// variable, the slack/surplus of a constraint, or a phase-I artificial.
+/// This is the warm-start/refinement hint the tiered pipeline consumes: a
+/// basis from a double solve can be re-factorized exactly.
+enum class BasisKind : uint8_t {
+  kStructural,     // index = variable j (its nonnegative / positive half)
+  kNegStructural,  // index = variable j (negative half of a free variable)
+  kSlack,          // index = constraint i (slack or surplus column)
+  kArtificial,     // index = constraint i (phase-I artificial)
+};
+
+struct BasisEntry {
+  BasisKind kind = BasisKind::kStructural;
+  int index = 0;
+};
 
 template <typename Scalar>
 struct Solution {
@@ -42,13 +63,18 @@ struct Solution {
   std::vector<Scalar> duals;
   /// One multiplier per constraint (valid when kInfeasible); see VerifyFarkas.
   std::vector<Scalar> farkas;
+  /// The terminal basis, one entry per constraint row. Populated on kOptimal
+  /// (phase-II basis) and kInfeasible (phase-I basis — the Farkas basis);
+  /// empty on kUnbounded/kPivotLimit.
+  std::vector<BasisEntry> basis;
   /// Total pivot count across both phases.
   int64_t pivots = 0;
 };
 
 struct SolverOptions {
   PivotRule pivot_rule = PivotRule::kBland;
-  /// Hard cap on pivots (guards the double instantiation against cycling).
+  /// Cap on pivots (guards the double instantiation against cycling). The
+  /// solve fails soft with SolveStatus::kPivotLimit when the cap is hit.
   int64_t max_pivots = 1'000'000;
 };
 
@@ -70,6 +96,7 @@ struct SimplexWorkspace {
   std::vector<int> row_sign;
   std::vector<int> identity_col;
   std::vector<int> artificials;
+  std::vector<BasisEntry> col_entry;
 
   /// Releases all held memory (capacity included).
   void Release();
@@ -83,10 +110,11 @@ class SimplexSolver {
  public:
   explicit SimplexSolver(SolverOptions options = {}) : options_(options) {}
 
-  /// Solves the program. CHECK-fails if the pivot cap is hit (which cannot
-  /// happen with Bland's rule and exact arithmetic). Non-const: the call
-  /// reuses (and regrows) the solver's persistent tableau workspace, so a
-  /// long-lived solver amortizes allocation across a batch of solves.
+  /// Solves the program. Hitting the pivot cap reports
+  /// SolveStatus::kPivotLimit (it cannot happen with Bland's rule and exact
+  /// arithmetic at the default cap). Non-const: the call reuses (and regrows)
+  /// the solver's persistent tableau workspace, so a long-lived solver
+  /// amortizes allocation across a batch of solves.
   Solution<Scalar> Solve(const LpProblem& problem);
 
   /// Drops the persistent workspace memory. Subsequent solves start cold.

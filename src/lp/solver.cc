@@ -1,0 +1,56 @@
+#include "lp/solver.h"
+
+#include "lp/tiered_solver.h"
+#include "util/check.h"
+
+namespace bagcq::lp {
+
+const char* SolverBackendToString(SolverBackend backend) {
+  switch (backend) {
+    case SolverBackend::kExactRational:
+      return "exact";
+    case SolverBackend::kDoubleScreened:
+      return "tiered";
+  }
+  return "?";
+}
+
+bool ParseSolverBackend(std::string_view text, SolverBackend* out) {
+  if (text == "exact" || text == "exact-rational" ||
+      text == "kExactRational") {
+    *out = SolverBackend::kExactRational;
+    return true;
+  }
+  if (text == "tiered" || text == "double-screened" ||
+      text == "kDoubleScreened") {
+    *out = SolverBackend::kDoubleScreened;
+    return true;
+  }
+  return false;
+}
+
+Solution<util::Rational> ExactSolver::Solve(const LpProblem& problem) {
+  ++stats_.solves;
+  Solution<util::Rational> out = simplex_.Solve(problem);
+  stats_.exact_pivots += out.pivots;
+  // The Solver contract promises a certified answer; an exact tier that hits
+  // the cap (only reachable with a cycling pivot rule or a misconfigured
+  // cap) is a programmer error, as it was before kPivotLimit existed.
+  BAGCQ_CHECK(out.status != SolveStatus::kPivotLimit)
+      << "exact simplex hit max_pivots — cycling pivot rule or cap too low?";
+  return out;
+}
+
+std::unique_ptr<Solver> MakeSolver(SolverBackend backend,
+                                   SolverOptions options) {
+  switch (backend) {
+    case SolverBackend::kExactRational:
+      return std::make_unique<ExactSolver>(options);
+    case SolverBackend::kDoubleScreened:
+      return std::make_unique<TieredSolver>(options);
+  }
+  BAGCQ_CHECK(false) << "unknown solver backend";
+  return nullptr;
+}
+
+}  // namespace bagcq::lp

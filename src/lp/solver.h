@@ -1,0 +1,104 @@
+// lp::Solver — the backend interface every LP consumer in the decision
+// pipeline programs against (ShannonProver, MaxIIOracle, core::decider,
+// bagcq::Engine), replacing direct use of the SimplexSolver<Scalar> template.
+//
+// Every backend returns *exact* Rational solutions whose certificates are
+// machine-checked proofs; backends differ only in how they get there:
+//
+//   kExactRational  — one exact-Rational two-phase simplex per Solve. The
+//                     reference backend: slow (bigint pivot arithmetic) but
+//                     with no screening machinery at all.
+//   kDoubleScreened — the tiered pipeline (tiered_solver.h): solve in double
+//                     first, re-factorize the terminal float basis exactly,
+//                     and accept only if VerifyDuals/VerifyFarkas passes;
+//                     otherwise fall back to the full exact solve. Same
+//                     verdicts and the same exactness guarantee, typically a
+//                     large constant factor faster.
+//
+// Backends are not thread-safe (they own a mutable tableau workspace): one
+// Solver per thread, matching the one-Engine-per-thread rule.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "lp/simplex.h"
+
+namespace bagcq::lp {
+
+enum class SolverBackend { kExactRational, kDoubleScreened };
+
+const char* SolverBackendToString(SolverBackend backend);
+/// Parses "exact" / "tiered" (and the enum spellings); false on unknown text.
+bool ParseSolverBackend(std::string_view text, SolverBackend* out);
+
+/// Cumulative per-backend counters (monotone until ResetStats).
+struct SolverStats {
+  int64_t solves = 0;
+  /// Solves answered by the double tier: float certificate re-factorized and
+  /// exactly verified. Always 0 for kExactRational.
+  int64_t screen_accepts = 0;
+  /// Solves that fell back to the full exact simplex (verification failure,
+  /// unbounded/pivot-limited screen, or refinement mismatch).
+  int64_t exact_fallbacks = 0;
+  /// Double-tier solves that hit the pivot cap (a subset of the fallbacks).
+  int64_t pivot_limit_hits = 0;
+  /// Pivots spent in the double tier / the exact tier.
+  int64_t double_pivots = 0;
+  int64_t exact_pivots = 0;
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Solves the program exactly. The returned certificate (duals or Farkas)
+  /// always passes VerifyDuals/VerifyFarkas, whatever the backend. An
+  /// *exact* tier hitting max_pivots (only reachable with a cycling pivot
+  /// rule or a deliberately tiny cap) CHECK-fails rather than returning an
+  /// uncertified kPivotLimit; the double tier of kDoubleScreened fails soft
+  /// and falls back.
+  virtual Solution<util::Rational> Solve(const LpProblem& problem) = 0;
+
+  /// Drops persistent workspace memory; subsequent solves start cold.
+  virtual void Reset() = 0;
+
+  virtual SolverBackend backend() const = 0;
+  virtual const SolverStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+
+  int64_t solves() const { return stats().solves; }
+};
+
+/// The kExactRational backend: a thin Solver wrapper over the exact
+/// SimplexSolver with its persistent workspace. Stack-constructible for
+/// throwaway one-off solves.
+class ExactSolver final : public Solver {
+ public:
+  explicit ExactSolver(SolverOptions options = {}) : simplex_(options) {}
+
+  Solution<util::Rational> Solve(const LpProblem& problem) override;
+  void Reset() override { simplex_.Reset(); }
+  SolverBackend backend() const override {
+    return SolverBackend::kExactRational;
+  }
+  const SolverStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = SolverStats{}; }
+
+  const SimplexWorkspace<util::Rational>& workspace() const {
+    return simplex_.workspace();
+  }
+
+ private:
+  SimplexSolver<util::Rational> simplex_;
+  SolverStats stats_;
+};
+
+/// Backend registry: constructs the chosen backend. `options` applies to the
+/// exact tier; the double tier of kDoubleScreened derives its own screening
+/// options (Dantzig, low pivot cap) from it.
+std::unique_ptr<Solver> MakeSolver(SolverBackend backend,
+                                   SolverOptions options = {});
+
+}  // namespace bagcq::lp

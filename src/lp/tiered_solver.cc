@@ -1,0 +1,275 @@
+#include "lp/tiered_solver.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "lp/lp_problem.h"
+#include "util/check.h"
+
+namespace bagcq::lp {
+
+namespace {
+
+using util::Rational;
+
+Rational RowCoeff(const Constraint& row, int j) {
+  if (j < static_cast<int>(row.coeffs.size())) return row.coeffs[j];
+  return Rational(0);
+}
+
+// Dense column of the standard-form matrix for one basis entry, in the
+// problem's *original* row space (no rhs-sign normalization):
+//   structural j        ->  A_{·j}
+//   neg-structural j    -> -A_{·j}   (negative half of a free variable)
+//   slack of row i      -> ±e_i     (+1 for <=, -1 for >=)
+//   artificial of row i -> sign(b_i)·e_i — the tableau introduces artificials
+//                          in the flipped system where negative-rhs rows were
+//                          negated, so mapping back multiplies by that sign.
+std::vector<Rational> BasisColumn(const LpProblem& problem, BasisEntry entry) {
+  const int m = problem.num_constraints();
+  std::vector<Rational> col(m);
+  switch (entry.kind) {
+    case BasisKind::kStructural:
+    case BasisKind::kNegStructural:
+      for (int i = 0; i < m; ++i) {
+        Rational a = RowCoeff(problem.constraints()[i], entry.index);
+        col[i] = entry.kind == BasisKind::kStructural ? std::move(a) : -a;
+      }
+      break;
+    case BasisKind::kSlack: {
+      const Constraint& row = problem.constraints()[entry.index];
+      col[entry.index] = Rational(row.sense == Sense::kLessEqual ? 1 : -1);
+      break;
+    }
+    case BasisKind::kArtificial: {
+      const Constraint& row = problem.constraints()[entry.index];
+      col[entry.index] = Rational(row.rhs.sign() < 0 ? -1 : 1);
+      break;
+    }
+  }
+  return col;
+}
+
+// Exact LU factorization with row pivoting on the first nonzero: P·M = L·U,
+// stored in place (unit-diagonal L strictly below, U on/above). One
+// factorization serves both M x = b (the primal basic values) and Mᵀ y = c
+// (duals / Farkas multipliers) — the two solves the refinement needs.
+class ExactLu {
+ public:
+  /// Consumes M; false iff singular.
+  bool Factor(std::vector<std::vector<Rational>> M) {
+    lu_ = std::move(M);
+    const int m = static_cast<int>(lu_.size());
+    perm_.resize(m);
+    for (int i = 0; i < m; ++i) perm_[i] = i;
+    for (int k = 0; k < m; ++k) {
+      int p = -1;
+      for (int i = k; i < m; ++i) {
+        if (!lu_[i][k].is_zero()) {
+          p = i;
+          break;
+        }
+      }
+      if (p < 0) return false;
+      std::swap(lu_[k], lu_[p]);
+      std::swap(perm_[k], perm_[p]);
+      const Rational inv = lu_[k][k].Inverse();
+      for (int i = k + 1; i < m; ++i) {
+        if (lu_[i][k].is_zero()) continue;
+        const Rational f = lu_[i][k] * inv;
+        for (int j = k + 1; j < m; ++j) {
+          if (!lu_[k][j].is_zero()) lu_[i][j] -= f * lu_[k][j];
+        }
+        lu_[i][k] = f;  // the L entry
+      }
+    }
+    return true;
+  }
+
+  /// M x = rhs.
+  std::vector<Rational> Solve(const std::vector<Rational>& rhs) const {
+    const int m = static_cast<int>(lu_.size());
+    std::vector<Rational> x(m);
+    for (int i = 0; i < m; ++i) {  // L z = P·rhs (unit diagonal)
+      Rational s = rhs[perm_[i]];
+      for (int j = 0; j < i; ++j) {
+        if (!lu_[i][j].is_zero()) s -= lu_[i][j] * x[j];
+      }
+      x[i] = std::move(s);
+    }
+    for (int i = m - 1; i >= 0; --i) {  // U x = z
+      Rational s = std::move(x[i]);
+      for (int j = i + 1; j < m; ++j) {
+        if (!lu_[i][j].is_zero()) s -= lu_[i][j] * x[j];
+      }
+      x[i] = s / lu_[i][i];
+    }
+    return x;
+  }
+
+  /// Mᵀ y = rhs: Uᵀ z = rhs, Lᵀ w = z, y = Pᵀ w.
+  std::vector<Rational> SolveTranspose(
+      const std::vector<Rational>& rhs) const {
+    const int m = static_cast<int>(lu_.size());
+    std::vector<Rational> w(m);
+    for (int i = 0; i < m; ++i) {  // Uᵀ is lower triangular
+      Rational s = rhs[i];
+      for (int j = 0; j < i; ++j) {
+        if (!lu_[j][i].is_zero()) s -= lu_[j][i] * w[j];
+      }
+      w[i] = s / lu_[i][i];
+    }
+    for (int i = m - 1; i >= 0; --i) {  // Lᵀ is unit upper triangular
+      for (int j = i + 1; j < m; ++j) {
+        if (!lu_[j][i].is_zero()) w[i] -= lu_[j][i] * w[j];
+      }
+    }
+    std::vector<Rational> y(m);
+    for (int i = 0; i < m; ++i) y[perm_[i]] = std::move(w[i]);
+    return y;
+  }
+
+ private:
+  std::vector<std::vector<Rational>> lu_;
+  std::vector<int> perm_;
+};
+
+// Re-factorizes the screen's optimal basis exactly: B x_B = b for the primal,
+// Bᵀ y = c_B for the duals, then the full VerifyDuals gate. nullopt → the
+// basis is not exactly optimal (or not even exactly feasible) and the caller
+// must fall back.
+std::optional<Solution<Rational>> RefineOptimal(
+    const LpProblem& problem, const Solution<double>& screened) {
+  const int m = problem.num_constraints();
+  const int n = problem.num_variables();
+  if (static_cast<int>(screened.basis.size()) != m) return std::nullopt;
+
+  std::vector<std::vector<Rational>> B(m, std::vector<Rational>(m));
+  for (int c = 0; c < m; ++c) {
+    std::vector<Rational> col = BasisColumn(problem, screened.basis[c]);
+    for (int i = 0; i < m; ++i) B[i][c] = std::move(col[i]);
+  }
+  ExactLu lu;
+  if (!lu.Factor(std::move(B))) return std::nullopt;
+  std::vector<Rational> b(m);
+  for (int i = 0; i < m; ++i) b[i] = problem.constraints()[i].rhs;
+  std::vector<Rational> xb = lu.Solve(b);
+  for (int c = 0; c < m; ++c) {
+    // Every standard-form basic variable is nonnegative; an artificial that
+    // stayed basic (redundant row) must sit at exactly zero.
+    if (xb[c].sign() < 0) return std::nullopt;
+    if (screened.basis[c].kind == BasisKind::kArtificial && !xb[c].is_zero()) {
+      return std::nullopt;
+    }
+  }
+
+  Solution<Rational> out;
+  out.status = SolveStatus::kOptimal;
+  out.values.assign(n, Rational(0));
+  for (int c = 0; c < m; ++c) {
+    const BasisEntry& e = screened.basis[c];
+    if (e.kind == BasisKind::kStructural) {
+      out.values[e.index] += xb[c];
+    } else if (e.kind == BasisKind::kNegStructural) {
+      out.values[e.index] -= xb[c];
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    out.objective += problem.objective_coeff(j) * out.values[j];
+  }
+
+  std::vector<Rational> cb(m);
+  for (int c = 0; c < m; ++c) {
+    const BasisEntry& e = screened.basis[c];
+    if (e.kind == BasisKind::kStructural) {
+      cb[c] = problem.objective_coeff(e.index);
+    } else if (e.kind == BasisKind::kNegStructural) {
+      cb[c] = -problem.objective_coeff(e.index);
+    }
+  }
+  out.duals = lu.SolveTranspose(cb);
+  out.basis = screened.basis;
+  out.pivots = screened.pivots;
+  if (!VerifyDuals(problem, out)) return std::nullopt;
+  return out;
+}
+
+// Refines the phase-I (Farkas) basis of an infeasible screen: Bᵀ y = c_B
+// with the phase-I costs (1 on artificials) yields the original-space row
+// multipliers, gated by VerifyFarkas.
+std::optional<Solution<Rational>> RefineInfeasible(
+    const LpProblem& problem, const Solution<double>& screened) {
+  const int m = problem.num_constraints();
+  if (static_cast<int>(screened.basis.size()) != m) return std::nullopt;
+
+  std::vector<std::vector<Rational>> B(m, std::vector<Rational>(m));
+  std::vector<Rational> cb(m);
+  for (int c = 0; c < m; ++c) {
+    std::vector<Rational> col = BasisColumn(problem, screened.basis[c]);
+    for (int i = 0; i < m; ++i) B[i][c] = std::move(col[i]);
+    if (screened.basis[c].kind == BasisKind::kArtificial) cb[c] = Rational(1);
+  }
+  ExactLu lu;
+  if (!lu.Factor(std::move(B))) return std::nullopt;
+  std::vector<Rational> y = lu.SolveTranspose(cb);
+  if (!VerifyFarkas(problem, y)) return std::nullopt;
+
+  Solution<Rational> out;
+  out.status = SolveStatus::kInfeasible;
+  out.farkas = std::move(y);
+  out.basis = screened.basis;
+  out.pivots = screened.pivots;
+  return out;
+}
+
+SolverOptions ScreenOptions(SolverOptions options, int64_t cap) {
+  // Dantzig converges in far fewer pivots than Bland on the double path, and
+  // a cycling screen just hits the (soft) cap and falls back.
+  options.pivot_rule = PivotRule::kDantzig;
+  options.max_pivots = std::min(options.max_pivots, cap);
+  return options;
+}
+
+}  // namespace
+
+TieredSolver::TieredSolver(SolverOptions options)
+    : screen_(ScreenOptions(options, kScreenPivotCap)), exact_(options) {}
+
+Solution<Rational> TieredSolver::Solve(const LpProblem& problem) {
+  ++stats_.solves;
+  const Solution<double> screened = screen_.Solve(problem);
+  stats_.double_pivots += screened.pivots;
+  if (screened.status == SolveStatus::kPivotLimit) ++stats_.pivot_limit_hits;
+
+  std::optional<Solution<Rational>> refined;
+  if (screened.status == SolveStatus::kOptimal) {
+    refined = RefineOptimal(problem, screened);
+  } else if (screened.status == SolveStatus::kInfeasible) {
+    refined = RefineInfeasible(problem, screened);
+  }
+  // kUnbounded carries no basis certificate worth refining — only the exact
+  // tier may declare it.
+  if (refined.has_value()) {
+    ++stats_.screen_accepts;
+    return *std::move(refined);
+  }
+
+  ++stats_.exact_fallbacks;
+  Solution<Rational> out = exact_.Solve(problem);
+  stats_.exact_pivots += out.pivots;
+  // Same contract as ExactSolver: the fallback must certify; only the
+  // *screen* is allowed to hit its (deliberately low) cap.
+  BAGCQ_CHECK(out.status != SolveStatus::kPivotLimit)
+      << "exact simplex hit max_pivots — cycling pivot rule or cap too low?";
+  out.pivots += screened.pivots;  // total work across both tiers
+  return out;
+}
+
+void TieredSolver::Reset() {
+  screen_.Reset();
+  exact_.Reset();
+}
+
+}  // namespace bagcq::lp

@@ -1,0 +1,50 @@
+// TieredSolver (the kDoubleScreened backend): float screening with exact
+// fallback, after the unmanaged-core/managed-solver layering of LoopModels'
+// Simplex — the cheap numeric kernel runs first, the exact layer only pays
+// for what the screen could not certify.
+//
+//   1. Screen: solve the program in double (Dantzig, low pivot cap — the cap
+//      fails soft as SolveStatus::kPivotLimit).
+//   2. Refine: re-factorize the screen's *terminal basis* in exact Rational
+//      arithmetic — solve B x_B = b (primal), Bᵀ y = c_B (duals, or the
+//      phase-I costs for a Farkas vector) by Gaussian elimination. The float
+//      values themselves are never trusted; only the basis is a hint.
+//   3. Verify: run the refined certificate through the exact
+//      VerifyDuals/VerifyFarkas predicates. Pass → return it (the screen's
+//      verdict is now a machine-checked proof). Fail, or an
+//      unbounded/pivot-limited screen → full exact-Rational solve.
+//
+// The returned Solution is therefore *always* exact and always certified,
+// bit-for-bit as trustworthy as the kExactRational backend — wrong float
+// verdicts cost one wasted screen, never a wrong answer.
+#pragma once
+
+#include "lp/solver.h"
+
+namespace bagcq::lp {
+
+class TieredSolver final : public Solver {
+ public:
+  /// `options` configures the exact tier; the screen derives Dantzig +
+  /// min(max_pivots, kScreenPivotCap) from it.
+  explicit TieredSolver(SolverOptions options = {});
+
+  Solution<util::Rational> Solve(const LpProblem& problem) override;
+  void Reset() override;
+  SolverBackend backend() const override {
+    return SolverBackend::kDoubleScreened;
+  }
+  const SolverStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = SolverStats{}; }
+
+ private:
+  /// Pivot cap of the double tier: big enough for every program the decision
+  /// pipeline emits, small enough that a cycling float solve fails fast.
+  static constexpr int64_t kScreenPivotCap = 50'000;
+
+  SimplexSolver<double> screen_;
+  SimplexSolver<util::Rational> exact_;
+  SolverStats stats_;
+};
+
+}  // namespace bagcq::lp

@@ -296,6 +296,181 @@ TEST(EngineOptionsTest, CertificateCanBeDisabled) {
   EXPECT_FALSE(d.validity->certificate.has_value());
 }
 
+// ------------------------------------------------------- solver backends
+
+// The decision rows of exp_decidability: every verdict class (Contained,
+// NotContained, Unknown) and every structural class of Q2.
+std::vector<QueryPair> DecisionSuite(Engine& engine) {
+  const std::pair<const char*, const char*> rows[] = {
+      {"R(x,y), R(y,z), R(z,x)", "R(a,b), R(a,c)"},
+      {"R(a,b), R(a,c)", "R(x,y), R(y,z), R(z,x)"},
+      {"A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')",
+       "A(y1,y2), B(y1,y3), C(y4,y2)"},
+      {"R(x,y), R(u,v)", "R(a,b)"},
+      {"R(a,b)", "R(x,y), R(u,v)"},
+      {"R(x,y), R(y,z)", "R(a,b), R(b,c)"},
+      {"R(x,y), R(y,z), R(z,x)", "R(a,b), R(b,c), R(c,a)"},
+      {"R(x,y), R(y,z), R(z,x)", "R(a,b), R(b,c), R(c,d), R(d,a)"},
+      {"R(x,y), R(y,z), R(z,x), R(x,x)", "R(a,b), R(b,c), R(c,a), R(a,a)"},
+  };
+  std::vector<QueryPair> pairs;
+  for (const auto& [q1, q2] : rows) {
+    pairs.push_back(engine.ParsePair(q1, q2).ValueOrDie());
+  }
+  return pairs;
+}
+
+TEST(EngineBackendTest, TieredAndExactBackendsAgreeOnTheDecisionSuite) {
+  Engine exact{EngineOptions().set_solver_backend(
+      lp::SolverBackend::kExactRational)};
+  Engine tiered{EngineOptions().set_solver_backend(
+      lp::SolverBackend::kDoubleScreened)};
+  for (const QueryPair& pair : DecisionSuite(exact)) {
+    auto reference = exact.Decide(pair.q1, pair.q2).ValueOrDie();
+    auto screened = tiered.Decide(pair.q1, pair.q2).ValueOrDie();
+    EXPECT_EQ(screened.verdict, reference.verdict) << reference.ToString();
+    EXPECT_EQ(screened.method, reference.method);
+    // Tiered certificates are exactly verified, not merely float-plausible.
+    if (screened.validity.has_value() &&
+        screened.validity->certificate.has_value()) {
+      ASSERT_TRUE(screened.inequality.has_value());
+      const auto& branches = screened.inequality->branches;
+      entropy::LinearExpr combined(branches[0].num_vars());
+      for (size_t l = 0; l < branches.size(); ++l) {
+        combined = combined + branches[l] * screened.validity->lambda[l];
+      }
+      EXPECT_TRUE(screened.validity->certificate->Verify(combined));
+    }
+  }
+  EXPECT_EQ(exact.stats().lp_screen_accepts, 0);
+  EXPECT_GT(tiered.stats().lp_screen_accepts, 0);
+}
+
+TEST(EngineBackendTest, DefaultBackendIsTieredAndScreens) {
+  Engine engine;
+  EXPECT_EQ(engine.options().solver_backend(),
+            lp::SolverBackend::kDoubleScreened);
+  engine.ProveInequality("H(A) + H(B) >= H(A,B)").ValueOrDie();
+  EngineStats stats = engine.stats();
+  EXPECT_GT(stats.lp_solves, 0);
+  EXPECT_EQ(stats.lp_screen_accepts + stats.lp_exact_fallbacks,
+            stats.lp_solves);
+}
+
+// --------------------------------------------------------- parallel batch
+
+TEST(EngineBatchTest, ParallelBatchMatchesSequentialOutput) {
+  Engine sequential;
+  std::vector<QueryPair> pairs = DecisionSuite(sequential);
+  // An error pair mid-batch must come back as a per-slot error in order.
+  pairs.insert(pairs.begin() + 3,
+               QueryPair{sequential.ParseQuery("R(x,y)").ValueOrDie(),
+                         sequential.ParseQuery("S(x,y)").ValueOrDie()});
+  auto expected = sequential.DecideBatch(pairs);
+
+  Engine parallel{EngineOptions().set_num_threads(4)};
+  auto actual = parallel.DecideBatch(pairs);
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(actual[i].ok(), expected[i].ok()) << "pair " << i;
+    if (!expected[i].ok()) {
+      EXPECT_EQ(actual[i].status().code(), expected[i].status().code());
+      continue;
+    }
+    EXPECT_EQ(actual[i]->verdict, expected[i]->verdict) << "pair " << i;
+    EXPECT_EQ(actual[i]->method, expected[i]->method) << "pair " << i;
+  }
+  EXPECT_EQ(parallel.stats().decisions, sequential.stats().decisions);
+  EXPECT_EQ(parallel.stats().errors, sequential.stats().errors);
+  EXPECT_EQ(parallel.stats().lp_pivots, sequential.stats().lp_pivots);
+}
+
+TEST(EngineBatchTest, ParallelBatchIsDeterministicAcrossRuns) {
+  Engine engine{EngineOptions().set_num_threads(4)};
+  auto pairs = DecisionSuite(engine);
+  auto first = engine.DecideBatch(pairs);
+  auto second = engine.DecideBatch(pairs);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i]->verdict, second[i]->verdict) << "pair " << i;
+    EXPECT_EQ(first[i]->method, second[i]->method) << "pair " << i;
+  }
+}
+
+TEST(EngineBatchTest, WorkersFoldSolveCountersIntoSessionStats) {
+  Engine engine{EngineOptions().set_num_threads(3)};
+  auto pair = engine
+                  .ParsePair("R(x1,x2), R(x2,x3), R(x3,x1)",
+                             "R(y1,y2), R(y1,y3)")
+                  .ValueOrDie();
+  std::vector<QueryPair> pairs(12, pair);
+  auto results = engine.DecideBatch(pairs);
+  ASSERT_EQ(results.size(), 12u);
+  for (const auto& r : results) ASSERT_TRUE(r.ok());
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.decisions, 12);
+  EXPECT_GT(stats.lp_solves, 0);
+  EXPECT_GT(stats.lp_pivots, 0);
+  // Worker-built elemental systems are absorbed into the session cache: a
+  // follow-up sequential decision must not rebuild.
+  const int64_t constructions_after_batch = stats.prover_constructions;
+  auto followup = engine.Decide(pair.q1, pair.q2).ValueOrDie();
+  EXPECT_TRUE(followup.stats.prover_cache_hit);
+  EXPECT_EQ(engine.stats().prover_constructions, constructions_after_batch);
+}
+
+// ------------------------------------------------------------ memoization
+
+TEST(EngineMemoTest, RepeatedDecisionsAreServedFromTheMemo) {
+  Engine engine{EngineOptions().set_memoize_decisions(true)};
+  auto pair = engine
+                  .ParsePair("R(x1,x2), R(x2,x3), R(x3,x1)",
+                             "R(y1,y2), R(y1,y3)")
+                  .ValueOrDie();
+  auto first = engine.Decide(pair.q1, pair.q2).ValueOrDie();
+  EXPECT_FALSE(first.stats.memo_hit);
+  const int64_t solves_after_first = engine.stats().lp_solves;
+  auto second = engine.Decide(pair.q1, pair.q2).ValueOrDie();
+  EXPECT_TRUE(second.stats.memo_hit);
+  EXPECT_EQ(second.verdict, first.verdict);
+  EXPECT_EQ(second.method, first.method);
+  EXPECT_EQ(engine.stats().lp_solves, solves_after_first);  // no LP re-run
+  EXPECT_EQ(engine.stats().decision_memo_hits, 1);
+  EXPECT_EQ(engine.stats().decisions, 2);
+  // ClearCache drops the memo too.
+  engine.ClearCache();
+  auto third = engine.Decide(pair.q1, pair.q2).ValueOrDie();
+  EXPECT_FALSE(third.stats.memo_hit);
+}
+
+TEST(EngineMemoTest, MemoDistinguishesBagBagFromBagSet) {
+  Engine engine{EngineOptions().set_memoize_decisions(true)};
+  auto pair = engine.ParsePair("R(x,y)", "R(a,b)").ValueOrDie();
+  engine.Decide(pair.q1, pair.q2).ValueOrDie();
+  auto bag_bag = engine.DecideBagBag(pair.q1, pair.q2).ValueOrDie();
+  EXPECT_FALSE(bag_bag.stats.memo_hit);
+}
+
+TEST(EngineMemoTest, MemoizedParallelBatchCountsHits) {
+  Engine engine{
+      EngineOptions().set_memoize_decisions(true).set_num_threads(4)};
+  auto pair = engine
+                  .ParsePair("R(x1,x2), R(x2,x3), R(x3,x1)",
+                             "R(y1,y2), R(y1,y3)")
+                  .ValueOrDie();
+  std::vector<QueryPair> pairs(20, pair);
+  auto results = engine.DecideBatch(pairs);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->verdict, Verdict::kContained);
+  }
+  // At least the second pass over the same key hits (races on the very first
+  // computations may compute a duplicate; correctness is unaffected).
+  EXPECT_GT(engine.stats().decision_memo_hits, 0);
+  EXPECT_EQ(engine.stats().decisions, 20);
+}
+
 TEST(EngineOptionsTest, BuilderFoldsDeciderAndWitnessOptions) {
   EngineOptions options = EngineOptions()
                               .set_want_shannon_certificate(false)

@@ -1,0 +1,192 @@
+// The lp::Solver backend contract: the tiered (double-screened) backend must
+// be observationally identical to the exact backend — same status on every
+// program, same optimal objective, and certificates that pass the exact
+// verification predicates — while reporting its screening economics honestly.
+#include "lp/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lp/lp_problem.h"
+#include "lp/tiered_solver.h"
+
+namespace bagcq::lp {
+namespace {
+
+using util::Rational;
+
+// Random dense LP with mixed senses, a sprinkling of free variables, and
+// occasional negative rhs, so every code path of the standard-form build
+// (slack signs, row flips, artificials) is exercised.
+LpProblem RandomLp(int vars, int rows, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> coeff(-9, 9);
+  std::uniform_int_distribution<int> pick(0, 5);
+  LpProblem problem;
+  for (int j = 0; j < vars; ++j) {
+    if (pick(rng) == 0) {
+      problem.AddFreeVariable();
+    } else {
+      problem.AddVariable();
+    }
+  }
+  for (int i = 0; i < rows; ++i) {
+    std::vector<Rational> row;
+    for (int j = 0; j < vars; ++j) row.push_back(Rational(coeff(rng)));
+    Sense sense = i % 3 == 0   ? Sense::kEqual
+                  : i % 3 == 1 ? Sense::kLessEqual
+                               : Sense::kGreaterEqual;
+    problem.AddConstraint(std::move(row), sense, Rational(coeff(rng)));
+  }
+  std::vector<Rational> obj;
+  for (int j = 0; j < vars; ++j) obj.push_back(Rational(coeff(rng)));
+  problem.SetObjective(seed % 2 == 0 ? Objective::kMinimize
+                                     : Objective::kMaximize,
+                       std::move(obj));
+  return problem;
+}
+
+TEST(SolverBackendTest, RegistryConstructsTheRightBackend) {
+  auto exact = MakeSolver(SolverBackend::kExactRational);
+  auto tiered = MakeSolver(SolverBackend::kDoubleScreened);
+  EXPECT_EQ(exact->backend(), SolverBackend::kExactRational);
+  EXPECT_EQ(tiered->backend(), SolverBackend::kDoubleScreened);
+}
+
+TEST(SolverBackendTest, NamesRoundTrip) {
+  for (SolverBackend backend :
+       {SolverBackend::kExactRational, SolverBackend::kDoubleScreened}) {
+    SolverBackend parsed;
+    ASSERT_TRUE(ParseSolverBackend(SolverBackendToString(backend), &parsed));
+    EXPECT_EQ(parsed, backend);
+  }
+  SolverBackend unused;
+  EXPECT_FALSE(ParseSolverBackend("simulated-annealing", &unused));
+}
+
+TEST(SolverParityTest, RandomizedProgramsAgreeAcrossBackends) {
+  int optimal = 0, infeasible = 0, unbounded = 0;
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    const int size = 3 + static_cast<int>(seed % 6);
+    LpProblem problem = RandomLp(size, size + 1, seed);
+    ExactSolver exact;
+    TieredSolver tiered;
+    auto reference = exact.Solve(problem);
+    auto screened = tiered.Solve(problem);
+    ASSERT_EQ(screened.status, reference.status)
+        << "seed " << seed << ": tiered " << SolveStatusToString(screened.status)
+        << " vs exact " << SolveStatusToString(reference.status);
+    switch (reference.status) {
+      case SolveStatus::kOptimal:
+        ++optimal;
+        // The optimum value is unique even when the vertex is not.
+        EXPECT_EQ(screened.objective, reference.objective) << "seed " << seed;
+        EXPECT_TRUE(VerifyDuals(problem, screened)) << "seed " << seed;
+        break;
+      case SolveStatus::kInfeasible:
+        ++infeasible;
+        EXPECT_TRUE(VerifyFarkas(problem, screened.farkas)) << "seed " << seed;
+        break;
+      case SolveStatus::kUnbounded:
+        ++unbounded;
+        break;
+      case SolveStatus::kPivotLimit:
+        FAIL() << "default caps must never be hit (seed " << seed << ")";
+    }
+  }
+  // The sweep must actually cover all three outcomes to mean anything.
+  EXPECT_GT(optimal, 0);
+  EXPECT_GT(infeasible, 0);
+  EXPECT_GT(unbounded, 0);
+}
+
+TEST(SolverParityTest, TieredStatsAccountForEverySolve) {
+  TieredSolver tiered;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    tiered.Solve(RandomLp(4, 5, seed));
+  }
+  const SolverStats& stats = tiered.stats();
+  EXPECT_EQ(stats.solves, 20);
+  EXPECT_EQ(stats.screen_accepts + stats.exact_fallbacks, stats.solves);
+  // Small integer programs refine cleanly: the screen must carry real weight,
+  // not silently punt everything to the exact tier.
+  EXPECT_GT(stats.screen_accepts, 0);
+  tiered.ResetStats();
+  EXPECT_EQ(tiered.stats().solves, 0);
+}
+
+TEST(SolverParityTest, ExactBackendNeverScreens) {
+  ExactSolver exact;
+  exact.Solve(RandomLp(4, 5, 7));
+  EXPECT_EQ(exact.stats().solves, 1);
+  EXPECT_EQ(exact.stats().screen_accepts, 0);
+  EXPECT_EQ(exact.stats().exact_fallbacks, 0);
+  EXPECT_GT(exact.stats().exact_pivots, 0);
+}
+
+TEST(SolverParityTest, TerminalBasisIsReported) {
+  // min x+y s.t. x+y >= 2: optimal basis has one slot per constraint row.
+  LpProblem problem;
+  problem.AddVariable("x");
+  problem.AddVariable("y");
+  problem.AddConstraint({Rational(1), Rational(1)}, Sense::kGreaterEqual,
+                        Rational(2));
+  problem.SetObjective(Objective::kMinimize, {Rational(1), Rational(1)});
+  auto solution = ExactSolver().Solve(problem);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  ASSERT_EQ(solution.basis.size(), 1u);
+  EXPECT_EQ(solution.basis[0].kind, BasisKind::kStructural);
+}
+
+TEST(SolverPivotLimitTest, DoubleTierFailsSoftAndTieredFallsBack) {
+  // A program that needs several pivots; a 1-pivot cap cannot finish it.
+  LpProblem problem = RandomLp(6, 7, 3);
+  SolverOptions strangled;
+  strangled.max_pivots = 1;
+  SimplexSolver<double> screen(strangled);
+  auto screened = screen.Solve(problem);
+  EXPECT_EQ(screened.status, SolveStatus::kPivotLimit);  // soft, no abort
+
+  // The exact solver under the same cap also fails soft.
+  SimplexSolver<Rational> exact(strangled);
+  EXPECT_EQ(exact.Solve(problem).status, SolveStatus::kPivotLimit);
+
+  // A tiered solver whose *screen* is strangled by construction still
+  // answers exactly: the internal cap only bounds the double tier.
+  TieredSolver tiered;
+  ExactSolver reference;
+  EXPECT_EQ(tiered.Solve(problem).status, reference.Solve(problem).status);
+}
+
+TEST(SolverPivotLimitTest, CapIsInclusive) {
+  // A solve that finishes in exactly max_pivots pivots must still succeed;
+  // only needing one more fails. Scan seeds for a multi-pivot optimal case.
+  LpProblem problem;
+  Solution<Rational> reference;
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    problem = RandomLp(6, 7, seed);
+    reference = SimplexSolver<Rational>().Solve(problem);
+    if (reference.status == SolveStatus::kOptimal && reference.pivots > 1) {
+      break;
+    }
+  }
+  ASSERT_EQ(reference.status, SolveStatus::kOptimal);
+  ASSERT_GT(reference.pivots, 1);
+
+  SolverOptions at_cap;
+  at_cap.max_pivots = reference.pivots;
+  EXPECT_EQ(SimplexSolver<Rational>(at_cap).Solve(problem).status,
+            SolveStatus::kOptimal);
+  SolverOptions below_cap;
+  below_cap.max_pivots = reference.pivots - 1;
+  EXPECT_EQ(SimplexSolver<Rational>(below_cap).Solve(problem).status,
+            SolveStatus::kPivotLimit);
+}
+
+TEST(SolverPivotLimitTest, StatusHasAName) {
+  EXPECT_STREQ(SolveStatusToString(SolveStatus::kPivotLimit), "PivotLimit");
+}
+
+}  // namespace
+}  // namespace bagcq::lp
