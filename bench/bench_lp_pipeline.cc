@@ -1,11 +1,15 @@
 // LP-pipeline perf tracker: times the exact backend against the tiered
-// (double-screened) pipeline on the bench_shannon_lp workloads (n=4/n=5
-// prove, the Zhang–Yeung refutation) and serial vs sharded DecideBatch, then
-// writes a machine-readable BENCH_lp.json so the perf trajectory is
-// comparable across PRs. No Google Benchmark dependency: this driver always
-// builds, and `--smoke` (1 iteration) keeps it CI-cheap.
+// (double-screened) pipeline — each cold (per-solve phase I from scratch)
+// and warm (keyed warm-start basis chaining, the Engine default) — on the
+// bench_shannon_lp workloads (n=4/n=5 prove, the Zhang–Yeung refutation)
+// and serial vs sharded DecideBatch, then writes a machine-readable
+// BENCH_lp.json so the perf trajectory is comparable across PRs (and gated
+// in CI by tools/check_bench.py against BENCH_lp.baseline.json). No Google
+// Benchmark dependency: this driver always builds, and `--smoke`
+// (1 iteration) keeps it CI-cheap.
 //
 // Usage: bench_lp_pipeline [--smoke] [--out PATH]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -42,11 +46,19 @@ entropy::LinearExpr SplitSubmodularity(int n) {
 
 template <typename Fn>
 Measurement Time(const std::string& name, int iters, Fn&& fn) {
-  fn();  // warm-up (prover caches, workspace capacity)
-  const auto start = Clock::now();
-  for (int i = 0; i < iters; ++i) fn();
-  Measurement m{name, iters, MsSince(start) / iters};
-  std::printf("  %-38s %10.3f ms/iter  (%d iters)\n", name.c_str(),
+  fn();  // warm-up (prover caches, workspace capacity, warm-basis slots)
+  // Median of per-iteration times: the regression gate compares these
+  // numbers across runs and machines, and a median shrugs off the scheduler
+  // hiccups that make means of ms-scale workloads flap.
+  std::vector<double> samples(iters);
+  for (int i = 0; i < iters; ++i) {
+    const auto start = Clock::now();
+    fn();
+    samples[i] = MsSince(start);
+  }
+  std::sort(samples.begin(), samples.end());
+  Measurement m{name, iters, samples[iters / 2]};
+  std::printf("  %-44s %10.3f ms/iter  (median of %d)\n", name.c_str(),
               m.ms_per_iter, iters);
   return m;
 }
@@ -78,28 +90,47 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     }
   }
-  const int prove4_iters = smoke ? 1 : 50;
-  const int prove5_iters = smoke ? 1 : 10;
-  const int batch_iters = smoke ? 1 : 5;
+  // Smoke mode still runs a handful of iterations: the CI regression gate
+  // compares ms_per_iter against the committed baseline, and single-shot
+  // timings on shared runners are too noisy to gate anything.
+  const int prove4_iters = smoke ? 9 : 49;
+  const int prove5_iters = smoke ? 5 : 11;
+  const int batch_iters = smoke ? 3 : 5;
 
   std::printf("LP pipeline benchmark (%s mode)\n", smoke ? "smoke" : "full");
   std::vector<Measurement> results;
+  struct WarmCounters {
+    std::string tag;
+    int64_t warm_accepts = 0;
+    int64_t warm_pivots_saved = 0;
+    int64_t lp_solves = 0;
+  };
+  std::vector<WarmCounters> warm_counters;
 
   for (auto backend :
        {lp::SolverBackend::kExactRational, lp::SolverBackend::kDoubleScreened}) {
-    const std::string tag = lp::SolverBackendToString(backend);
-    Engine engine{EngineOptions().set_solver_backend(backend)};
-    auto e4 = SplitSubmodularity(4);
-    auto e5 = SplitSubmodularity(5);
-    results.push_back(Time("shannon_prove_n4/" + tag, prove4_iters, [&] {
-      engine.ProveInequality(e4).ValueOrDie();
-    }));
-    results.push_back(Time("shannon_prove_n5/" + tag, prove5_iters, [&] {
-      engine.ProveInequality(e5).ValueOrDie();
-    }));
-    results.push_back(Time("zhang_yeung_refute/" + tag, prove4_iters, [&] {
-      engine.ProveInequality(entropy::ZhangYeungExpr()).ValueOrDie();
-    }));
+    for (bool warm : {false, true}) {
+      const std::string tag = std::string(lp::SolverBackendToString(backend)) +
+                              (warm ? "/warm" : "/cold");
+      Engine engine{EngineOptions()
+                        .set_solver_backend(backend)
+                        .set_warm_starts(warm)};
+      auto e4 = SplitSubmodularity(4);
+      auto e5 = SplitSubmodularity(5);
+      results.push_back(Time("shannon_prove_n4/" + tag, prove4_iters, [&] {
+        engine.ProveInequality(e4).ValueOrDie();
+      }));
+      results.push_back(Time("shannon_prove_n5/" + tag, prove5_iters, [&] {
+        engine.ProveInequality(e5).ValueOrDie();
+      }));
+      results.push_back(Time("zhang_yeung_refute/" + tag, prove4_iters, [&] {
+        engine.ProveInequality(entropy::ZhangYeungExpr()).ValueOrDie();
+      }));
+      EngineStats stats = engine.stats();
+      warm_counters.push_back(
+          {tag, stats.lp_warm_accepts, stats.lp_warm_pivots_saved,
+           stats.lp_solves});
+    }
   }
 
   for (int threads : {1, 4}) {
@@ -112,7 +143,8 @@ int main(int argc, char** argv) {
         }));
   }
 
-  // Derived speedups (exact / tiered per workload; t1 / t4 for the batch).
+  // Derived speedups: tiered vs exact (both warm — the shipping defaults),
+  // warm vs cold per backend, and t1 vs t4 for the batch.
   auto find = [&](const std::string& name) -> const Measurement* {
     for (const Measurement& m : results) {
       if (m.name == name) return &m;
@@ -120,23 +152,32 @@ int main(int argc, char** argv) {
     return nullptr;
   };
   std::vector<std::pair<std::string, double>> speedups;
+  auto add_speedup = [&](const std::string& name, const Measurement* slow,
+                         const Measurement* fast) {
+    if (slow != nullptr && fast != nullptr && fast->ms_per_iter > 0) {
+      speedups.emplace_back(name, slow->ms_per_iter / fast->ms_per_iter);
+    }
+  };
   for (const char* w : {"shannon_prove_n4", "shannon_prove_n5",
                         "zhang_yeung_refute"}) {
-    const Measurement* exact = find(std::string(w) + "/exact");
-    const Measurement* tiered = find(std::string(w) + "/tiered");
-    if (exact != nullptr && tiered != nullptr && tiered->ms_per_iter > 0) {
-      speedups.emplace_back(std::string(w) + ":tiered_vs_exact",
-                            exact->ms_per_iter / tiered->ms_per_iter);
-    }
+    const std::string base(w);
+    add_speedup(base + ":tiered_vs_exact", find(base + "/exact/warm"),
+                find(base + "/tiered/warm"));
+    add_speedup(base + "/exact:warm_vs_cold", find(base + "/exact/cold"),
+                find(base + "/exact/warm"));
+    add_speedup(base + "/tiered:warm_vs_cold", find(base + "/tiered/cold"),
+                find(base + "/tiered/warm"));
   }
-  const Measurement* t1 = find("decide_batch_t1");
-  const Measurement* t4 = find("decide_batch_t4");
-  if (t1 != nullptr && t4 != nullptr && t4->ms_per_iter > 0) {
-    speedups.emplace_back("decide_batch:t4_vs_t1",
-                          t1->ms_per_iter / t4->ms_per_iter);
-  }
+  add_speedup("decide_batch:t4_vs_t1", find("decide_batch_t1"),
+              find("decide_batch_t4"));
   for (const auto& [name, factor] : speedups) {
-    std::printf("  %-38s %10.2fx\n", name.c_str(), factor);
+    std::printf("  %-44s %10.2fx\n", name.c_str(), factor);
+  }
+  for (const WarmCounters& w : warm_counters) {
+    std::printf("  %-44s %6lld/%lld warm accepts, %lld pivots saved\n",
+                w.tag.c_str(), static_cast<long long>(w.warm_accepts),
+                static_cast<long long>(w.lp_solves),
+                static_cast<long long>(w.warm_pivots_saved));
   }
 
   FILE* out = std::fopen(out_path.c_str(), "w");
@@ -144,7 +185,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(out, "{\n  \"schema\": \"bagcq-bench-lp/1\",\n");
+  std::fprintf(out, "{\n  \"schema\": \"bagcq-bench-lp/2\",\n");
   std::fprintf(out, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
   std::fprintf(out, "  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
@@ -158,6 +199,17 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < speedups.size(); ++i) {
     std::fprintf(out, "    \"%s\": %.4f%s\n", speedups[i].first.c_str(),
                  speedups[i].second, i + 1 < speedups.size() ? "," : "");
+  }
+  std::fprintf(out, "  },\n  \"warm_stats\": {\n");
+  for (size_t i = 0; i < warm_counters.size(); ++i) {
+    const WarmCounters& w = warm_counters[i];
+    std::fprintf(out,
+                 "    \"%s\": {\"lp_solves\": %lld, \"warm_accepts\": %lld, "
+                 "\"warm_pivots_saved\": %lld}%s\n",
+                 w.tag.c_str(), static_cast<long long>(w.lp_solves),
+                 static_cast<long long>(w.warm_accepts),
+                 static_cast<long long>(w.warm_pivots_saved),
+                 i + 1 < warm_counters.size() ? "," : "");
   }
   std::fprintf(out, "  }\n}\n");
   std::fclose(out);

@@ -45,6 +45,10 @@ util::Result<DecisionResult> DecideOne(const cq::ConjunctiveQuery& q1,
                                        double* elapsed_ms) {
   const auto start = Clock::now();
   const int64_t constructions_before = provers->constructions();
+  const int64_t warm_accepts_before =
+      solver != nullptr ? solver->stats().warm_accepts : 0;
+  const int64_t warm_saved_before =
+      solver != nullptr ? solver->stats().warm_pivots_saved : 0;
   core::DeciderContext context{provers, solver};
   auto decision =
       bag_bag
@@ -56,6 +60,12 @@ util::Result<DecisionResult> DecideOne(const cq::ConjunctiveQuery& q1,
   result.stats.elapsed_ms = *elapsed_ms;
   result.stats.prover_cache_hit =
       provers->constructions() == constructions_before;
+  if (solver != nullptr) {
+    result.stats.lp_warm_accepts =
+        solver->stats().warm_accepts - warm_accepts_before;
+    result.stats.lp_warm_pivots_saved =
+        solver->stats().warm_pivots_saved - warm_saved_before;
+  }
   return result;
 }
 
@@ -98,6 +108,7 @@ namespace {
 lp::SolverOptions SolverOptionsFor(const EngineOptions& options) {
   lp::SolverOptions solver_options;  // inherit the shared max_pivots default
   solver_options.pivot_rule = options.pivot_rule();
+  solver_options.warm_starts = options.warm_starts();
   return solver_options;
 }
 }  // namespace
@@ -222,6 +233,8 @@ std::vector<util::Result<DecisionResult>> Engine::DecideBatchParallel(
     worker_stats_.lp_solves += ss.solves;
     worker_stats_.lp_screen_accepts += ss.screen_accepts;
     worker_stats_.lp_exact_fallbacks += ss.exact_fallbacks;
+    worker_stats_.lp_warm_accepts += ss.warm_accepts;
+    worker_stats_.lp_warm_pivots_saved += ss.warm_pivots_saved;
     provers_.AbsorbFrom(std::move(w.provers));
   }
   stats_.total_ms += MsSince(start);  // batch wall-clock, not worker-ms sum
@@ -307,6 +320,8 @@ util::Result<ProofResult> Engine::ProveInequality(
         "inequality must mention at least one variable");
   }
   const int64_t constructions_before = provers_.constructions();
+  const int64_t warm_accepts_before = solver_->stats().warm_accepts;
+  const int64_t warm_saved_before = solver_->stats().warm_pivots_saved;
   const entropy::ShannonProver& prover = provers_.Get(e.num_vars());
   entropy::IIResult ii = prover.Prove(e, solver_.get());
 
@@ -319,6 +334,10 @@ util::Result<ProofResult> Engine::ProveInequality(
   result.stats.elapsed_ms = MsSince(start);
   result.stats.prover_cache_hit =
       provers_.constructions() == constructions_before;
+  result.stats.lp_warm_accepts =
+      solver_->stats().warm_accepts - warm_accepts_before;
+  result.stats.lp_warm_pivots_saved =
+      solver_->stats().warm_pivots_saved - warm_saved_before;
   stats_.lp_pivots += ii.lp_pivots;
   stats_.total_ms += result.stats.elapsed_ms;
   return result;
@@ -364,6 +383,8 @@ util::Result<ProofResult> Engine::CheckMaxInequality(
     }
   }
   const int64_t constructions_before = provers_.constructions();
+  const int64_t warm_accepts_before = solver_->stats().warm_accepts;
+  const int64_t warm_saved_before = solver_->stats().warm_pivots_saved;
   // The generator-form cones (Nn, Mn) never touch the elemental system, so
   // only the Γn route pays for (and caches) a prover.
   const entropy::ShannonProver* prover =
@@ -381,6 +402,10 @@ util::Result<ProofResult> Engine::CheckMaxInequality(
   result.stats.elapsed_ms = MsSince(start);
   result.stats.prover_cache_hit =
       provers_.constructions() == constructions_before;
+  result.stats.lp_warm_accepts =
+      solver_->stats().warm_accepts - warm_accepts_before;
+  result.stats.lp_warm_pivots_saved =
+      solver_->stats().warm_pivots_saved - warm_saved_before;
   stats_.lp_pivots += max_result.lp_pivots;
   stats_.total_ms += result.stats.elapsed_ms;
   return result;
@@ -418,6 +443,9 @@ EngineStats Engine::stats() const {
   out.lp_screen_accepts = ss.screen_accepts + worker_stats_.lp_screen_accepts;
   out.lp_exact_fallbacks =
       ss.exact_fallbacks + worker_stats_.lp_exact_fallbacks;
+  out.lp_warm_accepts = ss.warm_accepts + worker_stats_.lp_warm_accepts;
+  out.lp_warm_pivots_saved =
+      ss.warm_pivots_saved + worker_stats_.lp_warm_pivots_saved;
   return out;
 }
 

@@ -69,6 +69,8 @@ struct EngineStats {
   int64_t lp_pivots = 0;        // pivots across those LPs
   int64_t lp_screen_accepts = 0;   // tiered: float solves exactly verified
   int64_t lp_exact_fallbacks = 0;  // tiered: solves that re-ran exactly
+  int64_t lp_warm_accepts = 0;     // LPs resumed from a warm-start basis
+  int64_t lp_warm_pivots_saved = 0;  // pivots saved vs cold baselines
   int64_t decision_memo_hits = 0;  // decisions served from the memo cache
   double total_ms = 0.0;        // wall-clock across all calls
 };

@@ -56,6 +56,18 @@ class EngineOptions {
   }
   lp::SolverBackend solver_backend() const { return solver_backend_; }
 
+  /// Warm starts across the session's LPs (on by default): each LP shape
+  /// keeps its last terminal basis on the solver, and the next same-shaped
+  /// program resumes from it instead of re-running phase I — repeated
+  /// proofs, the branch LPs of a decision, and same-shaped batch traffic
+  /// all benefit. Certificates stay exactly verified either way; turn off
+  /// only to measure (stats().lp_warm_accepts shows the hit rate).
+  EngineOptions& set_warm_starts(bool v) {
+    warm_starts_ = v;
+    return *this;
+  }
+  bool warm_starts() const { return warm_starts_; }
+
   /// Worker threads for DecideBatch. 1 = sequential (the default); k > 1
   /// shards the batch across k workers, each with its own solver workspace
   /// and prover-cache handle. Output order and per-pair results are
@@ -90,6 +102,7 @@ class EngineOptions {
   bool verify_witness_counts_ = true;
   lp::PivotRule pivot_rule_ = lp::PivotRule::kBland;
   lp::SolverBackend solver_backend_ = lp::SolverBackend::kDoubleScreened;
+  bool warm_starts_ = true;
   int num_threads_ = 1;
   bool memoize_decisions_ = false;
 };

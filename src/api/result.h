@@ -25,6 +25,12 @@ struct CallStats {
   double elapsed_ms = 0.0;
   /// Total simplex pivots across every LP the call ran.
   int64_t lp_pivots = 0;
+  /// LPs in this call that resumed from a warm-start basis (a keyed slot on
+  /// the session solver, or the tiered screen→exact handoff).
+  int64_t lp_warm_accepts = 0;
+  /// Pivots those warm starts saved vs the recorded cold baseline of the
+  /// same LP shape.
+  int64_t lp_warm_pivots_saved = 0;
   /// No elemental system was (re)built for this call — the per-n prover came
   /// from the session cache (or the call never needed one).
   bool prover_cache_hit = false;

@@ -44,9 +44,12 @@ struct DeciderOptions {
 };
 
 /// Borrowed session state threaded through a decision (the bagcq::Engine
-/// path). `provers` supplies per-n elemental systems built once and reused;
+/// path). `provers` supplies per-n elemental systems — including the dense
+/// constraint skeleton shared by every Γn LP — built once and reused;
 /// `solver` supplies an LP backend (exact or tiered, lp/solver.h) with a
-/// persistent workspace so repeated decisions stop reallocating tableaus.
+/// persistent workspace and per-shape warm-start basis slots, so the branch
+/// LPs of one decision (Nn → Γn) and of every following same-shaped decision
+/// resume from the previous terminal basis instead of re-running phase I.
 /// Either member may be null.
 struct DeciderContext {
   entropy::ProverCache* provers = nullptr;

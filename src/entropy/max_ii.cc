@@ -1,5 +1,7 @@
 #include "entropy/max_ii.h"
 
+#include <string>
+
 #include "entropy/functions.h"
 #include "entropy/mobius.h"
 #include "lp/lp_problem.h"
@@ -53,8 +55,10 @@ MaxIIOracle::MaxIIOracle(int n, ConeKind kind, const ShannonProver* prover,
 }
 
 lp::Solution<Rational> MaxIIOracle::RunSimplex(
-    const lp::LpProblem& problem) const {
-  if (solver_ != nullptr) return solver_->Solve(problem);
+    const lp::LpProblem& problem, const std::string& warm_key) const {
+  // Keys encode (form, cone, n, branch count), so equal keys mean equal LP
+  // shape and the session solver can chain terminal bases across branch LPs.
+  if (solver_ != nullptr) return solver_->SolveKeyed(problem, warm_key);
   return lp::ExactSolver().Solve(problem);
 }
 
@@ -115,10 +119,22 @@ MaxIIResult MaxIIOracle::CheckConstraintForm(
   for (size_t l = 0; l < k; ++l) {
     for (const auto& [x, c] : branches[l].terms()) rows[x.mask() - 1][l] = c;
   }
-  for (size_t t = 0; t < m; ++t) {
-    const LinearExpr expr = elementals[t].ToExpr(n_);
-    for (const auto& [x, c] : expr.terms()) {
-      rows[x.mask() - 1][k + t] = -c;
+  if (prover_ != nullptr) {
+    // The negated elemental block comes straight from the prover's
+    // precomputed skeleton — the shared spine of every Γn LP this decision
+    // (and session) builds.
+    const auto& skeleton = prover_->constraint_skeleton();
+    for (uint32_t s = 0; s < num_sets; ++s) {
+      for (size_t t = 0; t < m; ++t) {
+        if (!skeleton[s][t].is_zero()) rows[s][k + t] = -skeleton[s][t];
+      }
+    }
+  } else {
+    for (size_t t = 0; t < m; ++t) {
+      const LinearExpr expr = elementals[t].ToExpr(n_);
+      for (const auto& [x, c] : expr.terms()) {
+        rows[x.mask() - 1][k + t] = -c;
+      }
     }
   }
   for (uint32_t s = 0; s < num_sets; ++s) {
@@ -129,7 +145,8 @@ MaxIIResult MaxIIOracle::CheckConstraintForm(
                         "convexity");
   problem.SetObjective(lp::Objective::kMinimize, {});
 
-  auto solution = RunSimplex(problem);
+  auto solution = RunSimplex(problem, "maxii/gamma/n=" + std::to_string(n_) +
+                                          "/k=" + std::to_string(k));
   MaxIIResult out;
   out.lp_pivots = solution.pivots;
 
@@ -204,7 +221,10 @@ MaxIIResult MaxIIOracle::CheckGeneratorForm(
   problem.SetObjective(lp::Objective::kMinimize,
                        std::vector<Rational>(num_gens, Rational(1)));
 
-  auto solution = RunSimplex(problem);
+  auto solution = RunSimplex(
+      problem, std::string("maxii/gen/") +
+                   (kind_ == ConeKind::kNormal ? "normal" : "modular") +
+                   "/n=" + std::to_string(n_) + "/k=" + std::to_string(k));
   MaxIIResult out;
   out.lp_pivots = solution.pivots;
 

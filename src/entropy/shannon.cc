@@ -27,7 +27,18 @@ std::string ShannonCertificate::ToString(
 }
 
 ShannonProver::ShannonProver(int n)
-    : n_(n), elementals_(ElementalInequalities(n)) {}
+    : n_(n), elementals_(ElementalInequalities(n)) {
+  // Dense subset-row × elemental-column skeleton, built once per n. Eager
+  // (not lazy) because provers are shared read-only across batch workers.
+  const uint32_t num_sets = (1u << n_) - 1;
+  skeleton_.assign(num_sets, std::vector<Rational>(elementals_.size()));
+  for (size_t t = 0; t < elementals_.size(); ++t) {
+    const LinearExpr expr = elementals_[t].ToExpr(n_);
+    for (const auto& [x, c] : expr.terms()) {
+      skeleton_[x.mask() - 1][t] = c;
+    }
+  }
+}
 
 IIResult ShannonProver::Prove(const LinearExpr& e, lp::Solver* solver) const {
   BAGCQ_CHECK_EQ(e.num_vars(), n_);
@@ -45,27 +56,23 @@ IIResult ShannonProver::Prove(const LinearExpr& e, lp::Solver* solver) const {
     problem.AddVariable("y" + std::to_string(t));
   }
   const uint32_t num_sets = (1u << n_) - 1;  // nonempty subsets
-  // Rows indexed by subset mask; columns by elemental.
-  std::vector<std::vector<Rational>> rows(num_sets);
+  // Rows indexed by subset mask; columns by elemental — copied straight out
+  // of the precomputed skeleton.
   for (uint32_t s = 1; s <= num_sets; ++s) {
-    rows[s - 1].assign(elementals_.size(), Rational(0));
-  }
-  for (size_t t = 0; t < elementals_.size(); ++t) {
-    const LinearExpr expr = elementals_[t].ToExpr(n_);
-    for (const auto& [x, c] : expr.terms()) {
-      rows[x.mask() - 1][t] = c;
-    }
-  }
-  for (uint32_t s = 1; s <= num_sets; ++s) {
-    problem.AddConstraint(std::move(rows[s - 1]), lp::Sense::kEqual,
-                          e.Coeff(VarSet(s)));
+    problem.AddConstraint(std::vector<Rational>(skeleton_[s - 1]),
+                          lp::Sense::kEqual, e.Coeff(VarSet(s)));
   }
   problem.SetObjective(lp::Objective::kMinimize, {});
 
-  lp::ExactSolver local_solver;
+  // The LP shape depends only on n, so a session solver warm-starts each
+  // proof from the previous one's terminal basis (for a feasibility LP a
+  // re-installed feasible basis is immediately optimal; infeasibility hints
+  // resume phase I from the previous Farkas basis).
   auto solution =
-      (solver != nullptr ? *solver : static_cast<lp::Solver&>(local_solver))
-          .Solve(problem);
+      solver != nullptr
+          ? solver->SolveKeyed(problem,
+                               "shannon/prove/n=" + std::to_string(n_))
+          : lp::ExactSolver().Solve(problem);
   IIResult out;
   out.lp_pivots = solution.pivots;
 

@@ -47,7 +47,8 @@ struct IIResult {
 };
 
 /// Prover for a fixed variable count n. Construction precomputes the
-/// elemental system; Prove() runs one exact LP per call.
+/// elemental system and its dense constraint skeleton; Prove() runs one
+/// exact LP per call.
 class ShannonProver {
  public:
   explicit ShannonProver(int n);
@@ -57,15 +58,27 @@ class ShannonProver {
     return elementals_;
   }
 
+  /// Dense elemental-constraint skeleton, shared by every LP over Γn:
+  /// constraint_skeleton()[s-1][t] is the coefficient of elemental t on the
+  /// subset row with mask s (1 ≤ s ≤ 2ⁿ−1). Built once at construction; the
+  /// per-call LPs (Prove here, the Γn route of MaxIIOracle) only copy rows
+  /// out of it instead of re-expanding every elemental.
+  const std::vector<std::vector<Rational>>& constraint_skeleton() const {
+    return skeleton_;
+  }
+
   /// Is 0 ≤ E(h) for all h ∈ Γn? Certificates and counterexamples are
   /// CHECK-verified before being returned. With a non-null `solver`, the LP
-  /// runs on that backend with its persistent workspace (the Engine batch
-  /// path); otherwise a throwaway exact solver is used.
+  /// runs on that backend with its persistent workspace and a per-n warm
+  /// keyed basis (the Engine batch path — repeated proofs at one n resume
+  /// from the previous terminal basis); otherwise a throwaway exact solver
+  /// is used.
   IIResult Prove(const LinearExpr& e, lp::Solver* solver = nullptr) const;
 
  private:
   int n_;
   std::vector<ElementalInequality> elementals_;
+  std::vector<std::vector<Rational>> skeleton_;
 };
 
 }  // namespace bagcq::entropy

@@ -62,12 +62,35 @@ class Tableau {
           SimplexWorkspace<Scalar>& workspace)
       : problem_(problem), options_(options), ws_(workspace) {}
 
-  Solution<Scalar> Run() {
+  Solution<Scalar> Run(const std::vector<BasisEntry>* hint) {
     Build();
     Solution<Scalar> out;
 
-    // Phase I: minimize the sum of artificial variables.
-    if (!ws_.artificials.empty()) {
+    // Warm start: re-factorize the hinted basis in place. A failed install
+    // may have half-transformed the tableau, so the cold path rebuilds — and
+    // forgets the wasted eliminations, so a rejected hint leaves the pivot
+    // count (and the cap) exactly where a cold Solve() would put them.
+    bool installed = false;
+    if (hint != nullptr) {
+      installed = TryInstall(*hint, &out.pivots);
+      if (!installed) {
+        Build();
+        out.pivots = 0;
+      }
+    }
+    out.warm_started = installed;
+    if (out.pivots > options_.max_pivots) {
+      out.status = SolveStatus::kPivotLimit;
+      return out;
+    }
+
+    // Phase I: minimize the sum of artificial variables. Needed cold
+    // whenever artificials exist; a warm start needs it only when the
+    // installed basis still carries an artificial at a nonzero value (an
+    // infeasibility hint — e.g. the Farkas basis of a previous solve).
+    const bool need_phase_one =
+        installed ? InstalledBasisNeedsPhaseOne() : !ws_.artificials.empty();
+    if (need_phase_one) {
       SetPhaseCosts(/*phase_one=*/true);
       SolveStatus status = Iterate(/*phase_one=*/true, &out.pivots);
       BAGCQ_CHECK(status != SolveStatus::kUnbounded)
@@ -82,6 +105,11 @@ class Tableau {
         out.basis = ExtractBasis();
         return out;
       }
+      PivotOutBasicArtificials();
+    } else if (installed && !ws_.artificials.empty()) {
+      // The hint parked artificials at zero (redundant rows); mirror the
+      // cold path so as few as possible stay basic. The cost row is still
+      // the all-zero Build() state here, so these pivots touch only rows.
       PivotOutBasicArtificials();
     }
 
@@ -145,6 +173,8 @@ class Tableau {
     ws_.rhs.assign(m, Scalar{});
     ws_.row_sign.assign(m, 1);
     ws_.identity_col.assign(m, -1);
+    ws_.slack_col_of_row.assign(m, -1);
+    ws_.art_col_of_row.assign(m, -1);
     ws_.basis.assign(m, -1);
     ws_.artificials.clear();
 
@@ -172,6 +202,7 @@ class Tableau {
       // Slack (+1 for <=) or surplus (-1 for >=), then the row-sign flip.
       int coeff = (row.sense == Sense::kLessEqual ? 1 : -1) * ws_.row_sign[i];
       int slack_col = AddColumn({BasisKind::kSlack, i});
+      ws_.slack_col_of_row[i] = slack_col;
       ws_.rows[i][slack_col] = coeff == 1 ? Scalar{1} : Scalar{} - Scalar{1};
       if (coeff == 1) {
         ws_.identity_col[i] = slack_col;
@@ -183,6 +214,7 @@ class Tableau {
     for (int i = 0; i < m; ++i) {
       if (ws_.basis[i] >= 0) continue;
       int art_col = AddColumn({BasisKind::kArtificial, i});
+      ws_.art_col_of_row[i] = art_col;
       ws_.rows[i][art_col] = Scalar{1};
       ws_.identity_col[i] = art_col;
       ws_.basis[i] = art_col;
@@ -273,10 +305,13 @@ class Tableau {
     }
   }
 
-  void Pivot(int leave, int enter) {
+  // The row operations of a pivot, without the cost-row upkeep and without
+  // the positivity requirement — basis installation pivots on whatever
+  // nonzero entry it finds and rebuilds the cost row afterwards.
+  void RawPivot(int leave, int enter) {
     std::vector<Scalar>& prow = ws_.rows[leave];
     Scalar pivot = prow[enter];
-    BAGCQ_DCHECK(F::IsPositive(pivot));
+    BAGCQ_DCHECK(!F::IsZero(pivot));
     for (Scalar& a : prow) a = a / pivot;
     ws_.rhs[leave] = ws_.rhs[leave] / pivot;
     prow[enter] = Scalar{1};  // kill residual rounding for double
@@ -291,15 +326,108 @@ class Tableau {
       ws_.rows[i][enter] = Scalar{};
       ws_.rhs[i] = ws_.rhs[i] - factor * ws_.rhs[leave];
     }
+    ws_.basis[leave] = enter;
+  }
+
+  void Pivot(int leave, int enter) {
+    BAGCQ_DCHECK(F::IsPositive(ws_.rows[leave][enter]));
     Scalar cfactor = ws_.cost_row[enter];
+    RawPivot(leave, enter);
     if (!F::IsZero(cfactor)) {
+      const std::vector<Scalar>& prow = ws_.rows[leave];
       for (int j = 0; j < num_columns_; ++j) {
         ws_.cost_row[j] = ws_.cost_row[j] - cfactor * prow[j];
       }
       ws_.cost_row[enter] = Scalar{};
       objective_value_ = objective_value_ + cfactor * ws_.rhs[leave];
     }
-    ws_.basis[leave] = enter;
+  }
+
+  // Maps one problem-space basis entry to its tableau column, or -1 when
+  // this program has no such column (stale hint).
+  int ColumnOfEntry(const BasisEntry& entry) const {
+    const int n = problem_.num_variables();
+    const int m = static_cast<int>(ws_.rows.size());
+    switch (entry.kind) {
+      case BasisKind::kStructural:
+        return entry.index >= 0 && entry.index < n
+                   ? ws_.col_of_var[entry.index]
+                   : -1;
+      case BasisKind::kNegStructural:
+        return entry.index >= 0 && entry.index < n
+                   ? ws_.neg_col_of_var[entry.index]
+                   : -1;
+      case BasisKind::kSlack:
+        return entry.index >= 0 && entry.index < m
+                   ? ws_.slack_col_of_row[entry.index]
+                   : -1;
+      case BasisKind::kArtificial:
+        return entry.index >= 0 && entry.index < m
+                   ? ws_.art_col_of_row[entry.index]
+                   : -1;
+    }
+    return -1;
+  }
+
+  bool IsUnitColumnAt(int col, int r) const {
+    for (int i = 0; i < static_cast<int>(ws_.rows.size()); ++i) {
+      const Scalar diff =
+          i == r ? ws_.rows[i][col] - Scalar{1} : ws_.rows[i][col];
+      if (!F::IsZero(diff)) return false;
+    }
+    return true;
+  }
+
+  // Gauss-Jordan the freshly built tableau onto the hinted basis. True iff
+  // the hint applies: every entry maps to an existing column, the column set
+  // is nonsingular (duplicates die naturally — once a column is a unit
+  // vector, no unassigned row has a nonzero entry in its twin), and the
+  // resulting basic values are all nonnegative. On false the tableau may be
+  // half-transformed and the caller must rebuild.
+  bool TryInstall(const std::vector<BasisEntry>& hint, int64_t* pivots) {
+    const int m = static_cast<int>(ws_.rows.size());
+    if (static_cast<int>(hint.size()) != m) return false;
+    std::vector<int> cols(m, -1);
+    for (int c = 0; c < m; ++c) {
+      cols[c] = ColumnOfEntry(hint[c]);
+      if (cols[c] < 0) return false;
+    }
+
+    std::vector<char> row_done(m, 0);
+    for (int col : cols) {
+      int r = -1;
+      for (int i = 0; i < m; ++i) {
+        if (!row_done[i] && !F::IsZero(ws_.rows[i][col])) {
+          r = i;
+          break;
+        }
+      }
+      if (r < 0) return false;  // singular (or duplicated) column set
+      if (ws_.basis[r] != col || !IsUnitColumnAt(col, r)) {
+        RawPivot(r, col);
+        ++*pivots;
+      }
+      ws_.basis[r] = col;
+      row_done[r] = 1;
+    }
+
+    // The installed basis must be primal feasible — for phase II directly,
+    // or for a phase-I resume when artificials stayed basic. Negative basic
+    // values would need the dual simplex this solver does not have.
+    for (int i = 0; i < m; ++i) {
+      if (F::IsNegative(ws_.rhs[i])) return false;
+    }
+    return true;
+  }
+
+  bool InstalledBasisNeedsPhaseOne() const {
+    for (int i = 0; i < static_cast<int>(ws_.rows.size()); ++i) {
+      if (ws_.col_entry[ws_.basis[i]].kind == BasisKind::kArtificial &&
+          F::IsPositive(ws_.rhs[i])) {
+        return true;
+      }
+    }
+    return false;
   }
 
   // After phase I, basic artificials sit at value zero; pivot them out on any
@@ -393,7 +521,15 @@ template <typename Scalar>
 Solution<Scalar> SimplexSolver<Scalar>::Solve(const LpProblem& problem) {
   ++solves_;
   Tableau<Scalar> tableau(problem, options_, workspace_);
-  return tableau.Run();
+  return tableau.Run(nullptr);
+}
+
+template <typename Scalar>
+Solution<Scalar> SimplexSolver<Scalar>::SolveFrom(
+    const LpProblem& problem, const std::vector<BasisEntry>& basis) {
+  ++solves_;
+  Tableau<Scalar> tableau(problem, options_, workspace_);
+  return tableau.Run(&basis);
 }
 
 bool VerifyDuals(const LpProblem& problem,

@@ -67,15 +67,25 @@ struct Solution {
   /// (phase-II basis) and kInfeasible (phase-I basis — the Farkas basis);
   /// empty on kUnbounded/kPivotLimit.
   std::vector<BasisEntry> basis;
-  /// Total pivot count across both phases.
+  /// Total pivot count across both phases (for a warm start, including the
+  /// basis-installation eliminations).
   int64_t pivots = 0;
+  /// True when the solve resumed from a caller-supplied starting basis
+  /// (SolveFrom) instead of running phase I from scratch. False on a cold
+  /// solve or when the hint was rejected (singular / stale / infeasible).
+  bool warm_started = false;
 };
 
 struct SolverOptions {
   PivotRule pivot_rule = PivotRule::kBland;
   /// Cap on pivots (guards the double instantiation against cycling). The
   /// solve fails soft with SolveStatus::kPivotLimit when the cap is hit.
+  /// Warm-start installation eliminations count toward the cap.
   int64_t max_pivots = 1'000'000;
+  /// Consumed by the lp::Solver backends (not by SimplexSolver itself):
+  /// gates the keyed warm-start slots behind Solver::SolveKeyed. Off, every
+  /// keyed solve runs cold — the ablation switch for warm-vs-cold benches.
+  bool warm_starts = true;
 };
 
 /// Persistent tableau storage. Kept inside the solver across Solve() calls so
@@ -95,6 +105,8 @@ struct SimplexWorkspace {
   std::vector<int> basis;
   std::vector<int> row_sign;
   std::vector<int> identity_col;
+  std::vector<int> slack_col_of_row;
+  std::vector<int> art_col_of_row;
   std::vector<int> artificials;
   std::vector<BasisEntry> col_entry;
 
@@ -116,6 +128,23 @@ class SimplexSolver {
   /// the solver's persistent tableau workspace, so a long-lived solver
   /// amortizes allocation across a batch of solves.
   Solution<Scalar> Solve(const LpProblem& problem);
+
+  /// Warm start: re-factorizes `basis` (one entry per constraint row —
+  /// typically the terminal basis of a previous Solve of an equal-shaped
+  /// program, possibly with different rhs/objective data) by exact
+  /// Gauss-Jordan elimination and resumes pivoting from it. A hint whose
+  /// basis still carries artificials at nonzero values (a Farkas basis)
+  /// resumes *phase I* from that basis; a feasible hint skips phase I
+  /// entirely. Hints that do not apply — wrong row count, columns this
+  /// program lacks, a singular column set, or negative basic values — are
+  /// rejected and the solve falls back to the cold two-phase path;
+  /// Solution::warm_started reports which happened. On an accepted hint the
+  /// installation eliminations count toward `pivots` and the pivot cap, so
+  /// warm-vs-cold pivot counts stay comparable; a rejected hint's wasted
+  /// eliminations are forgotten, so the fallback behaves exactly like
+  /// Solve() (same result, same cap semantics).
+  Solution<Scalar> SolveFrom(const LpProblem& problem,
+                             const std::vector<BasisEntry>& basis);
 
   /// Drops the persistent workspace memory. Subsequent solves start cold.
   void Reset() { workspace_.Release(); }

@@ -29,9 +29,28 @@ bool ParseSolverBackend(std::string_view text, SolverBackend* out) {
   return false;
 }
 
-Solution<util::Rational> ExactSolver::Solve(const LpProblem& problem) {
-  ++stats_.solves;
-  Solution<util::Rational> out = simplex_.Solve(problem);
+Solution<util::Rational> Solver::SolveKeyed(const LpProblem& problem,
+                                            std::string_view shape_key) {
+  if (!warm_enabled_) return Solve(problem);
+  auto it = warm_slots_.find(shape_key);
+  if (it == warm_slots_.end()) {
+    Solution<util::Rational> out = Solve(problem);
+    if (!out.basis.empty() && warm_slots_.size() < kMaxWarmSlots) {
+      warm_slots_.emplace(std::string(shape_key),
+                          WarmSlot{out.basis, out.pivots});
+    }
+    return out;
+  }
+  const int64_t cold_pivots = it->second.cold_pivots;
+  Solution<util::Rational> out = SolveFrom(problem, it->second.basis);
+  if (out.warm_started && out.pivots < cold_pivots) {
+    stats_.warm_pivots_saved += cold_pivots - out.pivots;
+  }
+  if (!out.basis.empty()) it->second.basis = out.basis;
+  return out;
+}
+
+Solution<util::Rational> ExactSolver::Finish(Solution<util::Rational> out) {
   stats_.exact_pivots += out.pivots;
   // The Solver contract promises a certified answer; an exact tier that hits
   // the cap (only reachable with a cycling pivot rule or a misconfigured
@@ -39,6 +58,20 @@ Solution<util::Rational> ExactSolver::Solve(const LpProblem& problem) {
   BAGCQ_CHECK(out.status != SolveStatus::kPivotLimit)
       << "exact simplex hit max_pivots — cycling pivot rule or cap too low?";
   return out;
+}
+
+Solution<util::Rational> ExactSolver::Solve(const LpProblem& problem) {
+  ++stats_.solves;
+  return Finish(simplex_.Solve(problem));
+}
+
+Solution<util::Rational> ExactSolver::SolveFrom(
+    const LpProblem& problem, const std::vector<BasisEntry>& hint) {
+  ++stats_.solves;
+  ++stats_.warm_attempts;
+  Solution<util::Rational> out = simplex_.SolveFrom(problem, hint);
+  if (out.warm_started) ++stats_.warm_accepts;
+  return Finish(std::move(out));
 }
 
 std::unique_ptr<Solver> MakeSolver(SolverBackend backend,

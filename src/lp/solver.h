@@ -20,8 +20,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "lp/simplex.h"
 
@@ -47,6 +50,15 @@ struct SolverStats {
   /// Pivots spent in the double tier / the exact tier.
   int64_t double_pivots = 0;
   int64_t exact_pivots = 0;
+  /// Solves handed a starting-basis hint — via SolveFrom/SolveKeyed, or the
+  /// tiered screen→exact-fallback basis handoff.
+  int64_t warm_attempts = 0;
+  /// Hinted solves where the simplex actually resumed from the hint instead
+  /// of rejecting it (singular / stale / infeasible basis) and going cold.
+  int64_t warm_accepts = 0;
+  /// Pivots avoided by keyed warm starts, measured against the recorded
+  /// cold-solve pivot count of the same shape slot (SolveKeyed only).
+  int64_t warm_pivots_saved = 0;
 };
 
 class Solver {
@@ -61,14 +73,58 @@ class Solver {
   /// and falls back.
   virtual Solution<util::Rational> Solve(const LpProblem& problem) = 0;
 
-  /// Drops persistent workspace memory; subsequent solves start cold.
-  virtual void Reset() = 0;
+  /// Warm-started solve: resumes from `hint` (see SimplexSolver::SolveFrom)
+  /// when it applies, falling back to the cold path — never to a wrong
+  /// answer — when it does not. Exactness and certification guarantees are
+  /// identical to Solve on every backend.
+  virtual Solution<util::Rational> SolveFrom(
+      const LpProblem& problem, const std::vector<BasisEntry>& hint) = 0;
+
+  /// Keyed warm start: remembers the terminal basis of the last solve per
+  /// caller-chosen shape key and hands it to the next solve under the same
+  /// key as the starting basis. Callers pick keys so that equal keys imply
+  /// equal program *shape* (row/column counts); the program data may differ —
+  /// a stale basis that no longer applies is rejected inside SolveFrom and
+  /// the solve simply runs cold. This is how the decision pipeline chains
+  /// the branch LPs of one decision (and of a whole batch) incrementally.
+  /// With SolverOptions::warm_starts false this is exactly Solve().
+  Solution<util::Rational> SolveKeyed(const LpProblem& problem,
+                                      std::string_view shape_key);
+
+  /// Drops persistent workspace memory and every keyed warm-basis slot;
+  /// subsequent solves start cold.
+  void Reset() {
+    warm_slots_.clear();
+    ResetWorkspace();
+  }
 
   virtual SolverBackend backend() const = 0;
-  virtual const SolverStats& stats() const = 0;
-  virtual void ResetStats() = 0;
+  const SolverStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = SolverStats{}; }
 
-  int64_t solves() const { return stats().solves; }
+  int64_t solves() const { return stats_.solves; }
+  /// Keyed warm-basis slots currently held.
+  size_t warm_slot_count() const { return warm_slots_.size(); }
+
+ protected:
+  explicit Solver(bool warm_starts) : warm_enabled_(warm_starts) {}
+  virtual void ResetWorkspace() = 0;
+
+  SolverStats stats_;
+
+ private:
+  struct WarmSlot {
+    std::vector<BasisEntry> basis;
+    /// Pivot count of the slot's first (cold) solve — the baseline that
+    /// warm_pivots_saved is measured against.
+    int64_t cold_pivots = 0;
+  };
+  /// Shape keys are few (one per LP form × n × branch count); the cap only
+  /// guards against a pathological caller.
+  static constexpr size_t kMaxWarmSlots = 256;
+
+  std::map<std::string, WarmSlot, std::less<>> warm_slots_;
+  bool warm_enabled_ = true;
 };
 
 /// The kExactRational backend: a thin Solver wrapper over the exact
@@ -76,23 +132,27 @@ class Solver {
 /// throwaway one-off solves.
 class ExactSolver final : public Solver {
  public:
-  explicit ExactSolver(SolverOptions options = {}) : simplex_(options) {}
+  explicit ExactSolver(SolverOptions options = {})
+      : Solver(options.warm_starts), simplex_(options) {}
 
   Solution<util::Rational> Solve(const LpProblem& problem) override;
-  void Reset() override { simplex_.Reset(); }
+  Solution<util::Rational> SolveFrom(
+      const LpProblem& problem, const std::vector<BasisEntry>& hint) override;
   SolverBackend backend() const override {
     return SolverBackend::kExactRational;
   }
-  const SolverStats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = SolverStats{}; }
 
   const SimplexWorkspace<util::Rational>& workspace() const {
     return simplex_.workspace();
   }
 
+ protected:
+  void ResetWorkspace() override { simplex_.Reset(); }
+
  private:
+  Solution<util::Rational> Finish(Solution<util::Rational> out);
+
   SimplexSolver<util::Rational> simplex_;
-  SolverStats stats_;
 };
 
 /// Backend registry: constructs the chosen backend. `options` applies to the

@@ -235,11 +235,26 @@ SolverOptions ScreenOptions(SolverOptions options, int64_t cap) {
 }  // namespace
 
 TieredSolver::TieredSolver(SolverOptions options)
-    : screen_(ScreenOptions(options, kScreenPivotCap)), exact_(options) {}
+    : Solver(options.warm_starts),
+      screen_(ScreenOptions(options, kScreenPivotCap)),
+      exact_(options) {}
 
 Solution<Rational> TieredSolver::Solve(const LpProblem& problem) {
+  return SolveImpl(problem, nullptr);
+}
+
+Solution<Rational> TieredSolver::SolveFrom(
+    const LpProblem& problem, const std::vector<BasisEntry>& hint) {
+  return SolveImpl(problem, &hint);
+}
+
+Solution<Rational> TieredSolver::SolveImpl(
+    const LpProblem& problem, const std::vector<BasisEntry>* hint) {
   ++stats_.solves;
-  const Solution<double> screened = screen_.Solve(problem);
+  if (hint != nullptr) ++stats_.warm_attempts;
+  const Solution<double> screened = hint != nullptr
+                                        ? screen_.SolveFrom(problem, *hint)
+                                        : screen_.Solve(problem);
   stats_.double_pivots += screened.pivots;
   if (screened.status == SolveStatus::kPivotLimit) ++stats_.pivot_limit_hits;
 
@@ -253,11 +268,24 @@ Solution<Rational> TieredSolver::Solve(const LpProblem& problem) {
   // tier may declare it.
   if (refined.has_value()) {
     ++stats_.screen_accepts;
+    refined->warm_started = screened.warm_started;
+    if (screened.warm_started) ++stats_.warm_accepts;
     return *std::move(refined);
   }
 
   ++stats_.exact_fallbacks;
-  Solution<Rational> out = exact_.Solve(problem);
+  // Warm the exact fallback with the screen's terminal basis; failing that,
+  // pass the caller's hint through.
+  const std::vector<BasisEntry>* exact_hint =
+      !screened.basis.empty() ? &screened.basis : hint;
+  Solution<Rational> out;
+  if (exact_hint != nullptr) {
+    if (hint == nullptr) ++stats_.warm_attempts;  // the screen→exact handoff
+    out = exact_.SolveFrom(problem, *exact_hint);
+    if (out.warm_started) ++stats_.warm_accepts;
+  } else {
+    out = exact_.Solve(problem);
+  }
   stats_.exact_pivots += out.pivots;
   // Same contract as ExactSolver: the fallback must certify; only the
   // *screen* is allowed to hit its (deliberately low) cap.
@@ -267,7 +295,7 @@ Solution<Rational> TieredSolver::Solve(const LpProblem& problem) {
   return out;
 }
 
-void TieredSolver::Reset() {
+void TieredSolver::ResetWorkspace() {
   screen_.Reset();
   exact_.Reset();
 }

@@ -30,21 +30,29 @@ class TieredSolver final : public Solver {
   explicit TieredSolver(SolverOptions options = {});
 
   Solution<util::Rational> Solve(const LpProblem& problem) override;
-  void Reset() override;
+  /// Warm start: the *screen* resumes from `hint`; on fallback, the exact
+  /// tier resumes from the screen's terminal basis (the float verdict is
+  /// refuted far more often in its certificate than in its basis), or from
+  /// `hint` when the screen produced none.
+  Solution<util::Rational> SolveFrom(
+      const LpProblem& problem, const std::vector<BasisEntry>& hint) override;
   SolverBackend backend() const override {
     return SolverBackend::kDoubleScreened;
   }
-  const SolverStats& stats() const override { return stats_; }
-  void ResetStats() override { stats_ = SolverStats{}; }
+
+ protected:
+  void ResetWorkspace() override;
 
  private:
   /// Pivot cap of the double tier: big enough for every program the decision
   /// pipeline emits, small enough that a cycling float solve fails fast.
   static constexpr int64_t kScreenPivotCap = 50'000;
 
+  Solution<util::Rational> SolveImpl(const LpProblem& problem,
+                                     const std::vector<BasisEntry>* hint);
+
   SimplexSolver<double> screen_;
   SimplexSolver<util::Rational> exact_;
-  SolverStats stats_;
 };
 
 }  // namespace bagcq::lp

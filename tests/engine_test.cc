@@ -360,7 +360,11 @@ TEST(EngineBackendTest, DefaultBackendIsTieredAndScreens) {
 // --------------------------------------------------------- parallel batch
 
 TEST(EngineBatchTest, ParallelBatchMatchesSequentialOutput) {
-  Engine sequential;
+  // Warm starts off: with them on, pivot *totals* legitimately depend on how
+  // pairs land on workers (each worker chains its own warm slots), while
+  // verdicts stay deterministic — warm parity is covered by
+  // EngineWarmStartTest. Cold solves make the stats exactly comparable.
+  Engine sequential{EngineOptions().set_warm_starts(false)};
   std::vector<QueryPair> pairs = DecisionSuite(sequential);
   // An error pair mid-batch must come back as a per-slot error in order.
   pairs.insert(pairs.begin() + 3,
@@ -368,7 +372,8 @@ TEST(EngineBatchTest, ParallelBatchMatchesSequentialOutput) {
                          sequential.ParseQuery("S(x,y)").ValueOrDie()});
   auto expected = sequential.DecideBatch(pairs);
 
-  Engine parallel{EngineOptions().set_num_threads(4)};
+  Engine parallel{
+      EngineOptions().set_num_threads(4).set_warm_starts(false)};
   auto actual = parallel.DecideBatch(pairs);
 
   ASSERT_EQ(actual.size(), expected.size());
@@ -482,6 +487,100 @@ TEST(EngineOptionsTest, BuilderFoldsDeciderAndWitnessOptions) {
   EXPECT_EQ(legacy.witness.max_tuples, 42);
   EXPECT_FALSE(legacy.witness.verify_counts);
   EXPECT_EQ(options.pivot_rule(), lp::PivotRule::kDantzig);
+}
+
+// ------------------------------------------------------------- warm starts
+
+TEST(EngineWarmStartTest, RepeatedProofsResumeFromWarmBases) {
+  Engine engine;  // warm starts default on
+  LinearExpr e = entropy::SubmodularityExpr(4, VarSet::Of({0, 1}),
+                                            VarSet::Of({1, 2, 3}));
+  auto first = engine.ProveInequality(e).ValueOrDie();
+  EXPECT_TRUE(first.valid);
+  EXPECT_EQ(first.stats.lp_warm_accepts, 0);
+
+  auto second = engine.ProveInequality(e).ValueOrDie();
+  EXPECT_TRUE(second.valid);
+  ASSERT_TRUE(second.certificate.has_value());
+  EXPECT_TRUE(second.certificate->Verify(e));
+  EXPECT_GE(second.stats.lp_warm_accepts, 1);
+  EXPECT_LE(second.stats.lp_pivots, first.stats.lp_pivots);
+
+  EngineStats stats = engine.stats();
+  EXPECT_GE(stats.lp_warm_accepts, 1);
+}
+
+TEST(EngineWarmStartTest, WarmAndColdEnginesAgreeOnTheDecisionSuite) {
+  const char* pairs[][2] = {
+      {"R(x1,x2), R(x2,x3), R(x3,x1)", "R(y1,y2), R(y1,y3)"},
+      {"R(x,y), R(y,z)", "R(a,b), R(b,c)"},
+      {"R(x,y), R(y,x)", "R(a,b)"},
+      {"R(x,y), R(y,z), R(z,x)", "R(a,b), R(b,c), R(c,a)"},
+  };
+  for (auto backend : {lp::SolverBackend::kExactRational,
+                       lp::SolverBackend::kDoubleScreened}) {
+    Engine warm{EngineOptions().set_solver_backend(backend)};
+    Engine cold{
+        EngineOptions().set_solver_backend(backend).set_warm_starts(false)};
+    for (int round = 0; round < 2; ++round) {  // round 2 hits warm slots
+      for (const auto& row : pairs) {
+        auto w = warm.Decide(row[0], row[1]).ValueOrDie();
+        auto c = cold.Decide(row[0], row[1]).ValueOrDie();
+        EXPECT_EQ(w.verdict, c.verdict)
+            << row[0] << " vs " << row[1] << " on "
+            << lp::SolverBackendToString(backend);
+        ASSERT_EQ(w.validity.has_value(), c.validity.has_value());
+        if (w.validity.has_value()) {
+          EXPECT_EQ(w.validity->lambda, c.validity->lambda);
+        }
+      }
+    }
+    EXPECT_GT(warm.stats().lp_warm_accepts, 0);
+    EXPECT_EQ(cold.stats().lp_warm_accepts, 0);
+    EXPECT_EQ(cold.stats().lp_warm_pivots_saved, 0);
+  }
+}
+
+TEST(EngineWarmStartTest, RefutationsWarmStartThePhaseOneResume) {
+  // Repeated Zhang–Yeung refutations: the warm slot carries the previous
+  // Farkas basis, and the resumed phase I re-certifies infeasibility with
+  // the counterexample intact.
+  Engine engine;
+  auto first = engine.ProveInequality(entropy::ZhangYeungExpr()).ValueOrDie();
+  ASSERT_FALSE(first.valid);
+  auto second = engine.ProveInequality(entropy::ZhangYeungExpr()).ValueOrDie();
+  ASSERT_FALSE(second.valid);
+  ASSERT_TRUE(second.counterexample.has_value());
+  EXPECT_EQ(second.violation, first.violation);
+  EXPECT_GE(second.stats.lp_warm_accepts, 1);
+}
+
+TEST(EngineWarmStartTest, ClearCacheDropsWarmSlots) {
+  Engine engine;
+  LinearExpr e = entropy::SubmodularityExpr(3, VarSet::Of({0}),
+                                            VarSet::Of({1, 2}));
+  engine.ProveInequality(e).ValueOrDie();
+  engine.ProveInequality(e).ValueOrDie();
+  EXPECT_GE(engine.stats().lp_warm_accepts, 1);
+  engine.ClearCache();
+  EXPECT_EQ(engine.stats().lp_warm_accepts, 0);
+  // The first post-clear proof runs cold again (no slot to resume from).
+  auto result = engine.ProveInequality(e).ValueOrDie();
+  EXPECT_EQ(result.stats.lp_warm_accepts, 0);
+}
+
+TEST(EngineWarmStartTest, ParallelBatchFoldsWarmCountersIntoSessionStats) {
+  EngineOptions options;
+  options.set_num_threads(2);
+  Engine engine{options};
+  std::vector<QueryPair> pairs(
+      12, engine.ParsePair("R(x,y), R(y,z)", "R(a,b), R(b,c)").ValueOrDie());
+  auto results = engine.DecideBatch(pairs);
+  ASSERT_EQ(results.size(), pairs.size());
+  for (const auto& r : results) ASSERT_TRUE(r.ok());
+  // Each worker decides the same shape repeatedly, so warm accepts from the
+  // workers' solvers must surface in the session stats after the join.
+  EXPECT_GT(engine.stats().lp_warm_accepts, 0);
 }
 
 }  // namespace

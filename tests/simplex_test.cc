@@ -353,7 +353,174 @@ TEST(SimplexWorkspaceTest, InfeasibleThenFeasibleReuse) {
   EXPECT_TRUE(VerifyDuals(feasible, good));
 }
 
+// ------------------------------------------------------------- warm starts
 
+namespace {
+// min x + y  s.t.  x + 2y = 3,  x − y = 0: all-equality, so the cold path
+// needs a full phase I and the terminal basis is {x, y} structural — two
+// genuine installation pivots on a warm resume.
+LpProblem EqualityPair() {
+  LpProblem lp;
+  lp.AddVariable("x");
+  lp.AddVariable("y");
+  lp.AddConstraint({R(1), R(2)}, Sense::kEqual, R(3));
+  lp.AddConstraint({R(1), R(-1)}, Sense::kEqual, R(0));
+  lp.SetObjective(Objective::kMinimize, {R(1), R(1)});
+  return lp;
+}
+}  // namespace
+
+TEST(SimplexWarmStartTest, ResumesFromOwnTerminalBasis) {
+  LpProblem lp = EqualityPair();
+  RationalSolver solver;
+  auto cold = solver.Solve(lp);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  ASSERT_FALSE(cold.basis.empty());
+  EXPECT_FALSE(cold.warm_started);
+
+  auto warm = solver.SolveFrom(lp, cold.basis);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_EQ(warm.objective, cold.objective);
+  EXPECT_EQ(warm.values, cold.values);
+  EXPECT_TRUE(VerifyDuals(lp, warm));
+  // The resume pays only installation eliminations (≤ one per row), never a
+  // phase I — on this 2-row program the two happen to tie.
+  EXPECT_LE(warm.pivots, cold.pivots);
+}
+
+TEST(SimplexWarmStartTest, SingularHintFallsBackToColdPath) {
+  LpProblem lp = EqualityPair();
+  RationalSolver solver;
+  auto cold = solver.Solve(lp);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+
+  // Both slots name variable x: a duplicated (hence singular) column set.
+  std::vector<BasisEntry> bogus{{BasisKind::kStructural, 0},
+                                {BasisKind::kStructural, 0}};
+  auto fallback = solver.SolveFrom(lp, bogus);
+  ASSERT_EQ(fallback.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(fallback.warm_started);
+  EXPECT_EQ(fallback.objective, cold.objective);
+  EXPECT_TRUE(VerifyDuals(lp, fallback));
+}
+
+TEST(SimplexWarmStartTest, HintNamingMissingColumnsIsRejected) {
+  LpProblem lp = EqualityPair();
+  RationalSolver solver;
+  // Equality rows have no slack columns; a wrong-length hint is stale too.
+  for (const std::vector<BasisEntry>& bogus :
+       {std::vector<BasisEntry>{{BasisKind::kSlack, 0}, {BasisKind::kSlack, 1}},
+        std::vector<BasisEntry>{{BasisKind::kStructural, 0}},
+        std::vector<BasisEntry>{{BasisKind::kStructural, 5},
+                                {BasisKind::kStructural, 1}},
+        std::vector<BasisEntry>{{BasisKind::kNegStructural, 0},
+                                {BasisKind::kStructural, 1}}}) {
+    auto sol = solver.SolveFrom(lp, bogus);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+    EXPECT_FALSE(sol.warm_started);
+    EXPECT_EQ(sol.objective, R(2));
+    EXPECT_TRUE(VerifyDuals(lp, sol));
+  }
+}
+
+TEST(SimplexWarmStartTest, StaleBasisOnRestatedProgramStaysExact) {
+  // Same shape, different data: the terminal basis of the first program is
+  // installed into the second and phase II re-optimizes from there.
+  LpProblem first = EqualityPair();
+  LpProblem second;
+  second.AddVariable("x");
+  second.AddVariable("y");
+  second.AddConstraint({R(2), R(1)}, Sense::kEqual, R(4));
+  second.AddConstraint({R(1), R(1)}, Sense::kEqual, R(3));
+  second.SetObjective(Objective::kMinimize, {R(1), R(3)});
+
+  RationalSolver solver;
+  auto hint = solver.Solve(first);
+  ASSERT_EQ(hint.status, SolveStatus::kOptimal);
+  auto cold = solver.Solve(second);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+
+  auto warm = solver.SolveFrom(second, hint.basis);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_EQ(warm.objective, cold.objective);
+  EXPECT_TRUE(VerifyDuals(second, warm));
+}
+
+TEST(SimplexWarmStartTest, InfeasibleHintResumesPhaseOneToFarkas) {
+  // x ≤ 1 and x ≥ 2: infeasible; the terminal basis is a Farkas basis whose
+  // artificial sits at a positive value, so the warm resume re-enters
+  // phase I and terminates immediately with the same verdict.
+  LpProblem lp;
+  lp.AddVariable("x");
+  lp.AddConstraint({R(1)}, Sense::kLessEqual, R(1));
+  lp.AddConstraint({R(1)}, Sense::kGreaterEqual, R(2));
+  lp.SetObjective(Objective::kMinimize, {R(1)});
+
+  RationalSolver solver;
+  auto cold = solver.Solve(lp);
+  ASSERT_EQ(cold.status, SolveStatus::kInfeasible);
+  ASSERT_FALSE(cold.basis.empty());
+
+  auto warm = solver.SolveFrom(lp, cold.basis);
+  ASSERT_EQ(warm.status, SolveStatus::kInfeasible);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_TRUE(VerifyFarkas(lp, warm.farkas));
+  EXPECT_LE(warm.pivots, cold.pivots);
+}
+
+TEST(SimplexWarmStartTest, PivotLimitCountsInstallationPivots) {
+  LpProblem lp = EqualityPair();
+  RationalSolver reference;
+  auto cold = reference.Solve(lp);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+
+  // Measure the warm resume's true cost (installation + phase II pivots).
+  auto warm = reference.SolveFrom(lp, cold.basis);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  ASSERT_GT(warm.pivots, 0);
+
+  // The cap is inclusive: exactly enough pivots completes, one fewer fails
+  // soft as kPivotLimit — the same semantics as a cold solve.
+  SolverOptions at_cap;
+  at_cap.max_pivots = warm.pivots;
+  EXPECT_EQ(RationalSolver(at_cap).SolveFrom(lp, cold.basis).status,
+            SolveStatus::kOptimal);
+  SolverOptions below_cap;
+  below_cap.max_pivots = warm.pivots - 1;
+  auto limited = RationalSolver(below_cap).SolveFrom(lp, cold.basis);
+  EXPECT_EQ(limited.status, SolveStatus::kPivotLimit);
+  EXPECT_TRUE(limited.basis.empty());  // no certificate on a soft failure
+}
+
+TEST(SimplexWarmStartTest, RejectedHintDoesNotEatThePivotBudget) {
+  LpProblem lp = EqualityPair();
+  auto cold = RationalSolver().Solve(lp);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  // The duplicated hint burns an elimination before rejection; under a cap
+  // the cold solve needs exactly, the fallback must still complete — wasted
+  // install work may not count against the budget (or SolveFrom could fail
+  // programs that Solve finishes).
+  std::vector<BasisEntry> bogus{{BasisKind::kStructural, 0},
+                                {BasisKind::kStructural, 0}};
+  SolverOptions at_cap;
+  at_cap.max_pivots = cold.pivots;
+  auto sol = RationalSolver(at_cap).SolveFrom(lp, bogus);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(sol.warm_started);
+  EXPECT_EQ(sol.pivots, cold.pivots);
+}
+
+TEST(SimplexWarmStartTest, DoubleInstantiationWarmParity) {
+  LpProblem lp = EqualityPair();
+  DoubleSolver solver;
+  auto cold = solver.Solve(lp);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  auto warm = solver.SolveFrom(lp, cold.basis);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+}
 
 }  // namespace
 }  // namespace bagcq::lp

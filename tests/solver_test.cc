@@ -141,7 +141,7 @@ TEST(SolverParityTest, TerminalBasisIsReported) {
 
 TEST(SolverPivotLimitTest, DoubleTierFailsSoftAndTieredFallsBack) {
   // A program that needs several pivots; a 1-pivot cap cannot finish it.
-  LpProblem problem = RandomLp(6, 7, 3);
+  LpProblem problem = RandomLp(6, 7, 7);
   SolverOptions strangled;
   strangled.max_pivots = 1;
   SimplexSolver<double> screen(strangled);
@@ -186,6 +186,170 @@ TEST(SolverPivotLimitTest, CapIsInclusive) {
 
 TEST(SolverPivotLimitTest, StatusHasAName) {
   EXPECT_STREQ(SolveStatusToString(SolveStatus::kPivotLimit), "PivotLimit");
+}
+
+// ------------------------------------------------------------- warm starts
+
+TEST(SolverWarmStartTest, SolveKeyedResumesAndCounts) {
+  for (SolverBackend backend :
+       {SolverBackend::kExactRational, SolverBackend::kDoubleScreened}) {
+    auto solver = MakeSolver(backend);
+    LpProblem problem = RandomLp(5, 6, 13);
+    auto first = solver->SolveKeyed(problem, "suite/shape-a");
+    ASSERT_EQ(first.status, SolveStatus::kOptimal);
+    EXPECT_EQ(solver->stats().warm_attempts, 0);
+    EXPECT_EQ(solver->warm_slot_count(), 1u);
+
+    auto second = solver->SolveKeyed(problem, "suite/shape-a");
+    ASSERT_EQ(second.status, SolveStatus::kOptimal)
+        << SolverBackendToString(backend);
+    EXPECT_EQ(second.objective, first.objective);
+    EXPECT_TRUE(VerifyDuals(problem, second));
+    EXPECT_EQ(solver->stats().warm_attempts, 1);
+    EXPECT_EQ(solver->stats().warm_accepts, 1);
+    EXPECT_GE(solver->stats().warm_pivots_saved, 0);
+
+    // A different key never sees shape-a's basis.
+    auto other = solver->SolveKeyed(problem, "suite/shape-b");
+    ASSERT_EQ(other.status, SolveStatus::kOptimal);
+    EXPECT_EQ(solver->stats().warm_attempts, 1);
+    EXPECT_EQ(solver->warm_slot_count(), 2u);
+
+    // Reset drops the slots; the next keyed solve runs cold again.
+    solver->Reset();
+    EXPECT_EQ(solver->warm_slot_count(), 0u);
+    solver->SolveKeyed(problem, "suite/shape-a");
+    EXPECT_EQ(solver->stats().warm_attempts, 1);
+  }
+}
+
+TEST(SolverWarmStartTest, DisabledWarmStartsAlwaysRunCold) {
+  SolverOptions options;
+  options.warm_starts = false;
+  for (SolverBackend backend :
+       {SolverBackend::kExactRational, SolverBackend::kDoubleScreened}) {
+    auto solver = MakeSolver(backend, options);
+    LpProblem problem = RandomLp(5, 6, 13);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(solver->SolveKeyed(problem, "suite/shape-a").status,
+                SolveStatus::kOptimal);
+    }
+    EXPECT_EQ(solver->stats().warm_attempts, 0);
+    EXPECT_EQ(solver->stats().warm_accepts, 0);
+    EXPECT_EQ(solver->warm_slot_count(), 0u);
+  }
+}
+
+TEST(SolverWarmStartTest, KeyedSweepOverChangingProgramsStaysExact) {
+  // One shared key over a sweep of *different* programs of one shape: every
+  // solve resumes from (or rejects) the previous program's terminal basis,
+  // and must stay observationally identical to a cold reference — statuses,
+  // objectives, and exactly verified certificates.
+  for (SolverBackend backend :
+       {SolverBackend::kExactRational, SolverBackend::kDoubleScreened}) {
+    auto keyed = MakeSolver(backend);
+    int optimal = 0, infeasible = 0;
+    for (uint64_t seed = 0; seed < 40; ++seed) {
+      LpProblem problem = RandomLp(5, 6, seed);
+      auto reference = ExactSolver().Solve(problem);
+      auto warmed = keyed->SolveKeyed(problem, "sweep/5x6");
+      ASSERT_EQ(warmed.status, reference.status)
+          << SolverBackendToString(backend) << " seed " << seed;
+      switch (reference.status) {
+        case SolveStatus::kOptimal:
+          ++optimal;
+          EXPECT_EQ(warmed.objective, reference.objective) << "seed " << seed;
+          EXPECT_TRUE(VerifyDuals(problem, warmed)) << "seed " << seed;
+          break;
+        case SolveStatus::kInfeasible:
+          ++infeasible;
+          EXPECT_TRUE(VerifyFarkas(problem, warmed.farkas)) << "seed " << seed;
+          break;
+        default:
+          break;
+      }
+    }
+    // The sweep must exercise both verdicts and genuinely hand out hints.
+    // (Unrelated random programs rarely *accept* a stale basis — the
+    // acceptance path is asserted on the rhs-sweep test below, which models
+    // the pipeline's real traffic: one skeleton, changing data.)
+    EXPECT_GT(optimal, 0);
+    EXPECT_GT(infeasible, 0);
+    EXPECT_GT(keyed->stats().warm_attempts, 0);
+  }
+}
+
+TEST(SolverWarmStartTest, RhsSweepAcceptsWarmBasesAcrossBackends) {
+  // One constraint skeleton, rhs changing per call — the decision pipeline's
+  // actual shape of repeated traffic. The previous terminal basis stays
+  // feasible for every rhs here, so each keyed solve resumes warm.
+  for (SolverBackend backend :
+       {SolverBackend::kExactRational, SolverBackend::kDoubleScreened}) {
+    auto solver = MakeSolver(backend);
+    for (int c = 2; c <= 8; ++c) {
+      LpProblem problem;
+      problem.AddVariable("x");
+      problem.AddVariable("y");
+      problem.AddConstraint({Rational(1), Rational(1)}, Sense::kEqual,
+                            Rational(c));
+      problem.AddConstraint({Rational(1), Rational(-1)}, Sense::kEqual,
+                            Rational(0));
+      problem.SetObjective(Objective::kMinimize, {Rational(1), Rational(2)});
+      auto sol = solver->SolveKeyed(problem, "rhs-sweep");
+      ASSERT_EQ(sol.status, SolveStatus::kOptimal)
+          << SolverBackendToString(backend) << " c=" << c;
+      EXPECT_EQ(sol.objective, Rational(3 * c, 2));
+      EXPECT_TRUE(VerifyDuals(problem, sol));
+    }
+    EXPECT_EQ(solver->stats().warm_attempts, 6);
+    EXPECT_EQ(solver->stats().warm_accepts, 6)
+        << SolverBackendToString(backend);
+  }
+}
+
+TEST(SolverWarmStartTest, ExplicitHintsMatchColdAcrossBackends) {
+  // SolveFrom with the previous seed's basis (a deliberately stale hint):
+  // accepted or rejected, the answer must match the cold reference.
+  std::vector<BasisEntry> previous;
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    LpProblem problem = RandomLp(4, 5, seed);
+    auto reference = ExactSolver().Solve(problem);
+    if (!previous.empty()) {
+      ExactSolver exact;
+      TieredSolver tiered;
+      auto exact_warm = exact.SolveFrom(problem, previous);
+      auto tiered_warm = tiered.SolveFrom(problem, previous);
+      ASSERT_EQ(exact_warm.status, reference.status) << "seed " << seed;
+      ASSERT_EQ(tiered_warm.status, reference.status) << "seed " << seed;
+      if (reference.status == SolveStatus::kOptimal) {
+        EXPECT_EQ(exact_warm.objective, reference.objective);
+        EXPECT_EQ(tiered_warm.objective, reference.objective);
+        EXPECT_TRUE(VerifyDuals(problem, exact_warm));
+        EXPECT_TRUE(VerifyDuals(problem, tiered_warm));
+      } else if (reference.status == SolveStatus::kInfeasible) {
+        EXPECT_TRUE(VerifyFarkas(problem, exact_warm.farkas));
+        EXPECT_TRUE(VerifyFarkas(problem, tiered_warm.farkas));
+      }
+      EXPECT_EQ(exact.stats().warm_attempts, 1);
+      EXPECT_EQ(tiered.stats().warm_attempts, 1);
+    }
+    if (!reference.basis.empty()) previous = reference.basis;
+  }
+}
+
+TEST(SolverWarmStartTest, WarmPivotsSavedAccumulatesOnRepeatedShape) {
+  // Re-solving the same program under one key must save pivots relative to
+  // the recorded cold baseline (the exact backend pays full phase I cold).
+  auto solver = MakeSolver(SolverBackend::kExactRational);
+  LpProblem problem = RandomLp(6, 7, 7);
+  ASSERT_EQ(solver->SolveKeyed(problem, "repeat").status,
+            SolveStatus::kOptimal);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(solver->SolveKeyed(problem, "repeat").status,
+              SolveStatus::kOptimal);
+  }
+  EXPECT_EQ(solver->stats().warm_accepts, 3);
+  EXPECT_GT(solver->stats().warm_pivots_saved, 0);
 }
 
 }  // namespace

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh BENCH_lp.json against the baseline.
+
+Every `results[]` entry of the baseline must exist in the current file (a
+missing workload means a bench rotted away) and must not regress beyond the
+tolerance. By default the comparison is *machine-normalized*: every row's
+ratio is divided by the median per-row ratio, which cancels uniform
+host-speed differences (laptop vs CI runner) while still catching any
+workload that got slower relative to the rest of the suite — a single
+regressed row, however dominant in absolute ms, cannot drag the median;
+`--absolute` compares raw ms instead. Entries that are new in the
+current file are reported but never fail the gate — that is how new
+workloads enter the baseline. Sub-millisecond rows are too noisy to gate on
+shared runners; the `--min-ms` floor skips rows where both sides sit under
+it.
+
+Exit status: 0 = no regression, 1 = regression (or malformed input).
+
+Usage:
+  tools/check_bench.py BENCH_lp.json BENCH_lp.baseline.json \
+      [--tolerance 1.25] [--min-ms 0.5] [--absolute] [--check-speedups]
+
+To refresh the baseline after an intentional perf change:
+  ./build/bench/bench_lp_pipeline --smoke --out BENCH_lp.baseline.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    if not isinstance(data.get("results"), list):
+        sys.exit(f"error: {path} has no results[] array")
+    return data
+
+
+def by_name(data):
+    return {r["name"]: r for r in data["results"] if "name" in r}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly produced BENCH_lp.json")
+    parser.add_argument("baseline", help="committed BENCH_lp.baseline.json")
+    parser.add_argument(
+        "--tolerance", type=float, default=1.25,
+        help="fail when current > baseline * tolerance (default: 1.25)")
+    parser.add_argument(
+        "--min-ms", type=float, default=0.5,
+        help="skip rows where both sides are under this many ms (default: 0.5)")
+    parser.add_argument(
+        "--absolute", action="store_true",
+        help="compare raw ms instead of machine-normalized shares")
+    parser.add_argument(
+        "--check-speedups", action="store_true",
+        help="also gate the speedups{} ratios (current >= baseline / tolerance)")
+    args = parser.parse_args()
+
+    current_data, baseline_data = load(args.current), load(args.baseline)
+    current, baseline = by_name(current_data), by_name(baseline_data)
+
+    common = [n for n in baseline if n in current]
+    scale = 1.0
+    if not args.absolute and common:
+        # Median of the per-row ratios, NOT the ratio of totals: a genuine
+        # regression in one dominant workload must not inflate the scale and
+        # mask itself — the median only moves when most of the suite moves
+        # together, which is what a machine-speed difference looks like.
+        ratios = sorted(
+            current[n]["ms_per_iter"] / baseline[n]["ms_per_iter"]
+            for n in common if baseline[n]["ms_per_iter"] > 0)
+        if ratios:
+            mid = len(ratios) // 2
+            scale = (ratios[mid] if len(ratios) % 2 == 1 else
+                     (ratios[mid - 1] + ratios[mid]) / 2)
+    print(f"machine scale (current/baseline over common rows): {scale:.2f}x"
+          if not args.absolute else "absolute-ms comparison")
+
+    failures = []
+    print(f"{'workload':<46} {'base ms':>10} {'cur ms':>10} {'ratio':>8}")
+    for name in sorted(baseline):
+        base = baseline[name]
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current results (bench rot?)")
+            continue
+        base_ms, cur_ms = base["ms_per_iter"], cur["ms_per_iter"]
+        if base_ms < args.min_ms and cur_ms < args.min_ms * scale:
+            print(f"{name:<46} {base_ms:>10.3f} {cur_ms:>10.3f} {'(floor)':>8}")
+            continue
+        ratio = (cur_ms / base_ms / scale) if base_ms > 0 else float("inf")
+        verdict = "" if ratio <= args.tolerance else "  << REGRESSION"
+        print(f"{name:<46} {base_ms:>10.3f} {cur_ms:>10.3f} {ratio:>7.2f}x{verdict}")
+        if ratio > args.tolerance:
+            failures.append(
+                f"{name}: {cur_ms:.3f} ms vs baseline {base_ms:.3f} ms "
+                f"(normalized {ratio:.2f}x > {args.tolerance:.2f}x)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<46} {'—':>10} {current[name]['ms_per_iter']:>10.3f}    (new)")
+
+    if args.check_speedups:
+        base_speedups = baseline_data.get("speedups", {})
+        cur_speedups = current_data.get("speedups", {})
+        for name, base_factor in sorted(base_speedups.items()):
+            cur_factor = cur_speedups.get(name)
+            if cur_factor is None:
+                failures.append(f"speedup {name}: missing from current file")
+                continue
+            floor = base_factor / args.tolerance
+            verdict = "" if cur_factor >= floor else "  << REGRESSION"
+            print(f"speedup {name:<38} {base_factor:>9.2f}x {cur_factor:>9.2f}x{verdict}")
+            if cur_factor < floor:
+                failures.append(
+                    f"speedup {name}: {cur_factor:.2f}x vs baseline "
+                    f"{base_factor:.2f}x (floor {floor:.2f}x)")
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nbench regression gate passed "
+          f"(tolerance {args.tolerance:.2f}x, floor {args.min_ms} ms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
