@@ -18,6 +18,8 @@
 
 #include "api/engine.h"
 #include "entropy/known_inequalities.h"
+#include "service/server.h"
+#include "service/service.h"
 
 using namespace bagcq;
 using Clock = std::chrono::steady_clock;
@@ -143,6 +145,37 @@ int main(int argc, char** argv) {
         }));
   }
 
+  // Serving tier: the same batch through the wire protocol — in-process
+  // Service (encode + decode + Engine) vs forked worker pools (adds framed
+  // pipe transport and cross-process sharding). Memoization off so every
+  // iteration measures real decisions, not memo replay.
+  {
+    Engine parser;
+    auto pairs = BatchWorkload(parser, smoke ? 2 : 8);
+    const std::string batch_bytes = service::EncodeRequest(
+        service::DecideBatchRequest{std::move(pairs)});
+    auto check = [](const std::string& reply) {
+      if (!service::DecodeResponse(reply).ok()) std::abort();
+    };
+    const api::EngineOptions worker_options =
+        EngineOptions().set_memoize_decisions(false);
+    service::Service inproc{worker_options};
+    results.push_back(Time("service_batch/inproc", batch_iters, [&] {
+      check(inproc.HandleBytes(batch_bytes));
+    }));
+    for (int workers : {1, 2}) {
+      service::WorkerPool pool;
+      service::ServerOptions server_options;
+      server_options.num_workers = workers;
+      server_options.engine = worker_options;
+      if (!pool.Start(server_options).ok()) std::abort();
+      results.push_back(Time(
+          "service_batch/w" + std::to_string(workers), batch_iters, [&] {
+            check(pool.DispatchBytes(batch_bytes));
+          }));
+    }
+  }
+
   // Derived speedups: tiered vs exact (both warm — the shipping defaults),
   // warm vs cold per backend, and t1 vs t4 for the batch.
   auto find = [&](const std::string& name) -> const Measurement* {
@@ -170,6 +203,10 @@ int main(int argc, char** argv) {
   }
   add_speedup("decide_batch:t4_vs_t1", find("decide_batch_t1"),
               find("decide_batch_t4"));
+  add_speedup("service_batch:w2_vs_inproc", find("service_batch/inproc"),
+              find("service_batch/w2"));
+  add_speedup("service_batch:w2_vs_w1", find("service_batch/w1"),
+              find("service_batch/w2"));
   for (const auto& [name, factor] : speedups) {
     std::printf("  %-44s %10.2fx\n", name.c_str(), factor);
   }

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/set_containment.h"
+#include "wire/wire.h"
 
 namespace bagcq::api {
 
@@ -69,13 +70,14 @@ util::Result<DecisionResult> DecideOne(const cq::ConjunctiveQuery& q1,
   return result;
 }
 
+/// The canonical structural wire key (vocabulary + atoms + head, variable
+/// names excluded): whitespace- and renaming-variants of one pair — which
+/// parse to identical structures up to names — share a single memo entry.
+/// The server's shard router hashes the same key, so a memo entry is also
+/// sticky to one worker process.
 std::string MemoKey(const cq::ConjunctiveQuery& q1,
                     const cq::ConjunctiveQuery& q2, bool bag_bag) {
-  std::string key = q1.ToString();
-  key += '\x1f';
-  key += q2.ToString();
-  key += bag_bag ? "|bag-bag" : "|bag-set";
-  return key;
+  return wire::CanonicalPairKey(q1, q2, bag_bag);
 }
 
 }  // namespace

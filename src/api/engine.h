@@ -19,7 +19,9 @@
 //     EngineOptions) whose tableau workspace persists across calls, so
 //     repeated decisions stop reallocating rows/costs/rhs;
 //   * optionally, a query-pair → DecisionResult memo for repeated traffic
-//     (EngineOptions::set_memoize_decisions).
+//     (EngineOptions::set_memoize_decisions), keyed by the canonical wire
+//     encoding of the pair (wire::CanonicalPairKey) — whitespace- and
+//     variable-renaming variants of one question share one entry.
 //
 // DecideBatch shards across EngineOptions::num_threads() workers, each with
 // its own solver workspace and prover-cache handle (warmed from the session
@@ -73,6 +75,26 @@ struct EngineStats {
   int64_t lp_warm_pivots_saved = 0;  // pivots saved vs cold baselines
   int64_t decision_memo_hits = 0;  // decisions served from the memo cache
   double total_ms = 0.0;        // wall-clock across all calls
+
+  /// Field-wise sum — the one place aggregation lives, so a future counter
+  /// cannot be folded in one consumer and forgotten in another (the server's
+  /// Stats request sums per-worker-process stats through this).
+  EngineStats& operator+=(const EngineStats& other) {
+    decisions += other.decisions;
+    proofs += other.proofs;
+    errors += other.errors;
+    prover_constructions += other.prover_constructions;
+    prover_cache_hits += other.prover_cache_hits;
+    lp_solves += other.lp_solves;
+    lp_pivots += other.lp_pivots;
+    lp_screen_accepts += other.lp_screen_accepts;
+    lp_exact_fallbacks += other.lp_exact_fallbacks;
+    lp_warm_accepts += other.lp_warm_accepts;
+    lp_warm_pivots_saved += other.lp_warm_pivots_saved;
+    decision_memo_hits += other.decision_memo_hits;
+    total_ms += other.total_ms;
+    return *this;
+  }
 };
 
 class Engine {

@@ -1,0 +1,151 @@
+// The service protocol: one tagged Request union covering every Engine
+// capability, one tagged Response union carrying the outcome, and the
+// versioned wire envelope that frames them —
+//
+//   [0] 'b'  [1] 'q'        magic
+//   [2] version             wire::kWireVersion
+//   [3] tag                 RequestTag / ResponseTag
+//   [4..] payload           wire/wire.h encoding of the tagged struct
+//
+// Decode rejects wrong magic, unknown versions, unknown tags, corrupt
+// payloads, and trailing bytes — always as util::Status, never a crash — so
+// `bytes in / bytes out` is a safe public boundary. Requests carry parsed
+// structures (queries, expressions), not raw text: clients parse locally
+// and the server never re-parses, which is also what makes the canonical
+// encoding usable as a routing hash.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/result.h"
+#include "entropy/linear_expr.h"
+#include "entropy/max_ii.h"
+#include "util/status.h"
+
+namespace bagcq::service {
+
+// ---------------------------------------------------------------- requests
+
+struct DecideRequest {
+  api::QueryPair pair;
+};
+
+struct DecideBagBagRequest {
+  api::QueryPair pair;
+};
+
+struct DecideBatchRequest {
+  std::vector<api::QueryPair> pairs;
+};
+
+struct ProveInequalityRequest {
+  entropy::LinearExpr expr{0};
+  /// Variable names in index order (optional); echoed into the result so a
+  /// text client gets its own names back in certificates.
+  std::vector<std::string> var_names;
+};
+
+struct CheckMaxInequalityRequest {
+  std::vector<entropy::LinearExpr> branches;
+  entropy::ConeKind cone = entropy::ConeKind::kPolymatroid;
+};
+
+struct AnalyzeRequest {
+  cq::ConjunctiveQuery q2{cq::Vocabulary()};
+};
+
+struct StatsRequest {};
+
+struct ClearCacheRequest {};
+
+using Request =
+    std::variant<DecideRequest, DecideBagBagRequest, DecideBatchRequest,
+                 ProveInequalityRequest, CheckMaxInequalityRequest,
+                 AnalyzeRequest, StatsRequest, ClearCacheRequest>;
+
+/// Wire tags are a stable contract: values never change meaning, new
+/// requests append. Kept in variant-index order so tag = index + 1.
+enum class RequestTag : uint8_t {
+  kDecide = 1,
+  kDecideBagBag = 2,
+  kDecideBatch = 3,
+  kProveInequality = 4,
+  kCheckMaxInequality = 5,
+  kAnalyze = 6,
+  kStats = 7,
+  kClearCache = 8,
+};
+
+// --------------------------------------------------------------- responses
+
+/// Outcome of one decision: an error status (per-pair, the batch never
+/// aborts) or the full DecisionResult.
+struct DecisionResponse {
+  util::Status status;
+  std::optional<api::DecisionResult> result;
+};
+
+struct BatchResponse {
+  /// One entry per input pair, in input order.
+  std::vector<DecisionResponse> results;
+};
+
+struct ProofResponse {
+  util::Status status;
+  std::optional<api::ProofResult> result;
+};
+
+struct AnalysisResponse {
+  core::Q2Analysis analysis;
+};
+
+struct StatsResponse {
+  /// Aggregate across every worker Engine behind the serving surface (one
+  /// for an in-process Service; summed per-worker counters for a sharded
+  /// server, mirroring how DecideBatch folds its in-process workers).
+  api::EngineStats stats;
+  int64_t workers = 1;
+};
+
+struct AckResponse {
+  util::Status status;
+};
+
+/// The request itself could not be served (undecodable, unroutable, worker
+/// lost) — the transport-level failure reply.
+struct ErrorResponse {
+  util::Status status;
+};
+
+using Response =
+    std::variant<DecisionResponse, BatchResponse, ProofResponse,
+                 AnalysisResponse, StatsResponse, AckResponse, ErrorResponse>;
+
+enum class ResponseTag : uint8_t {
+  kDecision = 1,
+  kBatch = 2,
+  kProof = 3,
+  kAnalysis = 4,
+  kStats = 5,
+  kAck = 6,
+  kError = 7,
+};
+
+// ---------------------------------------------------------------- envelope
+
+std::string EncodeRequest(const Request& request);
+util::Result<Request> DecodeRequest(std::string_view bytes);
+
+std::string EncodeResponse(const Response& response);
+util::Result<Response> DecodeResponse(std::string_view bytes);
+
+/// The text debug form of the protocol: one-line human-readable summaries
+/// (tag, sizes, verdicts, statuses) — what the CLI tools print.
+std::string DebugString(const Request& request);
+std::string DebugString(const Response& response);
+
+}  // namespace bagcq::service

@@ -1,0 +1,277 @@
+#include "service/server.h"
+
+#include <csignal>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <utility>
+
+#include "service/transport.h"
+#include "wire/wire.h"
+
+namespace bagcq::service {
+
+namespace {
+
+/// The worker child's whole life: answer frames until the parent closes the
+/// link, then vanish without running the parent's atexit/static teardown.
+[[noreturn]] void RunWorker(int fd, const api::EngineOptions& options) {
+  Service service(options);
+  std::string request;
+  bool clean_eof = false;
+  while (true) {
+    if (!ReadFrame(fd, &request, &clean_eof).ok() || clean_eof) break;
+    if (!WriteFrame(fd, service.HandleBytes(request)).ok()) break;
+  }
+  ::close(fd);
+  ::_exit(0);
+}
+
+util::Status SysError(const char* op) {
+  return util::Status::Internal(std::string("server: ") + op + " failed: " +
+                                std::strerror(errno));
+}
+
+ErrorResponse LostWorker(const util::Status& status) {
+  return ErrorResponse{util::Status::Internal("worker exchange failed: " +
+                                              status.ToString())};
+}
+
+}  // namespace
+
+WorkerPool::~WorkerPool() { Stop(); }
+
+util::Status WorkerPool::Start(const ServerOptions& options) {
+  if (!workers_.empty()) {
+    return util::Status::InvalidArgument("worker pool already started");
+  }
+  if (options.num_workers < 1) {
+    return util::Status::InvalidArgument("need at least one worker");
+  }
+  // A worker that died mid-write must surface as an EPIPE Status on the
+  // front, not kill the whole server.
+  std::signal(SIGPIPE, SIG_IGN);
+  for (int w = 0; w < options.num_workers; ++w) {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      Stop();
+      return SysError("socketpair");
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      Stop();
+      return SysError("fork");
+    }
+    if (pid == 0) {
+      // Child: keep only its own link — inherited parent-side fds of earlier
+      // workers would hold their links open past the parent's Stop().
+      ::close(fds[0]);
+      for (const WorkerLink& other : workers_) ::close(other.fd);
+      RunWorker(fds[1], options.engine);
+    }
+    ::close(fds[1]);
+    workers_.push_back(WorkerLink{fds[0], pid});
+  }
+  return util::Status::OK();
+}
+
+void WorkerPool::Stop() {
+  for (WorkerLink& worker : workers_) {
+    if (worker.fd >= 0) ::close(worker.fd);  // EOF → child _exits
+    if (worker.pid > 0) ::waitpid(worker.pid, nullptr, 0);
+  }
+  workers_.clear();
+}
+
+size_t WorkerPool::ShardFor(const api::QueryPair& pair, bool bag_bag) const {
+  return wire::Fingerprint(wire::CanonicalPairKey(pair.q1, pair.q2, bag_bag)) %
+         workers_.size();
+}
+
+util::Result<Response> WorkerPool::RoundTrip(size_t worker,
+                                             const Request& request) {
+  BAGCQ_RETURN_NOT_OK(WriteFrame(workers_[worker].fd, EncodeRequest(request)));
+  return ReadReply(worker);
+}
+
+util::Result<Response> WorkerPool::ReadReply(size_t worker) {
+  std::string reply;
+  bool clean_eof = false;
+  BAGCQ_RETURN_NOT_OK(ReadFrame(workers_[worker].fd, &reply, &clean_eof));
+  if (clean_eof) return util::Status::Internal("worker closed the link");
+  return DecodeResponse(reply);
+}
+
+Response WorkerPool::DispatchBatch(const DecideBatchRequest& request) {
+  // Shard pairs to their sticky workers, keeping input positions so the
+  // merged response is ordered exactly like a sequential DecideBatch.
+  std::vector<std::vector<size_t>> positions(workers_.size());
+  std::vector<DecideBatchRequest> shards(workers_.size());
+  for (size_t i = 0; i < request.pairs.size(); ++i) {
+    const size_t w = ShardFor(request.pairs[i], /*bag_bag=*/false);
+    positions[w].push_back(i);
+    shards[w].pairs.push_back(request.pairs[i]);
+  }
+  // Write every sub-batch before reading any reply: the workers compute
+  // their shards concurrently, which is the whole point of the pool.
+  std::vector<util::Status> sent(workers_.size(), util::Status::OK());
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    if (positions[w].empty()) continue;
+    sent[w] = WriteFrame(workers_[w].fd, EncodeRequest(shards[w]));
+  }
+  BatchResponse merged;
+  merged.results.resize(request.pairs.size());
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    if (positions[w].empty()) continue;
+    util::Result<Response> reply =
+        sent[w].ok() ? ReadReply(w) : util::Result<Response>(sent[w]);
+    // A failed shard fails only its own slots; the rest of the batch still
+    // answers (mirroring the per-pair error contract of DecideBatch).
+    util::Status shard_error = reply.ok()
+                                   ? util::Status::OK()
+                                   : util::Status::Internal(
+                                         "worker exchange failed: " +
+                                         reply.status().ToString());
+    Response response = reply.ok() ? std::move(reply).ValueOrDie()
+                                   : Response{ErrorResponse{}};
+    BatchResponse* shard_reply = std::get_if<BatchResponse>(&response);
+    if (shard_error.ok() && (shard_reply == nullptr ||
+                             shard_reply->results.size() !=
+                                 positions[w].size())) {
+      shard_error =
+          util::Status::Internal("worker returned a malformed batch reply");
+    }
+    for (size_t i = 0; i < positions[w].size(); ++i) {
+      merged.results[positions[w][i]] =
+          shard_error.ok()
+              ? std::move(shard_reply->results[i])
+              : DecisionResponse{shard_error, std::nullopt};
+    }
+  }
+  return merged;
+}
+
+Response WorkerPool::DispatchToAll(const Request& request) {
+  const bool is_stats = std::holds_alternative<StatsRequest>(request);
+  StatsResponse stats_total;
+  stats_total.workers = 0;
+  util::Status first_error = util::Status::OK();
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    util::Result<Response> reply = RoundTrip(w, request);
+    if (!reply.ok()) {
+      if (first_error.ok()) first_error = reply.status();
+      continue;
+    }
+    if (is_stats) {
+      const StatsResponse* one = std::get_if<StatsResponse>(&*reply);
+      if (one == nullptr) continue;
+      stats_total.stats += one->stats;
+      stats_total.workers += one->workers;
+    }
+  }
+  if (!first_error.ok()) return LostWorker(first_error);
+  if (is_stats) return stats_total;
+  return AckResponse{util::Status::OK()};
+}
+
+Response WorkerPool::Dispatch(const Request& request) {
+  if (workers_.empty()) {
+    return ErrorResponse{util::Status::Internal("worker pool not started")};
+  }
+  return std::visit(
+      [this, &request](const auto& r) -> Response {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, DecideRequest>) {
+          auto reply = RoundTrip(ShardFor(r.pair, false), request);
+          return reply.ok() ? *std::move(reply) : LostWorker(reply.status());
+        } else if constexpr (std::is_same_v<T, DecideBagBagRequest>) {
+          auto reply = RoundTrip(ShardFor(r.pair, true), request);
+          return reply.ok() ? *std::move(reply) : LostWorker(reply.status());
+        } else if constexpr (std::is_same_v<T, DecideBatchRequest>) {
+          return DispatchBatch(r);
+        } else if constexpr (std::is_same_v<T, StatsRequest> ||
+                             std::is_same_v<T, ClearCacheRequest>) {
+          return DispatchToAll(request);
+        } else {
+          // Proofs and analyses have no pair key; any stable spread works —
+          // hash the canonical request bytes.
+          const size_t w =
+              wire::Fingerprint(EncodeRequest(request)) % workers_.size();
+          auto reply = RoundTrip(w, request);
+          return reply.ok() ? *std::move(reply) : LostWorker(reply.status());
+        }
+      },
+      request);
+}
+
+std::string WorkerPool::DispatchBytes(std::string_view request_bytes) {
+  auto request = DecodeRequest(request_bytes);
+  if (!request.ok()) {
+    return EncodeResponse(ErrorResponse{request.status()});
+  }
+  return EncodeResponse(Dispatch(*request));
+}
+
+util::Status RunServer(const std::string& socket_path, WorkerPool* pool) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) return SysError("socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(listener);
+    return util::Status::InvalidArgument("socket path too long: " +
+                                         socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  ::unlink(socket_path.c_str());  // replace a stale socket file
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 16) != 0) {
+    const util::Status status = SysError("bind/listen");
+    ::close(listener);
+    return status;
+  }
+  while (true) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      const util::Status status = SysError("accept");
+      ::close(listener);
+      return status;
+    }
+    // One connection at a time: each frame still fans out across every
+    // worker process, which is where the parallelism lives.
+    std::string request;
+    bool clean_eof = false;
+    while (ReadFrame(conn, &request, &clean_eof).ok() && !clean_eof) {
+      if (!WriteFrame(conn, pool->DispatchBytes(request)).ok()) break;
+    }
+    ::close(conn);
+  }
+}
+
+util::Result<int> ConnectToServer(const std::string& socket_path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return SysError("socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return util::Status::InvalidArgument("socket path too long: " +
+                                         socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return util::Status::Internal("server: cannot connect to " + socket_path +
+                                  ": " + std::strerror(errno));
+  }
+  return fd;
+}
+
+}  // namespace bagcq::service

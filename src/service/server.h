@@ -1,0 +1,96 @@
+// The sharded multi-process serving tier: a WorkerPool forks N worker
+// processes (one Service, hence one Engine, each) connected by socketpair
+// framed transport, and a Unix-socket accept loop (RunServer) that puts the
+// pool behind a filesystem address for bagcq_client.
+//
+// Routing keeps per-worker session state hot: single decisions go to the
+// worker picked by hashing the *canonical structural key* of the query pair
+// (wire::CanonicalPairKey), so resubmissions of one pair — including
+// whitespace/renaming variants — always land on the worker whose decision
+// memo and warm-start slots already know it. Batches are sharded by the
+// same hash and reassembled in input order, so the sharded answer is
+// positionally identical to the in-process one. Stats fans out to every
+// worker and folds the per-process EngineStats into one aggregate
+// (mirroring how in-process parallel batches fold worker counters);
+// ClearCache broadcasts.
+//
+// The pool is the in-process face of the server: tests drive Dispatch()
+// directly (the cross-process conformance suite), the bagcq_server tool
+// wraps it in RunServer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <sys/types.h>
+#include <vector>
+
+#include "api/options.h"
+#include "service/message.h"
+#include "service/service.h"
+#include "util/status.h"
+
+namespace bagcq::service {
+
+struct ServerOptions {
+  /// Worker processes (one Engine each).
+  int num_workers = 2;
+  /// Per-worker Engine configuration. Decision memoization defaults on for
+  /// a serving tier — sticky routing is what makes the memo pay.
+  api::EngineOptions engine = api::EngineOptions().set_memoize_decisions(true);
+};
+
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Forks the workers. Each child runs a Service loop on its socketpair end
+  /// and _exits when the parent closes the link.
+  util::Status Start(const ServerOptions& options = {});
+  /// Closes every link and reaps the children (idempotent; the destructor
+  /// calls it).
+  void Stop();
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Routes one request across the pool and returns the reassembled
+  /// response. Transport failures (a lost worker, a corrupt frame) come
+  /// back as ErrorResponse — Dispatch never crashes the front.
+  Response Dispatch(const Request& request);
+  /// The raw-bytes surface: decode, Dispatch, encode (undecodable input
+  /// becomes an encoded ErrorResponse).
+  std::string DispatchBytes(std::string_view request_bytes);
+
+  /// The worker index a decision for this pair routes to — exposed so tests
+  /// can assert stickiness.
+  size_t ShardFor(const api::QueryPair& pair, bool bag_bag) const;
+
+ private:
+  struct WorkerLink {
+    int fd = -1;
+    pid_t pid = -1;
+  };
+
+  /// One framed request/response exchange with one worker.
+  util::Result<Response> RoundTrip(size_t worker, const Request& request);
+  /// The read half of an exchange whose request already went out.
+  util::Result<Response> ReadReply(size_t worker);
+  Response DispatchBatch(const DecideBatchRequest& request);
+  Response DispatchToAll(const Request& request);
+
+  std::vector<WorkerLink> workers_;
+};
+
+/// Binds a Unix domain socket at `socket_path` (replacing any stale file)
+/// and serves connections forever: one frame in (a Request envelope), one
+/// frame out, multiplexed over the pool. Returns only on accept/bind
+/// failure; the bagcq_server tool runs this until killed.
+util::Status RunServer(const std::string& socket_path, WorkerPool* pool);
+
+/// Client side: connect to a bagcq_server socket. Returns the connected fd
+/// (caller closes) — requests then flow via WriteFrame/ReadFrame.
+util::Result<int> ConnectToServer(const std::string& socket_path);
+
+}  // namespace bagcq::service

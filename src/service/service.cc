@@ -1,0 +1,69 @@
+#include "service/service.h"
+
+#include <utility>
+
+namespace bagcq::service {
+
+namespace {
+
+DecisionResponse FromDecision(util::Result<api::DecisionResult> result) {
+  if (!result.ok()) return DecisionResponse{result.status(), std::nullopt};
+  return DecisionResponse{util::Status::OK(), std::move(result).ValueOrDie()};
+}
+
+ProofResponse FromProof(util::Result<api::ProofResult> result) {
+  if (!result.ok()) return ProofResponse{result.status(), std::nullopt};
+  return ProofResponse{util::Status::OK(), std::move(result).ValueOrDie()};
+}
+
+}  // namespace
+
+Service::Service(api::EngineOptions options) : engine_(std::move(options)) {}
+
+Response Service::Handle(const Request& request) {
+  return std::visit(
+      [this](const auto& r) -> Response {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, DecideRequest>) {
+          return FromDecision(engine_.Decide(r.pair.q1, r.pair.q2));
+        } else if constexpr (std::is_same_v<T, DecideBagBagRequest>) {
+          return FromDecision(engine_.DecideBagBag(r.pair.q1, r.pair.q2));
+        } else if constexpr (std::is_same_v<T, DecideBatchRequest>) {
+          BatchResponse batch;
+          batch.results.reserve(r.pairs.size());
+          for (auto& result : engine_.DecideBatch(r.pairs)) {
+            batch.results.push_back(FromDecision(std::move(result)));
+          }
+          return batch;
+        } else if constexpr (std::is_same_v<T, ProveInequalityRequest>) {
+          ProofResponse proof = FromProof(engine_.ProveInequality(r.expr));
+          // The text entry point names live with the client; echo them so
+          // certificates render with the caller's variables.
+          if (proof.result.has_value() && !r.var_names.empty()) {
+            proof.result->var_names = r.var_names;
+          }
+          return proof;
+        } else if constexpr (std::is_same_v<T, CheckMaxInequalityRequest>) {
+          return FromProof(engine_.CheckMaxInequality(r.branches, r.cone));
+        } else if constexpr (std::is_same_v<T, AnalyzeRequest>) {
+          return AnalysisResponse{engine_.Analyze(r.q2)};
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          return StatsResponse{engine_.stats(), 1};
+        } else {
+          static_assert(std::is_same_v<T, ClearCacheRequest>);
+          engine_.ClearCache();
+          return AckResponse{util::Status::OK()};
+        }
+      },
+      request);
+}
+
+std::string Service::HandleBytes(std::string_view request_bytes) {
+  auto request = DecodeRequest(request_bytes);
+  if (!request.ok()) {
+    return EncodeResponse(ErrorResponse{request.status()});
+  }
+  return EncodeResponse(Handle(*request));
+}
+
+}  // namespace bagcq::service

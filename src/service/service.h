@@ -1,0 +1,36 @@
+// bagcq::Service — one Engine behind one serializable entry point.
+//
+// Handle() dispatches the tagged Request union onto the owned Engine and
+// wraps the outcome in the matching Response; HandleBytes() is the same
+// boundary as raw wire bytes (decode → Handle → encode), the loop body of a
+// server worker. Undecodable input comes back as an encoded ErrorResponse —
+// the byte surface never throws, aborts, or returns garbage.
+//
+// A Service is exactly as thread-safe as its Engine (not at all): one
+// Service per thread or per worker process.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "api/engine.h"
+#include "service/message.h"
+
+namespace bagcq::service {
+
+class Service {
+ public:
+  explicit Service(api::EngineOptions options = {});
+
+  /// The wrapped session, for callers that want in-process access too (the
+  /// conformance suite compares the two surfaces on the same state).
+  api::Engine& engine() { return engine_; }
+
+  Response Handle(const Request& request);
+  std::string HandleBytes(std::string_view request_bytes);
+
+ private:
+  api::Engine engine_;
+};
+
+}  // namespace bagcq::service

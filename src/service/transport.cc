@@ -1,0 +1,85 @@
+#include "service/transport.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+namespace bagcq::service {
+
+namespace {
+
+util::Status IoError(const char* op) {
+  return util::Status::Internal(std::string("transport: ") + op + " failed: " +
+                                std::strerror(errno));
+}
+
+/// write() until done or error (EINTR retried).
+util::Status WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError("write");
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return util::Status::OK();
+}
+
+/// read() until the buffer is full. *eof_at_start distinguishes a peer that
+/// closed between frames from one that died mid-frame.
+util::Status ReadAll(int fd, char* data, size_t size, bool* eof_at_start) {
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError("read");
+    }
+    if (n == 0) {
+      if (got == 0 && eof_at_start != nullptr) {
+        *eof_at_start = true;
+        return util::Status::OK();
+      }
+      return util::Status::Internal("transport: peer closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return util::Status::ResourceExhausted("transport: frame too large");
+  }
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  char header[4];
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<char>(length >> (8 * i));
+  }
+  BAGCQ_RETURN_NOT_OK(WriteAll(fd, header, sizeof(header)));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+util::Status ReadFrame(int fd, std::string* payload, bool* clean_eof) {
+  payload->clear();
+  *clean_eof = false;
+  char header[4];
+  BAGCQ_RETURN_NOT_OK(ReadAll(fd, header, sizeof(header), clean_eof));
+  if (*clean_eof) return util::Status::OK();
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(static_cast<uint8_t>(header[i]))
+              << (8 * i);
+  }
+  if (length > kMaxFrameBytes) {
+    return util::Status::ResourceExhausted("transport: frame too large");
+  }
+  payload->resize(length);
+  return ReadAll(fd, payload->data(), length, nullptr);
+}
+
+}  // namespace bagcq::service

@@ -1,0 +1,29 @@
+// Framed byte transport over POSIX file descriptors — the link between the
+// server front, its forked workers (socketpairs), and remote clients (Unix
+// domain sockets). One frame = 4-byte little-endian payload length + the
+// payload (a service/message.h envelope). Short reads/writes and EINTR are
+// handled; a peer that vanishes mid-frame surfaces as a Status, oversized
+// frames are rejected before any allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace bagcq::service {
+
+/// Frames beyond this are a protocol violation (witness-laden batch
+/// responses run to megabytes; nothing legitimate runs to gigabytes).
+inline constexpr uint32_t kMaxFrameBytes = 256u * 1024 * 1024;
+
+/// Writes one length-prefixed frame, looping over partial writes.
+util::Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one frame into *payload. Clean EOF before the first header byte
+/// sets *clean_eof and returns OK with an empty payload (how a worker
+/// notices an orderly shutdown); EOF mid-frame is an error.
+util::Status ReadFrame(int fd, std::string* payload, bool* clean_eof);
+
+}  // namespace bagcq::service

@@ -1,0 +1,785 @@
+#include "wire/wire.h"
+
+#include <climits>
+#include <set>
+#include <utility>
+
+namespace bagcq::wire {
+
+namespace {
+
+using util::BigInt;
+using util::Rational;
+using util::Status;
+using util::VarSet;
+
+/// Primitive read or bail with the uniform corrupt-input error.
+#define WIRE_GET(call, what) \
+  if (!(call)) return d->Fail(what)
+
+/// A claimed element count a hostile buffer cannot back: every element costs
+/// at least one byte, so anything beyond remaining() is corrupt — checked
+/// BEFORE any allocation sized by the claim.
+#define WIRE_COUNT(count_var, what)            \
+  uint64_t count_var;                          \
+  WIRE_GET(d->GetVarint(&count_var), what);    \
+  if (count_var > d->remaining()) return d->Fail(what)
+
+bool IsCanonicalDecimal(std::string_view text) {
+  if (text.empty()) return false;
+  if (text == "0") return true;
+  size_t i = 0;
+  if (text[0] == '-') i = 1;
+  if (i >= text.size() || text[i] == '0') return false;  // no -0, no 0012
+  for (; i < text.size(); ++i) {
+    if (text[i] < '0' || text[i] > '9') return false;
+  }
+  return true;
+}
+
+util::Result<int> DecodeIntIn(Decoder* d, int64_t lo, int64_t hi,
+                              std::string_view what) {
+  int64_t v;
+  WIRE_GET(d->GetSigned(&v), what);
+  if (v < lo || v > hi) return d->Fail(what);
+  return static_cast<int>(v);
+}
+
+/// Optionals: one strict presence bool, then the payload.
+template <typename T, typename Fn>
+void EncodeOptional(const std::optional<T>& v, Encoder* e, Fn encode_fn) {
+  e->PutBool(v.has_value());
+  if (v.has_value()) encode_fn(*v, e);
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- scalars
+
+void EncodeBigInt(const BigInt& v, Encoder* e) { e->PutBytes(v.ToString()); }
+
+util::Result<BigInt> DecodeBigInt(Decoder* d) {
+  std::string_view text;
+  WIRE_GET(d->GetBytesView(&text), "BigInt");
+  BigInt out;
+  if (!IsCanonicalDecimal(text) || !BigInt::TryParse(text, &out)) {
+    return d->Fail("BigInt");
+  }
+  return out;
+}
+
+void EncodeRational(const Rational& v, Encoder* e) {
+  EncodeBigInt(v.num(), e);
+  EncodeBigInt(v.den(), e);
+}
+
+util::Result<Rational> DecodeRational(Decoder* d) {
+  BAGCQ_ASSIGN_OR_RETURN(BigInt num, DecodeBigInt(d));
+  BAGCQ_ASSIGN_OR_RETURN(BigInt den, DecodeBigInt(d));
+  // Canonical form only: den > 0 and lowest terms (the Rational constructor
+  // would happily reduce 2/4, which would let one value own two encodings).
+  if (den.sign() <= 0) return d->Fail("Rational denominator");
+  if (BigInt::Gcd(num, den) != BigInt(1)) return d->Fail("Rational reduction");
+  return Rational(std::move(num), std::move(den));
+}
+
+void EncodeVarSet(VarSet v, Encoder* e) { e->PutVarint(v.mask()); }
+
+util::Result<VarSet> DecodeVarSet(Decoder* d) {
+  uint64_t mask;
+  WIRE_GET(d->GetVarint(&mask), "VarSet");
+  if (mask >> VarSet::kMaxVars != 0) return d->Fail("VarSet");
+  return VarSet(mask);
+}
+
+void EncodeStatus(const Status& v, Encoder* e) {
+  e->PutVarint(static_cast<uint64_t>(v.code()));
+  e->PutBytes(v.message());
+}
+
+util::Status DecodeStatus(Decoder* d, Status* out) {
+  uint64_t code;
+  WIRE_GET(d->GetVarint(&code), "Status code");
+  if (code > static_cast<uint64_t>(util::StatusCode::kInternal)) {
+    return d->Fail("Status code");
+  }
+  std::string message;
+  WIRE_GET(d->GetBytes(&message), "Status message");
+  *out = Status(static_cast<util::StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+// --------------------------------------------------------------- queries
+
+void EncodeVocabulary(const cq::Vocabulary& v, Encoder* e) {
+  e->PutVarint(v.size());
+  for (int r = 0; r < v.size(); ++r) {
+    e->PutBytes(v.name(r));
+    e->PutVarint(v.arity(r));
+  }
+}
+
+util::Result<cq::Vocabulary> DecodeVocabulary(Decoder* d) {
+  WIRE_COUNT(count, "Vocabulary size");
+  cq::Vocabulary vocab;
+  std::set<std::string, std::less<>> seen;
+  for (uint64_t r = 0; r < count; ++r) {
+    std::string name;
+    WIRE_GET(d->GetBytes(&name), "relation name");
+    uint64_t arity;
+    WIRE_GET(d->GetVarint(&arity), "relation arity");
+    // AddRelation CHECK-aborts on duplicates; arities beyond any sane query
+    // would only serve to stall the tuple loops downstream.
+    if (name.empty() || !seen.insert(name).second || arity > 1'000'000) {
+      return d->Fail("Vocabulary symbol");
+    }
+    vocab.AddRelation(std::move(name), static_cast<int>(arity));
+  }
+  return vocab;
+}
+
+namespace {
+
+/// The query layout minus variable names, shared between the full encoding
+/// and CanonicalPairKey (which omits names so renamed variants collide).
+void EncodeQueryStructure(const cq::ConjunctiveQuery& q, Encoder* e) {
+  EncodeVocabulary(q.vocab(), e);
+  e->PutVarint(q.num_vars());
+  e->PutVarint(q.head().size());
+  for (int v : q.head()) e->PutVarint(v);
+  e->PutVarint(q.num_atoms());
+  for (const cq::Atom& atom : q.atoms()) {
+    e->PutVarint(atom.relation);
+    for (int v : atom.vars) e->PutVarint(v);  // count fixed by the arity
+  }
+}
+
+}  // namespace
+
+void EncodeQuery(const cq::ConjunctiveQuery& q, Encoder* e) {
+  EncodeVocabulary(q.vocab(), e);
+  e->PutVarint(q.num_vars());
+  for (int v = 0; v < q.num_vars(); ++v) e->PutBytes(q.var_name(v));
+  e->PutVarint(q.head().size());
+  for (int v : q.head()) e->PutVarint(v);
+  e->PutVarint(q.num_atoms());
+  for (const cq::Atom& atom : q.atoms()) {
+    e->PutVarint(atom.relation);
+    for (int v : atom.vars) e->PutVarint(v);
+  }
+}
+
+util::Result<cq::ConjunctiveQuery> DecodeQuery(Decoder* d) {
+  BAGCQ_ASSIGN_OR_RETURN(cq::Vocabulary vocab, DecodeVocabulary(d));
+  uint64_t num_vars;
+  WIRE_GET(d->GetVarint(&num_vars), "query variable count");
+  if (num_vars > static_cast<uint64_t>(VarSet::kMaxVars)) {
+    return d->Fail("query variable count");
+  }
+  cq::ConjunctiveQuery query(std::move(vocab));
+  std::set<std::string, std::less<>> seen;
+  for (uint64_t v = 0; v < num_vars; ++v) {
+    std::string name;
+    WIRE_GET(d->GetBytes(&name), "variable name");
+    // AddVariable CHECK-aborts on duplicates, and an empty name would be
+    // rewritten to the "v<i>" default — another collision avenue.
+    if (name.empty() || !seen.insert(name).second) {
+      return d->Fail("variable name");
+    }
+    query.AddVariable(std::move(name));
+  }
+  auto read_var = [&]() -> util::Result<int> {
+    uint64_t v;
+    if (!d->GetVarint(&v) || v >= num_vars) return d->Fail("variable id");
+    return static_cast<int>(v);
+  };
+  WIRE_COUNT(head_size, "query head");
+  std::vector<int> head;
+  head.reserve(head_size);
+  for (uint64_t i = 0; i < head_size; ++i) {
+    BAGCQ_ASSIGN_OR_RETURN(int v, read_var());
+    head.push_back(v);
+  }
+  if (!head.empty()) query.SetHead(std::move(head));
+  WIRE_COUNT(num_atoms, "query atoms");
+  for (uint64_t a = 0; a < num_atoms; ++a) {
+    uint64_t relation;
+    WIRE_GET(d->GetVarint(&relation), "atom relation");
+    if (relation >= static_cast<uint64_t>(query.vocab().size())) {
+      return d->Fail("atom relation");
+    }
+    const int arity = query.vocab().arity(static_cast<int>(relation));
+    std::vector<int> vars;
+    vars.reserve(arity);
+    for (int i = 0; i < arity; ++i) {
+      BAGCQ_ASSIGN_OR_RETURN(int v, read_var());
+      vars.push_back(v);
+    }
+    query.AddAtom(static_cast<int>(relation), std::move(vars));
+  }
+  return query;
+}
+
+void EncodeQueryPair(const api::QueryPair& p, Encoder* e) {
+  EncodeQuery(p.q1, e);
+  EncodeQuery(p.q2, e);
+}
+
+util::Result<api::QueryPair> DecodeQueryPair(Decoder* d) {
+  BAGCQ_ASSIGN_OR_RETURN(cq::ConjunctiveQuery q1, DecodeQuery(d));
+  BAGCQ_ASSIGN_OR_RETURN(cq::ConjunctiveQuery q2, DecodeQuery(d));
+  return api::QueryPair{std::move(q1), std::move(q2)};
+}
+
+void EncodeStructure(const cq::Structure& s, Encoder* e) {
+  EncodeVocabulary(s.vocab(), e);
+  for (int r = 0; r < s.vocab().size(); ++r) {
+    const auto& tuples = s.tuples(r);
+    e->PutVarint(tuples.size());
+    for (const auto& tuple : tuples) {
+      for (int value : tuple) e->PutSigned(value);
+    }
+  }
+}
+
+util::Result<cq::Structure> DecodeStructure(Decoder* d) {
+  BAGCQ_ASSIGN_OR_RETURN(cq::Vocabulary vocab, DecodeVocabulary(d));
+  cq::Structure out(vocab);
+  for (int r = 0; r < vocab.size(); ++r) {
+    WIRE_COUNT(count, "structure tuples");
+    const int arity = vocab.arity(r);
+    std::vector<int> prev;
+    for (uint64_t t = 0; t < count; ++t) {
+      std::vector<int> tuple(arity);
+      for (int i = 0; i < arity; ++i) {
+        BAGCQ_ASSIGN_OR_RETURN(tuple[i],
+                               DecodeIntIn(d, INT_MIN, INT_MAX, "tuple value"));
+      }
+      // Canonical order = the sorted-unique storage order of Structure.
+      if (t > 0 && !(prev < tuple)) return d->Fail("structure tuple order");
+      prev = tuple;
+      out.AddTuple(r, std::move(tuple));
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- entropy
+
+namespace {
+
+/// Entropy spaces cap at 26 variables (SetFunction CHECK); expressions can
+/// name up to VarSet::kMaxVars. Both bounds route through here.
+util::Result<int> DecodeVarCount(Decoder* d, int max) {
+  return DecodeIntIn(d, 0, max, "variable count");
+}
+
+}  // namespace
+
+void EncodeLinearExpr(const entropy::LinearExpr& v, Encoder* e) {
+  e->PutSigned(v.num_vars());
+  e->PutVarint(v.terms().size());
+  for (const auto& [set, coeff] : v.terms()) {  // std::map: ascending masks
+    EncodeVarSet(set, e);
+    EncodeRational(coeff, e);
+  }
+}
+
+util::Result<entropy::LinearExpr> DecodeLinearExpr(Decoder* d) {
+  BAGCQ_ASSIGN_OR_RETURN(int n, DecodeVarCount(d, VarSet::kMaxVars));
+  WIRE_COUNT(count, "LinearExpr terms");
+  entropy::LinearExpr expr(n);
+  VarSet prev;
+  for (uint64_t t = 0; t < count; ++t) {
+    BAGCQ_ASSIGN_OR_RETURN(VarSet set, DecodeVarSet(d));
+    BAGCQ_ASSIGN_OR_RETURN(Rational coeff, DecodeRational(d));
+    // Stored terms are nonempty sets with nonzero coefficients in ascending
+    // mask order — anything else is a second spelling of the same value.
+    if (set.empty() || !set.IsSubsetOf(VarSet::Full(n)) || coeff.is_zero() ||
+        (t > 0 && !(prev < set))) {
+      return d->Fail("LinearExpr term");
+    }
+    prev = set;
+    expr.Add(set, coeff);
+  }
+  return expr;
+}
+
+void EncodeCondExpr(const entropy::CondExpr& v, Encoder* e) {
+  e->PutSigned(v.num_vars());
+  e->PutVarint(v.terms().size());
+  for (const entropy::CondTerm& term : v.terms()) {
+    EncodeVarSet(term.y, e);
+    EncodeVarSet(term.x, e);
+    EncodeRational(term.coeff, e);
+  }
+}
+
+util::Result<entropy::CondExpr> DecodeCondExpr(Decoder* d) {
+  BAGCQ_ASSIGN_OR_RETURN(int n, DecodeVarCount(d, VarSet::kMaxVars));
+  WIRE_COUNT(count, "CondExpr terms");
+  entropy::CondExpr expr(n);
+  const VarSet full = VarSet::Full(n);
+  for (uint64_t t = 0; t < count; ++t) {
+    BAGCQ_ASSIGN_OR_RETURN(VarSet y, DecodeVarSet(d));
+    BAGCQ_ASSIGN_OR_RETURN(VarSet x, DecodeVarSet(d));
+    BAGCQ_ASSIGN_OR_RETURN(Rational coeff, DecodeRational(d));
+    if (!y.IsSubsetOf(full) || !x.IsSubsetOf(full) || coeff.sign() < 0) {
+      return d->Fail("CondExpr term");
+    }
+    expr.Add(y, x, coeff);
+  }
+  return expr;
+}
+
+void EncodeSetFunction(const entropy::SetFunction& v, Encoder* e) {
+  e->PutSigned(v.num_vars());
+  // h(∅) is identically 0 and skipped; 2^n - 1 values follow in mask order.
+  for (uint64_t mask = 1; mask < (uint64_t{1} << v.num_vars()); ++mask) {
+    EncodeRational(v[VarSet(mask)], e);
+  }
+}
+
+util::Result<entropy::SetFunction> DecodeSetFunction(Decoder* d) {
+  BAGCQ_ASSIGN_OR_RETURN(int n, DecodeVarCount(d, 26));
+  const uint64_t coords = (uint64_t{1} << n) - 1;
+  // Each rational costs ≥ 4 wire bytes (two length-prefixed decimals), so a
+  // buffer shorter than 4·coords cannot back the claimed n — checked before
+  // the 2^n eager allocation, which at n=26 would be gigabytes of Rationals
+  // conjured from a ~67 MB hostile frame if the bound were 1 byte/coord.
+  if (coords * 4 > d->remaining()) return d->Fail("SetFunction size");
+  entropy::SetFunction out(n);
+  for (uint64_t mask = 1; mask <= coords; ++mask) {
+    BAGCQ_ASSIGN_OR_RETURN(out[VarSet(mask)], DecodeRational(d));
+  }
+  return out;
+}
+
+void EncodeRelation(const entropy::Relation& v, Encoder* e) {
+  e->PutSigned(v.num_vars());
+  e->PutVarint(v.tuples().size());
+  for (const auto& tuple : v.tuples()) {
+    for (int value : tuple) e->PutSigned(value);
+  }
+}
+
+util::Result<entropy::Relation> DecodeRelation(Decoder* d) {
+  BAGCQ_ASSIGN_OR_RETURN(int n, DecodeVarCount(d, VarSet::kMaxVars));
+  WIRE_COUNT(count, "Relation tuples");
+  entropy::Relation out(n);
+  std::vector<int> prev;
+  for (uint64_t t = 0; t < count; ++t) {
+    std::vector<int> tuple(n);
+    for (int i = 0; i < n; ++i) {
+      BAGCQ_ASSIGN_OR_RETURN(
+          tuple[i], DecodeIntIn(d, INT_MIN, INT_MAX, "relation value"));
+    }
+    if (t > 0 && !(prev < tuple)) return d->Fail("relation tuple order");
+    prev = tuple;
+    out.AddTuple(std::move(tuple));
+  }
+  return out;
+}
+
+void EncodeElemental(const entropy::ElementalInequality& v, Encoder* e) {
+  e->PutByte(v.kind == entropy::ElementalInequality::Kind::kMonotonicity ? 0
+                                                                         : 1);
+  e->PutSigned(v.i);
+  e->PutSigned(v.j);
+  EncodeVarSet(v.k, e);
+}
+
+util::Result<entropy::ElementalInequality> DecodeElemental(Decoder* d) {
+  uint8_t kind;
+  WIRE_GET(d->GetByte(&kind), "Elemental kind");
+  if (kind > 1) return d->Fail("Elemental kind");
+  entropy::ElementalInequality out;
+  out.kind = kind == 0 ? entropy::ElementalInequality::Kind::kMonotonicity
+                       : entropy::ElementalInequality::Kind::kSubmodularity;
+  BAGCQ_ASSIGN_OR_RETURN(out.i,
+                         DecodeIntIn(d, 0, VarSet::kMaxVars - 1, "Elemental i"));
+  BAGCQ_ASSIGN_OR_RETURN(
+      out.j, DecodeIntIn(d, -1, VarSet::kMaxVars - 1, "Elemental j"));
+  BAGCQ_ASSIGN_OR_RETURN(out.k, DecodeVarSet(d));
+  // Submodularity I(i;j|K) needs i < j outside K; monotonicity has no j.
+  const bool mono = kind == 0;
+  if (mono != (out.j < 0)) return d->Fail("Elemental shape");
+  if (!mono && (out.i >= out.j || out.k.Contains(out.i) ||
+                out.k.Contains(out.j))) {
+    return d->Fail("Elemental shape");
+  }
+  return out;
+}
+
+void EncodeShannonCertificate(const entropy::ShannonCertificate& v,
+                              Encoder* e) {
+  e->PutVarint(v.combination.size());
+  for (const auto& [elemental, weight] : v.combination) {
+    EncodeElemental(elemental, e);
+    EncodeRational(weight, e);
+  }
+}
+
+util::Result<entropy::ShannonCertificate> DecodeShannonCertificate(
+    Decoder* d) {
+  WIRE_COUNT(count, "ShannonCertificate");
+  entropy::ShannonCertificate out;
+  out.combination.reserve(count);
+  for (uint64_t t = 0; t < count; ++t) {
+    BAGCQ_ASSIGN_OR_RETURN(entropy::ElementalInequality elemental,
+                           DecodeElemental(d));
+    BAGCQ_ASSIGN_OR_RETURN(Rational weight, DecodeRational(d));
+    if (weight.sign() < 0) return d->Fail("ShannonCertificate weight");
+    out.combination.emplace_back(std::move(elemental), std::move(weight));
+  }
+  return out;
+}
+
+void EncodeMaxIIResult(const entropy::MaxIIResult& v, Encoder* e) {
+  e->PutBool(v.valid);
+  e->PutVarint(v.lambda.size());
+  for (const Rational& weight : v.lambda) EncodeRational(weight, e);
+  EncodeOptional(v.certificate, e, EncodeShannonCertificate);
+  EncodeOptional(v.counterexample, e, EncodeSetFunction);
+  EncodeRational(v.max_at_counterexample, e);
+  e->PutSigned(v.lp_pivots);
+}
+
+util::Result<entropy::MaxIIResult> DecodeMaxIIResult(Decoder* d) {
+  entropy::MaxIIResult out;
+  WIRE_GET(d->GetBool(&out.valid), "MaxIIResult valid");
+  WIRE_COUNT(count, "MaxIIResult lambda");
+  out.lambda.reserve(count);
+  for (uint64_t t = 0; t < count; ++t) {
+    BAGCQ_ASSIGN_OR_RETURN(Rational weight, DecodeRational(d));
+    out.lambda.push_back(std::move(weight));
+  }
+  bool present;
+  WIRE_GET(d->GetBool(&present), "MaxIIResult certificate");
+  if (present) {
+    BAGCQ_ASSIGN_OR_RETURN(out.certificate, DecodeShannonCertificate(d));
+  }
+  WIRE_GET(d->GetBool(&present), "MaxIIResult counterexample");
+  if (present) {
+    BAGCQ_ASSIGN_OR_RETURN(out.counterexample, DecodeSetFunction(d));
+  }
+  BAGCQ_ASSIGN_OR_RETURN(out.max_at_counterexample, DecodeRational(d));
+  WIRE_GET(d->GetSigned(&out.lp_pivots), "MaxIIResult pivots");
+  return out;
+}
+
+// ------------------------------------------------------ decision results
+
+void EncodeTreeDecomposition(const graph::TreeDecomposition& v, Encoder* e) {
+  e->PutSigned(v.num_vars());
+  e->PutVarint(v.bags().size());
+  for (VarSet bag : v.bags()) EncodeVarSet(bag, e);
+  e->PutVarint(v.edges().size());
+  for (const auto& [s, t] : v.edges()) {
+    e->PutVarint(s);
+    e->PutVarint(t);
+  }
+}
+
+util::Result<graph::TreeDecomposition> DecodeTreeDecomposition(Decoder* d) {
+  BAGCQ_ASSIGN_OR_RETURN(int n, DecodeVarCount(d, VarSet::kMaxVars));
+  WIRE_COUNT(bag_count, "decomposition bags");
+  std::vector<VarSet> bags;
+  bags.reserve(bag_count);
+  const VarSet full = VarSet::Full(n);
+  for (uint64_t t = 0; t < bag_count; ++t) {
+    BAGCQ_ASSIGN_OR_RETURN(VarSet bag, DecodeVarSet(d));
+    if (!bag.IsSubsetOf(full)) return d->Fail("decomposition bag");
+    bags.push_back(bag);
+  }
+  WIRE_COUNT(edge_count, "decomposition edges");
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(edge_count);
+  // The constructor CHECK-aborts on anything that is not a forest, so the
+  // acyclicity proof happens here, by union-find.
+  std::vector<int> parent(bag_count);
+  for (uint64_t t = 0; t < bag_count; ++t) parent[t] = static_cast<int>(t);
+  auto find = [&parent](int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (uint64_t t = 0; t < edge_count; ++t) {
+    uint64_t s_raw, t_raw;
+    WIRE_GET(d->GetVarint(&s_raw), "decomposition edge");
+    WIRE_GET(d->GetVarint(&t_raw), "decomposition edge");
+    if (s_raw >= bag_count || t_raw >= bag_count || s_raw == t_raw) {
+      return d->Fail("decomposition edge");
+    }
+    const int rs = find(static_cast<int>(s_raw));
+    const int rt = find(static_cast<int>(t_raw));
+    if (rs == rt) return d->Fail("decomposition cycle");
+    parent[rs] = rt;
+    edges.emplace_back(static_cast<int>(s_raw), static_cast<int>(t_raw));
+  }
+  return graph::TreeDecomposition(n, std::move(bags), std::move(edges));
+}
+
+void EncodeQ2Analysis(const core::Q2Analysis& v, Encoder* e) {
+  e->PutBool(v.acyclic);
+  e->PutBool(v.chordal);
+  e->PutBool(v.simple_junction_tree);
+}
+
+util::Result<core::Q2Analysis> DecodeQ2Analysis(Decoder* d) {
+  core::Q2Analysis out;
+  WIRE_GET(d->GetBool(&out.acyclic), "Q2Analysis");
+  WIRE_GET(d->GetBool(&out.chordal), "Q2Analysis");
+  WIRE_GET(d->GetBool(&out.simple_junction_tree), "Q2Analysis");
+  return out;
+}
+
+void EncodeContainmentInequality(const core::ContainmentInequality& v,
+                                 Encoder* e) {
+  e->PutSigned(v.n);
+  e->PutVarint(v.homs.size());
+  for (const cq::VarMap& hom : v.homs) {
+    e->PutVarint(hom.size());
+    for (int value : hom) e->PutSigned(value);
+  }
+  e->PutVarint(v.branch_conditionals.size());
+  for (const entropy::CondExpr& cond : v.branch_conditionals) {
+    EncodeCondExpr(cond, e);
+  }
+  e->PutVarint(v.branches.size());
+  for (const entropy::LinearExpr& branch : v.branches) {
+    EncodeLinearExpr(branch, e);
+  }
+  EncodeTreeDecomposition(v.decomposition, e);
+  e->PutBool(v.simple);
+  EncodeQ2Analysis(v.analysis, e);
+}
+
+util::Result<core::ContainmentInequality> DecodeContainmentInequality(
+    Decoder* d) {
+  BAGCQ_ASSIGN_OR_RETURN(int n, DecodeVarCount(d, VarSet::kMaxVars));
+  WIRE_COUNT(hom_count, "inequality homs");
+  std::vector<cq::VarMap> homs;
+  homs.reserve(hom_count);
+  for (uint64_t h = 0; h < hom_count; ++h) {
+    WIRE_COUNT(len, "hom length");
+    cq::VarMap hom(len);
+    for (uint64_t i = 0; i < len; ++i) {
+      BAGCQ_ASSIGN_OR_RETURN(hom[i],
+                             DecodeIntIn(d, 0, VarSet::kMaxVars - 1, "hom"));
+    }
+    homs.push_back(std::move(hom));
+  }
+  WIRE_COUNT(cond_count, "inequality conditionals");
+  std::vector<entropy::CondExpr> conditionals;
+  conditionals.reserve(cond_count);
+  for (uint64_t b = 0; b < cond_count; ++b) {
+    BAGCQ_ASSIGN_OR_RETURN(entropy::CondExpr cond, DecodeCondExpr(d));
+    conditionals.push_back(std::move(cond));
+  }
+  WIRE_COUNT(branch_count, "inequality branches");
+  std::vector<entropy::LinearExpr> branches;
+  branches.reserve(branch_count);
+  for (uint64_t b = 0; b < branch_count; ++b) {
+    BAGCQ_ASSIGN_OR_RETURN(entropy::LinearExpr branch, DecodeLinearExpr(d));
+    branches.push_back(std::move(branch));
+  }
+  BAGCQ_ASSIGN_OR_RETURN(graph::TreeDecomposition decomposition,
+                         DecodeTreeDecomposition(d));
+  bool simple;
+  WIRE_GET(d->GetBool(&simple), "inequality simple");
+  BAGCQ_ASSIGN_OR_RETURN(core::Q2Analysis analysis, DecodeQ2Analysis(d));
+  return core::ContainmentInequality{
+      n,       std::move(homs),          std::move(conditionals),
+      std::move(branches), std::move(decomposition), simple,
+      analysis};
+}
+
+void EncodeWitness(const core::Witness& v, Encoder* e) {
+  EncodeRelation(v.relation, e);
+  EncodeStructure(v.database, e);
+  e->PutVarint(v.factor_levels.size());
+  for (const auto& [set, levels] : v.factor_levels) {  // map: ascending keys
+    EncodeVarSet(set, e);
+    e->PutSigned(levels);
+  }
+  e->PutSigned(v.lhs_log2);
+  e->PutBool(v.symbolic_certificate_holds);
+  e->PutBool(v.counts_verified);
+  e->PutSigned(v.hom_q1);
+  e->PutSigned(v.hom_q2);
+}
+
+util::Result<core::Witness> DecodeWitness(Decoder* d) {
+  core::Witness out;
+  BAGCQ_ASSIGN_OR_RETURN(out.relation, DecodeRelation(d));
+  BAGCQ_ASSIGN_OR_RETURN(out.database, DecodeStructure(d));
+  WIRE_COUNT(count, "witness factors");
+  VarSet prev;
+  for (uint64_t t = 0; t < count; ++t) {
+    BAGCQ_ASSIGN_OR_RETURN(VarSet set, DecodeVarSet(d));
+    if (t > 0 && !(prev < set)) return d->Fail("witness factor order");
+    prev = set;
+    WIRE_GET(d->GetSigned(&out.factor_levels[set]), "witness levels");
+  }
+  WIRE_GET(d->GetSigned(&out.lhs_log2), "witness lhs");
+  WIRE_GET(d->GetBool(&out.symbolic_certificate_holds), "witness flags");
+  WIRE_GET(d->GetBool(&out.counts_verified), "witness flags");
+  WIRE_GET(d->GetSigned(&out.hom_q1), "witness counts");
+  WIRE_GET(d->GetSigned(&out.hom_q2), "witness counts");
+  return out;
+}
+
+void EncodeCallStats(const api::CallStats& v, Encoder* e) {
+  e->PutDouble(v.elapsed_ms);
+  e->PutSigned(v.lp_pivots);
+  e->PutSigned(v.lp_warm_accepts);
+  e->PutSigned(v.lp_warm_pivots_saved);
+  e->PutBool(v.prover_cache_hit);
+  e->PutBool(v.memo_hit);
+}
+
+util::Result<api::CallStats> DecodeCallStats(Decoder* d) {
+  api::CallStats out;
+  WIRE_GET(d->GetDouble(&out.elapsed_ms), "CallStats");
+  WIRE_GET(d->GetSigned(&out.lp_pivots), "CallStats");
+  WIRE_GET(d->GetSigned(&out.lp_warm_accepts), "CallStats");
+  WIRE_GET(d->GetSigned(&out.lp_warm_pivots_saved), "CallStats");
+  WIRE_GET(d->GetBool(&out.prover_cache_hit), "CallStats");
+  WIRE_GET(d->GetBool(&out.memo_hit), "CallStats");
+  return out;
+}
+
+void EncodeDecisionResult(const api::DecisionResult& v, Encoder* e) {
+  e->PutByte(static_cast<uint8_t>(v.verdict));
+  e->PutBytes(v.method);
+  EncodeQ2Analysis(v.analysis, e);
+  EncodeOptional(v.inequality, e, EncodeContainmentInequality);
+  EncodeOptional(v.validity, e, EncodeMaxIIResult);
+  EncodeOptional(v.counterexample, e, EncodeSetFunction);
+  EncodeOptional(v.witness, e, EncodeWitness);
+  EncodeCallStats(v.stats, e);
+}
+
+util::Result<api::DecisionResult> DecodeDecisionResult(Decoder* d) {
+  uint8_t verdict;
+  WIRE_GET(d->GetByte(&verdict), "verdict");
+  if (verdict > static_cast<uint8_t>(core::Verdict::kUnknown)) {
+    return d->Fail("verdict");
+  }
+  api::DecisionResult out;
+  out.verdict = static_cast<core::Verdict>(verdict);
+  WIRE_GET(d->GetBytes(&out.method), "method");
+  BAGCQ_ASSIGN_OR_RETURN(out.analysis, DecodeQ2Analysis(d));
+  bool present;
+  WIRE_GET(d->GetBool(&present), "inequality presence");
+  if (present) {
+    BAGCQ_ASSIGN_OR_RETURN(out.inequality, DecodeContainmentInequality(d));
+  }
+  WIRE_GET(d->GetBool(&present), "validity presence");
+  if (present) {
+    BAGCQ_ASSIGN_OR_RETURN(out.validity, DecodeMaxIIResult(d));
+  }
+  WIRE_GET(d->GetBool(&present), "counterexample presence");
+  if (present) {
+    BAGCQ_ASSIGN_OR_RETURN(out.counterexample, DecodeSetFunction(d));
+  }
+  WIRE_GET(d->GetBool(&present), "witness presence");
+  if (present) {
+    BAGCQ_ASSIGN_OR_RETURN(out.witness, DecodeWitness(d));
+  }
+  BAGCQ_ASSIGN_OR_RETURN(out.stats, DecodeCallStats(d));
+  return out;
+}
+
+void EncodeProofResult(const api::ProofResult& v, Encoder* e) {
+  e->PutBool(v.valid);
+  EncodeOptional(v.certificate, e, EncodeShannonCertificate);
+  e->PutVarint(v.lambda.size());
+  for (const Rational& weight : v.lambda) EncodeRational(weight, e);
+  EncodeOptional(v.counterexample, e, EncodeSetFunction);
+  EncodeRational(v.violation, e);
+  e->PutVarint(v.var_names.size());
+  for (const std::string& name : v.var_names) e->PutBytes(name);
+  EncodeCallStats(v.stats, e);
+}
+
+util::Result<api::ProofResult> DecodeProofResult(Decoder* d) {
+  api::ProofResult out;
+  WIRE_GET(d->GetBool(&out.valid), "ProofResult valid");
+  bool present;
+  WIRE_GET(d->GetBool(&present), "ProofResult certificate");
+  if (present) {
+    BAGCQ_ASSIGN_OR_RETURN(out.certificate, DecodeShannonCertificate(d));
+  }
+  WIRE_COUNT(lambda_count, "ProofResult lambda");
+  out.lambda.reserve(lambda_count);
+  for (uint64_t t = 0; t < lambda_count; ++t) {
+    BAGCQ_ASSIGN_OR_RETURN(Rational weight, DecodeRational(d));
+    out.lambda.push_back(std::move(weight));
+  }
+  WIRE_GET(d->GetBool(&present), "ProofResult counterexample");
+  if (present) {
+    BAGCQ_ASSIGN_OR_RETURN(out.counterexample, DecodeSetFunction(d));
+  }
+  BAGCQ_ASSIGN_OR_RETURN(out.violation, DecodeRational(d));
+  WIRE_COUNT(name_count, "ProofResult names");
+  out.var_names.reserve(name_count);
+  for (uint64_t t = 0; t < name_count; ++t) {
+    std::string name;
+    WIRE_GET(d->GetBytes(&name), "ProofResult name");
+    out.var_names.push_back(std::move(name));
+  }
+  BAGCQ_ASSIGN_OR_RETURN(out.stats, DecodeCallStats(d));
+  return out;
+}
+
+void EncodeEngineStats(const api::EngineStats& v, Encoder* e) {
+  e->PutSigned(v.decisions);
+  e->PutSigned(v.proofs);
+  e->PutSigned(v.errors);
+  e->PutSigned(v.prover_constructions);
+  e->PutSigned(v.prover_cache_hits);
+  e->PutSigned(v.lp_solves);
+  e->PutSigned(v.lp_pivots);
+  e->PutSigned(v.lp_screen_accepts);
+  e->PutSigned(v.lp_exact_fallbacks);
+  e->PutSigned(v.lp_warm_accepts);
+  e->PutSigned(v.lp_warm_pivots_saved);
+  e->PutSigned(v.decision_memo_hits);
+  e->PutDouble(v.total_ms);
+}
+
+util::Result<api::EngineStats> DecodeEngineStats(Decoder* d) {
+  api::EngineStats out;
+  WIRE_GET(d->GetSigned(&out.decisions), "EngineStats");
+  WIRE_GET(d->GetSigned(&out.proofs), "EngineStats");
+  WIRE_GET(d->GetSigned(&out.errors), "EngineStats");
+  WIRE_GET(d->GetSigned(&out.prover_constructions), "EngineStats");
+  WIRE_GET(d->GetSigned(&out.prover_cache_hits), "EngineStats");
+  WIRE_GET(d->GetSigned(&out.lp_solves), "EngineStats");
+  WIRE_GET(d->GetSigned(&out.lp_pivots), "EngineStats");
+  WIRE_GET(d->GetSigned(&out.lp_screen_accepts), "EngineStats");
+  WIRE_GET(d->GetSigned(&out.lp_exact_fallbacks), "EngineStats");
+  WIRE_GET(d->GetSigned(&out.lp_warm_accepts), "EngineStats");
+  WIRE_GET(d->GetSigned(&out.lp_warm_pivots_saved), "EngineStats");
+  WIRE_GET(d->GetSigned(&out.decision_memo_hits), "EngineStats");
+  WIRE_GET(d->GetDouble(&out.total_ms), "EngineStats");
+  return out;
+}
+
+// --------------------------------------------------------------- memo key
+
+std::string CanonicalPairKey(const cq::ConjunctiveQuery& q1,
+                             const cq::ConjunctiveQuery& q2, bool bag_bag) {
+  Encoder e;
+  e.PutByte(kWireVersion);
+  EncodeQueryStructure(q1, &e);
+  EncodeQueryStructure(q2, &e);
+  e.PutBool(bag_bag);
+  return e.Take();
+}
+
+#undef WIRE_GET
+#undef WIRE_COUNT
+
+}  // namespace bagcq::wire

@@ -1,6 +1,3 @@
-// This test deliberately exercises the deprecated one-off free functions
-// (the compatibility wrappers around the Engine path).
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include "core/decider.h"
 
 #include <gtest/gtest.h>
@@ -26,7 +23,7 @@ TEST(DeciderTest, Example43TriangleContainedInFork) {
   // Example 4.3 (Eric Vee): Q1 = triangle, Q2 = fork; Q1 ⪯ Q2.
   cq::ConjunctiveQuery q1 = Parse("R(x1,x2), R(x2,x3), R(x3,x1)");
   cq::ConjunctiveQuery q2 = ParseWith("R(y1,y2), R(y1,y3)", q1.vocab());
-  Decision d = DecideBagContainment(q1, q2).ValueOrDie();
+  Decision d = DecideBagContainmentWithContext(q1, q2, {}, {}).ValueOrDie();
   EXPECT_EQ(d.verdict, Verdict::kContained) << d.ToString();
   EXPECT_TRUE(d.analysis.chordal);
   EXPECT_TRUE(d.analysis.simple_junction_tree);
@@ -45,7 +42,7 @@ TEST(DeciderTest, Example43ReverseFails) {
   cq::ConjunctiveQuery q1 = Parse("R(y1,y2), R(y1,y3)");
   cq::ConjunctiveQuery q2 = ParseWith("R(x1,x2), R(x2,x3), R(x3,x1)",
                                       q1.vocab());
-  Decision d = DecideBagContainment(q1, q2).ValueOrDie();
+  Decision d = DecideBagContainmentWithContext(q1, q2, {}, {}).ValueOrDie();
   EXPECT_EQ(d.verdict, Verdict::kNotContained) << d.ToString();
   ASSERT_TRUE(d.witness.has_value());
   EXPECT_GT(d.witness->hom_q1, d.witness->hom_q2);
@@ -57,7 +54,7 @@ TEST(DeciderTest, Example35NotContainedWithWitness) {
       "A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')");
   cq::ConjunctiveQuery q2 =
       ParseWith("A(y1,y2), B(y1,y3), C(y4,y2)", q1.vocab());
-  Decision d = DecideBagContainment(q1, q2).ValueOrDie();
+  Decision d = DecideBagContainmentWithContext(q1, q2, {}, {}).ValueOrDie();
   EXPECT_EQ(d.verdict, Verdict::kNotContained) << d.ToString();
   EXPECT_TRUE(d.analysis.decidable());
   ASSERT_TRUE(d.counterexample.has_value());
@@ -77,7 +74,7 @@ TEST(DeciderTest, Example35IsSetContainedButNotBagContained) {
   cq::ConjunctiveQuery q2 =
       ParseWith("A(y1,y2), B(y1,y3), C(y4,y2)", q1.vocab());
   EXPECT_TRUE(SetContained(q1, q2));
-  EXPECT_EQ(DecideBagContainment(q1, q2).ValueOrDie().verdict,
+  EXPECT_EQ(DecideBagContainmentWithContext(q1, q2, {}, {}).ValueOrDie().verdict,
             Verdict::kNotContained);
 }
 
@@ -85,7 +82,7 @@ TEST(DeciderTest, SelfContainment) {
   for (const char* text :
        {"R(x,y)", "R(x,y), R(y,z)", "R(x,y), R(y,z), R(z,x)", "R(x,x)"}) {
     cq::ConjunctiveQuery q = Parse(text);
-    Decision d = DecideBagContainment(q, q).ValueOrDie();
+    Decision d = DecideBagContainmentWithContext(q, q, {}, {}).ValueOrDie();
     EXPECT_EQ(d.verdict, Verdict::kContained) << text << ": " << d.ToString();
   }
 }
@@ -94,7 +91,7 @@ TEST(DeciderTest, EmptyHomSetRefutedByCanonicalDatabase) {
   // Q2 = R(x,x) needs a self-loop; Q1 = R(x,y) has none.
   cq::ConjunctiveQuery q1 = Parse("R(x,y)");
   cq::ConjunctiveQuery q2 = ParseWith("R(x,x)", q1.vocab());
-  Decision d = DecideBagContainment(q1, q2).ValueOrDie();
+  Decision d = DecideBagContainmentWithContext(q1, q2, {}, {}).ValueOrDie();
   EXPECT_EQ(d.verdict, Verdict::kNotContained);
   ASSERT_TRUE(d.witness.has_value());
   EXPECT_EQ(d.witness->hom_q2, 0);
@@ -110,12 +107,12 @@ TEST(DeciderTest, PathInLongerPathDirections) {
   // edge ⪯ 2-path fails on that database.
   cq::ConjunctiveQuery path2 = Parse("R(x,y), R(y,z)");
   cq::ConjunctiveQuery edge = ParseWith("R(a,b)", path2.vocab());
-  Decision d1 = DecideBagContainment(path2, edge).ValueOrDie();
+  Decision d1 = DecideBagContainmentWithContext(path2, edge, {}, {}).ValueOrDie();
   EXPECT_EQ(d1.verdict, Verdict::kNotContained) << d1.ToString();
   ASSERT_TRUE(d1.witness.has_value());
   EXPECT_TRUE(d1.witness->counts_verified);
 
-  Decision d2 = DecideBagContainment(edge, path2).ValueOrDie();
+  Decision d2 = DecideBagContainmentWithContext(edge, path2, {}, {}).ValueOrDie();
   EXPECT_EQ(d2.verdict, Verdict::kNotContained) << d2.ToString();
 }
 
@@ -125,7 +122,7 @@ TEST(DeciderTest, ChaudhuriVardiExampleA2EndToEnd) {
   cq::ConjunctiveQuery q1 = Parse("Q(x,z) :- P(x), S(u,x), S(v,z), R(z).");
   cq::ConjunctiveQuery q2 =
       ParseWith("Q(x,z) :- P(x), S(u,y), S(v,y), R(z).", q1.vocab());
-  Decision d = DecideBagContainment(q1, q2).ValueOrDie();
+  Decision d = DecideBagContainmentWithContext(q1, q2, {}, {}).ValueOrDie();
   EXPECT_EQ(d.verdict, Verdict::kContained) << d.ToString();
 }
 
@@ -133,7 +130,7 @@ TEST(DeciderTest, ChaudhuriVardiReverseFails) {
   cq::ConjunctiveQuery q1 = Parse("Q(x,z) :- P(x), S(u,y), S(v,y), R(z).");
   cq::ConjunctiveQuery q2 =
       ParseWith("Q(x,z) :- P(x), S(u,x), S(v,z), R(z).", q1.vocab());
-  Decision d = DecideBagContainment(q1, q2).ValueOrDie();
+  Decision d = DecideBagContainmentWithContext(q1, q2, {}, {}).ValueOrDie();
   EXPECT_EQ(d.verdict, Verdict::kNotContained) << d.ToString();
   ASSERT_TRUE(d.witness.has_value());
   EXPECT_TRUE(d.witness->counts_verified);
@@ -144,9 +141,9 @@ TEST(DeciderTest, ProjectionFreeQueriesAlwaysDecided) {
   // our decider handles these through the same machinery.
   cq::ConjunctiveQuery q1 = Parse("Q(x,y) :- R(x,y), R(y,x).");
   cq::ConjunctiveQuery q2 = ParseWith("Q(x,y) :- R(x,y).", q1.vocab());
-  Decision d = DecideBagContainment(q1, q2).ValueOrDie();
+  Decision d = DecideBagContainmentWithContext(q1, q2, {}, {}).ValueOrDie();
   EXPECT_EQ(d.verdict, Verdict::kContained) << d.ToString();
-  Decision rev = DecideBagContainment(q2, q1).ValueOrDie();
+  Decision rev = DecideBagContainmentWithContext(q2, q1, {}, {}).ValueOrDie();
   EXPECT_EQ(rev.verdict, Verdict::kNotContained) << rev.ToString();
 }
 
@@ -162,7 +159,7 @@ TEST(DeciderTest, BagContainmentImpliesSetContainment) {
   for (const auto& [t1, t2] : pairs) {
     cq::ConjunctiveQuery q1 = Parse(t1);
     cq::ConjunctiveQuery q2 = ParseWith(t2, q1.vocab());
-    Decision d = DecideBagContainment(q1, q2).ValueOrDie();
+    Decision d = DecideBagContainmentWithContext(q1, q2, {}, {}).ValueOrDie();
     if (d.verdict == Verdict::kContained) {
       EXPECT_TRUE(SetContained(q1, q2)) << t1 << " vs " << t2;
     }
@@ -187,7 +184,7 @@ TEST(DeciderTest, VerdictsConsistentWithBruteForce) {
   for (const auto& [t1, t2] : pairs) {
     cq::ConjunctiveQuery q1 = Parse(t1);
     cq::ConjunctiveQuery q2 = ParseWith(t2, q1.vocab());
-    Decision d = DecideBagContainment(q1, q2).ValueOrDie();
+    Decision d = DecideBagContainmentWithContext(q1, q2, {}, {}).ValueOrDie();
     auto brute = cq::SearchBagCounterexample(q1, q2);
     if (d.verdict == Verdict::kContained) {
       EXPECT_FALSE(brute.has_value()) << t1 << " vs " << t2;
@@ -202,13 +199,31 @@ TEST(DeciderTest, VerdictsConsistentWithBruteForce) {
 TEST(DeciderTest, MismatchedVocabularyRejected) {
   cq::ConjunctiveQuery q1 = Parse("R(x,y)");
   cq::ConjunctiveQuery q2 = Parse("S(x,y)");
-  EXPECT_FALSE(DecideBagContainment(q1, q2).ok());
+  EXPECT_FALSE(DecideBagContainmentWithContext(q1, q2, {}, {}).ok());
 }
 
 TEST(DeciderTest, MismatchedHeadArityRejected) {
   cq::ConjunctiveQuery q1 = Parse("Q(x) :- R(x,y).");
   cq::ConjunctiveQuery q2 = ParseWith("Q(x,y) :- R(x,y).", q1.vocab());
-  EXPECT_FALSE(DecideBagContainment(q1, q2).ok());
+  EXPECT_FALSE(DecideBagContainmentWithContext(q1, q2, {}, {}).ok());
+}
+
+TEST(DeciderTest, DeprecatedOneOffWrappersStillDecide) {
+  // The compatibility wrappers stay callable until removal — this is the one
+  // deliberately deprecated call site left in the repo.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  cq::ConjunctiveQuery q1 = Parse("R(x,y), R(y,z), R(z,x)");
+  cq::ConjunctiveQuery q2 = ParseWith("R(a,b), R(a,c)", q1.vocab());
+  EXPECT_EQ(DecideBagContainment(q1, q2).ValueOrDie().verdict,
+            DecideBagContainmentWithContext(q1, q2, {}, {})
+                .ValueOrDie()
+                .verdict);
+  EXPECT_EQ(DecideBagBagContainment(q1, q2).ValueOrDie().verdict,
+            DecideBagBagContainmentWithContext(q1, q2, {}, {})
+                .ValueOrDie()
+                .verdict);
+#pragma GCC diagnostic pop
 }
 
 }  // namespace

@@ -1,6 +1,3 @@
-// This test deliberately exercises the deprecated one-off free functions
-// (the compatibility wrappers around the Engine path).
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include "core/domination.h"
 
 #include <gtest/gtest.h>
@@ -112,13 +109,13 @@ TEST(BagBagTest, SelfContainmentAndRepeatedAtoms) {
   auto q_single =
       cq::ParseQueryWithVocabulary("R(y)", q_double.vocab()).ValueOrDie();
   // Bag-set: duplicate removal makes them equal; Contained both ways.
-  Decision set_fwd = DecideBagContainment(q_double, q_single).ValueOrDie();
+  Decision set_fwd = DecideBagContainmentWithContext(q_double, q_single, {}, {}).ValueOrDie();
   EXPECT_EQ(set_fwd.verdict, Verdict::kContained);
   // Bag-bag: the doubled query dominates, so single ⪯ double holds...
-  Decision bb_fwd = DecideBagBagContainment(q_single, q_double).ValueOrDie();
+  Decision bb_fwd = DecideBagBagContainmentWithContext(q_single, q_double, {}, {}).ValueOrDie();
   EXPECT_EQ(bb_fwd.verdict, Verdict::kContained) << bb_fwd.ToString();
   // ...but double ⪯ single fails (multiplicity m: m^2 > m for m >= 2).
-  Decision bb_rev = DecideBagBagContainment(q_double, q_single).ValueOrDie();
+  Decision bb_rev = DecideBagBagContainmentWithContext(q_double, q_single, {}, {}).ValueOrDie();
   EXPECT_EQ(bb_rev.verdict, Verdict::kNotContained) << bb_rev.ToString();
 }
 
@@ -127,8 +124,8 @@ TEST(BagBagTest, MatchesBagSetOnDuplicateFreeQueries) {
   auto q1 = cq::ParseQuery("R(x,y), R(y,z)").ValueOrDie();
   auto q2 =
       cq::ParseQueryWithVocabulary("R(a,b)", q1.vocab()).ValueOrDie();
-  Decision bag_set = DecideBagContainment(q1, q2).ValueOrDie();
-  Decision bag_bag = DecideBagBagContainment(q1, q2).ValueOrDie();
+  Decision bag_set = DecideBagContainmentWithContext(q1, q2, {}, {}).ValueOrDie();
+  Decision bag_bag = DecideBagBagContainmentWithContext(q1, q2, {}, {}).ValueOrDie();
   EXPECT_EQ(bag_set.verdict, bag_bag.verdict);
 }
 
@@ -139,7 +136,7 @@ TEST(ProductWitnessTest, DisconnectedQ2UsesModularPath) {
   auto q1 = cq::ParseQuery("R(x,y), R(u,v), R(x,v)").ValueOrDie();
   auto q2 = cq::ParseQueryWithVocabulary("R(a,b), R(c,d)", q1.vocab())
                 .ValueOrDie();
-  Decision d = DecideBagContainment(q1, q2).ValueOrDie();
+  Decision d = DecideBagContainmentWithContext(q1, q2, {}, {}).ValueOrDie();
   if (d.verdict == Verdict::kNotContained) {
     ASSERT_TRUE(d.counterexample.has_value());
     EXPECT_TRUE(d.counterexample->IsModular());

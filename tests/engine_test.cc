@@ -449,6 +449,30 @@ TEST(EngineMemoTest, RepeatedDecisionsAreServedFromTheMemo) {
   EXPECT_FALSE(third.stats.memo_hit);
 }
 
+TEST(EngineMemoTest, TextualVariantsOfOnePairShareOneMemoEntry) {
+  // The memo key is the canonical wire encoding of the pair (structure, not
+  // text): resubmitting the same question with different whitespace and
+  // variable names must hit the entry the first submission created.
+  Engine engine{EngineOptions().set_memoize_decisions(true)};
+  auto first = engine.Decide("R(x,y), R(y,z), R(z,x)", "R(a,b), R(a,c)")
+                   .ValueOrDie();
+  EXPECT_FALSE(first.stats.memo_hit);
+  auto respaced =
+      engine.Decide("R(x,y),R(y,z),  R(z,x)", "R(a,b),   R(a,c)")
+          .ValueOrDie();
+  EXPECT_TRUE(respaced.stats.memo_hit);
+  auto renamed =
+      engine.Decide("R(u,v), R(v,w), R(w,u)", "R(p,q), R(p,r)").ValueOrDie();
+  EXPECT_TRUE(renamed.stats.memo_hit);
+  EXPECT_EQ(renamed.verdict, first.verdict);
+  EXPECT_EQ(renamed.method, first.method);
+  EXPECT_EQ(engine.stats().decision_memo_hits, 2);  // one entry, two hits
+  // A structurally different pair must not collide.
+  auto different =
+      engine.Decide("R(x,y), R(y,z)", "R(a,b), R(a,c)").ValueOrDie();
+  EXPECT_FALSE(different.stats.memo_hit);
+}
+
 TEST(EngineMemoTest, MemoDistinguishesBagBagFromBagSet) {
   Engine engine{EngineOptions().set_memoize_decisions(true)};
   auto pair = engine.ParsePair("R(x,y)", "R(a,b)").ValueOrDie();

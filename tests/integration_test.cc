@@ -1,9 +1,6 @@
 // Cross-cutting integration sweeps: the decider against exhaustive
 // ground truth on randomized query pairs, and the direct unit surface of
 // BuildContainmentInequality.
-// This test deliberately exercises the deprecated one-off free functions
-// (the compatibility wrappers around the Engine path).
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include <random>
 
 #include <gtest/gtest.h>
@@ -52,7 +49,7 @@ TEST_P(DeciderGroundTruthSweep, AgreesWithExhaustiveSearch) {
 
   DeciderOptions options;
   options.want_shannon_certificate = false;
-  auto decision = DecideBagContainment(q1, q2, options);
+  auto decision = DecideBagContainmentWithContext(q1, q2, options, {});
   ASSERT_TRUE(decision.ok());
 
   cq::BruteForceOptions brute;

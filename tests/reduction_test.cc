@@ -1,6 +1,3 @@
-// This test deliberately exercises the deprecated one-off free functions
-// (the compatibility wrappers around the Engine path).
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include "core/reduction_to_queries.h"
 
 #include <gtest/gtest.h>
@@ -97,7 +94,7 @@ TEST(ReductionTest, InvalidIIYieldsRefutableContainment) {
   auto uniform = Uniformize({NotValid2()}).ValueOrDie();
   auto reduction = UniformMaxIIToQueries(uniform).ValueOrDie();
   Decision d =
-      DecideBagContainment(reduction.q1, reduction.q2).ValueOrDie();
+      DecideBagContainmentWithContext(reduction.q1, reduction.q2, {}, {}).ValueOrDie();
   EXPECT_EQ(d.verdict, Verdict::kNotContained) << d.ToString();
   ASSERT_TRUE(d.witness.has_value());
   EXPECT_TRUE(d.witness->counts_verified ||

@@ -1,0 +1,218 @@
+// The cross-process conformance suite and WorkerPool behavior tests: for the
+// full deterministic-batch corpus, the in-process Engine, the in-process
+// Service, and a forked 2-worker pool must produce byte-identical
+// wire-encoded results in input order (per-call wall-clock/pivot stats
+// normalized out — they are the one legitimately schedule-dependent field).
+// Also: sticky routing keeps one pair on one worker's memo, Stats aggregates
+// per-worker EngineStats, ClearCache broadcasts.
+#include "service/server.h"
+
+#include <gtest/gtest.h>
+
+#include "service/service.h"
+#include "wire/wire.h"
+
+namespace bagcq::service {
+namespace {
+
+// The decision rows of exp_decidability (the deterministic-batch corpus):
+// every verdict class and every structural class of Q2.
+std::vector<api::QueryPair> DecisionSuite(api::Engine& engine) {
+  const std::pair<const char*, const char*> rows[] = {
+      {"R(x,y), R(y,z), R(z,x)", "R(a,b), R(a,c)"},
+      {"R(a,b), R(a,c)", "R(x,y), R(y,z), R(z,x)"},
+      {"A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')",
+       "A(y1,y2), B(y1,y3), C(y4,y2)"},
+      {"R(x,y), R(u,v)", "R(a,b)"},
+      {"R(a,b)", "R(x,y), R(u,v)"},
+      {"R(x,y), R(y,z)", "R(a,b), R(b,c)"},
+      {"R(x,y), R(y,z), R(z,x)", "R(a,b), R(b,c), R(c,a)"},
+      {"R(x,y), R(y,z), R(z,x)", "R(a,b), R(b,c), R(c,d), R(d,a)"},
+      {"R(x,y), R(y,z), R(z,x), R(x,x)", "R(a,b), R(b,c), R(c,a), R(a,a)"},
+  };
+  std::vector<api::QueryPair> pairs;
+  for (const auto& [q1, q2] : rows) {
+    pairs.push_back(engine.ParsePair(q1, q2).ValueOrDie());
+  }
+  return pairs;
+}
+
+/// Cold, memo-less engines on every surface: certificates and pivot counts
+/// are then fully deterministic per pair, independent of which worker (or
+/// which call order) computed them.
+api::EngineOptions ColdOptions() {
+  return api::EngineOptions().set_warm_starts(false).set_memoize_decisions(
+      false);
+}
+
+std::string EncodeNormalized(api::DecisionResult result) {
+  result.stats = api::CallStats{};
+  wire::Encoder e;
+  wire::EncodeDecisionResult(result, &e);
+  return e.Take();
+}
+
+TEST(ServerConformanceTest, EngineServiceAndForkedPoolAgreeByteForByte) {
+  api::Engine engine{ColdOptions()};
+  std::vector<api::QueryPair> pairs = DecisionSuite(engine);
+  // An error pair mid-corpus: every surface must report it in its slot.
+  pairs.insert(pairs.begin() + 3,
+               api::QueryPair{engine.ParseQuery("R(x,y)").ValueOrDie(),
+                              engine.ParseQuery("S(x,y)").ValueOrDie()});
+
+  // Surface 1: the in-process Engine.
+  std::vector<util::Result<api::DecisionResult>> engine_results =
+      engine.DecideBatch(pairs);
+
+  // Surface 2: Service::Handle on the same request union.
+  Service service{ColdOptions()};
+  Response service_response = service.Handle(DecideBatchRequest{pairs});
+  const auto* service_batch = std::get_if<BatchResponse>(&service_response);
+  ASSERT_NE(service_batch, nullptr);
+
+  // Surface 3: the forked 2-worker pool, over real pipes and real processes.
+  WorkerPool pool;
+  ServerOptions options;
+  options.num_workers = 2;
+  options.engine = ColdOptions();
+  ASSERT_TRUE(pool.Start(options).ok());
+  Response pool_response = pool.Dispatch(DecideBatchRequest{pairs});
+  const auto* pool_batch = std::get_if<BatchResponse>(&pool_response);
+  ASSERT_NE(pool_batch, nullptr);
+
+  ASSERT_EQ(engine_results.size(), pairs.size());
+  ASSERT_EQ(service_batch->results.size(), pairs.size());
+  ASSERT_EQ(pool_batch->results.size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const DecisionResponse& via_service = service_batch->results[i];
+    const DecisionResponse& via_pool = pool_batch->results[i];
+    ASSERT_EQ(engine_results[i].ok(), via_service.status.ok()) << "slot " << i;
+    ASSERT_EQ(engine_results[i].ok(), via_pool.status.ok()) << "slot " << i;
+    if (!engine_results[i].ok()) {
+      EXPECT_EQ(via_service.status.code(), engine_results[i].status().code());
+      EXPECT_EQ(via_pool.status.code(), engine_results[i].status().code());
+      EXPECT_EQ(via_pool.status.message(),
+                engine_results[i].status().message());
+      continue;
+    }
+    const std::string reference = EncodeNormalized(*engine_results[i]);
+    EXPECT_EQ(EncodeNormalized(*via_service.result), reference)
+        << "Service drifted from Engine on slot " << i;
+    EXPECT_EQ(EncodeNormalized(*via_pool.result), reference)
+        << "forked pool drifted from Engine on slot " << i;
+  }
+
+  // Single decisions agree with the same bytes too (the routed path).
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (!engine_results[i].ok()) continue;
+    Response one = pool.Dispatch(DecideRequest{pairs[i]});
+    const auto* decision = std::get_if<DecisionResponse>(&one);
+    ASSERT_NE(decision, nullptr);
+    ASSERT_TRUE(decision->status.ok());
+    EXPECT_EQ(EncodeNormalized(*decision->result),
+              EncodeNormalized(*engine_results[i]));
+  }
+}
+
+TEST(ServerPoolTest, StickyRoutingKeepsAPairOnOneWorkerMemo) {
+  WorkerPool pool;
+  ASSERT_TRUE(pool.Start(ServerOptions{}).ok());  // memoize on by default
+  api::Engine parser;
+  api::QueryPair pair =
+      parser.ParsePair("R(x,y), R(y,z), R(z,x)", "R(a,b), R(a,c)")
+          .ValueOrDie();
+  for (int i = 0; i < 5; ++i) {
+    Response response = pool.Dispatch(DecideRequest{pair});
+    ASSERT_TRUE(std::get_if<DecisionResponse>(&response) != nullptr);
+  }
+  Response stats_response = pool.Dispatch(StatsRequest{});
+  const auto* stats = std::get_if<StatsResponse>(&stats_response);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->workers, 2);
+  EXPECT_EQ(stats->stats.decisions, 5);
+  // All five landed on the hash-owning worker, so its memo served four. Were
+  // routing round-robin, two separate memos would have served at most three.
+  EXPECT_EQ(stats->stats.decision_memo_hits, 4);
+
+  // Renaming/whitespace variants share the canonical key — same worker,
+  // same memo entry.
+  api::QueryPair variant =
+      parser.ParsePair("R( u ,v ), R(v,w),R(w,u)", "R(p,q), R(p,r)")
+          .ValueOrDie();
+  EXPECT_EQ(pool.ShardFor(pair, false), pool.ShardFor(variant, false));
+  Response variant_response = pool.Dispatch(DecideRequest{variant});
+  ASSERT_TRUE(std::get_if<DecisionResponse>(&variant_response) != nullptr);
+  stats_response = pool.Dispatch(StatsRequest{});
+  EXPECT_EQ(std::get_if<StatsResponse>(&stats_response)
+                ->stats.decision_memo_hits,
+            5);
+}
+
+TEST(ServerPoolTest, StatsAggregateAcrossWorkersAndClearCacheBroadcasts) {
+  WorkerPool pool;
+  ServerOptions options;
+  options.num_workers = 3;
+  ASSERT_TRUE(pool.Start(options).ok());
+  api::Engine parser;
+  std::vector<api::QueryPair> pairs = DecisionSuite(parser);
+  Response batch_response = pool.Dispatch(DecideBatchRequest{pairs});
+  ASSERT_TRUE(std::get_if<BatchResponse>(&batch_response) != nullptr);
+
+  Response stats_response = pool.Dispatch(StatsRequest{});
+  const auto* stats = std::get_if<StatsResponse>(&stats_response);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->workers, 3);
+  EXPECT_EQ(stats->stats.decisions,
+            static_cast<int64_t>(pairs.size()));  // summed across processes
+  EXPECT_GT(stats->stats.lp_solves, 0);
+
+  Response ack_response = pool.Dispatch(ClearCacheRequest{});
+  const auto* ack = std::get_if<AckResponse>(&ack_response);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_TRUE(ack->status.ok());
+  stats_response = pool.Dispatch(StatsRequest{});
+  EXPECT_EQ(std::get_if<StatsResponse>(&stats_response)->stats.decisions, 0);
+}
+
+TEST(ServerPoolTest, ProofsAnalysisAndErrorsFlowThroughThePool) {
+  WorkerPool pool;
+  ASSERT_TRUE(pool.Start(ServerOptions{}).ok());
+
+  entropy::LinearExpr mi = entropy::LinearExpr::MI(
+      2, util::VarSet::Of({0}), util::VarSet::Of({1}));
+  Response proof_response =
+      pool.Dispatch(ProveInequalityRequest{mi, {"A", "B"}});
+  const auto* proof = std::get_if<ProofResponse>(&proof_response);
+  ASSERT_NE(proof, nullptr);
+  ASSERT_TRUE(proof->status.ok());
+  EXPECT_TRUE(proof->result->valid);
+  EXPECT_EQ(proof->result->var_names,
+            (std::vector<std::string>{"A", "B"}));
+
+  api::Engine parser;
+  Response analysis_response = pool.Dispatch(
+      AnalyzeRequest{parser.ParseQuery("R(x,y), R(y,z)").ValueOrDie()});
+  ASSERT_TRUE(std::get_if<AnalysisResponse>(&analysis_response) != nullptr);
+
+  // Garbage bytes at the pool front come back as an encoded ErrorResponse.
+  const std::string reply_bytes = pool.DispatchBytes("not a frame");
+  auto reply = DecodeResponse(reply_bytes);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(std::get_if<ErrorResponse>(&*reply) != nullptr);
+}
+
+TEST(ServerPoolTest, EmptyBatchAndUnstartedPoolFailSoft) {
+  WorkerPool unstarted;
+  Response response = unstarted.Dispatch(StatsRequest{});
+  EXPECT_TRUE(std::get_if<ErrorResponse>(&response) != nullptr);
+
+  WorkerPool pool;
+  ASSERT_TRUE(pool.Start(ServerOptions{}).ok());
+  Response batch_response = pool.Dispatch(DecideBatchRequest{});
+  const auto* batch = std::get_if<BatchResponse>(&batch_response);
+  ASSERT_NE(batch, nullptr);
+  EXPECT_TRUE(batch->results.empty());
+}
+
+}  // namespace
+}  // namespace bagcq::service

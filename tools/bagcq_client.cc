@@ -1,0 +1,219 @@
+// bagcq_client — drive a bagcq_server (or an in-process Service) over the
+// wire protocol. Queries and inequalities are parsed locally; the server
+// only ever sees canonical wire bytes.
+//
+//   bagcq_client --socket /tmp/bagcq.sock decide "R(x,y)" "R(a,b)"
+//   bagcq_client --socket /tmp/bagcq.sock batch pairs.tsv
+//   bagcq_client --inproc batch pairs.tsv       # same output, no server —
+//                                               # the conformance diff side
+//   ... bagbag Q1 Q2 | prove "H(A)+H(B) >= H(A,B)" | analyze Q2 |
+//       stats | clear
+//
+// batch files carry one pair per line: Q1 <TAB> Q2. Output is line-oriented
+// and deterministic, so `diff <(client --inproc batch F) <(client --socket S
+// batch F)` is the cross-process conformance check.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "cq/parser.h"
+#include "entropy/expr_parser.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "service/transport.h"
+
+using namespace bagcq;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--socket PATH | --inproc) COMMAND ...\n"
+      "  decide Q1 Q2     bag-set containment decision\n"
+      "  bagbag Q1 Q2     bag-bag containment decision\n"
+      "  batch FILE       one decision per line 'Q1<TAB>Q2', input order\n"
+      "  prove INEQ       ITIP-style Shannon prover\n"
+      "  analyze Q2       structural analysis of a containing query\n"
+      "  stats            aggregated worker EngineStats\n"
+      "  clear            drop every worker cache\n",
+      argv0);
+  return 2;
+}
+
+/// Where the encoded request goes: a connected server socket or an
+/// in-process Service — both travel through the same bytes.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  virtual util::Result<service::Response> Call(
+      const service::Request& request) = 0;
+};
+
+class SocketChannel : public Channel {
+ public:
+  explicit SocketChannel(int fd) : fd_(fd) {}
+  ~SocketChannel() override { ::close(fd_); }
+
+  util::Result<service::Response> Call(
+      const service::Request& request) override {
+    BAGCQ_RETURN_NOT_OK(
+        service::WriteFrame(fd_, service::EncodeRequest(request)));
+    std::string reply;
+    bool clean_eof = false;
+    BAGCQ_RETURN_NOT_OK(service::ReadFrame(fd_, &reply, &clean_eof));
+    if (clean_eof) return util::Status::Internal("server closed connection");
+    return service::DecodeResponse(reply);
+  }
+
+ private:
+  int fd_;
+};
+
+class InprocChannel : public Channel {
+ public:
+  util::Result<service::Response> Call(
+      const service::Request& request) override {
+    // Through HandleBytes, not Handle: the in-process side must exercise the
+    // same encode/decode path the server does.
+    return service::DecodeResponse(
+        service_.HandleBytes(service::EncodeRequest(request)));
+  }
+
+ private:
+  service::Service service_;
+};
+
+util::Result<api::QueryPair> ParsePairText(const std::string& q1_text,
+                                           const std::string& q2_text) {
+  BAGCQ_ASSIGN_OR_RETURN(cq::ConjunctiveQuery q1, cq::ParseQuery(q1_text));
+  BAGCQ_ASSIGN_OR_RETURN(cq::ConjunctiveQuery q2,
+                         cq::ParseQueryWithVocabulary(q2_text, q1.vocab()));
+  return api::QueryPair{std::move(q1), std::move(q2)};
+}
+
+void PrintDecisionLine(size_t index, const service::DecisionResponse& one) {
+  std::printf("%zu\t%s\n", index,
+              service::DebugString(service::Response{one}).c_str());
+}
+
+int Fail(const util::Status& status) {
+  std::fprintf(stderr, "bagcq_client: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  bool inproc = false;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--inproc") {
+      inproc = true;
+    } else {
+      break;
+    }
+  }
+  if (i >= argc || (socket_path.empty() && !inproc)) return Usage(argv[0]);
+  const std::string command = argv[i++];
+
+  std::unique_ptr<Channel> channel;
+  if (inproc) {
+    channel = std::make_unique<InprocChannel>();
+  } else {
+    auto fd = service::ConnectToServer(socket_path);
+    if (!fd.ok()) return Fail(fd.status());
+    channel = std::make_unique<SocketChannel>(*fd);
+  }
+
+  service::Request request = service::StatsRequest{};
+  if (command == "decide" || command == "bagbag") {
+    if (i + 2 > argc) return Usage(argv[0]);
+    auto pair = ParsePairText(argv[i], argv[i + 1]);
+    if (!pair.ok()) return Fail(pair.status());
+    if (command == "decide") {
+      request = service::DecideRequest{*pair};
+    } else {
+      request = service::DecideBagBagRequest{*pair};
+    }
+  } else if (command == "batch") {
+    if (i >= argc) return Usage(argv[0]);
+    std::ifstream file(argv[i]);
+    if (!file) {
+      return Fail(util::Status::InvalidArgument(
+          std::string("cannot open batch file ") + argv[i]));
+    }
+    service::DecideBatchRequest batch;
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(file, line)) {
+      ++line_no;
+      if (line.empty()) continue;
+      const size_t tab = line.find('\t');
+      if (tab == std::string::npos) {
+        return Fail(util::Status::InvalidArgument(
+            "batch line " + std::to_string(line_no) + ": expected Q1<TAB>Q2"));
+      }
+      auto pair = ParsePairText(line.substr(0, tab), line.substr(tab + 1));
+      if (!pair.ok()) return Fail(pair.status());
+      batch.pairs.push_back(std::move(*pair));
+    }
+    request = std::move(batch);
+  } else if (command == "prove") {
+    if (i >= argc) return Usage(argv[0]);
+    auto parsed = entropy::ParseInequality(argv[i]);
+    if (!parsed.ok()) return Fail(parsed.status());
+    request = service::ProveInequalityRequest{parsed->expr,
+                                              parsed->var_names};
+  } else if (command == "analyze") {
+    if (i >= argc) return Usage(argv[0]);
+    auto q2 = cq::ParseQuery(argv[i]);
+    if (!q2.ok()) return Fail(q2.status());
+    request = service::AnalyzeRequest{*q2};
+  } else if (command == "stats") {
+    request = service::StatsRequest{};
+  } else if (command == "clear") {
+    request = service::ClearCacheRequest{};
+  } else {
+    return Usage(argv[0]);
+  }
+
+  auto response = channel->Call(request);
+  if (!response.ok()) return Fail(response.status());
+
+  // Exit 0 only when every request (and every batch slot) was served OK —
+  // scripts gate on the code, so a per-request Engine error is a failure
+  // even though its rendering goes to stdout like any other result.
+  bool all_ok = true;
+  if (const auto* batch = std::get_if<service::BatchResponse>(&*response)) {
+    for (size_t slot = 0; slot < batch->results.size(); ++slot) {
+      PrintDecisionLine(slot, batch->results[slot]);
+      all_ok = all_ok && batch->results[slot].status.ok();
+    }
+  } else {
+    std::printf("%s\n", service::DebugString(*response).c_str());
+    std::visit(
+        [&all_ok](const auto& r) {
+          using T = std::decay_t<decltype(r)>;
+          if constexpr (std::is_same_v<T, service::DecisionResponse> ||
+                        std::is_same_v<T, service::ProofResponse> ||
+                        std::is_same_v<T, service::AckResponse> ||
+                        std::is_same_v<T, service::ErrorResponse>) {
+            all_ok = all_ok && r.status.ok();
+          }
+        },
+        *response);
+  }
+  if (const auto* error = std::get_if<service::ErrorResponse>(&*response)) {
+    return Fail(error->status);
+  }
+  return all_ok ? 0 : 1;
+}

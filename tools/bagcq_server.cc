@@ -1,0 +1,75 @@
+// bagcq_server — the sharded multi-process serving front.
+//
+// Forks N worker processes (one bagcq::Engine each, with decision
+// memoization on), binds a Unix domain socket, and serves framed
+// service/message.h requests until killed: single decisions route to the
+// worker owning the pair's canonical hash (keeping that worker's memo and
+// warm-start slots hot), batches shard across all workers and come back in
+// input order, Stats aggregates every worker's counters.
+//
+//   bagcq_server --socket /tmp/bagcq.sock [--workers N] [--backend tiered]
+//                [--threads K] [--no-memoize] [--cold]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "service/server.h"
+
+using namespace bagcq;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH [--workers N] [--backend exact|tiered]\n"
+      "          [--threads K] [--no-memoize] [--cold]\n"
+      "  --workers N     worker processes, one Engine each (default 2)\n"
+      "  --backend B     LP backend per worker (default tiered)\n"
+      "  --threads K     in-process batch threads per worker (default 1)\n"
+      "  --no-memoize    disable the per-worker decision memo\n"
+      "  --cold          disable LP warm starts (deterministic pivot counts)\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  service::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      options.num_workers = std::atoi(argv[++i]);
+    } else if (arg == "--backend" && i + 1 < argc) {
+      lp::SolverBackend backend;
+      if (!lp::ParseSolverBackend(argv[++i], &backend)) return Usage(argv[0]);
+      options.engine.set_solver_backend(backend);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.engine.set_num_threads(std::atoi(argv[++i]));
+    } else if (arg == "--no-memoize") {
+      options.engine.set_memoize_decisions(false);
+    } else if (arg == "--cold") {
+      options.engine.set_warm_starts(false);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (socket_path.empty()) return Usage(argv[0]);
+
+  service::WorkerPool pool;
+  util::Status status = pool.Start(options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "bagcq_server: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("bagcq_server: %d workers on %s\n", pool.num_workers(),
+              socket_path.c_str());
+  std::fflush(stdout);
+  status = service::RunServer(socket_path, &pool);
+  std::fprintf(stderr, "bagcq_server: %s\n", status.ToString().c_str());
+  return 1;
+}
