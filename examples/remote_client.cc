@@ -1,0 +1,77 @@
+// remote_client — the minimal remote bagcq consumer: dial a bagcq_server
+// over TCP, decide one containment question, and print the certificate.
+// Everything a real client needs is here: parse locally, send canonical
+// wire bytes, decode the typed result.
+//
+//   bagcq_server --listen 127.0.0.1:8347 &
+//   remote_client 127.0.0.1:8347 "R(x,y), R(y,z), R(z,x)" "R(a,b), R(a,c)"
+#include <cstdio>
+#include <unistd.h>
+
+#include "cq/parser.h"
+#include "service/message.h"
+#include "service/transport.h"
+
+using namespace bagcq;
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr, "usage: %s HOST:PORT Q1 Q2\n", argv[0]);
+    return 2;
+  }
+  const char* address = argv[1];
+
+  // Parse locally — the server only ever sees canonical wire bytes.
+  auto q1 = cq::ParseQuery(argv[2]);
+  if (!q1.ok()) {
+    std::fprintf(stderr, "Q1: %s\n", q1.status().ToString().c_str());
+    return 1;
+  }
+  auto q2 = cq::ParseQueryWithVocabulary(argv[3], q1->vocab());
+  if (!q2.ok()) {
+    std::fprintf(stderr, "Q2: %s\n", q2.status().ToString().c_str());
+    return 1;
+  }
+
+  // Dial, send one framed DecideRequest, read one framed response.
+  auto fd = service::DialTcp(address);
+  if (!fd.ok()) {
+    std::fprintf(stderr, "%s\n", fd.status().ToString().c_str());
+    return 1;
+  }
+  const service::Request request = service::DecideRequest{{*q1, *q2}};
+  std::string reply_bytes;
+  bool closed = false;
+  util::Status io = service::WriteFrame(*fd, service::EncodeRequest(request));
+  if (io.ok()) io = service::ReadFrame(*fd, &reply_bytes, &closed);
+  ::close(*fd);
+  if (!io.ok() || closed) {
+    std::fprintf(stderr, "transport: %s\n",
+                 closed ? "server closed the connection"
+                        : io.ToString().c_str());
+    return 1;
+  }
+
+  auto response = service::DecodeResponse(reply_bytes);
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", service::DebugString(*response).c_str());
+
+  // The typed result: verdict plus the machine-checked Shannon certificate
+  // on Contained verdicts.
+  const auto* decision = std::get_if<service::DecisionResponse>(&*response);
+  if (decision == nullptr || !decision->status.ok() ||
+      !decision->result.has_value()) {
+    return 1;
+  }
+  if (decision->result->validity.has_value() &&
+      decision->result->validity->certificate.has_value()) {
+    std::printf("Shannon certificate:\n%s",
+                decision->result->validity->certificate
+                    ->ToString(q1->num_vars(), q1->var_names())
+                    .c_str());
+  }
+  return 0;
+}

@@ -104,10 +104,14 @@ class Engine {
   // ----------------------------------------------------------- containment
   /// Decides Q1 ⪯ Q2 under bag-set semantics. Queries must share a
   /// vocabulary and head arity (else InvalidArgument). Non-Boolean inputs
-  /// are reduced via Lemma A.1 automatically.
+  /// are reduced via Lemma A.1 automatically. Never aborts: every failure
+  /// is a Status (InvalidArgument for incompatible inputs, Internal for a
+  /// pipeline invariant failure); an undecidable instance is not an error —
+  /// it returns OK with Verdict::kUnknown.
   util::Result<DecisionResult> Decide(const cq::ConjunctiveQuery& q1,
                                       const cq::ConjunctiveQuery& q2);
-  /// Parses both queries (Q2 against Q1's vocabulary) and decides.
+  /// Parses both queries (Q2 against Q1's vocabulary) and decides. Adds
+  /// ParseError to the failure modes above.
   util::Result<DecisionResult> Decide(std::string_view q1_text,
                                       std::string_view q2_text);
 
@@ -131,29 +135,34 @@ class Engine {
   // ---------------------------------------------------------------- prover
   /// Is 0 ≤ e(h) for every polymatroid h ∈ Γn (a Shannon inequality)?
   /// Valid → elemental-combination proof; invalid → counterexample
-  /// polymatroid. Exact either way.
+  /// polymatroid. Exact either way. InvalidArgument on a variable count
+  /// outside the entropy-space bound.
   util::Result<ProofResult> ProveInequality(const entropy::LinearExpr& e);
-  /// ITIP-style text entry point: "I(A;B|C) + H(A) >= H(B)".
+  /// ITIP-style text entry point: "I(A;B|C) + H(A) >= H(B)". Adds
+  /// ParseError for malformed inequality text.
   util::Result<ProofResult> ProveInequality(std::string_view itip_text);
 
   /// Validity of 0 ≤ max_ℓ branches[ℓ](h) over a cone (Theorem 3.6 / 6.1
-  /// machinery). All branches must agree on the variable count.
+  /// machinery). All branches must agree on the variable count and the
+  /// list must be nonempty (else InvalidArgument).
   util::Result<ProofResult> CheckMaxInequality(
       const std::vector<entropy::LinearExpr>& branches,
       entropy::ConeKind cone = entropy::ConeKind::kPolymatroid);
 
   // ------------------------------------------------- pipeline passthroughs
   /// Structural analysis of a containing query (acyclic / chordal / simple
-  /// junction tree — the decidability frontier).
+  /// junction tree — the decidability frontier). Total: every well-formed
+  /// query analyzes.
   core::Q2Analysis Analyze(const cq::ConjunctiveQuery& q2) const;
   /// Chandra–Merlin set-semantics containment (the classical baseline).
+  /// Exponential-time homomorphism search; no session state touched.
   bool SetContained(const cq::ConjunctiveQuery& q1,
                     const cq::ConjunctiveQuery& q2) const;
 
-  /// Parses a query (vocabulary inferred).
+  /// Parses a query (vocabulary inferred). ParseError on malformed text.
   util::Result<cq::ConjunctiveQuery> ParseQuery(std::string_view text) const;
   /// Parses Q1, then Q2 against Q1's vocabulary — the usual way to build a
-  /// comparable pair (or a batch) from text.
+  /// comparable pair (or a batch) from text. ParseError on either side.
   util::Result<QueryPair> ParsePair(std::string_view q1_text,
                                     std::string_view q2_text) const;
 

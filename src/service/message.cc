@@ -227,6 +227,7 @@ std::string EncodeResponse(const Response& response) {
         } else if constexpr (std::is_same_v<T, StatsResponse>) {
           wire::EncodeEngineStats(r.stats, &e);
           e.PutSigned(r.workers);
+          e.PutSigned(r.respawns);
         } else if constexpr (std::is_same_v<T, AckResponse> ||
                              std::is_same_v<T, ErrorResponse>) {
           wire::EncodeStatus(r.status, &e);
@@ -282,6 +283,7 @@ util::Result<Response> DecodeResponse(std::string_view bytes) {
       StatsResponse stats;
       BAGCQ_ASSIGN_OR_RETURN(stats.stats, wire::DecodeEngineStats(d));
       WIRE_GET(d->GetSigned(&stats.workers), "stats workers");
+      WIRE_GET(d->GetSigned(&stats.respawns), "stats respawns");
       out = std::move(stats);
       break;
     }
@@ -370,6 +372,7 @@ std::string DebugString(const Response& response) {
              << (r.analysis.simple_junction_tree ? "yes" : "no") << "}";
         } else if constexpr (std::is_same_v<T, StatsResponse>) {
           os << "Stats{workers=" << r.workers
+             << ", respawns=" << r.respawns
              << ", decisions=" << r.stats.decisions
              << ", proofs=" << r.stats.proofs << ", errors=" << r.stats.errors
              << ", lp_solves=" << r.stats.lp_solves

@@ -109,6 +109,12 @@ struct StatsResponse {
   /// server, mirroring how DecideBatch folds its in-process workers).
   api::EngineStats stats;
   int64_t workers = 1;
+  /// Worker processes re-forked after a crash since the pool started (0 for
+  /// an in-process Service, which has no workers to lose). A respawned
+  /// worker starts with a fresh Engine, so its counters restart from zero —
+  /// a nonzero value here explains a stats aggregate that appears to have
+  /// gone backwards.
+  int64_t respawns = 0;
 };
 
 struct AckResponse {
@@ -136,6 +142,10 @@ enum class ResponseTag : uint8_t {
 };
 
 // ---------------------------------------------------------------- envelope
+// Free, stateless functions (thread-safe). Encode* is total and canonical
+// (equal values → equal bytes); Decode* returns InvalidArgument on wrong
+// magic, unknown version or tag, corrupt payload, or trailing bytes —
+// never a crash. The byte-level layout is docs/wire-format.md §3.
 
 std::string EncodeRequest(const Request& request);
 util::Result<Request> DecodeRequest(std::string_view bytes);

@@ -1,12 +1,20 @@
 #include "service/server.h"
 
+#include <cerrno>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
+#include <dirent.h>
+#include <fcntl.h>
+#include <map>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 #include <utility>
+#include <vector>
 
 #include "service/transport.h"
 #include "wire/wire.h"
@@ -15,15 +23,81 @@ namespace bagcq::service {
 
 namespace {
 
-/// The worker child's whole life: answer frames until the parent closes the
-/// link, then vanish without running the parent's atexit/static teardown.
+// Worker-link frames carry an 8-byte little-endian correlation id before
+// the message envelope; replies echo the id, so any number of requests can
+// be in flight per worker and matched out of band.
+constexpr size_t kIdBytes = 8;
+
+// The id prefix means a client payload at exactly kMaxFrameBytes grows by
+// kIdBytes on the worker link — legal there, and only there.
+constexpr uint32_t kMaxLinkFrameBytes =
+    kMaxFrameBytes + static_cast<uint32_t>(kIdBytes);
+
+std::string WithId(uint64_t id, std::string_view payload) {
+  std::string out;
+  out.reserve(kIdBytes + payload.size());
+  for (size_t i = 0; i < kIdBytes; ++i) {
+    out.push_back(static_cast<char>(id >> (8 * i)));
+  }
+  out.append(payload);
+  return out;
+}
+
+uint64_t ParseId(const char* data) {
+  uint64_t id = 0;
+  for (size_t i = 0; i < kIdBytes; ++i) {
+    id |= static_cast<uint64_t>(static_cast<uint8_t>(data[i])) << (8 * i);
+  }
+  return id;
+}
+
+/// A freshly forked worker inherits every parent fd — listeners, client
+/// connections, the other workers' links, the wake pipe. Holding any of
+/// them open would keep peers from seeing EOFs the parent sends, so the
+/// child drops everything except stdio and its own link before serving.
+void CloseInheritedFds(int keep) {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) {
+    for (int fd = 3; fd < 1024; ++fd) {
+      if (fd != keep) ::close(fd);
+    }
+    return;
+  }
+  const int dir_fd = ::dirfd(dir);
+  std::vector<int> fds;
+  while (dirent* entry = ::readdir(dir)) {
+    char* end = nullptr;
+    const long fd = std::strtol(entry->d_name, &end, 10);
+    if (end == entry->d_name || *end != '\0') continue;
+    if (fd > 2 && fd != keep && fd != dir_fd) fds.push_back(static_cast<int>(fd));
+  }
+  ::closedir(dir);
+  for (int fd : fds) ::close(fd);
+}
+
+/// The worker child's whole life: answer id-tagged frames until the parent
+/// closes the link, then vanish without running the parent's atexit/static
+/// teardown.
 [[noreturn]] void RunWorker(int fd, const api::EngineOptions& options) {
   Service service(options);
   std::string request;
   bool clean_eof = false;
   while (true) {
-    if (!ReadFrame(fd, &request, &clean_eof).ok() || clean_eof) break;
-    if (!WriteFrame(fd, service.HandleBytes(request)).ok()) break;
+    if (!ReadFrame(fd, &request, &clean_eof, kMaxLinkFrameBytes).ok() ||
+        clean_eof) {
+      break;
+    }
+    if (request.size() < kIdBytes) break;  // protocol violation
+    const uint64_t id = ParseId(request.data());
+    std::string reply = service.HandleBytes(
+        std::string_view(request).substr(kIdBytes));
+    if (reply.size() > kMaxFrameBytes) {
+      // A reply that cannot be framed back to the client (a witness-laden
+      // mega-batch) degrades to an error instead of killing the link.
+      reply = EncodeResponse(ErrorResponse{util::Status::ResourceExhausted(
+          "server: response exceeds the frame cap")});
+    }
+    if (!WriteFrame(fd, WithId(id, reply), kMaxLinkFrameBytes).ok()) break;
   }
   ::close(fd);
   ::_exit(0);
@@ -34,14 +108,32 @@ util::Status SysError(const char* op) {
                                 std::strerror(errno));
 }
 
-ErrorResponse LostWorker(const util::Status& status) {
-  return ErrorResponse{util::Status::Internal("worker exchange failed: " +
-                                              status.ToString())};
-}
-
 }  // namespace
 
+// =========================================================== WorkerPool
+
 WorkerPool::~WorkerPool() { Stop(); }
+
+util::Status WorkerPool::SpawnWorker(WorkerLink* link) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return SysError("socketpair");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return SysError("fork");
+  }
+  if (pid == 0) {
+    CloseInheritedFds(fds[1]);
+    RunWorker(fds[1], options_.engine);
+  }
+  ::close(fds[1]);
+  link->fd = fds[0];
+  link->pid = pid;
+  return util::Status::OK();
+}
 
 util::Status WorkerPool::Start(const ServerOptions& options) {
   if (!workers_.empty()) {
@@ -53,28 +145,16 @@ util::Status WorkerPool::Start(const ServerOptions& options) {
   // A worker that died mid-write must surface as an EPIPE Status on the
   // front, not kill the whole server.
   std::signal(SIGPIPE, SIG_IGN);
+  options_ = options;
+  respawns_ = 0;
   for (int w = 0; w < options.num_workers; ++w) {
-    int fds[2];
-    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    WorkerLink link;
+    const util::Status status = SpawnWorker(&link);
+    if (!status.ok()) {
       Stop();
-      return SysError("socketpair");
+      return status;
     }
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      ::close(fds[0]);
-      ::close(fds[1]);
-      Stop();
-      return SysError("fork");
-    }
-    if (pid == 0) {
-      // Child: keep only its own link — inherited parent-side fds of earlier
-      // workers would hold their links open past the parent's Stop().
-      ::close(fds[0]);
-      for (const WorkerLink& other : workers_) ::close(other.fd);
-      RunWorker(fds[1], options.engine);
-    }
-    ::close(fds[1]);
-    workers_.push_back(WorkerLink{fds[0], pid});
+    workers_.push_back(link);
   }
   return util::Status::OK();
 }
@@ -87,23 +167,67 @@ void WorkerPool::Stop() {
   workers_.clear();
 }
 
+util::Status WorkerPool::Respawn(size_t w) {
+  WorkerLink& link = workers_[w];
+  if (link.fd >= 0) {
+    ::close(link.fd);
+    link.fd = -1;
+  }
+  if (link.pid > 0) {
+    // Usually the child is already a zombie (that is why we are here); a
+    // wedged-but-alive worker is recycled the hard way. ECHILD means a
+    // SIGCHLD-driven front reaped it first — fine either way.
+    if (::waitpid(link.pid, nullptr, WNOHANG) == 0) {
+      ::kill(link.pid, SIGKILL);
+      ::waitpid(link.pid, nullptr, 0);
+    }
+    link.pid = -1;
+  }
+  BAGCQ_RETURN_NOT_OK(SpawnWorker(&link));
+  ++respawns_;
+  return util::Status::OK();
+}
+
+int WorkerPool::WorkerIndexOfPid(pid_t pid) const {
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    if (workers_[w].pid == pid) return static_cast<int>(w);
+  }
+  return -1;
+}
+
 size_t WorkerPool::ShardFor(const api::QueryPair& pair, bool bag_bag) const {
   return wire::Fingerprint(wire::CanonicalPairKey(pair.q1, pair.q2, bag_bag)) %
          workers_.size();
 }
 
-util::Result<Response> WorkerPool::RoundTrip(size_t worker,
-                                             const Request& request) {
-  BAGCQ_RETURN_NOT_OK(WriteFrame(workers_[worker].fd, EncodeRequest(request)));
-  return ReadReply(worker);
+util::Status WorkerPool::LostWorker(size_t worker, const util::Status& cause) {
+  const util::Status respawned = Respawn(worker);
+  std::string message = "worker " + std::to_string(worker) +
+                        " lost mid-request (" + cause.ToString() + "); ";
+  message += respawned.ok() ? "respawned with a fresh Engine — retry"
+                            : "respawn failed: " + respawned.ToString();
+  return util::Status::Unavailable(std::move(message));
 }
 
-util::Result<Response> WorkerPool::ReadReply(size_t worker) {
+util::Result<Response> WorkerPool::RoundTrip(size_t worker,
+                                             const Request& request) {
+  const uint64_t id = next_exchange_id_++;
+  BAGCQ_RETURN_NOT_OK(WriteFrame(workers_[worker].fd,
+                                 WithId(id, EncodeRequest(request)),
+                                 kMaxLinkFrameBytes));
+  return ReadReply(worker, id);
+}
+
+util::Result<Response> WorkerPool::ReadReply(size_t worker, uint64_t id) {
   std::string reply;
   bool clean_eof = false;
-  BAGCQ_RETURN_NOT_OK(ReadFrame(workers_[worker].fd, &reply, &clean_eof));
+  BAGCQ_RETURN_NOT_OK(ReadFrame(workers_[worker].fd, &reply, &clean_eof,
+                                kMaxLinkFrameBytes));
   if (clean_eof) return util::Status::Internal("worker closed the link");
-  return DecodeResponse(reply);
+  if (reply.size() < kIdBytes || ParseId(reply.data()) != id) {
+    return util::Status::Internal("worker reply correlation mismatch");
+  }
+  return DecodeResponse(std::string_view(reply).substr(kIdBytes));
 }
 
 Response WorkerPool::DispatchBatch(const DecideBatchRequest& request) {
@@ -119,23 +243,25 @@ Response WorkerPool::DispatchBatch(const DecideBatchRequest& request) {
   // Write every sub-batch before reading any reply: the workers compute
   // their shards concurrently, which is the whole point of the pool.
   std::vector<util::Status> sent(workers_.size(), util::Status::OK());
+  std::vector<uint64_t> ids(workers_.size(), 0);
   for (size_t w = 0; w < workers_.size(); ++w) {
     if (positions[w].empty()) continue;
-    sent[w] = WriteFrame(workers_[w].fd, EncodeRequest(shards[w]));
+    ids[w] = next_exchange_id_++;
+    sent[w] = WriteFrame(workers_[w].fd,
+                         WithId(ids[w], EncodeRequest(shards[w])),
+                         kMaxLinkFrameBytes);
   }
   BatchResponse merged;
   merged.results.resize(request.pairs.size());
   for (size_t w = 0; w < workers_.size(); ++w) {
     if (positions[w].empty()) continue;
     util::Result<Response> reply =
-        sent[w].ok() ? ReadReply(w) : util::Result<Response>(sent[w]);
-    // A failed shard fails only its own slots; the rest of the batch still
-    // answers (mirroring the per-pair error contract of DecideBatch).
-    util::Status shard_error = reply.ok()
-                                   ? util::Status::OK()
-                                   : util::Status::Internal(
-                                         "worker exchange failed: " +
-                                         reply.status().ToString());
+        sent[w].ok() ? ReadReply(w, ids[w]) : util::Result<Response>(sent[w]);
+    // A failed shard fails only its own slots (the worker is respawned and
+    // the slots marked Unavailable); the rest of the batch still answers —
+    // mirroring the per-pair error contract of DecideBatch.
+    util::Status shard_error =
+        reply.ok() ? util::Status::OK() : LostWorker(w, reply.status());
     Response response = reply.ok() ? std::move(reply).ValueOrDie()
                                    : Response{ErrorResponse{}};
     BatchResponse* shard_reply = std::get_if<BatchResponse>(&response);
@@ -163,7 +289,8 @@ Response WorkerPool::DispatchToAll(const Request& request) {
   for (size_t w = 0; w < workers_.size(); ++w) {
     util::Result<Response> reply = RoundTrip(w, request);
     if (!reply.ok()) {
-      if (first_error.ok()) first_error = reply.status();
+      const util::Status lost = LostWorker(w, reply.status());
+      if (first_error.ok()) first_error = lost;
       continue;
     }
     if (is_stats) {
@@ -173,8 +300,11 @@ Response WorkerPool::DispatchToAll(const Request& request) {
       stats_total.workers += one->workers;
     }
   }
-  if (!first_error.ok()) return LostWorker(first_error);
-  if (is_stats) return stats_total;
+  if (!first_error.ok()) return ErrorResponse{first_error};
+  if (is_stats) {
+    stats_total.respawns = respawns_;
+    return stats_total;
+  }
   return AckResponse{util::Status::OK()};
 }
 
@@ -186,11 +316,17 @@ Response WorkerPool::Dispatch(const Request& request) {
       [this, &request](const auto& r) -> Response {
         using T = std::decay_t<decltype(r)>;
         if constexpr (std::is_same_v<T, DecideRequest>) {
-          auto reply = RoundTrip(ShardFor(r.pair, false), request);
-          return reply.ok() ? *std::move(reply) : LostWorker(reply.status());
+          const size_t w = ShardFor(r.pair, false);
+          auto reply = RoundTrip(w, request);
+          return reply.ok() ? *std::move(reply)
+                            : Response{ErrorResponse{
+                                  LostWorker(w, reply.status())}};
         } else if constexpr (std::is_same_v<T, DecideBagBagRequest>) {
-          auto reply = RoundTrip(ShardFor(r.pair, true), request);
-          return reply.ok() ? *std::move(reply) : LostWorker(reply.status());
+          const size_t w = ShardFor(r.pair, true);
+          auto reply = RoundTrip(w, request);
+          return reply.ok() ? *std::move(reply)
+                            : Response{ErrorResponse{
+                                  LostWorker(w, reply.status())}};
         } else if constexpr (std::is_same_v<T, DecideBatchRequest>) {
           return DispatchBatch(r);
         } else if constexpr (std::is_same_v<T, StatsRequest> ||
@@ -202,7 +338,9 @@ Response WorkerPool::Dispatch(const Request& request) {
           const size_t w =
               wire::Fingerprint(EncodeRequest(request)) % workers_.size();
           auto reply = RoundTrip(w, request);
-          return reply.ok() ? *std::move(reply) : LostWorker(reply.status());
+          return reply.ok() ? *std::move(reply)
+                            : Response{ErrorResponse{
+                                  LostWorker(w, reply.status())}};
         }
       },
       request);
@@ -216,62 +354,713 @@ std::string WorkerPool::DispatchBytes(std::string_view request_bytes) {
   return EncodeResponse(Dispatch(*request));
 }
 
-util::Status RunServer(const std::string& socket_path, WorkerPool* pool) {
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listener < 0) return SysError("socket");
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    ::close(listener);
-    return util::Status::InvalidArgument("socket path too long: " +
-                                         socket_path);
+// =============================================================== Server
+
+namespace {
+
+/// A write buffer that drains from the front without quadratic erases: the
+/// consumed prefix is tracked by offset and compacted only when it
+/// dominates the buffer.
+struct OutBuf {
+  std::string data;
+  size_t off = 0;
+
+  bool empty() const { return off >= data.size(); }
+  size_t pending() const { return data.size() - off; }
+  void Clear() {
+    data.clear();
+    off = 0;
   }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  ::unlink(socket_path.c_str());  // replace a stale socket file
-  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listener, 16) != 0) {
-    const util::Status status = SysError("bind/listen");
-    ::close(listener);
-    return status;
+  void Append(std::string_view bytes) {
+    if (empty()) Clear();
+    if (off > (size_t{1} << 20) && off * 2 > data.size()) {
+      data.erase(0, off);
+      off = 0;
+    }
+    data.append(bytes);
   }
-  while (true) {
-    const int conn = ::accept(listener, nullptr, nullptr);
-    if (conn < 0) {
+  void AppendFrame(std::string_view payload) {
+    char header[4];
+    PutFrameHeader(static_cast<uint32_t>(payload.size()), header);
+    Append(std::string_view(header, sizeof(header)));
+    Append(payload);
+  }
+};
+
+/// Drains as much of an OutBuf as the socket accepts right now. OK means
+/// "keep the fd"; an error means the peer is gone.
+util::Status FlushTo(int fd, OutBuf* out) {
+  while (!out->empty()) {
+    const ssize_t n = ::send(fd, out->data.data() + out->off, out->pending(),
+                             MSG_NOSIGNAL);
+    if (n < 0) {
       if (errno == EINTR) continue;
-      const util::Status status = SysError("accept");
-      ::close(listener);
-      return status;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return util::Status::OK();
+      return SysError("send");
     }
-    // One connection at a time: each frame still fans out across every
-    // worker process, which is where the parallelism lives.
-    std::string request;
-    bool clean_eof = false;
-    while (ReadFrame(conn, &request, &clean_eof).ok() && !clean_eof) {
-      if (!WriteFrame(conn, pool->DispatchBytes(request)).ok()) break;
+    out->off += static_cast<size_t>(n);
+  }
+  out->Clear();
+  return util::Status::OK();
+}
+
+/// A connection whose unread replies exceed this stops being read from
+/// (requests already accepted still complete): a client that never drains
+/// its socket must not grow the server's memory without bound.
+constexpr size_t kConnBacklogCap = 4 * size_t{kMaxFrameBytes} / 16;
+
+/// And the same for the request side: a connection with this many requests
+/// accepted but not yet answered stops being read from, bounding the
+/// call/exchange/worker-buffer state a fire-and-forget client can pin —
+/// reads resume as the workers drain the pipeline.
+constexpr uint64_t kMaxPipelinedRequests = 256;
+
+/// The hard stop: replies for requests accepted *before* the gates closed
+/// still land in the write buffer, so a client whose pipelined replies are
+/// all huge can pass kConnBacklogCap by one reply per in-flight request.
+/// A buffer at the hard cap means the client has stopped reading entirely
+/// — drop the connection rather than buffer toward OOM.
+constexpr size_t kConnHardCap = 4 * kConnBacklogCap;
+
+/// SIGCHLD handler target: the Serve loop's wake pipe. Async-signal-safe —
+/// the handler only write()s one byte; reaping happens on the loop thread.
+std::atomic<int> g_sigchld_wake_fd{-1};
+
+void OnSigchld(int) {
+  const int saved_errno = errno;
+  const int fd = g_sigchld_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 'c';
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+  errno = saved_errno;
+}
+
+/// The poll-based event loop behind Server::Serve — all state lives for one
+/// Serve call.
+class EventLoop {
+ public:
+  EventLoop(WorkerPool* pool, const std::vector<int>& listeners,
+            std::atomic<bool>* shutdown, int wake_read_fd)
+      : pool_(pool),
+        listeners_(listeners),
+        shutdown_(shutdown),
+        wake_read_fd_(wake_read_fd),
+        chans_(pool->num_workers()) {}
+
+  util::Status Run();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;
+    OutBuf out;
+    uint64_t next_seq = 0;    // arrival index of the next request
+    uint64_t next_flush = 0;  // seq whose reply goes out next
+    std::map<uint64_t, std::string> ready;  // replies waiting on order
+  };
+  struct WorkerChan {
+    std::string in;
+    OutBuf out;
+  };
+  enum class CallKind { kSingle, kBatch, kFanout };
+  /// One in-flight client request; completes when every worker exchange it
+  /// fanned out to has answered (or failed).
+  struct Call {
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    CallKind kind = CallKind::kSingle;
+    int outstanding = 0;
+    std::string direct;     // kSingle: the worker's reply bytes, verbatim
+    BatchResponse merged;   // kBatch: slots filled per shard
+    StatsResponse folded;   // kFanout stats aggregation
+    bool is_stats = false;  // kFanout: Stats vs ClearCache
+    util::Status error;     // kFanout: first worker failure
+  };
+  struct Exchange {
+    uint64_t call_id = 0;
+    size_t worker = 0;
+    std::vector<size_t> positions;  // kBatch: input slots of this shard
+  };
+
+  void AcceptAll(int listener);
+  void ReadConn(uint64_t conn_id);
+  void ParseConnFrames(uint64_t conn_id);
+  void HandleRequestFrame(uint64_t conn_id, std::string_view payload);
+  void CloseConn(uint64_t conn_id);
+  void Deliver(uint64_t conn_id, uint64_t seq, std::string reply_bytes);
+
+  uint64_t NewCall(Call call);
+  void NewExchange(uint64_t call_id, size_t worker,
+                   std::vector<size_t> positions, std::string_view payload);
+  void FailExchange(uint64_t exchange_id, const util::Status& status);
+  void HandleWorkerReply(uint64_t id, std::string_view bytes);
+  void FinishCall(uint64_t call_id);
+
+  void ReadWorker(size_t w);
+  /// Returns false if a malformed frame made it declare the worker dead.
+  bool ParseWorkerFrames(size_t w);
+  void WorkerDied(size_t w);
+  void ReapWorkers();
+
+  WorkerPool* pool_;
+  const std::vector<int>& listeners_;
+  std::atomic<bool>* shutdown_;
+  int wake_read_fd_;
+
+  std::vector<WorkerChan> chans_;
+  std::map<uint64_t, Conn> conns_;
+  std::map<uint64_t, Call> calls_;
+  std::map<uint64_t, Exchange> exchanges_;
+  uint64_t next_conn_id_ = 1;
+  uint64_t next_call_id_ = 1;
+  uint64_t next_exchange_id_ = 1;
+  /// Set when accept() failed for lack of fds: the listeners sit out one
+  /// 50 ms poll round instead of spinning on a backlog we cannot drain.
+  bool accept_throttled_ = false;
+};
+
+void EventLoop::AcceptAll(int listener) {
+  while (true) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained
+      // EMFILE/ENFILE and friends: the pending connection stays in the
+      // backlog, so the level-triggered poll would spin hot retrying.
+      // Pause the listeners for one throttle interval instead.
+      accept_throttled_ = true;
+      return;
     }
-    ::close(conn);
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    // Request/response with small frames: Nagle only adds latency. Fails
+    // harmlessly on Unix sockets.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Conn conn;
+    conn.fd = fd;
+    conns_.emplace(next_conn_id_++, std::move(conn));
   }
 }
 
-util::Result<int> ConnectToServer(const std::string& socket_path) {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return SysError("socket");
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    ::close(fd);
-    return util::Status::InvalidArgument("socket path too long: " +
-                                         socket_path);
+void EventLoop::CloseConn(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ::close(it->second.fd);
+  // In-flight calls for this connection keep running on the workers; their
+  // replies are dropped at Deliver time when the conn id no longer resolves.
+  conns_.erase(it);
+}
+
+void EventLoop::ReadConn(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConn(conn_id);
+      return;
+    }
+    if (n == 0) {  // client hung up (possibly with requests still in flight)
+      CloseConn(conn_id);
+      return;
+    }
+    conn.in.append(buf, static_cast<size_t>(n));
+    if (static_cast<size_t>(n) < sizeof(buf)) break;
   }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    ::close(fd);
-    return util::Status::Internal("server: cannot connect to " + socket_path +
-                                  ": " + std::strerror(errno));
+  ParseConnFrames(conn_id);
+}
+
+void EventLoop::ParseConnFrames(uint64_t conn_id) {
+  // Consumed bytes are tracked by cursor and erased once at the end, so a
+  // burst of pipelined frames costs one compaction, not one per frame.
+  size_t pos = 0;
+  while (true) {
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;  // closed while handling a frame
+    Conn& conn = it->second;
+    if (conn.in.size() - pos < 4) break;
+    const uint32_t length = ParseFrameHeader(conn.in.data() + pos);
+    if (length > kMaxFrameBytes) {
+      // Framing is unrecoverable after a hostile header — drop the link.
+      CloseConn(conn_id);
+      return;
+    }
+    if (conn.in.size() - pos < size_t{4} + length) break;
+    // A view suffices: nothing mutates conn.in until the erase below.
+    const std::string_view payload(conn.in.data() + pos + 4, length);
+    pos += size_t{4} + length;
+    HandleRequestFrame(conn_id, payload);
   }
-  return fd;
+  auto it = conns_.find(conn_id);
+  if (it != conns_.end() && pos > 0) it->second.in.erase(0, pos);
+}
+
+uint64_t EventLoop::NewCall(Call call) {
+  const uint64_t id = next_call_id_++;
+  calls_.emplace(id, std::move(call));
+  return id;
+}
+
+void EventLoop::NewExchange(uint64_t call_id, size_t worker,
+                            std::vector<size_t> positions,
+                            std::string_view payload) {
+  const uint64_t id = next_exchange_id_++;
+  exchanges_.emplace(id, Exchange{call_id, worker, std::move(positions)});
+  if (pool_->worker_fd(worker) < 0) {
+    // A worker whose respawn failed earlier (transient fork failure):
+    // retry now, so one bad fork cannot black the shard out permanently —
+    // the synchronous Dispatch path self-heals the same way.
+    if (pool_->Respawn(worker).ok()) {
+      (void)SetNonBlocking(pool_->worker_fd(worker));
+    } else {
+      FailExchange(id, util::Status::Unavailable(
+                           "worker " + std::to_string(worker) +
+                           " is down and could not be respawned"));
+      return;
+    }
+  }
+  chans_[worker].out.AppendFrame(WithId(id, payload));
+}
+
+void EventLoop::HandleRequestFrame(uint64_t conn_id,
+                                   std::string_view payload) {
+  Conn& conn = conns_.at(conn_id);
+  const uint64_t seq = conn.next_seq++;
+  auto request = DecodeRequest(payload);
+  if (!request.ok()) {
+    Deliver(conn_id, seq, EncodeResponse(ErrorResponse{request.status()}));
+    return;
+  }
+  std::visit(
+      [&](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        Call call;
+        call.conn_id = conn_id;
+        call.seq = seq;
+        if constexpr (std::is_same_v<T, DecideRequest> ||
+                      std::is_same_v<T, DecideBagBagRequest>) {
+          call.kind = CallKind::kSingle;
+          call.outstanding = 1;
+          const size_t w =
+              pool_->ShardFor(r.pair, std::is_same_v<T, DecideBagBagRequest>);
+          NewExchange(NewCall(std::move(call)), w, {}, payload);
+        } else if constexpr (std::is_same_v<T, DecideBatchRequest>) {
+          const size_t workers = static_cast<size_t>(pool_->num_workers());
+          std::vector<std::vector<size_t>> positions(workers);
+          std::vector<DecideBatchRequest> shards(workers);
+          for (size_t i = 0; i < r.pairs.size(); ++i) {
+            const size_t w = pool_->ShardFor(r.pairs[i], /*bag_bag=*/false);
+            positions[w].push_back(i);
+            shards[w].pairs.push_back(r.pairs[i]);
+          }
+          call.kind = CallKind::kBatch;
+          call.merged.results.resize(r.pairs.size());
+          for (size_t w = 0; w < workers; ++w) {
+            if (!positions[w].empty()) ++call.outstanding;
+          }
+          if (call.outstanding == 0) {  // empty batch: nothing to fan out
+            Deliver(conn_id, seq, EncodeResponse(call.merged));
+            return;
+          }
+          const uint64_t call_id = NewCall(std::move(call));
+          for (size_t w = 0; w < workers; ++w) {
+            if (positions[w].empty()) continue;
+            NewExchange(call_id, w, std::move(positions[w]),
+                        EncodeRequest(shards[w]));
+          }
+        } else if constexpr (std::is_same_v<T, StatsRequest> ||
+                             std::is_same_v<T, ClearCacheRequest>) {
+          call.kind = CallKind::kFanout;
+          call.is_stats = std::is_same_v<T, StatsRequest>;
+          call.outstanding = pool_->num_workers();
+          call.folded.workers = 0;
+          const uint64_t call_id = NewCall(std::move(call));
+          for (size_t w = 0; w < static_cast<size_t>(pool_->num_workers());
+               ++w) {
+            NewExchange(call_id, w, {}, payload);
+          }
+        } else {
+          // Proofs and analyses have no pair key; hash the canonical request
+          // bytes (the decoder is strict, so an accepted payload re-encodes
+          // byte-identically — same spread as the sync path).
+          call.kind = CallKind::kSingle;
+          call.outstanding = 1;
+          const size_t w = wire::Fingerprint(payload) %
+                           static_cast<size_t>(pool_->num_workers());
+          NewExchange(NewCall(std::move(call)), w, {}, payload);
+        }
+      },
+      *request);
+}
+
+void EventLoop::Deliver(uint64_t conn_id, uint64_t seq,
+                        std::string reply_bytes) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;  // client left; drop the reply
+  Conn& conn = it->second;
+  if (reply_bytes.size() > kMaxFrameBytes) {
+    reply_bytes = EncodeResponse(ErrorResponse{util::Status::ResourceExhausted(
+        "server: response exceeds the frame cap")});
+  }
+  conn.ready.emplace(seq, std::move(reply_bytes));
+  // Flush in request order: seq N's reply never leaves before seq N-1's.
+  for (auto ready = conn.ready.find(conn.next_flush);
+       ready != conn.ready.end();
+       ready = conn.ready.find(conn.next_flush)) {
+    conn.out.AppendFrame(ready->second);
+    conn.ready.erase(ready);
+    ++conn.next_flush;
+  }
+  if (conn.out.pending() > kConnHardCap) CloseConn(conn_id);
+}
+
+void EventLoop::FailExchange(uint64_t exchange_id, const util::Status& status) {
+  auto it = exchanges_.find(exchange_id);
+  if (it == exchanges_.end()) return;
+  const Exchange exchange = std::move(it->second);
+  exchanges_.erase(it);
+  Call& call = calls_.at(exchange.call_id);
+  switch (call.kind) {
+    case CallKind::kSingle:
+      call.direct = EncodeResponse(ErrorResponse{status});
+      break;
+    case CallKind::kBatch:
+      for (size_t pos : exchange.positions) {
+        call.merged.results[pos] = DecisionResponse{status, std::nullopt};
+      }
+      break;
+    case CallKind::kFanout:
+      if (call.error.ok()) call.error = status;
+      break;
+  }
+  if (--call.outstanding == 0) FinishCall(exchange.call_id);
+}
+
+void EventLoop::HandleWorkerReply(uint64_t id, std::string_view bytes) {
+  auto it = exchanges_.find(id);
+  if (it == exchanges_.end()) return;  // stale id (never happens on a fresh link)
+  const Exchange exchange = std::move(it->second);
+  exchanges_.erase(it);
+  Call& call = calls_.at(exchange.call_id);
+  switch (call.kind) {
+    case CallKind::kSingle:
+      // The worker's envelope is the client's reply — forward the bytes.
+      call.direct.assign(bytes);
+      break;
+    case CallKind::kBatch: {
+      auto reply = DecodeResponse(bytes);
+      Response response =
+          reply.ok() ? std::move(reply).ValueOrDie() : Response{ErrorResponse{}};
+      BatchResponse* shard =
+          reply.ok() ? std::get_if<BatchResponse>(&response) : nullptr;
+      if (shard == nullptr ||
+          shard->results.size() != exchange.positions.size()) {
+        const util::Status malformed =
+            util::Status::Internal("worker returned a malformed batch reply");
+        for (size_t pos : exchange.positions) {
+          call.merged.results[pos] = DecisionResponse{malformed, std::nullopt};
+        }
+        break;
+      }
+      for (size_t i = 0; i < exchange.positions.size(); ++i) {
+        call.merged.results[exchange.positions[i]] =
+            std::move(shard->results[i]);
+      }
+      break;
+    }
+    case CallKind::kFanout: {
+      auto reply = DecodeResponse(bytes);
+      if (!reply.ok()) {
+        if (call.error.ok()) call.error = reply.status();
+        break;
+      }
+      if (const auto* error = std::get_if<ErrorResponse>(&*reply)) {
+        if (call.error.ok()) call.error = error->status;
+      } else if (const auto* stats = std::get_if<StatsResponse>(&*reply);
+                 stats != nullptr && call.is_stats) {
+        call.folded.stats += stats->stats;
+        call.folded.workers += stats->workers;
+      }
+      break;
+    }
+  }
+  if (--call.outstanding == 0) FinishCall(exchange.call_id);
+}
+
+void EventLoop::FinishCall(uint64_t call_id) {
+  auto it = calls_.find(call_id);
+  Call call = std::move(it->second);
+  calls_.erase(it);
+  std::string bytes;
+  switch (call.kind) {
+    case CallKind::kSingle:
+      bytes = std::move(call.direct);
+      break;
+    case CallKind::kBatch:
+      bytes = EncodeResponse(call.merged);
+      break;
+    case CallKind::kFanout:
+      if (!call.error.ok()) {
+        bytes = EncodeResponse(ErrorResponse{call.error});
+      } else if (call.is_stats) {
+        call.folded.respawns = pool_->respawns();
+        bytes = EncodeResponse(call.folded);
+      } else {
+        bytes = EncodeResponse(AckResponse{util::Status::OK()});
+      }
+      break;
+  }
+  Deliver(call.conn_id, call.seq, std::move(bytes));
+}
+
+void EventLoop::ReadWorker(size_t w) {
+  const int fd = pool_->worker_fd(w);
+  if (fd < 0) return;
+  WorkerChan& chan = chans_[w];
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      // Salvage the replies a crashing worker already delivered, then
+      // respawn (unless parsing already did).
+      if (ParseWorkerFrames(w)) WorkerDied(w);
+      return;
+    }
+    if (n == 0) {
+      if (ParseWorkerFrames(w)) WorkerDied(w);
+      return;
+    }
+    chan.in.append(buf, static_cast<size_t>(n));
+    if (static_cast<size_t>(n) < sizeof(buf)) break;
+  }
+  ParseWorkerFrames(w);
+}
+
+bool EventLoop::ParseWorkerFrames(size_t w) {
+  WorkerChan& chan = chans_[w];
+  size_t pos = 0;
+  while (chan.in.size() - pos >= 4) {
+    const uint32_t length = ParseFrameHeader(chan.in.data() + pos);
+    if (length > kMaxLinkFrameBytes || length < kIdBytes) {
+      WorkerDied(w);  // a worker that breaks framing is as good as dead —
+      return false;   // and WorkerDied reset chan.in, so no erase below
+    }
+    if (chan.in.size() - pos < size_t{4} + length) break;
+    // A view suffices: reply handling never touches this worker's buffers.
+    const std::string_view frame(chan.in.data() + pos + 4, length);
+    pos += size_t{4} + length;
+    HandleWorkerReply(ParseId(frame.data()), frame.substr(kIdBytes));
+  }
+  if (pos > 0) chan.in.erase(0, pos);
+  return true;
+}
+
+void EventLoop::WorkerDied(size_t w) {
+  // Every exchange in flight on the dead link fails soft: the client gets
+  // Unavailable in that slot, the connection lives on.
+  std::vector<uint64_t> lost;
+  for (const auto& [id, exchange] : exchanges_) {
+    if (exchange.worker == w) lost.push_back(id);
+  }
+  const util::Status status = util::Status::Unavailable(
+      "worker " + std::to_string(w) +
+      " died mid-request; respawned with a fresh Engine — retry");
+  for (uint64_t id : lost) FailExchange(id, status);
+  chans_[w] = WorkerChan{};  // half-written frames died with the link
+  if (pool_->Respawn(w).ok()) {
+    (void)SetNonBlocking(pool_->worker_fd(w));
+  }
+}
+
+void EventLoop::ReapWorkers() {
+  // Per-pid, never waitpid(-1): an embedding process may have children of
+  // its own whose exit statuses are not ours to consume. A pid that link-EOF
+  // detection already respawned no longer appears in the pool and is left
+  // alone.
+  for (size_t w = 0; w < chans_.size(); ++w) {
+    const pid_t pid = pool_->worker_pid(w);
+    if (pid > 0 && ::waitpid(pid, nullptr, WNOHANG) == pid) WorkerDied(w);
+  }
+}
+
+util::Status EventLoop::Run() {
+  for (size_t w = 0; w < chans_.size(); ++w) {
+    BAGCQ_RETURN_NOT_OK(SetNonBlocking(pool_->worker_fd(w)));
+  }
+  for (int listener : listeners_) {
+    BAGCQ_RETURN_NOT_OK(SetNonBlocking(listener));
+  }
+
+  // SIGCHLD → wake pipe → ReapWorkers on the loop thread. Restored on exit
+  // so embedding processes (tests) keep their own child handling.
+  struct sigaction old_action {};
+  struct sigaction action {};
+  action.sa_handler = OnSigchld;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART | SA_NOCLDSTOP;
+  ::sigaction(SIGCHLD, &action, &old_action);
+
+  // Layout of the poll set: [wake][listeners][workers][conns].
+  std::vector<pollfd> fds;
+  std::vector<uint64_t> conn_ids;
+  while (!shutdown_->load(std::memory_order_acquire)) {
+    fds.clear();
+    conn_ids.clear();
+    const bool throttled = accept_throttled_;
+    accept_throttled_ = false;
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    const size_t polled_listeners = throttled ? 0 : listeners_.size();
+    for (size_t l = 0; l < polled_listeners; ++l) {
+      fds.push_back({listeners_[l], POLLIN, 0});
+    }
+    for (size_t w = 0; w < chans_.size(); ++w) {
+      short events = POLLIN;
+      if (!chans_[w].out.empty()) events |= POLLOUT;
+      fds.push_back({pool_->worker_fd(w), events, 0});
+    }
+    for (const auto& [id, conn] : conns_) {
+      short events = 0;
+      // Backpressure, both directions: stop reading from a client that is
+      // not draining its replies, and from one pipelining faster than the
+      // workers answer; resume as buffers and the pipeline drain.
+      if (conn.out.pending() < kConnBacklogCap &&
+          conn.next_seq - conn.next_flush < kMaxPipelinedRequests) {
+        events |= POLLIN;
+      }
+      if (!conn.out.empty()) events |= POLLOUT;
+      fds.push_back({conn.fd, events, 0});
+      conn_ids.push_back(id);
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), throttled ? 50 : -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      ::sigaction(SIGCHLD, &old_action, nullptr);
+      return SysError("poll");
+    }
+
+    size_t slot = 0;
+    if (fds[slot].revents & POLLIN) {  // wake pipe: Shutdown or SIGCHLD
+      char drain[256];
+      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+      ReapWorkers();
+    }
+    ++slot;
+    if (throttled) {
+      // The throttle interval elapsed — retry every listener now.
+      for (int listener : listeners_) AcceptAll(listener);
+    }
+    for (size_t l = 0; l < polled_listeners; ++l, ++slot) {
+      if (fds[slot].revents & POLLIN) AcceptAll(listeners_[l]);
+    }
+    for (size_t w = 0; w < chans_.size(); ++w, ++slot) {
+      const short revents = fds[slot].revents;
+      if (revents == 0 || pool_->worker_fd(w) != fds[slot].fd) continue;
+      if (revents & POLLOUT) {
+        if (!FlushTo(pool_->worker_fd(w), &chans_[w].out).ok()) {
+          WorkerDied(w);
+          continue;
+        }
+      }
+      if (revents & (POLLIN | POLLHUP | POLLERR)) ReadWorker(w);
+    }
+    for (size_t c = 0; c < conn_ids.size(); ++c, ++slot) {
+      const uint64_t conn_id = conn_ids[c];
+      const short revents = fds[slot].revents;
+      if (revents == 0) continue;
+      auto it = conns_.find(conn_id);
+      if (it == conns_.end()) continue;  // closed earlier this round
+      if (revents & POLLOUT) {
+        if (!FlushTo(it->second.fd, &it->second.out).ok()) {
+          CloseConn(conn_id);
+          continue;
+        }
+      }
+      if (revents & (POLLIN | POLLHUP | POLLERR)) ReadConn(conn_id);
+    }
+  }
+
+  ::sigaction(SIGCHLD, &old_action, nullptr);
+  for (auto& [id, conn] : conns_) ::close(conn.fd);
+  conns_.clear();
+  // A link with loop-era state — an unanswered exchange, a half-flushed
+  // request frame, a partially read reply — would poison the pool's
+  // synchronous Dispatch afterwards (its correlation counter restarts, so
+  // a stale reply could match a fresh id). Respawn those workers; clean
+  // links are handed back as-is.
+  std::vector<bool> dirty(chans_.size(), false);
+  for (const auto& [id, exchange] : exchanges_) dirty[exchange.worker] = true;
+  for (size_t w = 0; w < chans_.size(); ++w) {
+    if (dirty[w] || !chans_[w].out.empty() || !chans_[w].in.empty()) {
+      (void)pool_->Respawn(w);  // new link is blocking already
+    }
+  }
+  // Hand the clean links back in blocking mode so the pool's synchronous
+  // Dispatch keeps working after a Serve (tests do this).
+  for (size_t w = 0; w < chans_.size(); ++w) {
+    const int fd = pool_->worker_fd(w);
+    if (fd < 0) continue;
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+Server::Server(WorkerPool* pool) : pool_(pool) {
+  if (::pipe(wake_fds_) == 0) {
+    (void)SetNonBlocking(wake_fds_[0]);
+    (void)SetNonBlocking(wake_fds_[1]);
+  }
+}
+
+Server::~Server() {
+  for (int listener : listeners_) ::close(listener);
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+}
+
+util::Status Server::AddListener(int listener_fd) {
+  if (listener_fd < 0) {
+    return util::Status::InvalidArgument("server: invalid listener fd");
+  }
+  listeners_.push_back(listener_fd);
+  return util::Status::OK();
+}
+
+util::Status Server::Serve() {
+  if (pool_ == nullptr || pool_->num_workers() == 0) {
+    return util::Status::InvalidArgument("server: pool not started");
+  }
+  if (listeners_.empty()) {
+    return util::Status::InvalidArgument("server: no listeners added");
+  }
+  if (wake_fds_[0] < 0) return SysError("pipe");
+  g_sigchld_wake_fd.store(wake_fds_[1], std::memory_order_relaxed);
+  EventLoop loop(pool_, listeners_, &shutdown_, wake_fds_[0]);
+  const util::Status status = loop.Run();
+  g_sigchld_wake_fd.store(-1, std::memory_order_relaxed);
+  return status;
+}
+
+void Server::Shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  if (wake_fds_[1] >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  }
 }
 
 }  // namespace bagcq::service

@@ -1,7 +1,9 @@
 // The sharded multi-process serving tier: a WorkerPool forks N worker
 // processes (one Service, hence one Engine, each) connected by socketpair
-// framed transport, and a Unix-socket accept loop (RunServer) that puts the
-// pool behind a filesystem address for bagcq_client.
+// framed transport, and a poll-based event-loop front (Server) that serves
+// many concurrent client connections — Unix-socket and TCP listeners behind
+// the same framing — multiplexing every in-flight request onto the worker
+// links by correlation id.
 //
 // Routing keeps per-worker session state hot: single decisions go to the
 // worker picked by hashing the *canonical structural key* of the query pair
@@ -14,11 +16,19 @@
 // (mirroring how in-process parallel batches fold worker counters);
 // ClearCache broadcasts.
 //
+// Crash resilience: a worker that dies (crash, OOM-kill, kill -9) is
+// reaped and re-forked with a fresh Engine. Requests that were in flight
+// on the dead link fail soft with StatusCode::kUnavailable — the
+// connection stays up and a retry lands on the respawned worker. The
+// respawn count is surfaced through StatsResponse::respawns.
+//
 // The pool is the in-process face of the server: tests drive Dispatch()
 // directly (the cross-process conformance suite), the bagcq_server tool
-// wraps it in RunServer.
+// wraps it in a Server event loop. Exactly one front may drive a pool at a
+// time (Dispatch and Serve both assume exclusive use of the worker links).
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <string_view>
 #include <sys/types.h>
@@ -32,13 +42,20 @@
 namespace bagcq::service {
 
 struct ServerOptions {
-  /// Worker processes (one Engine each).
+  /// Worker processes (one Engine each). Must be >= 1.
   int num_workers = 2;
   /// Per-worker Engine configuration. Decision memoization defaults on for
   /// a serving tier — sticky routing is what makes the memo pay.
   api::EngineOptions engine = api::EngineOptions().set_memoize_decisions(true);
 };
 
+/// Owns N forked worker processes and the framed socketpair links to them.
+/// Worker-link frames carry an 8-byte little-endian correlation id before
+/// the message envelope, so a front may keep many requests in flight per
+/// worker and match replies out of band (the Server event loop does; the
+/// synchronous Dispatch path sends one at a time).
+///
+/// Not thread-safe: one front (one thread) drives a pool.
 class WorkerPool {
  public:
   WorkerPool() = default;
@@ -47,7 +64,9 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   /// Forks the workers. Each child runs a Service loop on its socketpair end
-  /// and _exits when the parent closes the link.
+  /// and _exits when the parent closes the link. Fails with InvalidArgument
+  /// on num_workers < 1 or a pool that is already started, Internal on
+  /// fork/socketpair failure.
   util::Status Start(const ServerOptions& options = {});
   /// Closes every link and reaps the children (idempotent; the destructor
   /// calls it).
@@ -56,8 +75,10 @@ class WorkerPool {
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
   /// Routes one request across the pool and returns the reassembled
-  /// response. Transport failures (a lost worker, a corrupt frame) come
-  /// back as ErrorResponse — Dispatch never crashes the front.
+  /// response, blocking until every involved worker has answered. Transport
+  /// failures (a lost worker, a corrupt frame) come back as Unavailable in
+  /// the affected slots — never a crash — and the dead worker is respawned
+  /// before returning, so the next Dispatch succeeds.
   Response Dispatch(const Request& request);
   /// The raw-bytes surface: decode, Dispatch, encode (undecodable input
   /// becomes an encoded ErrorResponse).
@@ -67,30 +88,112 @@ class WorkerPool {
   /// can assert stickiness.
   size_t ShardFor(const api::QueryPair& pair, bool bag_bag) const;
 
+  /// Workers re-forked after a crash since Start (monotone; what Stats
+  /// reports as StatsResponse::respawns).
+  int64_t respawns() const { return respawns_; }
+
+  // ------------------------------------------------- event-loop interface
+  // Used by Server (and by tests that kill workers): the loop owns the I/O
+  // on the link fds; the pool owns their lifecycle.
+
+  /// The parent-side link fd of worker `w` (poll it, frame it yourself).
+  int worker_fd(size_t w) const { return workers_[w].fd; }
+  /// The worker's process id (tests kill -9 it to exercise respawn).
+  pid_t worker_pid(size_t w) const { return workers_[w].pid; }
+  /// Replaces a dead (or wedged — it is SIGKILLed if still running) worker
+  /// with a freshly forked one on a new socketpair, reaping the old child if
+  /// the caller has not already. Increments respawns(). The caller must
+  /// consider every request in flight on the old link lost.
+  util::Status Respawn(size_t w);
+  /// Maps a reaped child pid back to its worker index (how the Server's
+  /// SIGCHLD path finds which link died); -1 if the pid is not a live
+  /// worker of this pool.
+  int WorkerIndexOfPid(pid_t pid) const;
+
  private:
   struct WorkerLink {
     int fd = -1;
     pid_t pid = -1;
   };
 
-  /// One framed request/response exchange with one worker.
+  /// Forks one worker on a fresh socketpair into *link (shared by Start and
+  /// Respawn). The child closes every inherited fd except its link end.
+  util::Status SpawnWorker(WorkerLink* link);
+  /// One framed request/response exchange with one worker (synchronous).
   util::Result<Response> RoundTrip(size_t worker, const Request& request);
   /// The read half of an exchange whose request already went out.
-  util::Result<Response> ReadReply(size_t worker);
+  util::Result<Response> ReadReply(size_t worker, uint64_t id);
+  /// Fails a lost exchange soft: respawns the worker, returns the
+  /// Unavailable status the caller folds into its response.
+  util::Status LostWorker(size_t worker, const util::Status& status);
   Response DispatchBatch(const DecideBatchRequest& request);
   Response DispatchToAll(const Request& request);
 
   std::vector<WorkerLink> workers_;
+  ServerOptions options_;
+  uint64_t next_exchange_id_ = 1;
+  int64_t respawns_ = 0;
 };
 
-/// Binds a Unix domain socket at `socket_path` (replacing any stale file)
-/// and serves connections forever: one frame in (a Request envelope), one
-/// frame out, multiplexed over the pool. Returns only on accept/bind
-/// failure; the bagcq_server tool runs this until killed.
-util::Status RunServer(const std::string& socket_path, WorkerPool* pool);
+/// The multi-connection serving front: a poll() event loop over any number
+/// of listeners (Unix and TCP behind identical framing), any number of
+/// client connections, and the pool's worker links — all non-blocking with
+/// per-fd read/write buffering, so one slow or half-open client never
+/// stalls the rest.
+///
+/// Concurrency model: every complete client frame becomes an in-flight
+/// call immediately (decoded, sharded, and forwarded to its worker(s) by
+/// correlation id); replies are matched back and delivered *per connection
+/// in request order*, so a client that pipelines N requests reads N
+/// replies in the order it sent them, while requests from different
+/// connections interleave freely across the workers. Worker crashes are
+/// detected by SIGCHLD (and by link EOF), the worker is respawned with a
+/// fresh Engine, and the requests that were on the dead link complete with
+/// StatusCode::kUnavailable instead of hanging.
+///
+/// Protocol violations (a frame header beyond kMaxFrameBytes, bytes that
+/// are not a frame) close the offending connection; undecodable-but-framed
+/// payloads get an encoded ErrorResponse like any other reply.
+///
+/// Single-threaded: construct, add listeners, then Serve() on one thread;
+/// Shutdown() may be called from any thread (or a signal handler's
+/// cooperating thread) to make Serve return.
+///
+/// Fork-safety caveat for embedders: respawning fork()s from the Serve
+/// thread and the child immediately allocates (glibc's atexit-fork
+/// handlers make malloc usable in the child of a multithreaded parent,
+/// which the tests and benches rely on; a non-glibc libc without that
+/// guarantee would need workers pre-forked before threads start).
+class Server {
+ public:
+  /// The pool must be started and must outlive the Server; Serve takes over
+  /// the worker links (non-blocking, id-multiplexed), so do not call
+  /// pool->Dispatch while Serve runs.
+  explicit Server(WorkerPool* pool);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
 
-/// Client side: connect to a bagcq_server socket. Returns the connected fd
-/// (caller closes) — requests then flow via WriteFrame/ReadFrame.
-util::Result<int> ConnectToServer(const std::string& socket_path);
+  /// Adds a listening socket (from ListenUnix/ListenTcp; ownership taken —
+  /// the Server closes it). Call before Serve; multiple listeners serve
+  /// concurrently (the usual pair: one Unix, one TCP).
+  util::Status AddListener(int listener_fd);
+
+  /// Runs the event loop until Shutdown(). Returns OK on a requested
+  /// shutdown, Internal only on unrecoverable loop failure (poll itself
+  /// failing) — individual connection and worker failures never end the
+  /// loop.
+  util::Status Serve();
+
+  /// Makes Serve() return after the current poll round. Thread-safe and
+  /// idempotent; safe to call before Serve (it will return immediately).
+  void Shutdown();
+
+ private:
+  WorkerPool* pool_;
+  std::vector<int> listeners_;
+  std::atomic<bool> shutdown_{false};
+  int wake_fds_[2] = {-1, -1};  // self-pipe: Shutdown() and SIGCHLD wakeups
+};
 
 }  // namespace bagcq::service

@@ -20,13 +20,23 @@ namespace bagcq::service {
 
 class Service {
  public:
+  /// Owns one Engine configured by `options` (constructed eagerly; cheap
+  /// until the first decision builds prover state).
   explicit Service(api::EngineOptions options = {});
 
   /// The wrapped session, for callers that want in-process access too (the
   /// conformance suite compares the two surfaces on the same state).
   api::Engine& engine() { return engine_; }
 
+  /// Dispatches one request onto the Engine. Total: every Request variant
+  /// maps to exactly one Response variant (Decide* → Decision, Batch →
+  /// Batch, Prove/CheckMax → Proof, Analyze → Analysis, Stats → Stats,
+  /// ClearCache → Ack); Engine-level failures travel inside the matching
+  /// response's Status, with the same codes the Engine documents.
   Response Handle(const Request& request);
+  /// Decode → Handle → encode. Undecodable bytes come back as an encoded
+  /// ErrorResponse carrying InvalidArgument — never an exception, abort,
+  /// or empty string.
   std::string HandleBytes(std::string_view request_bytes);
 
  private:

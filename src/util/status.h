@@ -11,6 +11,8 @@
 
 namespace bagcq::util {
 
+/// Codes are part of the wire contract (wire.h EncodeStatus): values are
+/// stable forever and new codes append at the end.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -18,6 +20,9 @@ enum class StatusCode {
   kResourceExhausted,
   kParseError,
   kInternal,
+  /// A transient serving-tier failure (a worker process died mid-request):
+  /// the same request retried after the respawn is expected to succeed.
+  kUnavailable,
 };
 
 /// Outcome of an operation: OK or an error code with a message.
@@ -42,6 +47,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

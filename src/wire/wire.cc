@@ -100,7 +100,7 @@ void EncodeStatus(const Status& v, Encoder* e) {
 util::Status DecodeStatus(Decoder* d, Status* out) {
   uint64_t code;
   WIRE_GET(d->GetVarint(&code), "Status code");
-  if (code > static_cast<uint64_t>(util::StatusCode::kInternal)) {
+  if (code > static_cast<uint64_t>(util::StatusCode::kUnavailable)) {
     return d->Fail("Status code");
   }
   std::string message;

@@ -22,6 +22,24 @@
 // The envelope (magic + version + tag) for request/response messages lives
 // with the Service types in service/message.h; this header is the payload
 // layer.
+//
+// Contract shared by every Encode*/Decode* pair below (stated once here,
+// not repeated per function):
+//   * EncodeX(v, e) appends the canonical byte sequence for v to the
+//     Encoder — total, deterministic, and never fails (any X the library
+//     can construct is encodable).
+//   * DecodeX(d) consumes exactly one X from the Decoder and returns it,
+//     or returns InvalidArgument ("wire: truncated or corrupt ...") on any
+//     malformed, truncated, or non-canonical input, leaving no other error
+//     mode: no exceptions, no CHECK aborts, no reads past the buffer.
+//   * DecodeX(EncodeX(v)) == v, and re-encoding the result reproduces the
+//     input bytes exactly (byte-compare equals value-compare).
+//   * Free functions with no shared state: safe to call concurrently from
+//     any number of threads (distinct Encoder/Decoder instances are not
+//     thread-safe themselves — one thread per codec object).
+//
+// The normative byte-level specification, field by field, is
+// docs/wire-format.md; layouts here are frozen within kWireVersion.
 #pragma once
 
 #include <string>

@@ -1,0 +1,408 @@
+// The multi-connection event-loop front under hostile and concurrent
+// traffic: ≥4 concurrent clients (Unix and TCP) must agree byte-for-byte
+// with the in-process Service, pipelined requests come back in send order,
+// a slow-loris connection dribbling partial frames must not stall anyone
+// else, disconnects mid-request and mid-frame leave the server healthy,
+// oversized frame headers get the connection dropped before any
+// allocation, and a worker killed -9 mid-batch is respawned with the lost
+// slots failing soft as Unavailable.
+#include <atomic>
+#include <csignal>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/server.h"
+#include "service/service.h"
+#include "service/transport.h"
+#include "wire/wire.h"
+
+namespace bagcq::service {
+namespace {
+
+/// Cold, memo-less engines everywhere: certificates and pivot counts are
+/// then fully deterministic per pair, independent of which worker (or
+/// which call order) computed them.
+api::EngineOptions ColdOptions() {
+  return api::EngineOptions().set_warm_starts(false).set_memoize_decisions(
+      false);
+}
+
+std::string EncodeNormalized(api::DecisionResult result) {
+  result.stats = api::CallStats{};
+  wire::Encoder e;
+  wire::EncodeDecisionResult(result, &e);
+  return e.Take();
+}
+
+std::string NormalizedBytes(const DecisionResponse& response) {
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  return response.result.has_value() ? EncodeNormalized(*response.result)
+                                     : std::string();
+}
+
+std::vector<api::QueryPair> SuitePairs(api::Engine& engine, int reps = 1) {
+  const std::pair<const char*, const char*> rows[] = {
+      {"R(x,y), R(y,z), R(z,x)", "R(a,b), R(a,c)"},
+      {"R(a,b), R(a,c)", "R(x,y), R(y,z), R(z,x)"},
+      {"R(x,y), R(y,z)", "R(a,b), R(b,c)"},
+      {"R(x,y), R(y,x)", "R(a,b)"},
+      {"R(x,y), R(y,z), R(z,x)", "R(a,b), R(b,c), R(c,a)"},
+  };
+  std::vector<api::QueryPair> pairs;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const auto& [q1, q2] : rows) {
+      pairs.push_back(engine.ParsePair(q1, q2).ValueOrDie());
+    }
+  }
+  return pairs;
+}
+
+/// One blocking framed client connection (what bagcq_client is, minus the
+/// argv parsing).
+class TestClient {
+ public:
+  explicit TestClient(int fd) : fd_(fd) {}
+  ~TestClient() { Close(); }
+  TestClient(TestClient&& other) : fd_(other.fd_) { other.fd_ = -1; }
+
+  int fd() const { return fd_; }
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  util::Status Send(const Request& request) {
+    return WriteFrame(fd_, EncodeRequest(request));
+  }
+  util::Result<Response> Receive() {
+    std::string reply;
+    bool clean_eof = false;
+    BAGCQ_RETURN_NOT_OK(ReadFrame(fd_, &reply, &clean_eof));
+    if (clean_eof) return util::Status::Internal("server closed connection");
+    return DecodeResponse(reply);
+  }
+  util::Result<Response> Call(const Request& request) {
+    BAGCQ_RETURN_NOT_OK(Send(request));
+    return Receive();
+  }
+
+ private:
+  int fd_;
+};
+
+/// A 2-worker pool behind a Server with one Unix and one TCP listener,
+/// served on a background thread for the duration of a test.
+class ServeLoopTest : public ::testing::Test {
+ protected:
+  void StartServer(api::EngineOptions engine_options = ColdOptions()) {
+    ServerOptions options;
+    options.num_workers = 2;
+    options.engine = std::move(engine_options);
+    ASSERT_TRUE(pool_.Start(options).ok());
+    server_ = std::make_unique<Server>(&pool_);
+
+    socket_path_ = ::testing::TempDir() + "bagcq_loop_" +
+                   std::to_string(::getpid()) + "_" +
+                   std::to_string(++instances_) + ".sock";
+    auto unix_listener = ListenUnix(socket_path_);
+    ASSERT_TRUE(unix_listener.ok()) << unix_listener.status().ToString();
+    ASSERT_TRUE(server_->AddListener(*unix_listener).ok());
+
+    auto tcp_listener = ListenTcp("127.0.0.1:0");
+    ASSERT_TRUE(tcp_listener.ok()) << tcp_listener.status().ToString();
+    auto address = ListenerAddress(*tcp_listener);
+    ASSERT_TRUE(address.ok()) << address.status().ToString();
+    tcp_address_ = *address;
+    ASSERT_TRUE(server_->AddListener(*tcp_listener).ok());
+
+    serve_thread_ = std::thread([this] {
+      const util::Status status = server_->Serve();
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    });
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Shutdown();
+    if (serve_thread_.joinable()) serve_thread_.join();
+    server_.reset();
+    pool_.Stop();
+    ::unlink(socket_path_.c_str());
+  }
+
+  TestClient ConnectUnix() {
+    auto fd = DialUnix(socket_path_);
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    return TestClient(fd.ok() ? *fd : -1);
+  }
+  TestClient ConnectTcp() {
+    auto fd = DialTcp(tcp_address_);
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    return TestClient(fd.ok() ? *fd : -1);
+  }
+
+  WorkerPool pool_;
+  std::unique_ptr<Server> server_;
+  std::thread serve_thread_;
+  std::string socket_path_;
+  std::string tcp_address_;
+  static int instances_;
+};
+
+int ServeLoopTest::instances_ = 0;
+
+TEST_F(ServeLoopTest, ConcurrentClientsOnBothTransportsMatchInproc) {
+  StartServer();
+  api::Engine parser{ColdOptions()};
+  const std::vector<api::QueryPair> pairs = SuitePairs(parser);
+
+  // The in-process reference: same wire path, no server.
+  Service inproc{ColdOptions()};
+  Response reference_response = inproc.Handle(DecideBatchRequest{pairs});
+  const auto* reference = std::get_if<BatchResponse>(&reference_response);
+  ASSERT_NE(reference, nullptr);
+  std::vector<std::string> expected;
+  for (const DecisionResponse& one : reference->results) {
+    expected.push_back(NormalizedBytes(one));
+  }
+
+  // 6 concurrent clients (3 Unix + 3 TCP), each its own batch.
+  constexpr int kClients = 6;
+  std::vector<std::vector<std::string>> got(kClients);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      TestClient client = (c % 2 == 0) ? ConnectUnix() : ConnectTcp();
+      auto response = client.Call(DecideBatchRequest{pairs});
+      if (!response.ok()) {
+        ++failures;
+        return;
+      }
+      const auto* batch = std::get_if<BatchResponse>(&*response);
+      if (batch == nullptr || batch->results.size() != pairs.size()) {
+        ++failures;
+        return;
+      }
+      for (const DecisionResponse& one : batch->results) {
+        got[c].push_back(NormalizedBytes(one));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(got[c], expected) << "client " << c
+                                << " drifted from the in-process Service";
+  }
+}
+
+TEST_F(ServeLoopTest, PipelinedRequestsReplyInSendOrder) {
+  StartServer();
+  api::Engine parser{ColdOptions()};
+  const std::vector<api::QueryPair> pairs = SuitePairs(parser);
+
+  Service inproc{ColdOptions()};
+  std::vector<std::string> expected;
+  for (const api::QueryPair& pair : pairs) {
+    Response response = inproc.Handle(DecideRequest{pair});
+    const auto* decision = std::get_if<DecisionResponse>(&response);
+    ASSERT_NE(decision, nullptr);
+    expected.push_back(NormalizedBytes(*decision));
+  }
+
+  // Write every request before reading any reply: the replies must come
+  // back in send order even though the decisions run on different workers.
+  // 60 rounds of 5 = 300 requests, past the server's pipelining
+  // backpressure gate — which must pace the socket, never stall it.
+  constexpr size_t kRounds = 60;
+  TestClient client = ConnectUnix();
+  std::thread sender([&] {
+    for (size_t round = 0; round < kRounds; ++round) {
+      for (const api::QueryPair& pair : pairs) {
+        ASSERT_TRUE(client.Send(DecideRequest{pair}).ok());
+      }
+    }
+  });
+  for (size_t i = 0; i < kRounds * pairs.size(); ++i) {
+    auto response = client.Receive();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    const auto* decision = std::get_if<DecisionResponse>(&*response);
+    ASSERT_NE(decision, nullptr) << "reply " << i;
+    EXPECT_EQ(NormalizedBytes(*decision), expected[i % pairs.size()])
+        << "reply " << i << " out of order";
+  }
+  sender.join();
+}
+
+TEST_F(ServeLoopTest, SlowLorisConnectionsDoNotStallOthers) {
+  StartServer();
+  api::Engine parser{ColdOptions()};
+  const api::QueryPair pair =
+      parser.ParsePair("R(x,y), R(y,z)", "R(a,b), R(b,c)").ValueOrDie();
+  const std::string payload = EncodeRequest(Request{DecideRequest{pair}});
+
+  // 8 connections each park a partial frame on the server: a length header
+  // promising more than they send, then silence.
+  std::vector<TestClient> loris;
+  for (int i = 0; i < 8; ++i) {
+    loris.push_back(i % 2 == 0 ? ConnectUnix() : ConnectTcp());
+    const uint32_t claimed = static_cast<uint32_t>(payload.size());
+    char header[4];
+    for (int b = 0; b < 4; ++b) {
+      header[b] = static_cast<char>(claimed >> (8 * b));
+    }
+    ASSERT_EQ(::send(loris[i].fd(), header, sizeof(header), 0), 4);
+    // Half the payload, then stall.
+    ASSERT_GT(::send(loris[i].fd(), payload.data(), payload.size() / 2, 0), 0);
+  }
+
+  // A healthy client must get served while all 8 are mid-frame. (The old
+  // one-connection-at-a-time accept loop would hang right here.)
+  TestClient healthy = ConnectTcp();
+  auto response = healthy.Call(DecideRequest{pair});
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_NE(std::get_if<DecisionResponse>(&*response), nullptr);
+
+  // The stalled frames complete fine afterwards — buffered, not corrupted.
+  for (TestClient& slow : loris) {
+    const size_t half = payload.size() / 2;
+    ASSERT_GT(::send(slow.fd(), payload.data() + half, payload.size() - half,
+                     0),
+              0);
+    auto late = slow.Receive();
+    ASSERT_TRUE(late.ok()) << late.status().ToString();
+    EXPECT_NE(std::get_if<DecisionResponse>(&*late), nullptr);
+  }
+}
+
+TEST_F(ServeLoopTest, DisconnectMidRequestAndMidFrameLeaveServerHealthy) {
+  StartServer();
+  api::Engine parser{ColdOptions()};
+  const api::QueryPair pair =
+      parser.ParsePair("R(x,y), R(y,z), R(z,x)", "R(a,b), R(a,c)")
+          .ValueOrDie();
+
+  {
+    // Full request sent, connection dropped before the reply: the worker
+    // still computes; the reply is discarded, not delivered to anyone else.
+    TestClient vanishing = ConnectUnix();
+    ASSERT_TRUE(vanishing.Send(DecideRequest{pair}).ok());
+    vanishing.Close();
+  }
+  {
+    // Half a frame, then gone.
+    TestClient torn = ConnectTcp();
+    const char half_header[2] = {0x10, 0x00};
+    ASSERT_EQ(::send(torn.fd(), half_header, sizeof(half_header), 0), 2);
+    torn.Close();
+  }
+
+  TestClient survivor = ConnectTcp();
+  auto response = survivor.Call(DecideRequest{pair});
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const auto* decision = std::get_if<DecisionResponse>(&*response);
+  ASSERT_NE(decision, nullptr);
+  EXPECT_TRUE(decision->status.ok());
+}
+
+TEST_F(ServeLoopTest, OversizedFrameHeaderDropsTheTcpConnection) {
+  StartServer();
+  TestClient hostile = ConnectTcp();
+  // A header claiming a 1 GiB frame (4× the cap): the server must drop the
+  // connection on the header alone, before buffering anything.
+  const uint32_t huge = 1u << 30;
+  char header[4];
+  for (int b = 0; b < 4; ++b) {
+    header[b] = static_cast<char>(huge >> (8 * b));
+  }
+  ASSERT_EQ(::send(hostile.fd(), header, sizeof(header), 0), 4);
+  std::string reply;
+  bool clean_eof = false;
+  const util::Status status = ReadFrame(hostile.fd(), &reply, &clean_eof);
+  // Either a clean EOF or a reset, depending on how fast the close lands —
+  // but never a reply.
+  EXPECT_TRUE(clean_eof || !status.ok());
+
+  // The server itself is unharmed.
+  api::Engine parser{ColdOptions()};
+  TestClient healthy = ConnectTcp();
+  auto response = healthy.Call(DecideRequest{
+      parser.ParsePair("R(x,y), R(y,x)", "R(a,b)").ValueOrDie()});
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(std::get_if<DecisionResponse>(&*response), nullptr);
+}
+
+TEST_F(ServeLoopTest, KilledWorkerIsRespawnedAndLostSlotsFailSoft) {
+  StartServer();
+  api::Engine parser{ColdOptions()};
+  // A batch big enough that the workers are still computing when the kill
+  // lands.
+  const std::vector<api::QueryPair> pairs = SuitePairs(parser, /*reps=*/40);
+
+  TestClient client = ConnectUnix();
+  ASSERT_TRUE(client.Send(DecideBatchRequest{pairs}).ok());
+  const pid_t victim = pool_.worker_pid(0);
+  ::kill(victim, SIGKILL);
+
+  // The batch must complete — never hang: the dead worker's slots come back
+  // kUnavailable (or OK if it answered before dying), everything else OK.
+  auto response = client.Receive();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const auto* batch = std::get_if<BatchResponse>(&*response);
+  ASSERT_NE(batch, nullptr);
+  ASSERT_EQ(batch->results.size(), pairs.size());
+  int unavailable = 0;
+  for (const DecisionResponse& one : batch->results) {
+    if (one.status.ok()) continue;
+    EXPECT_EQ(one.status.code(), util::StatusCode::kUnavailable)
+        << one.status.ToString();
+    ++unavailable;
+  }
+
+  // After the respawn, the same connection decides again — including pairs
+  // that route to the replaced worker.
+  for (const api::QueryPair& pair : SuitePairs(parser)) {
+    auto retry = client.Call(DecideRequest{pair});
+    ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+    const auto* decision = std::get_if<DecisionResponse>(&*retry);
+    ASSERT_NE(decision, nullptr);
+    EXPECT_TRUE(decision->status.ok()) << decision->status.ToString();
+  }
+
+  // The crash is visible in Stats and the pool's own counter.
+  auto stats_response = client.Call(StatsRequest{});
+  ASSERT_TRUE(stats_response.ok()) << stats_response.status().ToString();
+  const auto* stats = std::get_if<StatsResponse>(&*stats_response);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GE(stats->respawns, 1);
+  EXPECT_EQ(stats->workers, 2);
+  EXPECT_GE(pool_.respawns(), 1);
+  EXPECT_NE(pool_.worker_pid(0), victim);
+  (void)unavailable;  // may be 0 if the worker finished before the signal
+}
+
+TEST_F(ServeLoopTest, GarbagePayloadGetsErrorResponseNotDisconnect) {
+  StartServer();
+  TestClient client = ConnectTcp();
+  ASSERT_TRUE(WriteFrame(client.fd(), "definitely not an envelope").ok());
+  auto response = client.Receive();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const auto* error = std::get_if<ErrorResponse>(&*response);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->status.code(), util::StatusCode::kInvalidArgument);
+
+  // Framed garbage is a client bug, not a protocol violation: the
+  // connection survives it.
+  api::Engine parser;
+  auto retry = client.Call(DecideRequest{
+      parser.ParsePair("R(x,y), R(y,x)", "R(a,b)").ValueOrDie()});
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_NE(std::get_if<DecisionResponse>(&*retry), nullptr);
+}
+
+}  // namespace
+}  // namespace bagcq::service

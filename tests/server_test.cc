@@ -7,6 +7,9 @@
 // per-worker EngineStats, ClearCache broadcasts.
 #include "service/server.h"
 
+#include <csignal>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "service/service.h"
@@ -199,6 +202,82 @@ TEST(ServerPoolTest, ProofsAnalysisAndErrorsFlowThroughThePool) {
   auto reply = DecodeResponse(reply_bytes);
   ASSERT_TRUE(reply.ok());
   EXPECT_TRUE(std::get_if<ErrorResponse>(&*reply) != nullptr);
+}
+
+TEST(ServerPoolTest, KilledWorkerFailsSoftUnavailableThenRespawns) {
+  WorkerPool pool;
+  ASSERT_TRUE(pool.Start(ServerOptions{}).ok());
+  api::Engine parser;
+  api::QueryPair pair =
+      parser.ParsePair("R(x,y), R(y,z), R(z,x)", "R(a,b), R(a,c)")
+          .ValueOrDie();
+  const size_t w = pool.ShardFor(pair, /*bag_bag=*/false);
+  const pid_t victim = pool.worker_pid(w);
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+
+  // The in-flight exchange fails soft: Unavailable, never a crash or hang —
+  // and the pool respawns the worker before returning.
+  Response response = pool.Dispatch(DecideRequest{pair});
+  const auto* error = std::get_if<ErrorResponse>(&response);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->status.code(), util::StatusCode::kUnavailable)
+      << error->status.ToString();
+  EXPECT_EQ(pool.respawns(), 1);
+  EXPECT_NE(pool.worker_pid(w), victim);
+
+  // The respawned worker (fresh Engine) serves the retry.
+  Response retry = pool.Dispatch(DecideRequest{pair});
+  const auto* decision = std::get_if<DecisionResponse>(&retry);
+  ASSERT_NE(decision, nullptr);
+  EXPECT_TRUE(decision->status.ok()) << decision->status.ToString();
+
+  // The crash count is part of the Stats surface.
+  Response stats_response = pool.Dispatch(StatsRequest{});
+  const auto* stats = std::get_if<StatsResponse>(&stats_response);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->respawns, 1);
+  EXPECT_EQ(stats->workers, 2);
+}
+
+TEST(ServerPoolTest, KilledWorkerFailsOnlyItsBatchShard) {
+  WorkerPool pool;
+  ServerOptions options;
+  options.num_workers = 2;
+  options.engine = ColdOptions();
+  ASSERT_TRUE(pool.Start(options).ok());
+  api::Engine parser{ColdOptions()};
+  std::vector<api::QueryPair> pairs = DecisionSuite(parser);
+  const size_t victim_worker = pool.ShardFor(pairs[0], /*bag_bag=*/false);
+  ASSERT_EQ(::kill(pool.worker_pid(victim_worker), SIGKILL), 0);
+
+  Response response = pool.Dispatch(DecideBatchRequest{pairs});
+  const auto* batch = std::get_if<BatchResponse>(&response);
+  ASSERT_NE(batch, nullptr);
+  ASSERT_EQ(batch->results.size(), pairs.size());
+  int unavailable = 0;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const DecisionResponse& one = batch->results[i];
+    if (pool.ShardFor(pairs[i], false) == victim_worker) {
+      // Note ShardFor is stable across the respawn, so this identifies the
+      // slots that were on the dead link.
+      EXPECT_EQ(one.status.code(), util::StatusCode::kUnavailable)
+          << "slot " << i << ": " << one.status.ToString();
+      ++unavailable;
+    } else {
+      EXPECT_TRUE(one.status.ok()) << "slot " << i << ": "
+                                   << one.status.ToString();
+    }
+  }
+  EXPECT_GT(unavailable, 0);
+  EXPECT_EQ(pool.respawns(), 1);
+
+  // The whole batch succeeds on retry.
+  Response retry = pool.Dispatch(DecideBatchRequest{pairs});
+  const auto* retried = std::get_if<BatchResponse>(&retry);
+  ASSERT_NE(retried, nullptr);
+  for (const DecisionResponse& one : retried->results) {
+    EXPECT_TRUE(one.status.ok()) << one.status.ToString();
+  }
 }
 
 TEST(ServerPoolTest, EmptyBatchAndUnstartedPoolFailSoft) {

@@ -3,6 +3,7 @@
 // only ever sees canonical wire bytes.
 //
 //   bagcq_client --socket /tmp/bagcq.sock decide "R(x,y)" "R(a,b)"
+//   bagcq_client --connect 127.0.0.1:8347 decide "R(x,y)" "R(a,b)"  # TCP
 //   bagcq_client --socket /tmp/bagcq.sock batch pairs.tsv
 //   bagcq_client --inproc batch pairs.tsv       # same output, no server —
 //                                               # the conformance diff side
@@ -33,7 +34,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s (--socket PATH | --inproc) COMMAND ...\n"
+      "usage: %s (--socket PATH | --connect HOST:PORT | --inproc)"
+      " COMMAND ...\n"
       "  decide Q1 Q2     bag-set containment decision\n"
       "  bagbag Q1 Q2     bag-bag containment decision\n"
       "  batch FILE       one decision per line 'Q1<TAB>Q2', input order\n"
@@ -110,26 +112,34 @@ int Fail(const util::Status& status) {
 
 int main(int argc, char** argv) {
   std::string socket_path;
+  std::string tcp_address;
   bool inproc = false;
   int i = 1;
   for (; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--socket" && i + 1 < argc) {
       socket_path = argv[++i];
+    } else if (arg == "--connect" && i + 1 < argc) {
+      tcp_address = argv[++i];
     } else if (arg == "--inproc") {
       inproc = true;
     } else {
       break;
     }
   }
-  if (i >= argc || (socket_path.empty() && !inproc)) return Usage(argv[0]);
+  // Exactly one destination: the flags are alternatives, and silently
+  // preferring one over another would answer from the wrong server.
+  const int destinations = (socket_path.empty() ? 0 : 1) +
+                           (tcp_address.empty() ? 0 : 1) + (inproc ? 1 : 0);
+  if (i >= argc || destinations != 1) return Usage(argv[0]);
   const std::string command = argv[i++];
 
   std::unique_ptr<Channel> channel;
   if (inproc) {
     channel = std::make_unique<InprocChannel>();
   } else {
-    auto fd = service::ConnectToServer(socket_path);
+    auto fd = socket_path.empty() ? service::DialTcp(tcp_address)
+                                  : service::DialUnix(socket_path);
     if (!fd.ok()) return Fail(fd.status());
     channel = std::make_unique<SocketChannel>(*fd);
   }

@@ -1,19 +1,25 @@
 // bagcq_server — the sharded multi-process serving front.
 //
 // Forks N worker processes (one bagcq::Engine each, with decision
-// memoization on), binds a Unix domain socket, and serves framed
-// service/message.h requests until killed: single decisions route to the
-// worker owning the pair's canonical hash (keeping that worker's memo and
+// memoization on) and serves framed service/message.h requests over any
+// mix of Unix-socket and TCP listeners until killed. The front is a
+// poll-based event loop: many connections are served concurrently, each
+// pipelining requests with per-connection reply ordering, all multiplexed
+// onto the workers by correlation id. Single decisions route to the worker
+// owning the pair's canonical hash (keeping that worker's memo and
 // warm-start slots hot), batches shard across all workers and come back in
-// input order, Stats aggregates every worker's counters.
+// input order, Stats aggregates every worker's counters (including the
+// crash-respawn count — a worker that dies is re-forked automatically).
 //
-//   bagcq_server --socket /tmp/bagcq.sock [--workers N] [--backend tiered]
-//                [--threads K] [--no-memoize] [--cold]
+//   bagcq_server (--socket PATH | --listen HOST:PORT)... [--workers N]
+//                [--backend tiered] [--threads K] [--no-memoize] [--cold]
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "service/server.h"
+#include "service/transport.h"
 
 using namespace bagcq;
 
@@ -22,8 +28,13 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --socket PATH [--workers N] [--backend exact|tiered]\n"
-      "          [--threads K] [--no-memoize] [--cold]\n"
+      "usage: %s (--socket PATH | --listen HOST:PORT)... [--workers N]\n"
+      "          [--backend exact|tiered] [--threads K] [--no-memoize]\n"
+      "          [--cold]\n"
+      "  --socket PATH   serve a Unix domain socket at PATH\n"
+      "  --listen H:P    serve TCP at host:port (port 0 picks a free port,\n"
+      "                  printed on startup); repeatable, combines with\n"
+      "                  --socket\n"
       "  --workers N     worker processes, one Engine each (default 2)\n"
       "  --backend B     LP backend per worker (default tiered)\n"
       "  --threads K     in-process batch threads per worker (default 1)\n"
@@ -36,12 +47,15 @@ int Usage(const char* argv0) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string socket_path;
+  std::vector<std::string> socket_paths;
+  std::vector<std::string> tcp_addresses;
   service::ServerOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--socket" && i + 1 < argc) {
-      socket_path = argv[++i];
+      socket_paths.push_back(argv[++i]);
+    } else if (arg == "--listen" && i + 1 < argc) {
+      tcp_addresses.push_back(argv[++i]);
     } else if (arg == "--workers" && i + 1 < argc) {
       options.num_workers = std::atoi(argv[++i]);
     } else if (arg == "--backend" && i + 1 < argc) {
@@ -58,7 +72,7 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (socket_path.empty()) return Usage(argv[0]);
+  if (socket_paths.empty() && tcp_addresses.empty()) return Usage(argv[0]);
 
   service::WorkerPool pool;
   util::Status status = pool.Start(options);
@@ -66,10 +80,30 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bagcq_server: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("bagcq_server: %d workers on %s\n", pool.num_workers(),
-              socket_path.c_str());
+
+  service::Server server(&pool);
+  auto add_listener = [&](util::Result<int> listener,
+                          const char* kind) -> bool {
+    if (listener.ok()) {
+      auto address = service::ListenerAddress(*listener);
+      std::printf("bagcq_server: %d workers listening on %s %s\n",
+                  pool.num_workers(), kind,
+                  address.ok() ? address->c_str() : "?");
+      return server.AddListener(*listener).ok();
+    }
+    std::fprintf(stderr, "bagcq_server: %s\n",
+                 listener.status().ToString().c_str());
+    return false;
+  };
+  for (const std::string& path : socket_paths) {
+    if (!add_listener(service::ListenUnix(path), "unix")) return 1;
+  }
+  for (const std::string& address : tcp_addresses) {
+    if (!add_listener(service::ListenTcp(address), "tcp")) return 1;
+  }
   std::fflush(stdout);
-  status = service::RunServer(socket_path, &pool);
+
+  status = server.Serve();
   std::fprintf(stderr, "bagcq_server: %s\n", status.ToString().c_str());
-  return 1;
+  return status.ok() ? 0 : 1;
 }

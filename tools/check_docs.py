@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Docs gate: keep docs/ and the wire code from drifting apart silently.
+
+Checks, each grep-level simple so failures are self-explanatory:
+
+1. Every relative markdown link in README.md and docs/*.md resolves to a
+   file that exists (anchors are stripped; http(s) links are skipped).
+2. Every wire tag enumerated in the protocol headers — the RequestTag /
+   ResponseTag enumerators of src/service/message.h — appears by name in
+   docs/wire-format.md.
+3. Every payload type with an Encode*/Decode* pair in src/wire/wire.h
+   appears by name in docs/wire-format.md.
+4. Every util::StatusCode enumerator appears in docs/wire-format.md (the
+   codes are a stable wire table).
+
+Exit status: 0 = docs and code agree, 1 = drift (or missing files).
+
+Usage: tools/check_docs.py [REPO_ROOT]
+"""
+
+import os
+import re
+import sys
+
+
+def read(root, rel):
+    path = os.path.join(root, rel)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return f.read()
+    except OSError as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+
+
+def check_links(root, failures):
+    link_re = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+    code_span_re = re.compile(r"`[^`]*`")
+    fence_re = re.compile(r"^```.*?^```", re.S | re.M)
+    doc_files = ["README.md"] + sorted(
+        os.path.join("docs", name)
+        for name in os.listdir(os.path.join(root, "docs"))
+        if name.endswith(".md"))
+    checked = 0
+    for doc in doc_files:
+        base = os.path.dirname(os.path.join(root, doc))
+        # Code spans and fenced blocks hold expressions like `f[i](x)` that
+        # only look like links.
+        text = code_span_re.sub("", fence_re.sub("", read(root, doc)))
+        for target in link_re.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # pure in-page anchor
+                continue
+            checked += 1
+            if not os.path.exists(os.path.normpath(os.path.join(base, path))):
+                failures.append(f"{doc}: broken link -> {target}")
+    print(f"links: {checked} relative links checked "
+          f"across {len(doc_files)} files")
+    return doc_files
+
+
+def enum_names(source, enum_name):
+    match = re.search(
+        r"enum\s+class\s+" + enum_name + r"[^{]*\{(.*?)\}", source, re.S)
+    if match is None:
+        sys.exit(f"error: enum {enum_name} not found")
+    return re.findall(r"\b(k[A-Z]\w*)\b", match.group(1))
+
+
+def check_mentions(names, spec, what, failures):
+    missing = [name for name in names if name not in spec]
+    for name in missing:
+        failures.append(f"wire-format.md: {what} '{name}' is undocumented")
+    print(f"{what}s: {len(names) - len(missing)}/{len(names)} documented")
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    failures = []
+
+    check_links(root, failures)
+
+    spec = read(root, os.path.join("docs", "wire-format.md"))
+    message_h = read(root, os.path.join("src", "service", "message.h"))
+    check_mentions(enum_names(message_h, "RequestTag"), spec,
+                   "request tag", failures)
+    check_mentions(enum_names(message_h, "ResponseTag"), spec,
+                   "response tag", failures)
+
+    wire_h = read(root, os.path.join("src", "wire", "wire.h"))
+    wire_h = re.sub(r"//[^\n]*", "", wire_h)  # declarations, not prose
+    types = sorted(set(re.findall(r"\bEncode([A-Z]\w*)\s*\(", wire_h)))
+    if not types:
+        sys.exit("error: no Encode* declarations found in wire.h")
+    check_mentions(types, spec, "wire type", failures)
+
+    status_h = read(root, os.path.join("src", "util", "status.h"))
+    check_mentions(enum_names(status_h, "StatusCode"), spec,
+                   "status code", failures)
+
+    if failures:
+        print("\ndocs gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\ndocs gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
