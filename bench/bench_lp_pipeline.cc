@@ -24,6 +24,7 @@
 #include "service/server.h"
 #include "service/service.h"
 #include "service/transport.h"
+#include "store/proof_store.h"
 
 using namespace bagcq;
 using Clock = std::chrono::steady_clock;
@@ -149,6 +150,34 @@ int main(int argc, char** argv) {
         }));
   }
 
+  // The persistent proof store: the same batch served entirely from a
+  // pre-seeded log — the cross-restart warm path. Per iteration this pays
+  // decode + checksum + certificate re-verification and zero LP solves;
+  // against decide_batch_t1 it prices what a restart with --store skips.
+  {
+    const std::string store_path =
+        "/tmp/bagcq_bench_store_" + std::to_string(::getpid()) + ".log";
+    ::unlink(store_path.c_str());
+    Engine parser;
+    auto pairs = BatchWorkload(parser, smoke ? 2 : 8);
+    {
+      auto seeded = store::ProofStore::Open(store_path).ValueOrDie();
+      Engine seeder{EngineOptions().set_decision_store(seeded.get())};
+      if (seeder.DecideBatch(pairs).size() != pairs.size()) std::abort();
+    }
+    auto log = store::ProofStore::Open(store_path).ValueOrDie();
+    Engine engine{EngineOptions().set_decision_store(log.get())};
+    results.push_back(Time("decide_batch/store_warm", batch_iters, [&] {
+      auto out = engine.DecideBatch(pairs);
+      if (out.size() != pairs.size()) std::abort();
+    }));
+    // Every timed decision must have come from the store, or the row lies.
+    if (engine.stats().store_hits == 0 || engine.stats().lp_solves != 0) {
+      std::abort();
+    }
+    ::unlink(store_path.c_str());
+  }
+
   // Serving tier: the same batch through the wire protocol — in-process
   // Service (encode + decode + Engine) vs forked worker pools (adds framed
   // pipe transport and cross-process sharding). Memoization off so every
@@ -251,6 +280,8 @@ int main(int argc, char** argv) {
   }
   add_speedup("decide_batch:t4_vs_t1", find("decide_batch_t1"),
               find("decide_batch_t4"));
+  add_speedup("decide_batch:store_warm_vs_cold", find("decide_batch_t1"),
+              find("decide_batch/store_warm"));
   add_speedup("service_batch:w2_vs_inproc", find("service_batch/inproc"),
               find("service_batch/w2"));
   add_speedup("service_batch:w2_vs_w1", find("service_batch/w1"),

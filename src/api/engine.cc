@@ -1,6 +1,8 @@
 #include "api/engine.h"
 
 #include <atomic>
+
+#include "api/decision_store.h"
 #include <chrono>
 #include <optional>
 #include <sstream>
@@ -184,6 +186,10 @@ std::vector<util::Result<DecisionResult>> Engine::DecideBatchParallel(
     int64_t errors = 0;
     int64_t lp_pivots = 0;
     int64_t memo_hits = 0;
+    int64_t store_hits = 0;
+    int64_t store_misses = 0;
+    int64_t store_appends = 0;
+    int64_t store_rejects = 0;
   };
   std::vector<Worker> workers(threads);
   for (Worker& w : workers) {
@@ -202,16 +208,19 @@ std::vector<util::Result<DecisionResult>> Engine::DecideBatchParallel(
       if (i >= count) break;
       const QueryPair& pair = pairs[i];
       ++w.decisions;
-      bool memo_hit = false;
-      double elapsed = 0.0;
+      DecideTrace trace;
       auto result =
           DecideMemoized(pair.q1, pair.q2, /*bag_bag=*/false, decider_options,
-                         &w.provers, w.solver.get(), &memo_hit, &elapsed);
-      if (memo_hit) {
+                         &w.provers, w.solver.get(), &trace);
+      w.store_hits += trace.store_hit ? 1 : 0;
+      w.store_misses += trace.store_miss ? 1 : 0;
+      w.store_appends += trace.store_append ? 1 : 0;
+      w.store_rejects += trace.store_reject ? 1 : 0;
+      if (trace.memo_hit) {
         ++w.memo_hits;
       } else if (!result.ok()) {
         ++w.errors;
-      } else {
+      } else if (!trace.store_hit) {
         w.lp_pivots += result->stats.lp_pivots;
       }
       slots[i] = std::move(result);
@@ -229,6 +238,10 @@ std::vector<util::Result<DecisionResult>> Engine::DecideBatchParallel(
     stats_.errors += w.errors;
     stats_.lp_pivots += w.lp_pivots;
     stats_.decision_memo_hits += w.memo_hits;
+    stats_.store_hits += w.store_hits;
+    stats_.store_misses += w.store_misses;
+    stats_.store_appends += w.store_appends;
+    stats_.store_rejects += w.store_rejects;
     worker_stats_.prover_constructions += w.provers.constructions();
     worker_stats_.prover_cache_hits += w.provers.hits();
     const lp::SolverStats& ss = w.solver->stats();
@@ -265,31 +278,65 @@ bool Engine::MemoLookup(const std::string& key, DecisionResult* out) {
 }
 
 void Engine::MemoInsert(const std::string& key, const DecisionResult& result) {
+  const size_t cap = options_.memo_max_entries();
+  if (cap == 0) return;
   auto entry = std::make_shared<const DecisionResult>(result);
   std::lock_guard<std::mutex> lock(memo_mutex_);
-  if (memo_.size() >= kMemoMaxEntries) return;  // bounded; first-seen wins
-  memo_.emplace(key, std::move(entry));
+  if (!memo_.emplace(key, std::move(entry)).second) return;  // already there
+  memo_order_.push_back(key);
+  while (memo_.size() > cap) {  // FIFO eviction at the cap
+    memo_.erase(memo_order_.front());
+    memo_order_.pop_front();
+  }
 }
 
 util::Result<DecisionResult> Engine::DecideMemoized(
     const cq::ConjunctiveQuery& q1, const cq::ConjunctiveQuery& q2,
     bool bag_bag, const core::DeciderOptions& decider_options,
-    entropy::ProverCache* provers, lp::Solver* solver, bool* memo_hit,
-    double* elapsed_ms) {
-  *memo_hit = false;
-  *elapsed_ms = 0.0;
+    entropy::ProverCache* provers, lp::Solver* solver, DecideTrace* trace) {
+  *trace = DecideTrace{};
+  DecisionStore* store = options_.decision_store();
   std::string key;
-  if (options_.memoize_decisions()) {
+  if (options_.memoize_decisions() || store != nullptr) {
     key = MemoKey(q1, q2, bag_bag);
+  }
+  if (options_.memoize_decisions()) {
     DecisionResult memoized;
     if (MemoLookup(key, &memoized)) {
-      *memo_hit = true;
+      trace->memo_hit = true;
       return memoized;
     }
   }
-  auto result =
-      DecideOne(q1, q2, bag_bag, decider_options, provers, solver, elapsed_ms);
-  if (result.ok() && options_.memoize_decisions()) MemoInsert(key, *result);
+  if (store != nullptr) {
+    // The persistent tier: a hit was decoded, checksummed, and (for
+    // certificate-carrying results) re-verified by the store's load policy,
+    // so it is as trustworthy as a fresh solve — warm the memo with it.
+    DecisionResult stored;
+    if (store->Lookup(key, &stored)) {
+      trace->store_hit = true;
+      stored.stats.store_hit = true;
+      if (options_.memoize_decisions()) MemoInsert(key, stored);
+      return stored;
+    }
+    trace->store_miss = true;
+  }
+  auto result = DecideOne(q1, q2, bag_bag, decider_options, provers, solver,
+                          &trace->elapsed_ms);
+  if (result.ok()) {
+    if (options_.memoize_decisions()) MemoInsert(key, *result);
+    if (store != nullptr) {
+      switch (store->Put(key, *result)) {
+        case StorePutOutcome::kAppended:
+          trace->store_append = true;
+          break;
+        case StorePutOutcome::kRejected:
+          trace->store_reject = true;
+          break;
+        case StorePutOutcome::kDuplicate:
+          break;  // raced with another appender; their record is canonical
+      }
+    }
+  }
   return result;
 }
 
@@ -297,16 +344,19 @@ util::Result<DecisionResult> Engine::DecideImpl(
     const cq::ConjunctiveQuery& q1, const cq::ConjunctiveQuery& q2,
     bool bag_bag) {
   ++stats_.decisions;
-  bool memo_hit = false;
-  double elapsed = 0.0;
+  DecideTrace trace;
   auto result = DecideMemoized(q1, q2, bag_bag, options_.ToDeciderOptions(),
-                               &provers_, solver_.get(), &memo_hit, &elapsed);
-  stats_.total_ms += elapsed;
-  if (memo_hit) {
+                               &provers_, solver_.get(), &trace);
+  stats_.total_ms += trace.elapsed_ms;
+  stats_.store_hits += trace.store_hit ? 1 : 0;
+  stats_.store_misses += trace.store_miss ? 1 : 0;
+  stats_.store_appends += trace.store_append ? 1 : 0;
+  stats_.store_rejects += trace.store_reject ? 1 : 0;
+  if (trace.memo_hit) {
     ++stats_.decision_memo_hits;
   } else if (!result.ok()) {
     ++stats_.errors;
-  } else {
+  } else if (!trace.store_hit) {
     stats_.lp_pivots += result->stats.lp_pivots;
   }
   return result;
@@ -458,7 +508,11 @@ void Engine::ClearCache() {
   {
     std::lock_guard<std::mutex> lock(memo_mutex_);
     memo_.clear();
+    memo_order_.clear();
   }
+  // Note: the persistent decision store (if any) is deliberately NOT
+  // cleared — it outlives sessions by design; drop records via the store's
+  // own tooling (compaction, or deleting the log file).
   stats_ = EngineStats{};
   worker_stats_ = EngineStats{};
 }

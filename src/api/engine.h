@@ -21,7 +21,13 @@
 //   * optionally, a query-pair → DecisionResult memo for repeated traffic
 //     (EngineOptions::set_memoize_decisions), keyed by the canonical wire
 //     encoding of the pair (wire::CanonicalPairKey) — whitespace- and
-//     variable-renaming variants of one question share one entry.
+//     variable-renaming variants of one question share one entry; bounded
+//     (EngineOptions::set_memo_max_entries) with FIFO eviction;
+//   * optionally, a persistent decision store hook
+//     (EngineOptions::set_decision_store, api/decision_store.h), consulted
+//     between the memo and a cold solve and offered every fresh result —
+//     the cross-restart tier behind store/proof_store.h, keyed by the same
+//     canonical pair key as the memo.
 //
 // DecideBatch shards across EngineOptions::num_threads() workers, each with
 // its own solver workspace and prover-cache handle (warmed from the session
@@ -32,6 +38,7 @@
 // core/decider.h still work — they spin up the state above per call.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -74,6 +81,10 @@ struct EngineStats {
   int64_t lp_warm_accepts = 0;     // LPs resumed from a warm-start basis
   int64_t lp_warm_pivots_saved = 0;  // pivots saved vs cold baselines
   int64_t decision_memo_hits = 0;  // decisions served from the memo cache
+  int64_t store_hits = 0;      // decisions served from the persistent store
+  int64_t store_misses = 0;    // store consulted, key absent (or unverifiable)
+  int64_t store_appends = 0;   // fresh results persisted to the store
+  int64_t store_rejects = 0;   // fresh results the store's admission refused
   double total_ms = 0.0;        // wall-clock across all calls
 
   /// Field-wise sum — the one place aggregation lives, so a future counter
@@ -92,6 +103,10 @@ struct EngineStats {
     lp_warm_accepts += other.lp_warm_accepts;
     lp_warm_pivots_saved += other.lp_warm_pivots_saved;
     decision_memo_hits += other.decision_memo_hits;
+    store_hits += other.store_hits;
+    store_misses += other.store_misses;
+    store_appends += other.store_appends;
+    store_rejects += other.store_rejects;
     total_ms += other.total_ms;
     return *this;
   }
@@ -181,25 +196,36 @@ class Engine {
   util::Result<DecisionResult> DecideImpl(const cq::ConjunctiveQuery& q1,
                                           const cq::ConjunctiveQuery& q2,
                                           bool bag_bag);
-  /// The memo-wrapped decision core shared verbatim by DecideImpl and the
-  /// parallel-batch workers (so sequential and sharded batches cannot drift):
-  /// lookup → decide against the given state → insert. Thread-safe for
-  /// concurrent workers (only the memo is shared, behind its mutex).
+  /// What one memoized decision did, for the caller to fold into whichever
+  /// counter set it owns (the session's or a batch worker's).
+  struct DecideTrace {
+    bool memo_hit = false;
+    bool store_hit = false;     // served from the persistent store
+    bool store_miss = false;    // store consulted, had nothing usable
+    bool store_append = false;  // fresh result persisted
+    bool store_reject = false;  // fresh result refused by admission
+    double elapsed_ms = 0.0;
+  };
+  /// The cache-tiered decision core shared verbatim by DecideImpl and the
+  /// parallel-batch workers (so sequential and sharded batches cannot
+  /// drift): memo lookup → persistent-store lookup → decide against the
+  /// given state → memo insert + store append. Thread-safe for concurrent
+  /// workers (the memo is behind its mutex; the store contract requires
+  /// concurrent safety).
   util::Result<DecisionResult> DecideMemoized(
       const cq::ConjunctiveQuery& q1, const cq::ConjunctiveQuery& q2,
       bool bag_bag, const core::DeciderOptions& decider_options,
-      entropy::ProverCache* provers, lp::Solver* solver, bool* memo_hit,
-      double* elapsed_ms);
+      entropy::ProverCache* provers, lp::Solver* solver, DecideTrace* trace);
   std::vector<util::Result<DecisionResult>> DecideBatchParallel(
       std::span<const QueryPair> pairs, int threads);
   /// Memo lookup/insert (no-ops unless memoize_decisions is on). Shared by
   /// the sequential and worker paths; the mutex makes them batch-safe. The
   /// stored entries are shared immutable snapshots, so a hit holds the lock
-  /// only for a pointer grab; the map stops growing at kMemoMaxEntries
-  /// (results can carry witness databases — the memo must stay bounded).
+  /// only for a pointer grab; past EngineOptions::memo_max_entries() the
+  /// oldest entry is evicted FIFO (results can carry witness databases —
+  /// the memo must stay bounded).
   bool MemoLookup(const std::string& key, DecisionResult* out);
   void MemoInsert(const std::string& key, const DecisionResult& result);
-  static constexpr size_t kMemoMaxEntries = 65'536;
 
   EngineOptions options_;
   entropy::ProverCache provers_;
@@ -209,6 +235,8 @@ class Engine {
   /// caches are transient; the numbers must survive the join).
   EngineStats worker_stats_;
   std::map<std::string, std::shared_ptr<const DecisionResult>> memo_;
+  /// Insertion order of memo_ keys, for FIFO eviction at the cap.
+  std::deque<std::string> memo_order_;
   std::mutex memo_mutex_;
 };
 

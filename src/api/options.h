@@ -5,12 +5,15 @@
 // by brute-force homomorphism counting.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "core/decider.h"
 #include "lp/solver.h"
 
 namespace bagcq::api {
+
+class DecisionStore;  // api/decision_store.h — the persistent-store hook
 
 class EngineOptions {
  public:
@@ -87,6 +90,27 @@ class EngineOptions {
   }
   bool memoize_decisions() const { return memoize_decisions_; }
 
+  /// Cap on the decision memo (entries). At the cap the oldest entry is
+  /// evicted first-in-first-out — results can carry witness databases, so
+  /// the memo must stay bounded but repeated hot traffic should stay warm.
+  /// 0 disables the memo outright even with memoize_decisions on.
+  EngineOptions& set_memo_max_entries(size_t v) {
+    memo_max_entries_ = v;
+    return *this;
+  }
+  size_t memo_max_entries() const { return memo_max_entries_; }
+
+  /// Persistent decision store (api/decision_store.h), consulted between
+  /// the in-memory memo and a cold solve and offered every freshly solved
+  /// result. Not owned; must outlive the Engine and be safe for concurrent
+  /// batch workers (store::ProofStore qualifies). Null (the default) means
+  /// no persistence.
+  EngineOptions& set_decision_store(DecisionStore* store) {
+    decision_store_ = store;
+    return *this;
+  }
+  DecisionStore* decision_store() const { return decision_store_; }
+
   /// The legacy options pair consumed by the core decider.
   core::DeciderOptions ToDeciderOptions() const {
     core::DeciderOptions options;
@@ -105,6 +129,8 @@ class EngineOptions {
   bool warm_starts_ = true;
   int num_threads_ = 1;
   bool memoize_decisions_ = false;
+  size_t memo_max_entries_ = 65'536;
+  DecisionStore* decision_store_ = nullptr;
 };
 
 }  // namespace bagcq::api

@@ -38,6 +38,11 @@ struct CallStats {
   /// (EngineOptions::set_memoize_decisions); elapsed_ms/lp_pivots are those
   /// of the originally computed decision.
   bool memo_hit = false;
+  /// The decision was served from the persistent proof store
+  /// (EngineOptions::set_decision_store) — loaded, checksum-verified, and
+  /// (for certificate-carrying results) re-verified, with no LP run. As
+  /// with memo_hit, elapsed_ms/lp_pivots are those of the original solve.
+  bool store_hit = false;
 };
 
 /// Outcome of Engine::Decide / DecideBatch.

@@ -377,7 +377,11 @@ std::string DebugString(const Response& response) {
              << ", proofs=" << r.stats.proofs << ", errors=" << r.stats.errors
              << ", lp_solves=" << r.stats.lp_solves
              << ", lp_pivots=" << r.stats.lp_pivots
-             << ", memo_hits=" << r.stats.decision_memo_hits << "}";
+             << ", memo_hits=" << r.stats.decision_memo_hits
+             << ", store_hits=" << r.stats.store_hits
+             << ", store_misses=" << r.stats.store_misses
+             << ", store_appends=" << r.stats.store_appends
+             << ", store_rejects=" << r.stats.store_rejects << "}";
         } else if constexpr (std::is_same_v<T, AckResponse>) {
           os << "Ack{" << r.status.ToString() << "}";
         } else {

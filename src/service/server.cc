@@ -2,7 +2,9 @@
 
 #include <cerrno>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <cstring>
 #include <dirent.h>
 #include <fcntl.h>
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "service/transport.h"
+#include "store/proof_store.h"
 #include "wire/wire.h"
 
 namespace bagcq::service {
@@ -78,7 +81,28 @@ void CloseInheritedFds(int keep) {
 /// The worker child's whole life: answer id-tagged frames until the parent
 /// closes the link, then vanish without running the parent's atexit/static
 /// teardown.
-[[noreturn]] void RunWorker(int fd, const api::EngineOptions& options) {
+[[noreturn]] void RunWorker(int fd, const ServerOptions& server_options) {
+  api::EngineOptions options = server_options.engine;
+  std::unique_ptr<store::ProofStore> proof_store;
+  if (!server_options.store_path.empty()) {
+    // Each worker holds its own handle on the shared log. No repair here:
+    // sibling workers are appending concurrently, and truncating a tail one
+    // of them just half-wrote would destroy a good record — the parent
+    // already repaired once before any worker existed.
+    store::StoreOptions store_options;
+    store_options.repair = false;
+    auto opened = store::ProofStore::Open(server_options.store_path,
+                                          store_options);
+    if (opened.ok()) {
+      proof_store = std::move(opened).ValueOrDie();
+      options.set_decision_store(proof_store.get());
+    } else {
+      // Fail soft to a storeless (cold but correct) worker: persistence is
+      // an accelerator, never a liveness dependency.
+      std::fprintf(stderr, "worker: %s; serving without a store\n",
+                   opened.status().ToString().c_str());
+    }
+  }
   Service service(options);
   std::string request;
   bool clean_eof = false;
@@ -127,7 +151,7 @@ util::Status WorkerPool::SpawnWorker(WorkerLink* link) {
   }
   if (pid == 0) {
     CloseInheritedFds(fds[1]);
-    RunWorker(fds[1], options_.engine);
+    RunWorker(fds[1], options_);
   }
   ::close(fds[1]);
   link->fd = fds[0];
@@ -147,6 +171,17 @@ util::Status WorkerPool::Start(const ServerOptions& options) {
   std::signal(SIGPIPE, SIG_IGN);
   options_ = options;
   respawns_ = 0;
+  if (!options_.store_path.empty()) {
+    // One repairing open before any worker exists: a torn tail from a
+    // previous crash is truncated here, exactly once, while nobody is
+    // appending. An unopenable log is not fatal — workers fail soft to
+    // storeless serving and report the same error themselves.
+    auto repaired = store::ProofStore::Open(options_.store_path, {});
+    if (!repaired.ok()) {
+      std::fprintf(stderr, "server: %s\n",
+                   repaired.status().ToString().c_str());
+    }
+  }
   for (int w = 0; w < options.num_workers; ++w) {
     WorkerLink link;
     const util::Status status = SpawnWorker(&link);

@@ -47,6 +47,14 @@ struct ServerOptions {
   /// Per-worker Engine configuration. Decision memoization defaults on for
   /// a serving tier — sticky routing is what makes the memo pay.
   api::EngineOptions engine = api::EngineOptions().set_memoize_decisions(true);
+  /// Path of a persistent proof-store log (store/proof_store.h) shared by
+  /// every worker, or empty for no persistence. Start() repairs the log
+  /// once (truncating any torn tail) before forking; each worker then opens
+  /// its own non-repairing handle and appends whole records through
+  /// O_APPEND, so the processes never cut the file out from under each
+  /// other. Respawned workers re-open the log and warm up from everything
+  /// persisted so far — including records their predecessor appended.
+  std::string store_path;
 };
 
 /// Owns N forked worker processes and the framed socketpair links to them.

@@ -1,0 +1,41 @@
+#include "store/crc32c.h"
+
+#include <array>
+
+namespace bagcq::store {
+
+namespace {
+
+/// Reflected CRC32C table, generated once at static-init time (256 entries,
+/// 1 KiB) — cheap enough that baking a literal table in would only add a
+/// thousand lines of hex to review.
+std::array<uint32_t, 256> MakeTable() {
+  constexpr uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data) {
+  const std::array<uint32_t, 256>& table = Table();
+  crc = ~crc;
+  for (unsigned char byte : data) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace bagcq::store

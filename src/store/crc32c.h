@@ -1,0 +1,35 @@
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — the per-record
+// checksum of the proof-store log (store/proof_store.h). Chosen over plain
+// CRC32 for its better burst-error detection and because it is the checksum
+// every comparable storage format (LevelDB, RocksDB, ext4 metadata) settled
+// on; implemented as a portable slice-by-one table so the store builds on
+// any toolchain in the image — no SSE4.2 intrinsics, no dependency.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bagcq::store {
+
+/// Extends a running CRC32C with `data`. Start from 0; feeding a buffer in
+/// pieces gives the same result as one call over the concatenation, which is
+/// how the record checksum covers key and payload without copying them into
+/// one buffer.
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data);
+}
+
+/// The stored form is masked like LevelDB's: a CRC of bytes that themselves
+/// contain that CRC (a re-written log of a log) would otherwise verify
+/// vacuously. Mask before writing, unmask after reading.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace bagcq::store

@@ -636,6 +636,7 @@ void EncodeCallStats(const api::CallStats& v, Encoder* e) {
   e->PutSigned(v.lp_warm_pivots_saved);
   e->PutBool(v.prover_cache_hit);
   e->PutBool(v.memo_hit);
+  e->PutBool(v.store_hit);
 }
 
 util::Result<api::CallStats> DecodeCallStats(Decoder* d) {
@@ -646,6 +647,7 @@ util::Result<api::CallStats> DecodeCallStats(Decoder* d) {
   WIRE_GET(d->GetSigned(&out.lp_warm_pivots_saved), "CallStats");
   WIRE_GET(d->GetBool(&out.prover_cache_hit), "CallStats");
   WIRE_GET(d->GetBool(&out.memo_hit), "CallStats");
+  WIRE_GET(d->GetBool(&out.store_hit), "CallStats");
   return out;
 }
 
@@ -746,6 +748,10 @@ void EncodeEngineStats(const api::EngineStats& v, Encoder* e) {
   e->PutSigned(v.lp_warm_accepts);
   e->PutSigned(v.lp_warm_pivots_saved);
   e->PutSigned(v.decision_memo_hits);
+  e->PutSigned(v.store_hits);
+  e->PutSigned(v.store_misses);
+  e->PutSigned(v.store_appends);
+  e->PutSigned(v.store_rejects);
   e->PutDouble(v.total_ms);
 }
 
@@ -763,6 +769,10 @@ util::Result<api::EngineStats> DecodeEngineStats(Decoder* d) {
   WIRE_GET(d->GetSigned(&out.lp_warm_accepts), "EngineStats");
   WIRE_GET(d->GetSigned(&out.lp_warm_pivots_saved), "EngineStats");
   WIRE_GET(d->GetSigned(&out.decision_memo_hits), "EngineStats");
+  WIRE_GET(d->GetSigned(&out.store_hits), "EngineStats");
+  WIRE_GET(d->GetSigned(&out.store_misses), "EngineStats");
+  WIRE_GET(d->GetSigned(&out.store_appends), "EngineStats");
+  WIRE_GET(d->GetSigned(&out.store_rejects), "EngineStats");
   WIRE_GET(d->GetDouble(&out.total_ms), "EngineStats");
   return out;
 }

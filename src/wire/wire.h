@@ -1,4 +1,4 @@
-// The bagcq wire format (version 1): a versioned, compact, canonical binary
+// The bagcq wire format (version 2): a versioned, compact, canonical binary
 // encoding for every type that crosses the service boundary — queries,
 // entropy expressions, decisions with their exact certificates,
 // counterexample polymatroids and witness databases, and util::Status with
@@ -65,7 +65,9 @@
 namespace bagcq::wire {
 
 /// Bumped on any incompatible layout change; checked by the envelope.
-inline constexpr uint8_t kWireVersion = 1;
+/// History: 1 → 2 appended the persistent-store counters to CallStats
+/// (store_hit) and EngineStats (store_hits/misses/appends/rejects).
+inline constexpr uint8_t kWireVersion = 2;
 
 // ------------------------------------------------------------- scalars
 void EncodeBigInt(const util::BigInt& v, Encoder* e);

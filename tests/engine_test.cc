@@ -473,6 +473,34 @@ TEST(EngineMemoTest, TextualVariantsOfOnePairShareOneMemoEntry) {
   EXPECT_FALSE(different.stats.memo_hit);
 }
 
+TEST(EngineMemoTest, MemoEvictsOldestFirstAtTheCap) {
+  // Cap 2, three distinct pairs: the third insert must evict the first
+  // (FIFO), and re-deciding the first must re-insert it (evicting the
+  // second) — the memo is bounded but never stops admitting new entries.
+  Engine engine{
+      EngineOptions().set_memoize_decisions(true).set_memo_max_entries(2)};
+  const char* p1[2] = {"R(x,y)", "R(a,b)"};
+  const char* p2[2] = {"R(x,y), R(y,z)", "R(a,b), R(b,c)"};
+  const char* p3[2] = {"R(x,y), R(y,z), R(z,x)", "R(a,b), R(a,c)"};
+  engine.Decide(p1[0], p1[1]).ValueOrDie();
+  engine.Decide(p2[0], p2[1]).ValueOrDie();
+  EXPECT_TRUE(engine.Decide(p1[0], p1[1]).ValueOrDie().stats.memo_hit);
+  engine.Decide(p3[0], p3[1]).ValueOrDie();  // cap reached: evicts p1
+  EXPECT_FALSE(engine.Decide(p1[0], p1[1]).ValueOrDie().stats.memo_hit);
+  // That re-decide re-inserted p1, evicting p2; p3 is still resident.
+  EXPECT_TRUE(engine.Decide(p3[0], p3[1]).ValueOrDie().stats.memo_hit);
+  EXPECT_FALSE(engine.Decide(p2[0], p2[1]).ValueOrDie().stats.memo_hit);
+  EXPECT_EQ(engine.stats().decision_memo_hits, 2);
+}
+
+TEST(EngineMemoTest, ZeroCapDisablesTheMemo) {
+  Engine engine{
+      EngineOptions().set_memoize_decisions(true).set_memo_max_entries(0)};
+  engine.Decide("R(x,y)", "R(a,b)").ValueOrDie();
+  EXPECT_FALSE(engine.Decide("R(x,y)", "R(a,b)").ValueOrDie().stats.memo_hit);
+  EXPECT_EQ(engine.stats().decision_memo_hits, 0);
+}
+
 TEST(EngineMemoTest, MemoDistinguishesBagBagFromBagSet) {
   Engine engine{EngineOptions().set_memoize_decisions(true)};
   auto pair = engine.ParsePair("R(x,y)", "R(a,b)").ValueOrDie();

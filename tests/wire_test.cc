@@ -330,11 +330,33 @@ TEST(WireResultTest, EngineStatsRoundTrip) {
   Engine engine;
   engine.Decide("R(x,y)", "R(a,b)").ValueOrDie();
   api::EngineStats stats = engine.stats();
+  // Fill the store counters too (no store ran here): every appended field
+  // must survive the trip, not just the ones a bare Decide populates.
+  stats.store_hits = 7;
+  stats.store_misses = 8;
+  stats.store_appends = 9;
+  stats.store_rejects = 10;
   api::EngineStats out =
       RoundTrip(stats, EncodeEngineStats, DecodeEngineStats);
   EXPECT_EQ(out.decisions, stats.decisions);
   EXPECT_EQ(out.lp_solves, stats.lp_solves);
   EXPECT_EQ(out.total_ms, stats.total_ms);
+  EXPECT_EQ(out.store_hits, 7);
+  EXPECT_EQ(out.store_misses, 8);
+  EXPECT_EQ(out.store_appends, 9);
+  EXPECT_EQ(out.store_rejects, 10);
+}
+
+TEST(WireResultTest, CallStatsStoreHitRoundTrips) {
+  api::CallStats stats;
+  stats.elapsed_ms = 1.5;
+  stats.lp_pivots = 3;
+  stats.memo_hit = true;
+  stats.store_hit = true;
+  api::CallStats out = RoundTrip(stats, EncodeCallStats, DecodeCallStats);
+  EXPECT_TRUE(out.memo_hit);
+  EXPECT_TRUE(out.store_hit);
+  EXPECT_EQ(out.lp_pivots, 3);
 }
 
 // ------------------------------------------------------- property sweep

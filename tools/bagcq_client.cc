@@ -13,6 +13,14 @@
 // batch files carry one pair per line: Q1 <TAB> Q2. Output is line-oriented
 // and deterministic, so `diff <(client --inproc batch F) <(client --socket S
 // batch F)` is the cross-process conformance check.
+//
+// Offline proof-store maintenance (no server, no destination flag; run on
+// logs no live server has open):
+//
+//   bagcq_client store-export SRC DST    write SRC's live records as a
+//                                        fresh deterministic log at DST
+//   bagcq_client store-import DST SRC    append SRC records absent from DST
+//   bagcq_client store-compact PATH      rewrite PATH dropping dead bytes
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -26,6 +34,7 @@
 #include "service/server.h"
 #include "service/service.h"
 #include "service/transport.h"
+#include "store/proof_store.h"
 
 using namespace bagcq;
 
@@ -42,7 +51,11 @@ int Usage(const char* argv0) {
       "  prove INEQ       ITIP-style Shannon prover\n"
       "  analyze Q2       structural analysis of a containing query\n"
       "  stats            aggregated worker EngineStats\n"
-      "  clear            drop every worker cache\n",
+      "  clear            drop every worker cache\n"
+      "offline proof-store maintenance (no destination flag):\n"
+      "  store-export SRC DST   rewrite SRC's live records as a fresh log\n"
+      "  store-import DST SRC   append SRC records missing from DST\n"
+      "  store-compact PATH     rewrite PATH in place, dropping dead bytes\n",
       argv0);
   return 2;
 }
@@ -108,6 +121,60 @@ int Fail(const util::Status& status) {
   return 1;
 }
 
+/// The offline proof-store verbs. These never touch a server: they open log
+/// files directly (repairing torn tails as they go), so they must only run
+/// on logs no live server holds open.
+int RunStoreCommand(const std::string& command, int argc, char** argv, int i,
+                    const char* argv0) {
+  auto open = [](const char* path)
+      -> util::Result<std::unique_ptr<store::ProofStore>> {
+    return store::ProofStore::Open(path);
+  };
+  if (command == "store-export") {
+    if (i + 2 > argc) return Usage(argv0);
+    auto src = open(argv[i]);
+    if (!src.ok()) return Fail(src.status());
+    const util::Status status = (*src)->ExportTo(argv[i + 1]);
+    if (!status.ok()) return Fail(status);
+    std::printf("store-export: %zu records -> %s\n", (*src)->size(),
+                argv[i + 1]);
+    return 0;
+  }
+  if (command == "store-import") {
+    if (i + 2 > argc) return Usage(argv0);
+    auto dst = open(argv[i]);
+    if (!dst.ok()) return Fail(dst.status());
+    auto src = open(argv[i + 1]);
+    if (!src.ok()) return Fail(src.status());
+    size_t imported = 0;
+    const util::Status status = (*src)->ForEach(
+        [&](const std::string& key, const std::string& payload) {
+          if ((*dst)->Contains(key)) return util::Status::OK();
+          ++imported;
+          return (*dst)->AppendRaw(key, payload);
+        });
+    if (!status.ok()) return Fail(status);
+    if (util::Status synced = (*dst)->Sync(); !synced.ok()) {
+      return Fail(synced);
+    }
+    std::printf("store-import: %zu records imported, %zu total in %s\n",
+                imported, (*dst)->size(), argv[i]);
+    return 0;
+  }
+  if (command == "store-compact") {
+    if (i + 1 > argc) return Usage(argv0);
+    auto log = open(argv[i]);
+    if (!log.ok()) return Fail(log.status());
+    const size_t records = (*log)->size();
+    const util::Status status = (*log)->Compact();
+    if (!status.ok()) return Fail(status);
+    std::printf("store-compact: %zu live records kept in %s\n", records,
+                argv[i]);
+    return 0;
+  }
+  return Usage(argv0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -127,12 +194,19 @@ int main(int argc, char** argv) {
       break;
     }
   }
-  // Exactly one destination: the flags are alternatives, and silently
-  // preferring one over another would answer from the wrong server.
+  if (i >= argc) return Usage(argv[0]);
+  const std::string command = argv[i++];
+  // The store-* verbs are offline file maintenance — no server involved,
+  // so the destination flags do not apply (and must not be given).
   const int destinations = (socket_path.empty() ? 0 : 1) +
                            (tcp_address.empty() ? 0 : 1) + (inproc ? 1 : 0);
-  if (i >= argc || destinations != 1) return Usage(argv[0]);
-  const std::string command = argv[i++];
+  if (command.rfind("store-", 0) == 0) {
+    if (destinations != 0) return Usage(argv[0]);
+    return RunStoreCommand(command, argc, argv, i, argv[0]);
+  }
+  // Exactly one destination: the flags are alternatives, and silently
+  // preferring one over another would answer from the wrong server.
+  if (destinations != 1) return Usage(argv[0]);
 
   std::unique_ptr<Channel> channel;
   if (inproc) {

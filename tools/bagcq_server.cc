@@ -11,8 +11,14 @@
 // input order, Stats aggregates every worker's counters (including the
 // crash-respawn count — a worker that dies is re-forked automatically).
 //
+// With --store PATH every worker shares one persistent proof-store log
+// (store/proof_store.h): decisions persisted by any previous run — or any
+// previous worker incarnation — are served warm across restarts, verified
+// on load.
+//
 //   bagcq_server (--socket PATH | --listen HOST:PORT)... [--workers N]
 //                [--backend tiered] [--threads K] [--no-memoize] [--cold]
+//                [--store PATH]
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -30,7 +36,7 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s (--socket PATH | --listen HOST:PORT)... [--workers N]\n"
       "          [--backend exact|tiered] [--threads K] [--no-memoize]\n"
-      "          [--cold]\n"
+      "          [--cold] [--store PATH]\n"
       "  --socket PATH   serve a Unix domain socket at PATH\n"
       "  --listen H:P    serve TCP at host:port (port 0 picks a free port,\n"
       "                  printed on startup); repeatable, combines with\n"
@@ -39,7 +45,9 @@ int Usage(const char* argv0) {
       "  --backend B     LP backend per worker (default tiered)\n"
       "  --threads K     in-process batch threads per worker (default 1)\n"
       "  --no-memoize    disable the per-worker decision memo\n"
-      "  --cold          disable LP warm starts (deterministic pivot counts)\n",
+      "  --cold          disable LP warm starts (deterministic pivot counts)\n"
+      "  --store PATH    persistent proof-store log shared by all workers\n"
+      "                  (created if absent; survives restarts)\n",
       argv0);
   return 2;
 }
@@ -68,6 +76,8 @@ int main(int argc, char** argv) {
       options.engine.set_memoize_decisions(false);
     } else if (arg == "--cold") {
       options.engine.set_warm_starts(false);
+    } else if (arg == "--store" && i + 1 < argc) {
+      options.store_path = argv[++i];
     } else {
       return Usage(argv[0]);
     }

@@ -12,6 +12,10 @@ Checks, each grep-level simple so failures are self-explanatory:
    appears by name in docs/wire-format.md.
 4. Every util::StatusCode enumerator appears in docs/wire-format.md (the
    codes are a stable wire table).
+5. Every on-disk format constant of src/store/proof_store.h (the
+   `inline constexpr k*` declarations: magics, header size, record
+   bound) appears by name in docs/proof-store.md — the log layout is a
+   second normative spec that must not drift either.
 
 Exit status: 0 = docs and code agree, 1 = drift (or missing files).
 
@@ -98,6 +102,19 @@ def main():
     status_h = read(root, os.path.join("src", "util", "status.h"))
     check_mentions(enum_names(status_h, "StatusCode"), spec,
                    "status code", failures)
+
+    store_spec = read(root, os.path.join("docs", "proof-store.md"))
+    store_h = read(root, os.path.join("src", "store", "proof_store.h"))
+    constants = re.findall(r"inline\s+constexpr\s+\S+\s+(k\w+)", store_h)
+    if not constants:
+        sys.exit("error: no inline constexpr constants found in "
+                 "proof_store.h")
+    missing = [name for name in constants if name not in store_spec]
+    for name in missing:
+        failures.append(
+            f"proof-store.md: store constant '{name}' is undocumented")
+    print(f"store constants: {len(constants) - len(missing)}"
+          f"/{len(constants)} documented")
 
     if failures:
         print("\ndocs gate FAILED:", file=sys.stderr)
