@@ -140,6 +140,35 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The exact-arithmetic ablation: the escalation ladder (these integer
+  // elemental systems never leave the word tier) against the reference
+  // vector-of-Rational tableau, both on the exact backend with warm starts
+  // off — the row pair that prices the ladder itself, with no screening or
+  // warm-basis machinery in the frame.
+  for (auto arithmetic :
+       {lp::ExactArithmetic::kLadder, lp::ExactArithmetic::kRational}) {
+    const bool ladder = arithmetic == lp::ExactArithmetic::kLadder;
+    const std::string tag = ladder ? "exact_cold/word" : "exact_cold/bigint";
+    Engine engine{EngineOptions()
+                      .set_solver_backend(lp::SolverBackend::kExactRational)
+                      .set_warm_starts(false)
+                      .set_exact_arithmetic(arithmetic)};
+    auto e4 = SplitSubmodularity(4);
+    results.push_back(Time("shannon_prove_n4/" + tag, prove4_iters, [&] {
+      engine.ProveInequality(e4).ValueOrDie();
+    }));
+    results.push_back(Time("zhang_yeung_refute/" + tag, prove4_iters, [&] {
+      engine.ProveInequality(entropy::ZhangYeungExpr()).ValueOrDie();
+    }));
+    // The ladder rows must actually have run on the word tier (and the
+    // rational rows off it), or the comparison is mislabeled.
+    const EngineStats stats = engine.stats();
+    if (ladder !=
+        (stats.lp_word_pivots > 0 && stats.lp_bigint_promotions == 0)) {
+      std::abort();
+    }
+  }
+
   for (int threads : {1, 4}) {
     Engine engine{EngineOptions().set_num_threads(threads)};
     auto pairs = BatchWorkload(engine, smoke ? 2 : 8);
@@ -277,6 +306,11 @@ int main(int argc, char** argv) {
                 find(base + "/exact/warm"));
     add_speedup(base + "/tiered:warm_vs_cold", find(base + "/tiered/cold"),
                 find(base + "/tiered/warm"));
+  }
+  for (const char* w : {"shannon_prove_n4", "zhang_yeung_refute"}) {
+    const std::string base(w);
+    add_speedup(base + ":word_vs_bigint", find(base + "/exact_cold/bigint"),
+                find(base + "/exact_cold/word"));
   }
   add_speedup("decide_batch:t4_vs_t1", find("decide_batch_t1"),
               find("decide_batch_t4"));

@@ -6,7 +6,9 @@
 
 #include <random>
 
+#include "lp/ladder_simplex.h"
 #include "lp/solver.h"
+#include "util/bigint.h"
 
 namespace {
 
@@ -126,6 +128,55 @@ void BM_BackendTiered(benchmark::State& state) {
 }
 BENCHMARK(BM_BackendExact)->RangeMultiplier(2)->Range(4, 32);
 BENCHMARK(BM_BackendTiered)->RangeMultiplier(2)->Range(4, 32);
+
+// The escalation ladder vs the reference Rational tableau on the same
+// programs — the pure exact-arithmetic ablation with no Solver backend or
+// screening machinery around it.
+void LadderBench(benchmark::State& state, lp::ExactArithmetic arithmetic) {
+  auto problem = RandomLp(static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(0)), 1234);
+  lp::SolverOptions options;
+  options.exact_arithmetic = arithmetic;
+  lp::ExactSimplex solver(options);
+  int64_t word_pivots = 0;
+  for (auto _ : state) {
+    auto sol = solver.Solve(problem);
+    benchmark::DoNotOptimize(sol.status);
+    word_pivots = sol.word_pivots;
+  }
+  state.counters["word_pivots"] = static_cast<double>(word_pivots);
+}
+void BM_LadderWord(benchmark::State& state) {
+  LadderBench(state, lp::ExactArithmetic::kLadder);
+}
+void BM_LadderRational(benchmark::State& state) {
+  LadderBench(state, lp::ExactArithmetic::kRational);
+}
+BENCHMARK(BM_LadderWord)->RangeMultiplier(2)->Range(4, 32);
+BENCHMARK(BM_LadderRational)->RangeMultiplier(2)->Range(4, 32);
+
+// BigInt small-value fast paths: the single-limb add/sub/mul short-circuits
+// that the ladder's staging/boundary code (and Rational reduction) lean on.
+// `wide` pits the same loop against two-limb operands, which take the
+// general long-form path — the delta is the fast-path win.
+void BM_BigIntSmallOps(benchmark::State& state) {
+  const bool wide = state.range(0) != 0;
+  const int64_t base = wide ? (int64_t{1} << 40) : 1;
+  std::vector<util::BigInt> values;
+  for (int64_t v : {3, -7, 41, -1000, 65535, -123456}) {
+    values.push_back(util::BigInt(v * base));
+  }
+  for (auto _ : state) {
+    for (const util::BigInt& a : values) {
+      for (const util::BigInt& b : values) {
+        benchmark::DoNotOptimize(a + b);
+        benchmark::DoNotOptimize(a - b);
+        benchmark::DoNotOptimize(a * b);
+      }
+    }
+  }
+}
+BENCHMARK(BM_BigIntSmallOps)->Arg(0)->Arg(1);
 
 }  // namespace
 

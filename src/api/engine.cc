@@ -23,6 +23,26 @@ double MsSince(Clock::time_point start) {
       .count();
 }
 
+/// Escalation-ladder counters of `stats`, for before/after call deltas.
+struct LadderSnapshot {
+  int64_t word_pivots = 0;
+  int64_t wide_pivots = 0;
+  int64_t bigint_promotions = 0;
+
+  static LadderSnapshot Of(const lp::Solver* solver) {
+    if (solver == nullptr) return {};
+    const lp::SolverStats& ss = solver->stats();
+    return {ss.word_pivots, ss.wide_pivots, ss.bigint_promotions};
+  }
+  void WriteDeltaTo(const lp::Solver* solver, CallStats* out) const {
+    if (solver == nullptr) return;
+    const lp::SolverStats& ss = solver->stats();
+    out->lp_word_pivots = ss.word_pivots - word_pivots;
+    out->lp_wide_pivots = ss.wide_pivots - wide_pivots;
+    out->lp_bigint_promotions = ss.bigint_promotions - bigint_promotions;
+  }
+};
+
 DecisionResult FromDecision(core::Decision decision) {
   DecisionResult result;
   result.verdict = decision.verdict;
@@ -52,6 +72,7 @@ util::Result<DecisionResult> DecideOne(const cq::ConjunctiveQuery& q1,
       solver != nullptr ? solver->stats().warm_accepts : 0;
   const int64_t warm_saved_before =
       solver != nullptr ? solver->stats().warm_pivots_saved : 0;
+  const LadderSnapshot ladder_before = LadderSnapshot::Of(solver);
   core::DeciderContext context{provers, solver};
   auto decision =
       bag_bag
@@ -69,6 +90,7 @@ util::Result<DecisionResult> DecideOne(const cq::ConjunctiveQuery& q1,
     result.stats.lp_warm_pivots_saved =
         solver->stats().warm_pivots_saved - warm_saved_before;
   }
+  ladder_before.WriteDeltaTo(solver, &result.stats);
   return result;
 }
 
@@ -113,6 +135,7 @@ lp::SolverOptions SolverOptionsFor(const EngineOptions& options) {
   lp::SolverOptions solver_options;  // inherit the shared max_pivots default
   solver_options.pivot_rule = options.pivot_rule();
   solver_options.warm_starts = options.warm_starts();
+  solver_options.exact_arithmetic = options.exact_arithmetic();
   return solver_options;
 }
 }  // namespace
@@ -250,6 +273,9 @@ std::vector<util::Result<DecisionResult>> Engine::DecideBatchParallel(
     worker_stats_.lp_exact_fallbacks += ss.exact_fallbacks;
     worker_stats_.lp_warm_accepts += ss.warm_accepts;
     worker_stats_.lp_warm_pivots_saved += ss.warm_pivots_saved;
+    worker_stats_.lp_word_pivots += ss.word_pivots;
+    worker_stats_.lp_wide_pivots += ss.wide_pivots;
+    worker_stats_.lp_bigint_promotions += ss.bigint_promotions;
     provers_.AbsorbFrom(std::move(w.provers));
   }
   stats_.total_ms += MsSince(start);  // batch wall-clock, not worker-ms sum
@@ -374,6 +400,7 @@ util::Result<ProofResult> Engine::ProveInequality(
   const int64_t constructions_before = provers_.constructions();
   const int64_t warm_accepts_before = solver_->stats().warm_accepts;
   const int64_t warm_saved_before = solver_->stats().warm_pivots_saved;
+  const LadderSnapshot ladder_before = LadderSnapshot::Of(solver_.get());
   const entropy::ShannonProver& prover = provers_.Get(e.num_vars());
   entropy::IIResult ii = prover.Prove(e, solver_.get());
 
@@ -390,6 +417,7 @@ util::Result<ProofResult> Engine::ProveInequality(
       solver_->stats().warm_accepts - warm_accepts_before;
   result.stats.lp_warm_pivots_saved =
       solver_->stats().warm_pivots_saved - warm_saved_before;
+  ladder_before.WriteDeltaTo(solver_.get(), &result.stats);
   stats_.lp_pivots += ii.lp_pivots;
   stats_.total_ms += result.stats.elapsed_ms;
   return result;
@@ -437,6 +465,7 @@ util::Result<ProofResult> Engine::CheckMaxInequality(
   const int64_t constructions_before = provers_.constructions();
   const int64_t warm_accepts_before = solver_->stats().warm_accepts;
   const int64_t warm_saved_before = solver_->stats().warm_pivots_saved;
+  const LadderSnapshot ladder_before = LadderSnapshot::Of(solver_.get());
   // The generator-form cones (Nn, Mn) never touch the elemental system, so
   // only the Γn route pays for (and caches) a prover.
   const entropy::ShannonProver* prover =
@@ -458,6 +487,7 @@ util::Result<ProofResult> Engine::CheckMaxInequality(
       solver_->stats().warm_accepts - warm_accepts_before;
   result.stats.lp_warm_pivots_saved =
       solver_->stats().warm_pivots_saved - warm_saved_before;
+  ladder_before.WriteDeltaTo(solver_.get(), &result.stats);
   stats_.lp_pivots += max_result.lp_pivots;
   stats_.total_ms += result.stats.elapsed_ms;
   return result;
@@ -498,6 +528,10 @@ EngineStats Engine::stats() const {
   out.lp_warm_accepts = ss.warm_accepts + worker_stats_.lp_warm_accepts;
   out.lp_warm_pivots_saved =
       ss.warm_pivots_saved + worker_stats_.lp_warm_pivots_saved;
+  out.lp_word_pivots = ss.word_pivots + worker_stats_.lp_word_pivots;
+  out.lp_wide_pivots = ss.wide_pivots + worker_stats_.lp_wide_pivots;
+  out.lp_bigint_promotions =
+      ss.bigint_promotions + worker_stats_.lp_bigint_promotions;
   return out;
 }
 

@@ -80,6 +80,9 @@ struct EngineStats {
   int64_t lp_exact_fallbacks = 0;  // tiered: solves that re-ran exactly
   int64_t lp_warm_accepts = 0;     // LPs resumed from a warm-start basis
   int64_t lp_warm_pivots_saved = 0;  // pivots saved vs cold baselines
+  int64_t lp_word_pivots = 0;      // exact pivots done in the int64 tier
+  int64_t lp_wide_pivots = 0;      // exact pivots done in the 128-bit tier
+  int64_t lp_bigint_promotions = 0;  // exact solves escalated to BigInt
   int64_t decision_memo_hits = 0;  // decisions served from the memo cache
   int64_t store_hits = 0;      // decisions served from the persistent store
   int64_t store_misses = 0;    // store consulted, key absent (or unverifiable)
@@ -102,6 +105,9 @@ struct EngineStats {
     lp_exact_fallbacks += other.lp_exact_fallbacks;
     lp_warm_accepts += other.lp_warm_accepts;
     lp_warm_pivots_saved += other.lp_warm_pivots_saved;
+    lp_word_pivots += other.lp_word_pivots;
+    lp_wide_pivots += other.lp_wide_pivots;
+    lp_bigint_promotions += other.lp_bigint_promotions;
     decision_memo_hits += other.decision_memo_hits;
     store_hits += other.store_hits;
     store_misses += other.store_misses;

@@ -59,6 +59,17 @@ class EngineOptions {
   }
   lp::SolverBackend solver_backend() const { return solver_backend_; }
 
+  /// Arithmetic of the exact simplex tier (both backends). The default
+  /// kLadder runs the fraction-free machine-word escalation ladder
+  /// (lp/ladder_simplex.h) — identical results to the reference
+  /// vector-of-Rational tableau, typically an order of magnitude faster;
+  /// kRational forces the reference path (the ablation/fallback switch).
+  EngineOptions& set_exact_arithmetic(lp::ExactArithmetic arithmetic) {
+    exact_arithmetic_ = arithmetic;
+    return *this;
+  }
+  lp::ExactArithmetic exact_arithmetic() const { return exact_arithmetic_; }
+
   /// Warm starts across the session's LPs (on by default): each LP shape
   /// keeps its last terminal basis on the solver, and the next same-shaped
   /// program resumes from it instead of re-running phase I — repeated
@@ -126,6 +137,7 @@ class EngineOptions {
   bool verify_witness_counts_ = true;
   lp::PivotRule pivot_rule_ = lp::PivotRule::kBland;
   lp::SolverBackend solver_backend_ = lp::SolverBackend::kDoubleScreened;
+  lp::ExactArithmetic exact_arithmetic_ = lp::ExactArithmetic::kLadder;
   bool warm_starts_ = true;
   int num_threads_ = 1;
   bool memoize_decisions_ = false;

@@ -31,6 +31,13 @@ struct CallStats {
   /// Pivots those warm starts saved vs the recorded cold baseline of the
   /// same LP shape.
   int64_t lp_warm_pivots_saved = 0;
+  /// Escalation-ladder split of this call's *exact* pivots (lp_pivots also
+  /// counts double-screen pivots): pivots completed in the int64 tier, in
+  /// the 128-bit tier, and how many exact solves promoted to BigInt. All
+  /// zero under ExactArithmetic::kRational.
+  int64_t lp_word_pivots = 0;
+  int64_t lp_wide_pivots = 0;
+  int64_t lp_bigint_promotions = 0;
   /// No elemental system was (re)built for this call — the per-n prover came
   /// from the session cache (or the call never needed one).
   bool prover_cache_hit = false;

@@ -21,6 +21,16 @@ const char* SolveStatusToString(SolveStatus status) {
   return "?";
 }
 
+const char* ExactArithmeticToString(ExactArithmetic arithmetic) {
+  switch (arithmetic) {
+    case ExactArithmetic::kLadder:
+      return "ladder";
+    case ExactArithmetic::kRational:
+      return "rational";
+  }
+  return "?";
+}
+
 namespace {
 
 // Scalar abstraction: exact comparisons for Rational, epsilon for double.

@@ -74,7 +74,26 @@ struct Solution {
   /// (SolveFrom) instead of running phase I from scratch. False on a cold
   /// solve or when the hint was rejected (singular / stale / infeasible).
   bool warm_started = false;
+  /// Escalation-ladder accounting (LadderSimplex only; zero elsewhere):
+  /// pivots completed entirely in the overflow-checked int64 tier, pivots
+  /// completed in the 128-bit tier, and whether this solve's tableau ever
+  /// promoted all the way to BigInt arithmetic (0 or 1).
+  int64_t word_pivots = 0;
+  int64_t wide_pivots = 0;
+  int64_t bigint_promotions = 0;
 };
+
+/// Which arithmetic the *exact* backends run the simplex in. Both produce
+/// identical (exact, certificate-carrying) results; kLadder is the fast path.
+enum class ExactArithmetic {
+  /// Fraction-free integer tableau with an overflow-checked int64 → 128-bit
+  /// → BigInt escalation ladder (LadderSimplex). The default.
+  kLadder,
+  /// The reference vector-of-Rational tableau (SimplexSolver<Rational>).
+  kRational,
+};
+
+const char* ExactArithmeticToString(ExactArithmetic arithmetic);
 
 struct SolverOptions {
   PivotRule pivot_rule = PivotRule::kBland;
@@ -86,6 +105,9 @@ struct SolverOptions {
   /// gates the keyed warm-start slots behind Solver::SolveKeyed. Off, every
   /// keyed solve runs cold — the ablation switch for warm-vs-cold benches.
   bool warm_starts = true;
+  /// Consumed by ExactSimplex (the wrapper both exact backends solve
+  /// through): picks the arithmetic ladder or the reference Rational path.
+  ExactArithmetic exact_arithmetic = ExactArithmetic::kLadder;
 };
 
 /// Persistent tableau storage. Kept inside the solver across Solve() calls so

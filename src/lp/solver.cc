@@ -52,6 +52,9 @@ Solution<util::Rational> Solver::SolveKeyed(const LpProblem& problem,
 
 Solution<util::Rational> ExactSolver::Finish(Solution<util::Rational> out) {
   stats_.exact_pivots += out.pivots;
+  stats_.word_pivots += out.word_pivots;
+  stats_.wide_pivots += out.wide_pivots;
+  stats_.bigint_promotions += out.bigint_promotions;
   // The Solver contract promises a certified answer; an exact tier that hits
   // the cap (only reachable with a cycling pivot rule or a misconfigured
   // cap) is a programmer error, as it was before kPivotLimit existed.

@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "lp/ladder_simplex.h"
 #include "lp/simplex.h"
 
 namespace bagcq::lp {
@@ -59,6 +60,12 @@ struct SolverStats {
   /// Pivots avoided by keyed warm starts, measured against the recorded
   /// cold-solve pivot count of the same shape slot (SolveKeyed only).
   int64_t warm_pivots_saved = 0;
+  /// Escalation-ladder accounting (ExactArithmetic::kLadder only, both
+  /// backends' exact tier): exact pivots completed in the int64 tier, in the
+  /// 128-bit tier, and how many solves promoted all the way to BigInt.
+  int64_t word_pivots = 0;
+  int64_t wide_pivots = 0;
+  int64_t bigint_promotions = 0;
 };
 
 class Solver {
@@ -127,9 +134,10 @@ class Solver {
   bool warm_enabled_ = true;
 };
 
-/// The kExactRational backend: a thin Solver wrapper over the exact
-/// SimplexSolver with its persistent workspace. Stack-constructible for
-/// throwaway one-off solves.
+/// The kExactRational backend: a thin Solver wrapper over the exact simplex
+/// (the ladder by default, the reference Rational tableau under
+/// SolverOptions::exact_arithmetic) with its persistent workspace.
+/// Stack-constructible for throwaway one-off solves.
 class ExactSolver final : public Solver {
  public:
   explicit ExactSolver(SolverOptions options = {})
@@ -142,17 +150,13 @@ class ExactSolver final : public Solver {
     return SolverBackend::kExactRational;
   }
 
-  const SimplexWorkspace<util::Rational>& workspace() const {
-    return simplex_.workspace();
-  }
-
  protected:
   void ResetWorkspace() override { simplex_.Reset(); }
 
  private:
   Solution<util::Rational> Finish(Solution<util::Rational> out);
 
-  SimplexSolver<util::Rational> simplex_;
+  ExactSimplex simplex_;
 };
 
 /// Backend registry: constructs the chosen backend. `options` applies to the

@@ -287,6 +287,9 @@ Solution<Rational> TieredSolver::SolveImpl(
     out = exact_.Solve(problem);
   }
   stats_.exact_pivots += out.pivots;
+  stats_.word_pivots += out.word_pivots;
+  stats_.wide_pivots += out.wide_pivots;
+  stats_.bigint_promotions += out.bigint_promotions;
   // Same contract as ExactSolver: the fallback must certify; only the
   // *screen* is allowed to hit its (deliberately low) cap.
   BAGCQ_CHECK(out.status != SolveStatus::kPivotLimit)

@@ -52,7 +52,7 @@ class TieredSolver final : public Solver {
                                      const std::vector<BasisEntry>* hint);
 
   SimplexSolver<double> screen_;
-  SimplexSolver<util::Rational> exact_;
+  ExactSimplex exact_;
 };
 
 }  // namespace bagcq::lp

@@ -377,6 +377,9 @@ std::string DebugString(const Response& response) {
              << ", proofs=" << r.stats.proofs << ", errors=" << r.stats.errors
              << ", lp_solves=" << r.stats.lp_solves
              << ", lp_pivots=" << r.stats.lp_pivots
+             << ", lp_word_pivots=" << r.stats.lp_word_pivots
+             << ", lp_wide_pivots=" << r.stats.lp_wide_pivots
+             << ", lp_bigint_promotions=" << r.stats.lp_bigint_promotions
              << ", memo_hits=" << r.stats.decision_memo_hits
              << ", store_hits=" << r.stats.store_hits
              << ", store_misses=" << r.stats.store_misses

@@ -19,6 +19,54 @@ BigInt::BigInt(int64_t value) {
   }
 }
 
+BigInt BigInt::FromParts(bool negative, uint64_t magnitude) {
+  BigInt out;
+  while (magnitude != 0) {
+    out.limbs_.push_back(static_cast<Limb>(magnitude & 0xffffffffu));
+    magnitude >>= 32;
+  }
+  out.negative_ = negative && !out.limbs_.empty();
+  return out;
+}
+
+#if defined(__SIZEOF_INT128__)
+BigInt BigInt::FromInt128(__int128 value) {
+  const bool negative = value < 0;
+  // Negate in unsigned space so the minimum value round-trips without UB.
+  unsigned __int128 magnitude =
+      negative ? ~static_cast<unsigned __int128>(value) + 1
+               : static_cast<unsigned __int128>(value);
+  BigInt out;
+  while (magnitude != 0) {
+    out.limbs_.push_back(static_cast<Limb>(magnitude & 0xffffffffu));
+    magnitude >>= 32;
+  }
+  out.negative_ = negative && !out.limbs_.empty();
+  return out;
+}
+
+bool BigInt::FitsInt128() const {
+  if (limbs_.size() > 4) return false;
+  if (limbs_.size() < 4) return true;
+  unsigned __int128 magnitude = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    magnitude = (magnitude << 32) | limbs_[i];
+  }
+  const unsigned __int128 half = static_cast<unsigned __int128>(1) << 127;
+  return negative_ ? magnitude <= half : magnitude < half;
+}
+
+__int128 BigInt::ToInt128() const {
+  BAGCQ_CHECK(FitsInt128()) << "BigInt does not fit int128: " << ToString();
+  unsigned __int128 magnitude = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    magnitude = (magnitude << 32) | limbs_[i];
+  }
+  return negative_ ? static_cast<__int128>(~magnitude + 1)
+                   : static_cast<__int128>(magnitude);
+}
+#endif
+
 void BigInt::Normalize() {
   while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
   if (limbs_.empty()) negative_ = false;
@@ -219,6 +267,15 @@ BigInt BigInt::abs() const {
 }
 
 BigInt BigInt::operator+(const BigInt& other) const {
+  // Single-limb fast path: both magnitudes fit 32 bits, so the signed sum
+  // fits comfortably in int64 — skip the magnitude-vector machinery.
+  if (limbs_.size() <= 1 && other.limbs_.size() <= 1) {
+    int64_t a = limbs_.empty() ? 0 : static_cast<int64_t>(limbs_[0]);
+    int64_t b = other.limbs_.empty() ? 0 : static_cast<int64_t>(other.limbs_[0]);
+    if (negative_) a = -a;
+    if (other.negative_) b = -b;
+    return BigInt(a + b);
+  }
   BigInt out;
   if (negative_ == other.negative_) {
     out.limbs_ = AddMagnitude(limbs_, other.limbs_);
@@ -234,9 +291,25 @@ BigInt BigInt::operator+(const BigInt& other) const {
   return out;
 }
 
-BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+BigInt BigInt::operator-(const BigInt& other) const {
+  // Single-limb fast path, and it also avoids materializing -other.
+  if (limbs_.size() <= 1 && other.limbs_.size() <= 1) {
+    int64_t a = limbs_.empty() ? 0 : static_cast<int64_t>(limbs_[0]);
+    int64_t b = other.limbs_.empty() ? 0 : static_cast<int64_t>(other.limbs_[0]);
+    if (negative_) a = -a;
+    if (other.negative_) b = -b;
+    return BigInt(a - b);
+  }
+  return *this + (-other);
+}
 
 BigInt BigInt::operator*(const BigInt& other) const {
+  // Single-limb fast path: the 32x32-bit magnitude product fits uint64.
+  if (limbs_.size() <= 1 && other.limbs_.size() <= 1) {
+    if (limbs_.empty() || other.limbs_.empty()) return BigInt();
+    return FromParts(negative_ != other.negative_,
+                     static_cast<uint64_t>(limbs_[0]) * other.limbs_[0]);
+  }
   BigInt out;
   out.limbs_ = MulMagnitude(limbs_, other.limbs_);
   out.negative_ = negative_ != other.negative_;

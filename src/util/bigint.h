@@ -81,10 +81,23 @@ class BigInt {
   /// True if |value| is a power of two (1, 2, 4, ...).
   bool IsPowerOfTwo() const;
 
+#if defined(__SIZEOF_INT128__)
+  /// Lossless widening from a 128-bit machine integer (the simplex ladder's
+  /// middle tier promotes through this).
+  static BigInt FromInt128(__int128 value);
+  /// True if the value fits in __int128.
+  bool FitsInt128() const;
+  /// Value as __int128; CHECK-fails if it does not fit.
+  __int128 ToInt128() const;
+#endif
+
  private:
   using Limb = uint32_t;
   using Wide = uint64_t;
   static constexpr int kLimbBits = 32;
+
+  // Sign + unsigned magnitude, without the int64_t ctor's range limit.
+  static BigInt FromParts(bool negative, uint64_t magnitude);
 
   static int CompareMagnitude(const std::vector<Limb>& a,
                               const std::vector<Limb>& b);

@@ -637,6 +637,9 @@ void EncodeCallStats(const api::CallStats& v, Encoder* e) {
   e->PutBool(v.prover_cache_hit);
   e->PutBool(v.memo_hit);
   e->PutBool(v.store_hit);
+  e->PutSigned(v.lp_word_pivots);
+  e->PutSigned(v.lp_wide_pivots);
+  e->PutSigned(v.lp_bigint_promotions);
 }
 
 util::Result<api::CallStats> DecodeCallStats(Decoder* d) {
@@ -648,6 +651,9 @@ util::Result<api::CallStats> DecodeCallStats(Decoder* d) {
   WIRE_GET(d->GetBool(&out.prover_cache_hit), "CallStats");
   WIRE_GET(d->GetBool(&out.memo_hit), "CallStats");
   WIRE_GET(d->GetBool(&out.store_hit), "CallStats");
+  WIRE_GET(d->GetSigned(&out.lp_word_pivots), "CallStats");
+  WIRE_GET(d->GetSigned(&out.lp_wide_pivots), "CallStats");
+  WIRE_GET(d->GetSigned(&out.lp_bigint_promotions), "CallStats");
   return out;
 }
 
@@ -752,6 +758,9 @@ void EncodeEngineStats(const api::EngineStats& v, Encoder* e) {
   e->PutSigned(v.store_misses);
   e->PutSigned(v.store_appends);
   e->PutSigned(v.store_rejects);
+  e->PutSigned(v.lp_word_pivots);
+  e->PutSigned(v.lp_wide_pivots);
+  e->PutSigned(v.lp_bigint_promotions);
   e->PutDouble(v.total_ms);
 }
 
@@ -773,6 +782,9 @@ util::Result<api::EngineStats> DecodeEngineStats(Decoder* d) {
   WIRE_GET(d->GetSigned(&out.store_misses), "EngineStats");
   WIRE_GET(d->GetSigned(&out.store_appends), "EngineStats");
   WIRE_GET(d->GetSigned(&out.store_rejects), "EngineStats");
+  WIRE_GET(d->GetSigned(&out.lp_word_pivots), "EngineStats");
+  WIRE_GET(d->GetSigned(&out.lp_wide_pivots), "EngineStats");
+  WIRE_GET(d->GetSigned(&out.lp_bigint_promotions), "EngineStats");
   WIRE_GET(d->GetDouble(&out.total_ms), "EngineStats");
   return out;
 }

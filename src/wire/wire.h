@@ -67,7 +67,10 @@ namespace bagcq::wire {
 /// Bumped on any incompatible layout change; checked by the envelope.
 /// History: 1 → 2 appended the persistent-store counters to CallStats
 /// (store_hit) and EngineStats (store_hits/misses/appends/rejects).
-inline constexpr uint8_t kWireVersion = 2;
+/// 2 → 3 appended the escalation-ladder counters to CallStats
+/// (lp_word_pivots/lp_wide_pivots/lp_bigint_promotions) and EngineStats
+/// (same three, appended before total_ms).
+inline constexpr uint8_t kWireVersion = 3;
 
 // ------------------------------------------------------------- scalars
 void EncodeBigInt(const util::BigInt& v, Encoder* e);

@@ -211,6 +211,72 @@ TEST(BigIntTest, IsPowerOfTwo) {
   EXPECT_FALSE((BigInt::TwoToThe(200) + BigInt(1)).IsPowerOfTwo());
 }
 
+// The single-limb fast paths of +/-/* must agree with the general long-form
+// code on every sign/magnitude combination, including the boundary where the
+// int64 shortcut itself would overflow (two maximal 32-bit limbs).
+TEST(BigIntTest, SmallValueFastPathsMatchLongForm) {
+  const int64_t samples[] = {0,           1,           -1,          7,
+                             -13,         4294967295LL, -4294967295LL,
+                             4294967296LL + 5,          -(4294967296LL + 5)};
+  for (int64_t a : samples) {
+    for (int64_t b : samples) {
+      const BigInt big_a(a), big_b(b);
+      EXPECT_EQ(big_a + big_b, BigInt(a + b)) << a << " + " << b;
+      EXPECT_EQ(big_a - big_b, BigInt(a - b)) << a << " - " << b;
+      const BigInt product = big_a * big_b;
+      if (b != 0) {
+        // Exact-division round trip pins the product against the
+        // independently-tested long-division path.
+        EXPECT_EQ(product / big_b, big_a) << a << " * " << b;
+        EXPECT_EQ(product % big_b, BigInt(0)) << a << " * " << b;
+      } else {
+        EXPECT_EQ(product, BigInt(0)) << a << " * 0";
+      }
+    }
+  }
+  // Single-limb × single-limb products that overflow int64 but not uint64.
+  const BigInt limb_max(4294967295LL);
+  const BigInt limb_max_sq = BigInt::FromString("18446744065119617025");
+  EXPECT_EQ(limb_max * limb_max, limb_max_sq);
+  EXPECT_EQ(limb_max * -limb_max, -limb_max_sq);
+  // Mixed sizes fall back to the general path and still agree.
+  const BigInt wide = BigInt::TwoToThe(100);
+  EXPECT_EQ(wide + BigInt(1) - BigInt(1), wide);
+  EXPECT_EQ((wide * BigInt(3)) / BigInt(3), wide);
+}
+
+#if defined(__SIZEOF_INT128__)
+TEST(BigIntTest, Int128RoundTrip) {
+  const __int128 samples[] = {
+      0,
+      1,
+      -1,
+      static_cast<__int128>(INT64_MAX),
+      static_cast<__int128>(INT64_MIN),
+      static_cast<__int128>(INT64_MAX) * INT64_MAX,
+      -static_cast<__int128>(INT64_MAX) * INT64_MAX,
+  };
+  for (__int128 v : samples) {
+    const BigInt big = BigInt::FromInt128(v);
+    ASSERT_TRUE(big.FitsInt128());
+    EXPECT_TRUE(big.ToInt128() == v);
+  }
+  // The extremes of the representable range.
+  const __int128 max128 =
+      ~(static_cast<__int128>(1) << 127);  // 2^127 - 1
+  const __int128 min128 = static_cast<__int128>(1) << 127;  // -2^127
+  EXPECT_TRUE(BigInt::FromInt128(max128).ToInt128() == max128);
+  EXPECT_TRUE(BigInt::FromInt128(min128).ToInt128() == min128);
+  EXPECT_TRUE(BigInt::FromInt128(min128).FitsInt128());
+  // 2^127 itself does not fit (only -2^127 does).
+  EXPECT_FALSE((-BigInt::FromInt128(min128)).FitsInt128());
+  EXPECT_FALSE(BigInt::TwoToThe(128).FitsInt128());
+  // FromInt128 must agree with the decimal constructor path.
+  EXPECT_EQ(BigInt::FromInt128(static_cast<__int128>(INT64_MAX) * 4),
+            BigInt(INT64_MAX) * BigInt(4));
+}
+#endif
+
 TEST(BigIntDeathTest, DivisionByZeroChecks) {
   EXPECT_DEATH(BigInt(1) / BigInt(0), "division by zero");
 }

@@ -336,6 +336,8 @@ TEST(WireResultTest, EngineStatsRoundTrip) {
   stats.store_misses = 8;
   stats.store_appends = 9;
   stats.store_rejects = 10;
+  stats.lp_wide_pivots = 11;
+  stats.lp_bigint_promotions = 12;
   api::EngineStats out =
       RoundTrip(stats, EncodeEngineStats, DecodeEngineStats);
   EXPECT_EQ(out.decisions, stats.decisions);
@@ -345,6 +347,9 @@ TEST(WireResultTest, EngineStatsRoundTrip) {
   EXPECT_EQ(out.store_misses, 8);
   EXPECT_EQ(out.store_appends, 9);
   EXPECT_EQ(out.store_rejects, 10);
+  EXPECT_EQ(out.lp_word_pivots, stats.lp_word_pivots);
+  EXPECT_EQ(out.lp_wide_pivots, 11);
+  EXPECT_EQ(out.lp_bigint_promotions, 12);
 }
 
 TEST(WireResultTest, CallStatsStoreHitRoundTrips) {
@@ -353,10 +358,16 @@ TEST(WireResultTest, CallStatsStoreHitRoundTrips) {
   stats.lp_pivots = 3;
   stats.memo_hit = true;
   stats.store_hit = true;
+  stats.lp_word_pivots = 21;
+  stats.lp_wide_pivots = 22;
+  stats.lp_bigint_promotions = 23;
   api::CallStats out = RoundTrip(stats, EncodeCallStats, DecodeCallStats);
   EXPECT_TRUE(out.memo_hit);
   EXPECT_TRUE(out.store_hit);
   EXPECT_EQ(out.lp_pivots, 3);
+  EXPECT_EQ(out.lp_word_pivots, 21);
+  EXPECT_EQ(out.lp_wide_pivots, 22);
+  EXPECT_EQ(out.lp_bigint_promotions, 23);
 }
 
 // ------------------------------------------------------- property sweep

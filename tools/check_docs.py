@@ -16,6 +16,10 @@ Checks, each grep-level simple so failures are self-explanatory:
    `inline constexpr k*` declarations: magics, header size, record
    bound) appears by name in docs/proof-store.md — the log layout is a
    second normative spec that must not drift either.
+6. Every arithmetic tier of the exact-simplex escalation ladder (the
+   LadderTier enumerators of src/lp/ladder_simplex.h) and every
+   ExactArithmetic mode (src/lp/simplex.h) appears, by its ToString
+   spelling, in the ladder section of docs/architecture.md.
 
 Exit status: 0 = docs and code agree, 1 = drift (or missing files).
 
@@ -102,6 +106,24 @@ def main():
     status_h = read(root, os.path.join("src", "util", "status.h"))
     check_mentions(enum_names(status_h, "StatusCode"), spec,
                    "status code", failures)
+
+    # The ladder tiers are normative names (stats fields, bench rows, docs);
+    # the enumerator kFoo is documented as its ToString spelling "foo".
+    arch = read(root, os.path.join("docs", "architecture.md"))
+    ladder_h = read(root, os.path.join("src", "lp", "ladder_simplex.h"))
+    simplex_h = read(root, os.path.join("src", "lp", "simplex.h"))
+    tier_names = [name[1:].lower()
+                  for name in enum_names(ladder_h, "LadderTier")]
+    tier_names += [name[1:].lower()
+                   for name in enum_names(simplex_h, "ExactArithmetic")]
+    missing_tiers = [
+        name for name in tier_names
+        if not re.search(r"\b" + re.escape(name) + r"\b", arch)]
+    for name in missing_tiers:
+        failures.append(
+            f"architecture.md: ladder tier '{name}' is undocumented")
+    print(f"ladder tiers: {len(tier_names) - len(missing_tiers)}"
+          f"/{len(tier_names)} documented")
 
     store_spec = read(root, os.path.join("docs", "proof-store.md"))
     store_h = read(root, os.path.join("src", "store", "proof_store.h"))
