@@ -21,6 +21,7 @@
 
 #include "api/engine.h"
 #include "entropy/known_inequalities.h"
+#include "service/engine_pool.h"
 #include "service/server.h"
 #include "service/service.h"
 #include "service/transport.h"
@@ -225,7 +226,7 @@ int main(int argc, char** argv) {
     results.push_back(Time("service_batch/inproc", batch_iters, [&] {
       check(inproc.HandleBytes(batch_bytes));
     }));
-    for (int workers : {1, 2}) {
+    for (int workers : {1, 2, 4}) {
       service::WorkerPool pool;
       service::ServerOptions server_options;
       server_options.num_workers = workers;
@@ -235,6 +236,22 @@ int main(int argc, char** argv) {
           "service_batch/w" + std::to_string(workers), batch_iters, [&] {
             check(pool.DispatchBytes(batch_bytes));
           }));
+    }
+
+    // The threaded engine tier over the same batch: identical sharding,
+    // in-process queues instead of framed pipes, one shared prover pool
+    // instead of per-process skeletons. threads4_vs_fork4 below is the
+    // headline fork-vs-thread number.
+    {
+      service::ThreadedEnginePool pool;
+      service::ThreadedPoolOptions pool_options;
+      pool_options.num_threads = 4;
+      pool_options.engine = worker_options;
+      if (!pool.Start(pool_options).ok()) std::abort();
+      results.push_back(Time("service_batch/threads4", batch_iters, [&] {
+        check(pool.DispatchBytes(batch_bytes));
+      }));
+      pool.Stop();
     }
 
     // The full concurrent path: a live event-loop server on a Unix socket,
@@ -320,6 +337,10 @@ int main(int argc, char** argv) {
               find("service_batch/w2"));
   add_speedup("service_batch:w2_vs_w1", find("service_batch/w1"),
               find("service_batch/w2"));
+  // Thread mode vs fork mode at the same width: >1 means dropping the
+  // framed-pipe hop and sharing skeletons pays for losing process isolation.
+  add_speedup("service_batch:threads4_vs_fork4", find("service_batch/w4"),
+              find("service_batch/threads4"));
   // 4 concurrent batches vs 4 sequential ones through the same 2-worker
   // pool: >1 means the event loop overlaps client traffic.
   if (const Measurement* w2 = find("service_batch/w2")) {

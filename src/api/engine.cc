@@ -143,7 +143,11 @@ lp::SolverOptions SolverOptionsFor(const EngineOptions& options) {
 Engine::Engine(EngineOptions options)
     : options_(options),
       solver_(lp::MakeSolver(options.solver_backend(),
-                             SolverOptionsFor(options))) {}
+                             SolverOptionsFor(options))) {
+  if (options_.shared_prover_pool() != nullptr) {
+    provers_.SetShared(options_.shared_prover_pool());
+  }
+}
 
 util::Result<DecisionResult> Engine::Decide(const cq::ConjunctiveQuery& q1,
                                             const cq::ConjunctiveQuery& q2) {
@@ -217,6 +221,9 @@ std::vector<util::Result<DecisionResult>> Engine::DecideBatchParallel(
   std::vector<Worker> workers(threads);
   for (Worker& w : workers) {
     w.provers.SetFallback(&provers_);
+    // A session backed by a process-wide pool passes the pool through, so
+    // batch workers of shared-skeleton engines build nothing privately.
+    w.provers.SetShared(provers_.shared());
     w.solver =
         lp::MakeSolver(options_.solver_backend(), SolverOptionsFor(options_));
   }

@@ -14,7 +14,13 @@
 // What the session caches (the reason the Engine exists):
 //   * a per-n ShannonProver pool — the elemental system of Γn (which grows
 //     as ~n·2ⁿ constraints) is constructed once per variable count and
-//     shared by every subsequent decision, proof, and batch element;
+//     shared by every subsequent decision, proof, and batch element. With
+//     EngineOptions::set_shared_prover_pool the pool is process-wide
+//     instead of per-session: N engines in one process (the threaded
+//     serving tier) build each skeleton exactly once and read the same
+//     const instance — safe because a constructed ShannonProver is
+//     immutable and Prove() is const (the mutable simplex workspace is
+//     always the caller's);
 //   * one lp::Solver backend (exact or double-screened tiered, selected via
 //     EngineOptions) whose tableau workspace persists across calls, so
 //     repeated decisions stop reallocating rows/costs/rhs;
@@ -33,9 +39,13 @@
 // its own solver workspace and prover-cache handle (warmed from the session
 // cache, absorbed back afterwards); output order is deterministic.
 //
-// Engines are not thread-safe; use one Engine per thread (they share
-// nothing). For a one-off decision the deprecated free functions in
-// core/decider.h still work — they spin up the state above per call.
+// Engines are not thread-safe; use one Engine per thread. By default they
+// share nothing; with a shared prover pool they share exactly the
+// read-only elemental skeletons and nothing else — solver workspaces,
+// warm-start slots, the decision memo, and every counter stay private to
+// the engine (and the memo to its own mutex). For a one-off decision the
+// deprecated free functions in core/decider.h still work — they spin up
+// the state above per call.
 #pragma once
 
 #include <deque>
@@ -195,7 +205,9 @@ class Engine {
   /// use) — for callers that want the elemental system itself.
   const entropy::ShannonProver& prover(int n) { return provers_.Get(n); }
   /// Drops every cached prover, the LP workspace, and the decision memo;
-  /// counters reset.
+  /// counters reset. A process-wide shared prover pool is deliberately NOT
+  /// cleared — its skeletons are pure functions of n and other engines may
+  /// be reading them concurrently.
   void ClearCache();
 
  private:

@@ -11,6 +11,10 @@
 #include "core/decider.h"
 #include "lp/solver.h"
 
+namespace bagcq::entropy {
+class SharedProverPool;  // entropy/prover_cache.h — cross-engine skeleton pool
+}
+
 namespace bagcq::api {
 
 class DecisionStore;  // api/decision_store.h — the persistent-store hook
@@ -49,10 +53,13 @@ class EngineOptions {
   lp::PivotRule pivot_rule() const { return pivot_rule_; }
 
   /// LP backend for every program the session solves (lp/solver.h). The
-  /// default kDoubleScreened tier screens in double and falls back to the
-  /// exact simplex whenever exact verification of the screened certificate
-  /// fails — verdicts and certificate guarantees are identical to
-  /// kExactRational, typically several times faster.
+  /// default kExactRational runs the fraction-free escalation-ladder exact
+  /// simplex directly — since the ladder (PR 7) it beats the tiered
+  /// pipeline on every measured workload. kDoubleScreened is kept as a
+  /// documented ablation: it screens in double, re-factorizes the terminal
+  /// basis exactly, and falls back to the full exact simplex when
+  /// verification fails — verdicts and certificate guarantees are
+  /// identical either way.
   EngineOptions& set_solver_backend(lp::SolverBackend backend) {
     solver_backend_ = backend;
     return *this;
@@ -111,6 +118,23 @@ class EngineOptions {
   }
   size_t memo_max_entries() const { return memo_max_entries_; }
 
+  /// Process-wide elemental-skeleton sharing (entropy/prover_cache.h): when
+  /// set, the Engine resolves prover-cache misses through this thread-safe
+  /// pool instead of building privately, so N engines in one process (the
+  /// server's --engine-threads mode) construct each ~n·2ⁿ-constraint
+  /// elemental system exactly once and all read the same const instance.
+  /// Thread-safety: the pool serializes construction internally; constructed
+  /// provers are immutable and safe for concurrent reads (Prove() is const —
+  /// the mutable simplex workspace stays per-engine). Not owned; must
+  /// outlive the Engine. Null (the default) keeps the cache private.
+  EngineOptions& set_shared_prover_pool(entropy::SharedProverPool* pool) {
+    shared_prover_pool_ = pool;
+    return *this;
+  }
+  entropy::SharedProverPool* shared_prover_pool() const {
+    return shared_prover_pool_;
+  }
+
   /// Persistent decision store (api/decision_store.h), consulted between
   /// the in-memory memo and a cold solve and offered every freshly solved
   /// result. Not owned; must outlive the Engine and be safe for concurrent
@@ -136,12 +160,13 @@ class EngineOptions {
   int64_t witness_max_tuples_ = 100'000;
   bool verify_witness_counts_ = true;
   lp::PivotRule pivot_rule_ = lp::PivotRule::kBland;
-  lp::SolverBackend solver_backend_ = lp::SolverBackend::kDoubleScreened;
+  lp::SolverBackend solver_backend_ = lp::SolverBackend::kExactRational;
   lp::ExactArithmetic exact_arithmetic_ = lp::ExactArithmetic::kLadder;
   bool warm_starts_ = true;
   int num_threads_ = 1;
   bool memoize_decisions_ = false;
   size_t memo_max_entries_ = 65'536;
+  entropy::SharedProverPool* shared_prover_pool_ = nullptr;
   DecisionStore* decision_store_ = nullptr;
 };
 

@@ -6,16 +6,64 @@
 // each elemental system exactly once and reuses it for every subsequent
 // decision at the same variable count.
 //
-// Not thread-safe: one cache per Engine, one Engine per thread.
+// Two sharing layers exist:
+//
+//   * ProverCache — NOT thread-safe: one cache per Engine, one Engine per
+//     thread. May be backed read-only by another ProverCache (SetFallback,
+//     used by parallel-batch workers) or by a SharedProverPool (SetShared,
+//     used by the threaded serving tier).
+//   * SharedProverPool — thread-safe construct-once-per-n pool. A
+//     ShannonProver is immutable after construction and Prove() is const
+//     (the mutable simplex workspace is passed in by the caller), so one
+//     constructed prover is safely read concurrently by any number of
+//     engines; only construction needs the pool's mutex.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "entropy/shannon.h"
 
 namespace bagcq::entropy {
+
+/// Thread-safe per-n prover pool for engines that share one address space
+/// (the server's --engine-threads mode): the elemental constraint skeleton
+/// is built exactly once per variable count for the whole process, under
+/// the pool's mutex, and every engine reads the same const instance.
+///
+/// Thread-safety contract: Get() may be called concurrently from any
+/// number of threads. Returned references stay valid until Clear();
+/// Clear() must not run concurrently with any Get() or with any use of a
+/// previously returned prover (it is a quiescent-point operation — the
+/// threaded pool never calls it while workers serve).
+class SharedProverPool {
+ public:
+  struct GetResult {
+    const ShannonProver* prover;
+    bool constructed;  // true iff this call built the elemental system
+  };
+
+  /// The prover for n variables, constructing under the mutex on first use.
+  /// Construction blocks other Get() calls (acceptable: it happens once per
+  /// n per process lifetime and the alternative is N copies of ~n·2ⁿ
+  /// constraints).
+  GetResult Get(int n);
+
+  /// Distinct variable counts built so far.
+  int64_t constructions() const;
+  size_t size() const;
+
+  /// Drops every prover. See the class contract: callers must guarantee no
+  /// concurrent Get() and no live references.
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<int, std::unique_ptr<ShannonProver>> provers_;
+  int64_t constructions_ = 0;
+};
 
 class ProverCache {
  public:
@@ -38,16 +86,29 @@ class ProverCache {
   /// concurrently. Serving from the fallback counts as a hit here.
   void SetFallback(const ProverCache* fallback) { fallback_ = fallback; }
 
+  /// Process-wide sharing: Get() resolves misses through `shared` (which is
+  /// thread-safe) instead of building locally, so every cache pointed at one
+  /// pool reads one copy of each elemental system. A Get() the pool already
+  /// held counts as a hit here; one that made the pool construct counts as a
+  /// construction here (the counters still sum correctly across engines).
+  /// The pool is not owned and must outlive this cache's last Get().
+  void SetShared(SharedProverPool* shared) { shared_ = shared; }
+  SharedProverPool* shared() const { return shared_; }
+
   /// Moves every prover `other` holds that this cache lacks into this cache
   /// (after a parallel batch, worker-built systems join the session so the
   /// next batch starts warm). Counters untouched.
   void AbsorbFrom(ProverCache&& other);
 
+  /// Drops the local entries and counters. A shared pool (SetShared) is
+  /// deliberately left intact: its skeletons are pure functions of n and
+  /// other engines may be reading them.
   void Clear();
 
  private:
   std::map<int, std::unique_ptr<ShannonProver>> provers_;
   const ProverCache* fallback_ = nullptr;
+  SharedProverPool* shared_ = nullptr;
   int64_t constructions_ = 0;
   int64_t hits_ = 0;
 };

@@ -1,0 +1,384 @@
+#include "service/engine_pool.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <unistd.h>
+#include <utility>
+
+#include "service/transport.h"
+#include "store/proof_store.h"
+#include "wire/wire.h"
+
+namespace bagcq::service {
+
+ThreadedEnginePool::ThreadedEnginePool() = default;
+
+ThreadedEnginePool::~ThreadedEnginePool() { Stop(); }
+
+util::Status ThreadedEnginePool::Start(const ThreadedPoolOptions& options) {
+  if (!workers_.empty()) {
+    return util::Status::InvalidArgument("threaded pool already started");
+  }
+  if (options.num_threads < 1) {
+    return util::Status::InvalidArgument("need at least one worker thread");
+  }
+  if (options.queue_capacity < 1) {
+    return util::Status::InvalidArgument("queue capacity must be >= 1");
+  }
+  options_ = options;
+  stopping_ = false;
+  steals_ = 0;
+  rejected_ = 0;
+  depth_hwm_.assign(static_cast<size_t>(options.num_threads), 0);
+  if (::pipe(completion_fds_) != 0) {
+    return util::Status::Internal(std::string("threaded pool: pipe failed: ") +
+                                  std::strerror(errno));
+  }
+  (void)SetNonBlocking(completion_fds_[0]);
+  (void)SetNonBlocking(completion_fds_[1]);
+
+  api::EngineOptions engine = options.engine;
+  engine.set_shared_prover_pool(&shared_provers_);
+  if (!options.store_path.empty()) {
+    // One repairing open, then the SAME handle for every engine: unlike fork
+    // mode's handle-per-process, a ProofStore is thread-safe for concurrent
+    // readers/appenders sharing an address space, so one open suffices and
+    // its in-memory index warms every worker at once.
+    auto opened = store::ProofStore::Open(options.store_path, {});
+    if (opened.ok()) {
+      store_ = std::move(opened).ValueOrDie();
+      engine.set_decision_store(store_.get());
+    } else {
+      // Fail soft to storeless (cold but correct) serving, like fork mode.
+      std::fprintf(stderr, "threaded pool: %s; serving without a store\n",
+                   opened.status().ToString().c_str());
+    }
+  }
+
+  workers_.resize(static_cast<size_t>(options.num_threads));
+  for (WorkerState& w : workers_) {
+    w.service = std::make_unique<Service>(engine);
+  }
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i].thread = std::thread(&ThreadedEnginePool::WorkerLoop, this, i);
+  }
+  return util::Status::OK();
+}
+
+void ThreadedEnginePool::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (WorkerState& w : workers_) {
+    if (w.thread.joinable()) w.thread.join();
+  }
+  workers_.clear();
+  store_.reset();
+  shared_provers_.Clear();  // quiescent: every reader just joined
+  for (int& fd : completion_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  completions_.clear();
+}
+
+size_t ThreadedEnginePool::ShardFor(const api::QueryPair& pair,
+                                    bool bag_bag) const {
+  return wire::Fingerprint(wire::CanonicalPairKey(pair.q1, pair.q2, bag_bag)) %
+         workers_.size();
+}
+
+util::Status ThreadedEnginePool::Submit(size_t worker, uint64_t id,
+                                        std::string payload, bool pinned) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (workers_.empty() || stopping_) {
+    return util::Status::Unavailable("threaded pool is not serving");
+  }
+  std::deque<Item>& queue = workers_[worker].queue;
+  if (!pinned && queue.size() >= options_.queue_capacity) {
+    ++rejected_;
+    return util::Status::Unavailable(
+        "worker " + std::to_string(worker) + " queue full (" +
+        std::to_string(queue.size()) + " requests queued) — retry");
+  }
+  queue.push_back(Item{id, std::move(payload), pinned});
+  depth_hwm_[worker] = std::max(depth_hwm_[worker],
+                                static_cast<int64_t>(queue.size()));
+  // notify_all, not notify_one: a wake could land on an idle worker whose
+  // steal threshold keeps it from taking this item, and the affinity owner
+  // must not stay asleep behind that consumed signal.
+  work_cv_.notify_all();
+  return util::Status::OK();
+}
+
+int ThreadedEnginePool::PickVictim(size_t self) const {
+  // Deepest queue past the steal threshold that holds at least one
+  // stealable (non-pinned) item; while stopping the threshold drops to 1 so
+  // the drain never strands work behind a busy owner.
+  const size_t threshold = stopping_ ? 1 : options_.steal_threshold;
+  int victim = -1;
+  size_t best_depth = 0;
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    if (w == self) continue;
+    const std::deque<Item>& queue = workers_[w].queue;
+    if (queue.size() < threshold || queue.size() <= best_depth) continue;
+    const bool stealable =
+        std::any_of(queue.begin(), queue.end(),
+                    [](const Item& item) { return !item.pinned; });
+    if (!stealable) continue;
+    victim = static_cast<int>(w);
+    best_depth = queue.size();
+  }
+  return victim;
+}
+
+void ThreadedEnginePool::WorkerLoop(size_t self) {
+  while (true) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (true) {
+        std::deque<Item>& own = workers_[self].queue;
+        if (!own.empty()) {
+          item = std::move(own.front());
+          own.pop_front();
+          break;
+        }
+        if (const int victim = PickVictim(self); victim >= 0) {
+          // Steal the OLDEST stealable item: latency of the longest-waiting
+          // request wins over keeping its memo affinity.
+          std::deque<Item>& queue = workers_[static_cast<size_t>(victim)].queue;
+          auto it = std::find_if(queue.begin(), queue.end(),
+                                 [](const Item& i) { return !i.pinned; });
+          item = std::move(*it);
+          queue.erase(it);
+          ++steals_;
+          break;
+        }
+        if (stopping_) {
+          const bool all_empty = std::all_of(
+              workers_.begin(), workers_.end(),
+              [](const WorkerState& w) { return w.queue.empty(); });
+          if (all_empty) return;
+        }
+        work_cv_.wait(lock);
+      }
+      // A pop may have emptied the last queue — wake the exit checks.
+      if (stopping_) work_cv_.notify_all();
+    }
+    std::string reply = workers_[self].service->HandleBytes(item.payload);
+    if (reply.size() > kMaxFrameBytes) {
+      // Same degradation as a fork-mode worker: an unframeable reply
+      // becomes an error, not a dead link.
+      reply = EncodeResponse(ErrorResponse{util::Status::ResourceExhausted(
+          "server: response exceeds the frame cap")});
+    }
+    PostCompletion(item.id, std::move(reply));
+  }
+}
+
+void ThreadedEnginePool::PostCompletion(uint64_t id, std::string payload) {
+  std::lock_guard<std::mutex> lock(completion_mutex_);
+  const bool was_empty = completions_.empty();
+  completions_.push_back(Completion{id, std::move(payload)});
+  if (was_empty && completion_fds_[1] >= 0) {
+    // Empty→nonempty transitions carry one pipe byte each, so the poll
+    // front wakes at least once per batch of completions; EAGAIN on a full
+    // pipe is fine (a byte is already in there).
+    const char byte = 'w';
+    [[maybe_unused]] const ssize_t n = ::write(completion_fds_[1], &byte, 1);
+  }
+  completion_cv_.notify_all();
+}
+
+std::vector<ThreadedEnginePool::Completion>
+ThreadedEnginePool::TakeCompletions() {
+  std::lock_guard<std::mutex> lock(completion_mutex_);
+  std::vector<Completion> taken;
+  taken.swap(completions_);
+  return taken;
+}
+
+ThreadedEnginePool::QueueStats ThreadedEnginePool::queue_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QueueStats stats;
+  stats.steals = steals_;
+  stats.rejected = rejected_;
+  stats.depth_hwm = depth_hwm_;
+  return stats;
+}
+
+// ------------------------------------------------------ synchronous front
+
+std::vector<std::string> ThreadedEnginePool::WaitFor(
+    const std::vector<uint64_t>& ids) {
+  std::vector<std::string> replies(ids.size());
+  std::vector<bool> have(ids.size(), false);
+  size_t remaining = ids.size();
+  std::unique_lock<std::mutex> lock(completion_mutex_);
+  while (remaining > 0) {
+    for (Completion& c : completions_) {
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (!have[i] && ids[i] == c.id) {
+          replies[i] = std::move(c.payload);
+          have[i] = true;
+          --remaining;
+          break;
+        }
+      }
+    }
+    completions_.clear();  // one front at a time: every completion is ours
+    if (remaining == 0) break;
+    completion_cv_.wait(lock);
+  }
+  return replies;
+}
+
+util::Result<Response> ThreadedEnginePool::RoundTrip(size_t worker,
+                                                     std::string payload) {
+  const uint64_t id = NextId();
+  BAGCQ_RETURN_NOT_OK(Submit(worker, id, std::move(payload)));
+  std::vector<std::string> replies = WaitFor({id});
+  return DecodeResponse(replies[0]);
+}
+
+Response ThreadedEnginePool::DispatchBatch(const DecideBatchRequest& request) {
+  // Shard pairs to their affinity workers, keeping input positions so the
+  // merged response is ordered exactly like a sequential DecideBatch.
+  std::vector<std::vector<size_t>> positions(workers_.size());
+  std::vector<DecideBatchRequest> shards(workers_.size());
+  for (size_t i = 0; i < request.pairs.size(); ++i) {
+    const size_t w = ShardFor(request.pairs[i], /*bag_bag=*/false);
+    positions[w].push_back(i);
+    shards[w].pairs.push_back(request.pairs[i]);
+  }
+  BatchResponse merged;
+  merged.results.resize(request.pairs.size());
+  std::vector<uint64_t> ids;
+  std::vector<size_t> submitted;  // worker index per id, parallel to ids
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    if (positions[w].empty()) continue;
+    const uint64_t id = NextId();
+    const util::Status sent =
+        Submit(w, id, EncodeRequest(shards[w]));
+    if (!sent.ok()) {
+      // A rejected shard fails only its own slots; the rest of the batch
+      // still answers — the full-queue analogue of a lost fork worker.
+      for (size_t pos : positions[w]) {
+        merged.results[pos] = DecisionResponse{sent, std::nullopt};
+      }
+      positions[w].clear();
+      continue;
+    }
+    ids.push_back(id);
+    submitted.push_back(w);
+  }
+  std::vector<std::string> replies = WaitFor(ids);
+  for (size_t k = 0; k < replies.size(); ++k) {
+    const size_t w = submitted[k];
+    auto reply = DecodeResponse(replies[k]);
+    Response response =
+        reply.ok() ? std::move(reply).ValueOrDie() : Response{ErrorResponse{}};
+    BatchResponse* shard = std::get_if<BatchResponse>(&response);
+    util::Status shard_error =
+        reply.ok() ? util::Status::OK() : reply.status();
+    if (shard_error.ok() &&
+        (shard == nullptr || shard->results.size() != positions[w].size())) {
+      shard_error =
+          util::Status::Internal("worker returned a malformed batch reply");
+    }
+    for (size_t i = 0; i < positions[w].size(); ++i) {
+      merged.results[positions[w][i]] =
+          shard_error.ok() ? std::move(shard->results[i])
+                           : DecisionResponse{shard_error, std::nullopt};
+    }
+  }
+  return merged;
+}
+
+Response ThreadedEnginePool::DispatchToAll(const Request& request) {
+  const bool is_stats = std::holds_alternative<StatsRequest>(request);
+  const std::string payload = EncodeRequest(request);
+  std::vector<uint64_t> ids;
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    const uint64_t id = NextId();
+    // Pinned: control traffic is exempt from the queue cap and from
+    // stealing — Stats must read, and ClearCache must clear, every engine.
+    const util::Status sent = Submit(w, id, payload, /*pinned=*/true);
+    if (!sent.ok()) return ErrorResponse{sent};
+    ids.push_back(id);
+  }
+  std::vector<std::string> replies = WaitFor(ids);
+  StatsResponse stats_total;
+  stats_total.workers = 0;
+  util::Status first_error = util::Status::OK();
+  for (const std::string& bytes : replies) {
+    auto reply = DecodeResponse(bytes);
+    if (!reply.ok()) {
+      if (first_error.ok()) first_error = reply.status();
+      continue;
+    }
+    if (const auto* error = std::get_if<ErrorResponse>(&*reply)) {
+      if (first_error.ok()) first_error = error->status;
+    } else if (is_stats) {
+      if (const auto* one = std::get_if<StatsResponse>(&*reply)) {
+        stats_total.stats += one->stats;
+        stats_total.workers += one->workers;
+      }
+    }
+  }
+  if (!first_error.ok()) return ErrorResponse{first_error};
+  if (is_stats) {
+    const QueueStats queues = queue_stats();
+    stats_total.steals = queues.steals;
+    stats_total.queue_depth_hwm = queues.depth_hwm;
+    return stats_total;
+  }
+  return AckResponse{util::Status::OK()};
+}
+
+Response ThreadedEnginePool::Dispatch(const Request& request) {
+  if (workers_.empty()) {
+    return ErrorResponse{util::Status::Internal("threaded pool not started")};
+  }
+  return std::visit(
+      [this, &request](const auto& r) -> Response {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, DecideRequest> ||
+                      std::is_same_v<T, DecideBagBagRequest>) {
+          const size_t w =
+              ShardFor(r.pair, std::is_same_v<T, DecideBagBagRequest>);
+          auto reply = RoundTrip(w, EncodeRequest(request));
+          return reply.ok() ? *std::move(reply)
+                            : Response{ErrorResponse{reply.status()}};
+        } else if constexpr (std::is_same_v<T, DecideBatchRequest>) {
+          return DispatchBatch(r);
+        } else if constexpr (std::is_same_v<T, StatsRequest> ||
+                             std::is_same_v<T, ClearCacheRequest>) {
+          return DispatchToAll(request);
+        } else {
+          // Proofs and analyses have no pair key; hash the canonical
+          // request bytes — the same spread as fork mode.
+          std::string payload = EncodeRequest(request);
+          const size_t w = wire::Fingerprint(payload) % workers_.size();
+          auto reply = RoundTrip(w, std::move(payload));
+          return reply.ok() ? *std::move(reply)
+                            : Response{ErrorResponse{reply.status()}};
+        }
+      },
+      request);
+}
+
+std::string ThreadedEnginePool::DispatchBytes(std::string_view request_bytes) {
+  auto request = DecodeRequest(request_bytes);
+  if (!request.ok()) {
+    return EncodeResponse(ErrorResponse{request.status()});
+  }
+  return EncodeResponse(Dispatch(*request));
+}
+
+}  // namespace bagcq::service

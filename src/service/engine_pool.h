@@ -1,0 +1,205 @@
+// ThreadedEnginePool: the sharded multi-THREAD serving tier — the one-process
+// sibling of WorkerPool. N worker threads each own a Service (hence an
+// Engine), all sharing exactly three read-only-or-thread-safe things:
+//
+//   * one SharedProverPool, so the elemental constraint skeleton of Γn
+//     (~n·2ⁿ inequalities) is built once per process, not once per worker;
+//   * one store::ProofStore handle (thread-safe by contract), repaired once
+//     at Start before any worker serves;
+//   * the queue fabric below.
+//
+// Routing is affinity + work stealing, not pinning: a request's fingerprint
+// shard (the same wire::CanonicalPairKey hash WorkerPool uses) picks the
+// queue it is SUBMITTED to, which keeps that worker's decision memo and
+// warm-start slots hot under mixed traffic — but an idle worker steals the
+// oldest stealable item from the deepest queue once it passes
+// steal_threshold, so skewed traffic (every request hashing to one shard)
+// still uses the whole pool. A full queue fails the submit soft with
+// StatusCode::kUnavailable instead of blocking the front.
+//
+// Fork vs thread tradeoff (docs/serving.md has the operator's version):
+// fork mode buys crash isolation (a worker segfault costs one respawn);
+// thread mode buys shared skeletons, shared page cache, no fork latency,
+// and work stealing — but a crash takes the process. Both speak the same
+// wire surface and produce byte-identical replies.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "api/options.h"
+#include "entropy/prover_cache.h"
+#include "service/message.h"
+#include "service/service.h"
+#include "util/status.h"
+
+namespace bagcq::store {
+class ProofStore;  // store/proof_store.h — opened once, shared by all engines
+}
+
+namespace bagcq::service {
+
+struct ThreadedPoolOptions {
+  /// Worker threads (one Engine each). Must be >= 1.
+  int num_threads = 4;
+  /// Per-worker Engine configuration. Decision memoization defaults on for
+  /// a serving tier; Start() overlays the shared prover pool (and the proof
+  /// store when store_path is set) on top of whatever is passed here.
+  api::EngineOptions engine = api::EngineOptions().set_memoize_decisions(true);
+  /// Path of a persistent proof-store log shared by every worker thread, or
+  /// empty for no persistence. Unlike fork mode's one-handle-per-process,
+  /// Start() opens the log exactly once (repairing a torn tail) and hands
+  /// the same thread-safe handle to every engine.
+  std::string store_path;
+  /// Queued-but-not-started requests a worker's queue holds before Submit
+  /// fails soft with kUnavailable (pinned submits are exempt — control
+  /// traffic must not be sheddable).
+  size_t queue_capacity = 256;
+  /// Queue depth at which an idle worker starts stealing from it. 1 would
+  /// defeat affinity (everything migrates); large values strand work behind
+  /// a slow shard. Drain (Stop) always steals at threshold 1.
+  size_t steal_threshold = 2;
+};
+
+/// Owns N engine-owning worker threads and their work queues.
+///
+/// Thread-safety: Submit/TakeCompletions/queue_stats are safe from one
+/// front thread concurrently with the workers (that is their job).
+/// Start/Stop/Dispatch/DispatchBytes must come from a single front thread,
+/// and exactly one front may drive a pool at a time (the asynchronous
+/// Submit surface and the synchronous Dispatch surface share the
+/// completion stream).
+class ThreadedEnginePool {
+ public:
+  /// One finished request: the correlation id Submit carried and the
+  /// encoded Response bytes (already capped at kMaxFrameBytes — an
+  /// oversize reply degrades to an encoded ResourceExhausted error exactly
+  /// like a fork-mode worker).
+  struct Completion {
+    uint64_t id = 0;
+    std::string payload;
+  };
+
+  /// Pool-level counters for StatsResponse (engine counters travel inside
+  /// each worker's EngineStats as usual).
+  struct QueueStats {
+    int64_t steals = 0;    // requests executed off their affinity worker
+    int64_t rejected = 0;  // submits failed soft on a full queue
+    std::vector<int64_t> depth_hwm;  // per-worker queue-depth high water
+  };
+
+  ThreadedEnginePool();  // out of line: store::ProofStore is incomplete here
+  ~ThreadedEnginePool();
+  ThreadedEnginePool(const ThreadedEnginePool&) = delete;
+  ThreadedEnginePool& operator=(const ThreadedEnginePool&) = delete;
+
+  /// Builds the N services (constructing engines eagerly, sharing one
+  /// prover pool and at most one proof-store handle) and starts the worker
+  /// threads. InvalidArgument on bad options or a started pool; Internal on
+  /// pipe failure. An unopenable store fails soft to storeless serving,
+  /// mirroring fork mode.
+  util::Status Start(const ThreadedPoolOptions& options = {});
+  /// Drains every queue (stealing at threshold 1), joins the workers, and
+  /// releases the engines. Queued work still completes; Submit during or
+  /// after Stop fails with kUnavailable. Idempotent; the destructor calls
+  /// it.
+  void Stop();
+
+  /// Valid between Start and Stop (the vector is immutable while serving).
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// The affinity worker for this pair — the same canonical-key hash as
+  /// WorkerPool::ShardFor, so fork and thread fronts route identically.
+  size_t ShardFor(const api::QueryPair& pair, bool bag_bag) const;
+
+  // ------------------------------------------------- event-loop interface
+
+  /// Enqueues one encoded request on `worker`'s queue. kUnavailable when
+  /// the queue is at capacity (unless pinned) or the pool is stopping.
+  /// Pinned items are exempt from the capacity cap AND are never stolen:
+  /// they are the fanout control messages (Stats, ClearCache) that must
+  /// execute on exactly the worker they were addressed to.
+  util::Status Submit(size_t worker, uint64_t id, std::string payload,
+                      bool pinned = false);
+
+  /// Self-pipe read end, for poll(): readable whenever completions are
+  /// waiting. Drain it fully, then TakeCompletions(); a spurious wake
+  /// yields an empty take, never a hang.
+  int completion_fd() const { return completion_fds_[0]; }
+
+  /// Correlation ids for Submit, unique across the pool's whole lifetime
+  /// and across fronts — a completion from work queued before one front
+  /// stopped can never be mistaken for a later front's exchange.
+  uint64_t NextId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Removes and returns every completion posted so far (any order — the
+  /// front re-sequences by correlation id like it does for fork workers).
+  std::vector<Completion> TakeCompletions();
+
+  QueueStats queue_stats() const;
+
+  // -------------------------------------------------- synchronous surface
+
+  /// Routes one request across the pool and returns the reassembled
+  /// response, blocking until every involved worker has answered —
+  /// byte-compatible with WorkerPool::Dispatch (singles to the affinity
+  /// shard, batches sharded and merged in input order, Stats/ClearCache
+  /// fanned out pinned). Full-queue rejections surface as kUnavailable in
+  /// the affected slots, never a block.
+  Response Dispatch(const Request& request);
+  /// The raw-bytes surface: decode, Dispatch, encode (undecodable input
+  /// becomes an encoded ErrorResponse).
+  std::string DispatchBytes(std::string_view request_bytes);
+
+ private:
+  struct Item {
+    uint64_t id = 0;
+    std::string payload;
+    bool pinned = false;
+  };
+  struct WorkerState {
+    std::unique_ptr<Service> service;
+    std::deque<Item> queue;
+    std::thread thread;
+  };
+
+  void WorkerLoop(size_t self);
+  /// Under mutex_: the queue index this worker should steal from, or -1.
+  int PickVictim(size_t self) const;
+  void PostCompletion(uint64_t id, std::string payload);
+  /// Blocks until every id in `ids` has completed; returns id → payload.
+  std::vector<std::string> WaitFor(const std::vector<uint64_t>& ids);
+
+  Response DispatchBatch(const DecideBatchRequest& request);
+  Response DispatchToAll(const Request& request);
+  util::Result<Response> RoundTrip(size_t worker, std::string payload);
+
+  ThreadedPoolOptions options_;
+  entropy::SharedProverPool shared_provers_;
+  std::unique_ptr<store::ProofStore> store_;
+  std::vector<WorkerState> workers_;
+
+  mutable std::mutex mutex_;  // queues, counters, stopping flag
+  std::condition_variable work_cv_;
+  bool stopping_ = false;
+  int64_t steals_ = 0;
+  int64_t rejected_ = 0;
+  std::vector<int64_t> depth_hwm_;
+
+  std::mutex completion_mutex_;
+  std::condition_variable completion_cv_;
+  std::vector<Completion> completions_;
+  int completion_fds_[2] = {-1, -1};
+
+  std::atomic<uint64_t> next_id_{1};
+};
+
+}  // namespace bagcq::service

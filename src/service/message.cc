@@ -228,6 +228,14 @@ std::string EncodeResponse(const Response& response) {
           wire::EncodeEngineStats(r.stats, &e);
           e.PutSigned(r.workers);
           e.PutSigned(r.respawns);
+          // v4 appended the front-level serving counters.
+          e.PutSigned(r.connections);
+          e.PutSigned(r.in_flight);
+          e.PutSigned(r.steals);
+          e.PutSigned(r.bytes_in);
+          e.PutSigned(r.bytes_out);
+          e.PutVarint(r.queue_depth_hwm.size());
+          for (int64_t depth : r.queue_depth_hwm) e.PutSigned(depth);
         } else if constexpr (std::is_same_v<T, AckResponse> ||
                              std::is_same_v<T, ErrorResponse>) {
           wire::EncodeStatus(r.status, &e);
@@ -284,6 +292,18 @@ util::Result<Response> DecodeResponse(std::string_view bytes) {
       BAGCQ_ASSIGN_OR_RETURN(stats.stats, wire::DecodeEngineStats(d));
       WIRE_GET(d->GetSigned(&stats.workers), "stats workers");
       WIRE_GET(d->GetSigned(&stats.respawns), "stats respawns");
+      WIRE_GET(d->GetSigned(&stats.connections), "stats connections");
+      WIRE_GET(d->GetSigned(&stats.in_flight), "stats in_flight");
+      WIRE_GET(d->GetSigned(&stats.steals), "stats steals");
+      WIRE_GET(d->GetSigned(&stats.bytes_in), "stats bytes_in");
+      WIRE_GET(d->GetSigned(&stats.bytes_out), "stats bytes_out");
+      uint64_t queues;
+      WIRE_GET(d->GetVarint(&queues), "stats queue count");
+      if (queues > d->remaining()) return d->Fail("stats queue count");
+      stats.queue_depth_hwm.resize(queues);
+      for (uint64_t i = 0; i < queues; ++i) {
+        WIRE_GET(d->GetSigned(&stats.queue_depth_hwm[i]), "stats queue hwm");
+      }
       out = std::move(stats);
       break;
     }
@@ -384,7 +404,15 @@ std::string DebugString(const Response& response) {
              << ", store_hits=" << r.stats.store_hits
              << ", store_misses=" << r.stats.store_misses
              << ", store_appends=" << r.stats.store_appends
-             << ", store_rejects=" << r.stats.store_rejects << "}";
+             << ", store_rejects=" << r.stats.store_rejects
+             << ", connections=" << r.connections
+             << ", in_flight=" << r.in_flight << ", steals=" << r.steals
+             << ", bytes_in=" << r.bytes_in << ", bytes_out=" << r.bytes_out
+             << ", queue_hwm=[";
+          for (size_t i = 0; i < r.queue_depth_hwm.size(); ++i) {
+            os << (i > 0 ? "," : "") << r.queue_depth_hwm[i];
+          }
+          os << "]}";
         } else if constexpr (std::is_same_v<T, AckResponse>) {
           os << "Ack{" << r.status.ToString() << "}";
         } else {

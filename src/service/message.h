@@ -115,6 +115,33 @@ struct StatsResponse {
   /// a nonzero value here explains a stats aggregate that appears to have
   /// gone backwards.
   int64_t respawns = 0;
+
+  // Front-level serving counters (wire v4, appended after respawns). They
+  // describe the serving front the Stats request entered through, not the
+  // engines behind it: an in-process Service reports zeros. All are filled
+  // by the event loop on its own thread — readers never race the workers.
+
+  /// Client connections open at the instant the Stats request was answered.
+  int64_t connections = 0;
+  /// Requests accepted but not yet fully replied at that instant (the
+  /// drain barrier: SIGTERM waits for exactly this to reach zero).
+  int64_t in_flight = 0;
+  /// Thread mode only: requests executed by a worker other than their
+  /// fingerprint-affine one because that worker's queue ran deep while the
+  /// thief sat idle. Zero in fork mode (processes cannot steal). A nonzero
+  /// value under single-pair traffic is the work-stealing tier operating
+  /// as designed, not a routing bug.
+  int64_t steals = 0;
+  /// Request bytes read from / response bytes written to client
+  /// connections since the server started (frame headers included,
+  /// worker-link traffic excluded).
+  int64_t bytes_in = 0;
+  int64_t bytes_out = 0;
+  /// Per-worker queue-depth high-water mark since start, index = worker.
+  /// Thread mode counts queued-not-yet-started requests; fork mode counts
+  /// frames in flight to that worker process. Sized workers() when served
+  /// by a server front, empty from an in-process Service.
+  std::vector<int64_t> queue_depth_hwm;
 };
 
 struct AckResponse {

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "service/engine_pool.h"
 #include "service/transport.h"
 #include "store/proof_store.h"
 #include "wire/wire.h"
@@ -423,8 +424,9 @@ struct OutBuf {
 };
 
 /// Drains as much of an OutBuf as the socket accepts right now. OK means
-/// "keep the fd"; an error means the peer is gone.
-util::Status FlushTo(int fd, OutBuf* out) {
+/// "keep the fd"; an error means the peer is gone. `bytes_counter` (when
+/// non-null) accumulates what actually left — the stats bytes_out feed.
+util::Status FlushTo(int fd, OutBuf* out, int64_t* bytes_counter = nullptr) {
   while (!out->empty()) {
     const ssize_t n = ::send(fd, out->data.data() + out->off, out->pending(),
                              MSG_NOSIGNAL);
@@ -434,6 +436,7 @@ util::Status FlushTo(int fd, OutBuf* out) {
       return SysError("send");
     }
     out->off += static_cast<size_t>(n);
+    if (bytes_counter != nullptr) *bytes_counter += n;
   }
   out->Clear();
   return util::Status::OK();
@@ -472,16 +475,24 @@ void OnSigchld(int) {
 }
 
 /// The poll-based event loop behind Server::Serve — all state lives for one
-/// Serve call.
+/// Serve call. Exactly one of `pool` (fork mode) and `tpool` (thread mode)
+/// is non-null; the two backends differ only in how an exchange is
+/// forwarded (link frame vs queue submit) and how replies come back
+/// (worker fds vs the pool's completion pipe).
 class EventLoop {
  public:
-  EventLoop(WorkerPool* pool, const std::vector<int>& listeners,
-            std::atomic<bool>* shutdown, int wake_read_fd)
+  EventLoop(WorkerPool* pool, ThreadedEnginePool* tpool,
+            const std::vector<int>& listeners, std::atomic<bool>* shutdown,
+            std::atomic<bool>* draining, int wake_read_fd)
       : pool_(pool),
+        tpool_(tpool),
         listeners_(listeners),
         shutdown_(shutdown),
+        draining_(draining),
         wake_read_fd_(wake_read_fd),
-        chans_(pool->num_workers()) {}
+        chans_(pool != nullptr ? pool->num_workers() : 0),
+        worker_outstanding_(NumWorkers(), 0),
+        worker_hwm_(NumWorkers(), 0) {}
 
   util::Status Run();
 
@@ -518,6 +529,15 @@ class EventLoop {
     std::vector<size_t> positions;  // kBatch: input slots of this shard
   };
 
+  size_t NumWorkers() const {
+    return static_cast<size_t>(pool_ != nullptr ? pool_->num_workers()
+                                                : tpool_->num_workers());
+  }
+  size_t ShardForPair(const api::QueryPair& pair, bool bag_bag) const {
+    return pool_ != nullptr ? pool_->ShardFor(pair, bag_bag)
+                            : tpool_->ShardFor(pair, bag_bag);
+  }
+
   void AcceptAll(int listener);
   void ReadConn(uint64_t conn_id);
   void ParseConnFrames(uint64_t conn_id);
@@ -527,20 +547,27 @@ class EventLoop {
 
   uint64_t NewCall(Call call);
   void NewExchange(uint64_t call_id, size_t worker,
-                   std::vector<size_t> positions, std::string_view payload);
+                   std::vector<size_t> positions, std::string_view payload,
+                   bool pinned = false);
   void FailExchange(uint64_t exchange_id, const util::Status& status);
   void HandleWorkerReply(uint64_t id, std::string_view bytes);
   void FinishCall(uint64_t call_id);
+  void ForgetExchange(size_t worker);
 
   void ReadWorker(size_t w);
   /// Returns false if a malformed frame made it declare the worker dead.
   bool ParseWorkerFrames(size_t w);
   void WorkerDied(size_t w);
   void ReapWorkers();
+  void DrainCompletions();
+  /// True once a requested drain has nothing left to wait for.
+  bool DrainComplete() const;
 
   WorkerPool* pool_;
+  ThreadedEnginePool* tpool_;
   const std::vector<int>& listeners_;
   std::atomic<bool>* shutdown_;
+  std::atomic<bool>* draining_;
   int wake_read_fd_;
 
   std::vector<WorkerChan> chans_;
@@ -553,6 +580,14 @@ class EventLoop {
   /// Set when accept() failed for lack of fds: the listeners sit out one
   /// 50 ms poll round instead of spinning on a backlog we cannot drain.
   bool accept_throttled_ = false;
+
+  // Front-level stats (StatsResponse wire-v4 fields). Fork mode tracks the
+  // per-worker exchange high water here; thread mode reads the pool's own
+  // queue stats instead.
+  int64_t bytes_in_ = 0;
+  int64_t bytes_out_ = 0;
+  std::vector<int64_t> worker_outstanding_;
+  std::vector<int64_t> worker_hwm_;
 };
 
 void EventLoop::AcceptAll(int listener) {
@@ -608,6 +643,7 @@ void EventLoop::ReadConn(uint64_t conn_id) {
       return;
     }
     conn.in.append(buf, static_cast<size_t>(n));
+    bytes_in_ += n;
     if (static_cast<size_t>(n) < sizeof(buf)) break;
   }
   ParseConnFrames(conn_id);
@@ -646,9 +682,25 @@ uint64_t EventLoop::NewCall(Call call) {
 
 void EventLoop::NewExchange(uint64_t call_id, size_t worker,
                             std::vector<size_t> positions,
-                            std::string_view payload) {
-  const uint64_t id = next_exchange_id_++;
+                            std::string_view payload, bool pinned) {
+  // Thread mode draws ids from the pool's process-wide counter: work queued
+  // under a previous front could still complete into this loop's stream, and
+  // a restarted local counter would collide with it.
+  const uint64_t id =
+      tpool_ != nullptr ? tpool_->NextId() : next_exchange_id_++;
   exchanges_.emplace(id, Exchange{call_id, worker, std::move(positions)});
+  if (++worker_outstanding_[worker] > worker_hwm_[worker]) {
+    worker_hwm_[worker] = worker_outstanding_[worker];
+  }
+  if (tpool_ != nullptr) {
+    const util::Status submitted =
+        tpool_->Submit(worker, id, std::string(payload), pinned);
+    // A full queue fails this exchange soft (kUnavailable in its slot) —
+    // the thread-mode analogue of a lost fork worker, except nothing needs
+    // respawning and the very next submit may succeed.
+    if (!submitted.ok()) FailExchange(id, submitted);
+    return;
+  }
   if (pool_->worker_fd(worker) < 0) {
     // A worker whose respawn failed earlier (transient fork failure):
     // retry now, so one bad fork cannot black the shard out permanently —
@@ -685,14 +737,14 @@ void EventLoop::HandleRequestFrame(uint64_t conn_id,
           call.kind = CallKind::kSingle;
           call.outstanding = 1;
           const size_t w =
-              pool_->ShardFor(r.pair, std::is_same_v<T, DecideBagBagRequest>);
+              ShardForPair(r.pair, std::is_same_v<T, DecideBagBagRequest>);
           NewExchange(NewCall(std::move(call)), w, {}, payload);
         } else if constexpr (std::is_same_v<T, DecideBatchRequest>) {
-          const size_t workers = static_cast<size_t>(pool_->num_workers());
+          const size_t workers = NumWorkers();
           std::vector<std::vector<size_t>> positions(workers);
           std::vector<DecideBatchRequest> shards(workers);
           for (size_t i = 0; i < r.pairs.size(); ++i) {
-            const size_t w = pool_->ShardFor(r.pairs[i], /*bag_bag=*/false);
+            const size_t w = ShardForPair(r.pairs[i], /*bag_bag=*/false);
             positions[w].push_back(i);
             shards[w].pairs.push_back(r.pairs[i]);
           }
@@ -715,12 +767,13 @@ void EventLoop::HandleRequestFrame(uint64_t conn_id,
                              std::is_same_v<T, ClearCacheRequest>) {
           call.kind = CallKind::kFanout;
           call.is_stats = std::is_same_v<T, StatsRequest>;
-          call.outstanding = pool_->num_workers();
+          call.outstanding = static_cast<int>(NumWorkers());
           call.folded.workers = 0;
           const uint64_t call_id = NewCall(std::move(call));
-          for (size_t w = 0; w < static_cast<size_t>(pool_->num_workers());
-               ++w) {
-            NewExchange(call_id, w, {}, payload);
+          // Pinned: in thread mode, control fanout is exempt from the
+          // queue cap and from stealing — it must run on every engine.
+          for (size_t w = 0; w < NumWorkers(); ++w) {
+            NewExchange(call_id, w, {}, payload, /*pinned=*/true);
           }
         } else {
           // Proofs and analyses have no pair key; hash the canonical request
@@ -728,8 +781,7 @@ void EventLoop::HandleRequestFrame(uint64_t conn_id,
           // byte-identically — same spread as the sync path).
           call.kind = CallKind::kSingle;
           call.outstanding = 1;
-          const size_t w = wire::Fingerprint(payload) %
-                           static_cast<size_t>(pool_->num_workers());
+          const size_t w = wire::Fingerprint(payload) % NumWorkers();
           NewExchange(NewCall(std::move(call)), w, {}, payload);
         }
       },
@@ -757,11 +809,16 @@ void EventLoop::Deliver(uint64_t conn_id, uint64_t seq,
   if (conn.out.pending() > kConnHardCap) CloseConn(conn_id);
 }
 
+void EventLoop::ForgetExchange(size_t worker) {
+  --worker_outstanding_[worker];
+}
+
 void EventLoop::FailExchange(uint64_t exchange_id, const util::Status& status) {
   auto it = exchanges_.find(exchange_id);
   if (it == exchanges_.end()) return;
   const Exchange exchange = std::move(it->second);
   exchanges_.erase(it);
+  ForgetExchange(exchange.worker);
   Call& call = calls_.at(exchange.call_id);
   switch (call.kind) {
     case CallKind::kSingle:
@@ -784,6 +841,7 @@ void EventLoop::HandleWorkerReply(uint64_t id, std::string_view bytes) {
   if (it == exchanges_.end()) return;  // stale id (never happens on a fresh link)
   const Exchange exchange = std::move(it->second);
   exchanges_.erase(it);
+  ForgetExchange(exchange.worker);
   Call& call = calls_.at(exchange.call_id);
   switch (call.kind) {
     case CallKind::kSingle:
@@ -846,7 +904,21 @@ void EventLoop::FinishCall(uint64_t call_id) {
       if (!call.error.ok()) {
         bytes = EncodeResponse(ErrorResponse{call.error});
       } else if (call.is_stats) {
-        call.folded.respawns = pool_->respawns();
+        // Overlay the front-level view on the folded engine counters: the
+        // workers cannot see connections, queues, or the wire.
+        call.folded.respawns = pool_ != nullptr ? pool_->respawns() : 0;
+        call.folded.connections = static_cast<int64_t>(conns_.size());
+        call.folded.in_flight = static_cast<int64_t>(calls_.size());
+        call.folded.bytes_in = bytes_in_;
+        call.folded.bytes_out = bytes_out_;
+        if (tpool_ != nullptr) {
+          const ThreadedEnginePool::QueueStats queues = tpool_->queue_stats();
+          call.folded.steals = queues.steals;
+          call.folded.queue_depth_hwm = queues.depth_hwm;
+        } else {
+          call.folded.steals = 0;  // processes cannot steal
+          call.folded.queue_depth_hwm = worker_hwm_;
+        }
         bytes = EncodeResponse(call.folded);
       } else {
         bytes = EncodeResponse(AckResponse{util::Status::OK()});
@@ -928,6 +1000,28 @@ void EventLoop::ReapWorkers() {
   }
 }
 
+void EventLoop::DrainCompletions() {
+  // Thread mode's reply path: drain the wake pipe, then consume every
+  // posted completion. A spurious wake takes nothing and hurts nothing.
+  char drain[256];
+  while (::read(tpool_->completion_fd(), drain, sizeof(drain)) > 0) {
+  }
+  for (ThreadedEnginePool::Completion& done : tpool_->TakeCompletions()) {
+    HandleWorkerReply(done.id, done.payload);
+  }
+}
+
+bool EventLoop::DrainComplete() const {
+  // Drained means: every accepted request answered AND every reply byte
+  // handed to the kernel. Partial request frames still sitting in conn.in
+  // were never accepted, so they owe nothing.
+  if (!calls_.empty()) return false;
+  for (const auto& [id, conn] : conns_) {
+    if (!conn.out.empty()) return false;
+  }
+  return true;
+}
+
 util::Status EventLoop::Run() {
   for (size_t w = 0; w < chans_.size(); ++w) {
     BAGCQ_RETURN_NOT_OK(SetNonBlocking(pool_->worker_fd(w)));
@@ -936,25 +1030,34 @@ util::Status EventLoop::Run() {
     BAGCQ_RETURN_NOT_OK(SetNonBlocking(listener));
   }
 
-  // SIGCHLD → wake pipe → ReapWorkers on the loop thread. Restored on exit
-  // so embedding processes (tests) keep their own child handling.
+  // SIGCHLD → wake pipe → ReapWorkers on the loop thread. Fork mode only
+  // (thread mode has no children); restored on exit so embedding processes
+  // (tests) keep their own child handling.
   struct sigaction old_action {};
-  struct sigaction action {};
-  action.sa_handler = OnSigchld;
-  sigemptyset(&action.sa_mask);
-  action.sa_flags = SA_RESTART | SA_NOCLDSTOP;
-  ::sigaction(SIGCHLD, &action, &old_action);
+  if (pool_ != nullptr) {
+    struct sigaction action {};
+    action.sa_handler = OnSigchld;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART | SA_NOCLDSTOP;
+    ::sigaction(SIGCHLD, &action, &old_action);
+  }
 
-  // Layout of the poll set: [wake][listeners][workers][conns].
+  // Layout of the poll set: [wake][listeners][workers|completions][conns].
   std::vector<pollfd> fds;
   std::vector<uint64_t> conn_ids;
   while (!shutdown_->load(std::memory_order_acquire)) {
+    const bool draining = draining_->load(std::memory_order_acquire);
+    // The drain barrier: accepted work all answered and flushed → done.
+    if (draining && DrainComplete()) break;
     fds.clear();
     conn_ids.clear();
     const bool throttled = accept_throttled_;
     accept_throttled_ = false;
     fds.push_back({wake_read_fd_, POLLIN, 0});
-    const size_t polled_listeners = throttled ? 0 : listeners_.size();
+    // A draining server accepts nothing new: the listeners leave the poll
+    // set (the OS backlog delivers RSTs/timeouts once we exit).
+    const size_t polled_listeners =
+        (throttled || draining) ? 0 : listeners_.size();
     for (size_t l = 0; l < polled_listeners; ++l) {
       fds.push_back({listeners_[l], POLLIN, 0});
     }
@@ -963,12 +1066,16 @@ util::Status EventLoop::Run() {
       if (!chans_[w].out.empty()) events |= POLLOUT;
       fds.push_back({pool_->worker_fd(w), events, 0});
     }
+    if (tpool_ != nullptr) {
+      fds.push_back({tpool_->completion_fd(), POLLIN, 0});
+    }
     for (const auto& [id, conn] : conns_) {
       short events = 0;
       // Backpressure, both directions: stop reading from a client that is
       // not draining its replies, and from one pipelining faster than the
-      // workers answer; resume as buffers and the pipeline drain.
-      if (conn.out.pending() < kConnBacklogCap &&
+      // workers answer; resume as buffers and the pipeline drain. A
+      // draining server reads nothing new at all — only flushes.
+      if (!draining && conn.out.pending() < kConnBacklogCap &&
           conn.next_seq - conn.next_flush < kMaxPipelinedRequests) {
         events |= POLLIN;
       }
@@ -980,19 +1087,19 @@ util::Status EventLoop::Run() {
     const int rc = ::poll(fds.data(), fds.size(), throttled ? 50 : -1);
     if (rc < 0) {
       if (errno == EINTR) continue;
-      ::sigaction(SIGCHLD, &old_action, nullptr);
+      if (pool_ != nullptr) ::sigaction(SIGCHLD, &old_action, nullptr);
       return SysError("poll");
     }
 
     size_t slot = 0;
-    if (fds[slot].revents & POLLIN) {  // wake pipe: Shutdown or SIGCHLD
+    if (fds[slot].revents & POLLIN) {  // wake pipe: Shutdown/Drain/SIGCHLD
       char drain[256];
       while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
       }
-      ReapWorkers();
+      if (pool_ != nullptr) ReapWorkers();
     }
     ++slot;
-    if (throttled) {
+    if (throttled && !draining) {
       // The throttle interval elapsed — retry every listener now.
       for (int listener : listeners_) AcceptAll(listener);
     }
@@ -1010,6 +1117,10 @@ util::Status EventLoop::Run() {
       }
       if (revents & (POLLIN | POLLHUP | POLLERR)) ReadWorker(w);
     }
+    if (tpool_ != nullptr) {
+      if (fds[slot].revents & POLLIN) DrainCompletions();
+      ++slot;
+    }
     for (size_t c = 0; c < conn_ids.size(); ++c, ++slot) {
       const uint64_t conn_id = conn_ids[c];
       const short revents = fds[slot].revents;
@@ -1017,7 +1128,7 @@ util::Status EventLoop::Run() {
       auto it = conns_.find(conn_id);
       if (it == conns_.end()) continue;  // closed earlier this round
       if (revents & POLLOUT) {
-        if (!FlushTo(it->second.fd, &it->second.out).ok()) {
+        if (!FlushTo(it->second.fd, &it->second.out, &bytes_out_).ok()) {
           CloseConn(conn_id);
           continue;
         }
@@ -1026,39 +1137,56 @@ util::Status EventLoop::Run() {
     }
   }
 
-  ::sigaction(SIGCHLD, &old_action, nullptr);
+  if (pool_ != nullptr) ::sigaction(SIGCHLD, &old_action, nullptr);
+  // After a drain, every reply was flushed above — closing here gives each
+  // client a clean EOF after its last reply, the signal to reconnect
+  // elsewhere during a rolling restart.
   for (auto& [id, conn] : conns_) ::close(conn.fd);
   conns_.clear();
-  // A link with loop-era state — an unanswered exchange, a half-flushed
-  // request frame, a partially read reply — would poison the pool's
-  // synchronous Dispatch afterwards (its correlation counter restarts, so
-  // a stale reply could match a fresh id). Respawn those workers; clean
-  // links are handed back as-is.
-  std::vector<bool> dirty(chans_.size(), false);
-  for (const auto& [id, exchange] : exchanges_) dirty[exchange.worker] = true;
-  for (size_t w = 0; w < chans_.size(); ++w) {
-    if (dirty[w] || !chans_[w].out.empty() || !chans_[w].in.empty()) {
-      (void)pool_->Respawn(w);  // new link is blocking already
+  if (pool_ != nullptr) {
+    // A link with loop-era state — an unanswered exchange, a half-flushed
+    // request frame, a partially read reply — would poison the pool's
+    // synchronous Dispatch afterwards (its correlation counter restarts, so
+    // a stale reply could match a fresh id). Respawn those workers; clean
+    // links are handed back as-is.
+    std::vector<bool> dirty(chans_.size(), false);
+    for (const auto& [id, exchange] : exchanges_) {
+      dirty[exchange.worker] = true;
     }
-  }
-  // Hand the clean links back in blocking mode so the pool's synchronous
-  // Dispatch keeps working after a Serve (tests do this).
-  for (size_t w = 0; w < chans_.size(); ++w) {
-    const int fd = pool_->worker_fd(w);
-    if (fd < 0) continue;
-    const int flags = ::fcntl(fd, F_GETFL, 0);
-    if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+    for (size_t w = 0; w < chans_.size(); ++w) {
+      if (dirty[w] || !chans_[w].out.empty() || !chans_[w].in.empty()) {
+        (void)pool_->Respawn(w);  // new link is blocking already
+      }
+    }
+    // Hand the clean links back in blocking mode so the pool's synchronous
+    // Dispatch keeps working after a Serve (tests do this).
+    for (size_t w = 0; w < chans_.size(); ++w) {
+      const int fd = pool_->worker_fd(w);
+      if (fd < 0) continue;
+      const int flags = ::fcntl(fd, F_GETFL, 0);
+      if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+    }
   }
   return util::Status::OK();
 }
 
 }  // namespace
 
-Server::Server(WorkerPool* pool) : pool_(pool) {
-  if (::pipe(wake_fds_) == 0) {
-    (void)SetNonBlocking(wake_fds_[0]);
-    (void)SetNonBlocking(wake_fds_[1]);
+namespace {
+
+void MakeWakePipe(int wake_fds[2]) {
+  if (::pipe(wake_fds) == 0) {
+    (void)SetNonBlocking(wake_fds[0]);
+    (void)SetNonBlocking(wake_fds[1]);
   }
+}
+
+}  // namespace
+
+Server::Server(WorkerPool* pool) : pool_(pool) { MakeWakePipe(wake_fds_); }
+
+Server::Server(ThreadedEnginePool* pool) : tpool_(pool) {
+  MakeWakePipe(wake_fds_);
 }
 
 Server::~Server() {
@@ -1076,7 +1204,10 @@ util::Status Server::AddListener(int listener_fd) {
 }
 
 util::Status Server::Serve() {
-  if (pool_ == nullptr || pool_->num_workers() == 0) {
+  const int workers = pool_ != nullptr      ? pool_->num_workers()
+                      : tpool_ != nullptr ? tpool_->num_workers()
+                                            : 0;
+  if (workers == 0) {
     return util::Status::InvalidArgument("server: pool not started");
   }
   if (listeners_.empty()) {
@@ -1084,7 +1215,8 @@ util::Status Server::Serve() {
   }
   if (wake_fds_[0] < 0) return SysError("pipe");
   g_sigchld_wake_fd.store(wake_fds_[1], std::memory_order_relaxed);
-  EventLoop loop(pool_, listeners_, &shutdown_, wake_fds_[0]);
+  EventLoop loop(pool_, tpool_, listeners_, &shutdown_, &draining_,
+                 wake_fds_[0]);
   const util::Status status = loop.Run();
   g_sigchld_wake_fd.store(-1, std::memory_order_relaxed);
   return status;
@@ -1094,6 +1226,14 @@ void Server::Shutdown() {
   shutdown_.store(true, std::memory_order_release);
   if (wake_fds_[1] >= 0) {
     const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  }
+}
+
+void Server::Drain() {
+  draining_.store(true, std::memory_order_release);
+  if (wake_fds_[1] >= 0) {
+    const char byte = 'd';
     [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
   }
 }

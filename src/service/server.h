@@ -41,6 +41,8 @@
 
 namespace bagcq::service {
 
+class ThreadedEnginePool;  // service/engine_pool.h — the one-process tier
+
 struct ServerOptions {
   /// Worker processes (one Engine each). Must be >= 1.
   int num_workers = 2;
@@ -163,9 +165,14 @@ class WorkerPool {
 /// are not a frame) close the offending connection; undecodable-but-framed
 /// payloads get an encoded ErrorResponse like any other reply.
 ///
+/// The same front drives either backend: a WorkerPool (fork mode — crash
+/// isolation, one process per Engine) or a ThreadedEnginePool (thread mode
+/// — shared skeletons and work stealing, one process total). Clients
+/// cannot tell them apart: identical framing, identical reply bytes.
+///
 /// Single-threaded: construct, add listeners, then Serve() on one thread;
-/// Shutdown() may be called from any thread (or a signal handler's
-/// cooperating thread) to make Serve return.
+/// Shutdown() and Drain() may be called from any thread or from a signal
+/// handler (both are async-signal-safe) to make Serve return.
 ///
 /// Fork-safety caveat for embedders: respawning fork()s from the Serve
 /// thread and the child immediately allocates (glibc's atexit-fork
@@ -178,6 +185,10 @@ class Server {
   /// the worker links (non-blocking, id-multiplexed), so do not call
   /// pool->Dispatch while Serve runs.
   explicit Server(WorkerPool* pool);
+  /// Thread-mode front: same contract, but requests flow through the
+  /// pool's work-stealing queues (Submit/TakeCompletions) instead of
+  /// worker links — do not call pool->Dispatch while Serve runs.
+  explicit Server(ThreadedEnginePool* pool);
   ~Server();
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -195,13 +206,26 @@ class Server {
 
   /// Makes Serve() return after the current poll round. Thread-safe and
   /// idempotent; safe to call before Serve (it will return immediately).
+  /// In-flight requests are abandoned (fork workers are respawned, queued
+  /// thread work is dropped at pool Stop) — the fast path for tests and
+  /// embedders that own their own lifecycle.
   void Shutdown();
 
+  /// Graceful drain, the SIGTERM path: Serve stops accepting connections
+  /// and stops reading new requests, finishes every request already
+  /// accepted, flushes every reply, then returns OK. Async-signal-safe
+  /// (an atomic store plus one self-pipe write), thread-safe, idempotent.
+  /// Zero accepted requests are dropped — the ops contract a rolling
+  /// restart relies on (docs/serving.md, "Draining and rolling restarts").
+  void Drain();
+
  private:
-  WorkerPool* pool_;
+  WorkerPool* pool_ = nullptr;            // fork mode (exactly one is set)
+  ThreadedEnginePool* tpool_ = nullptr;   // thread mode
   std::vector<int> listeners_;
   std::atomic<bool> shutdown_{false};
-  int wake_fds_[2] = {-1, -1};  // self-pipe: Shutdown() and SIGCHLD wakeups
+  std::atomic<bool> draining_{false};
+  int wake_fds_[2] = {-1, -1};  // self-pipe: Shutdown/Drain/SIGCHLD wakeups
 };
 
 }  // namespace bagcq::service

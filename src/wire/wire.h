@@ -70,7 +70,11 @@ namespace bagcq::wire {
 /// 2 → 3 appended the escalation-ladder counters to CallStats
 /// (lp_word_pivots/lp_wide_pivots/lp_bigint_promotions) and EngineStats
 /// (same three, appended before total_ms).
-inline constexpr uint8_t kWireVersion = 3;
+/// 3 → 4 appended the front-level serving counters to the kStats response
+/// body (connections/in_flight/steals/bytes_in/bytes_out and the
+/// per-worker queue-depth high-water list). Proof-store records carry no
+/// envelope, so persisted logs survive version bumps unchanged.
+inline constexpr uint8_t kWireVersion = 4;
 
 // ------------------------------------------------------------- scalars
 void EncodeBigInt(const util::BigInt& v, Encoder* e);

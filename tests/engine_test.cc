@@ -346,15 +346,19 @@ TEST(EngineBackendTest, TieredAndExactBackendsAgreeOnTheDecisionSuite) {
   EXPECT_GT(tiered.stats().lp_screen_accepts, 0);
 }
 
-TEST(EngineBackendTest, DefaultBackendIsTieredAndScreens) {
+TEST(EngineBackendTest, DefaultBackendIsExactLadder) {
+  // The exact int64 → 128-bit → BigInt escalation ladder is the default:
+  // every certificate is exactly verified with no float screen in the path.
+  // kDoubleScreened stays available as a documented ablation (the test
+  // above pins its agreement with the exact backend).
   Engine engine;
   EXPECT_EQ(engine.options().solver_backend(),
-            lp::SolverBackend::kDoubleScreened);
+            lp::SolverBackend::kExactRational);
   engine.ProveInequality("H(A) + H(B) >= H(A,B)").ValueOrDie();
   EngineStats stats = engine.stats();
   EXPECT_GT(stats.lp_solves, 0);
-  EXPECT_EQ(stats.lp_screen_accepts + stats.lp_exact_fallbacks,
-            stats.lp_solves);
+  EXPECT_EQ(stats.lp_screen_accepts, 0);
+  EXPECT_EQ(stats.lp_exact_fallbacks, 0);
 }
 
 // --------------------------------------------------------- parallel batch

@@ -6,8 +6,14 @@
 // oversized frame headers get the connection dropped before any
 // allocation, and a worker killed -9 mid-batch is respawned with the lost
 // slots failing soft as Unavailable.
+// The threaded engine mode rides the same harness: thread-mode serving
+// must agree byte-for-byte with the in-process Service AND with fork mode,
+// skewed single-shard traffic must spread across workers via stealing, a
+// full worker queue must fail soft with kUnavailable, and a drain must
+// deliver every accepted reply before Serve returns OK.
 #include <atomic>
 #include <csignal>
+#include <poll.h>
 #include <sys/socket.h>
 #include <thread>
 #include <unistd.h>
@@ -15,6 +21,7 @@
 
 #include <gtest/gtest.h>
 
+#include "service/engine_pool.h"
 #include "service/server.h"
 #include "service/service.h"
 #include "service/transport.h"
@@ -402,6 +409,379 @@ TEST_F(ServeLoopTest, GarbagePayloadGetsErrorResponseNotDisconnect) {
       parser.ParsePair("R(x,y), R(y,x)", "R(a,b)").ValueOrDie()});
   ASSERT_TRUE(retry.ok()) << retry.status().ToString();
   EXPECT_NE(std::get_if<DecisionResponse>(&*retry), nullptr);
+}
+
+// ===================================================== threaded engine mode
+
+/// A ThreadedEnginePool behind the same Server front: one Unix and one TCP
+/// listener, served on a background thread. Named so the TSan CI job can
+/// select the fork-free suites with -R 'ThreadedServe|ThreadedPool'.
+class ThreadedServeTest : public ::testing::Test {
+ protected:
+  void StartServer(int num_threads = 4,
+                   api::EngineOptions engine_options = ColdOptions()) {
+    ThreadedPoolOptions options;
+    options.num_threads = num_threads;
+    options.engine = std::move(engine_options);
+    ASSERT_TRUE(pool_.Start(options).ok());
+    server_ = std::make_unique<Server>(&pool_);
+
+    socket_path_ = ::testing::TempDir() + "bagcq_tloop_" +
+                   std::to_string(::getpid()) + "_" +
+                   std::to_string(++instances_) + ".sock";
+    auto unix_listener = ListenUnix(socket_path_);
+    ASSERT_TRUE(unix_listener.ok()) << unix_listener.status().ToString();
+    ASSERT_TRUE(server_->AddListener(*unix_listener).ok());
+
+    auto tcp_listener = ListenTcp("127.0.0.1:0");
+    ASSERT_TRUE(tcp_listener.ok()) << tcp_listener.status().ToString();
+    auto address = ListenerAddress(*tcp_listener);
+    ASSERT_TRUE(address.ok()) << address.status().ToString();
+    tcp_address_ = *address;
+    ASSERT_TRUE(server_->AddListener(*tcp_listener).ok());
+
+    serve_thread_ = std::thread([this] {
+      const util::Status status = server_->Serve();
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    });
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Shutdown();
+    if (serve_thread_.joinable()) serve_thread_.join();
+    server_.reset();
+    pool_.Stop();
+    ::unlink(socket_path_.c_str());
+  }
+
+  TestClient ConnectUnix() {
+    auto fd = DialUnix(socket_path_);
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    return TestClient(fd.ok() ? *fd : -1);
+  }
+  TestClient ConnectTcp() {
+    auto fd = DialTcp(tcp_address_);
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    return TestClient(fd.ok() ? *fd : -1);
+  }
+
+  ThreadedEnginePool pool_;
+  std::unique_ptr<Server> server_;
+  std::thread serve_thread_;
+  std::string socket_path_;
+  std::string tcp_address_;
+  static int instances_;
+};
+
+int ThreadedServeTest::instances_ = 0;
+
+TEST_F(ThreadedServeTest, ConcurrentClientsMatchInproc) {
+  StartServer();
+  api::Engine parser{ColdOptions()};
+  const std::vector<api::QueryPair> pairs = SuitePairs(parser);
+
+  Service inproc{ColdOptions()};
+  Response reference_response = inproc.Handle(DecideBatchRequest{pairs});
+  const auto* reference = std::get_if<BatchResponse>(&reference_response);
+  ASSERT_NE(reference, nullptr);
+  std::vector<std::string> expected;
+  for (const DecisionResponse& one : reference->results) {
+    expected.push_back(NormalizedBytes(one));
+  }
+
+  // 6 concurrent clients (3 Unix + 3 TCP), each its own batch — sharded
+  // across the engine threads, possibly stolen, always byte-identical.
+  constexpr int kClients = 6;
+  std::vector<std::vector<std::string>> got(kClients);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      TestClient client = (c % 2 == 0) ? ConnectUnix() : ConnectTcp();
+      auto response = client.Call(DecideBatchRequest{pairs});
+      if (!response.ok()) {
+        ++failures;
+        return;
+      }
+      const auto* batch = std::get_if<BatchResponse>(&*response);
+      if (batch == nullptr || batch->results.size() != pairs.size()) {
+        ++failures;
+        return;
+      }
+      for (const DecisionResponse& one : batch->results) {
+        got[c].push_back(NormalizedBytes(one));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(got[c], expected) << "client " << c
+                                << " drifted from the in-process Service";
+  }
+}
+
+TEST_F(ThreadedServeTest, SkewedShardTrafficUsesAllWorkersViaStealing) {
+  StartServer();
+  api::Engine parser{ColdOptions()};
+  // One pair, repeated: every request hashes to the same affinity worker.
+  // Cold + memo-less engines re-solve each time (ms-scale work), so the
+  // affinity queue runs deep while the other three workers sit idle — the
+  // exact situation stealing exists for.
+  const api::QueryPair pair =
+      parser.ParsePair("R(x,y), R(y,z), R(z,x)", "R(a,b), R(a,c)")
+          .ValueOrDie();
+  Service inproc{ColdOptions()};
+  Response reference_response = inproc.Handle(DecideRequest{pair});
+  const auto* reference = std::get_if<DecisionResponse>(&reference_response);
+  ASSERT_NE(reference, nullptr);
+  const std::string expected = NormalizedBytes(*reference);
+
+  constexpr size_t kRequests = 60;
+  TestClient client = ConnectUnix();
+  for (size_t i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(client.Send(DecideRequest{pair}).ok());
+  }
+  for (size_t i = 0; i < kRequests; ++i) {
+    auto response = client.Receive();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    const auto* decision = std::get_if<DecisionResponse>(&*response);
+    ASSERT_NE(decision, nullptr) << "reply " << i;
+    // Stolen or not, the decision bytes must not drift.
+    EXPECT_EQ(NormalizedBytes(*decision), expected) << "reply " << i;
+  }
+
+  // The steal counter proves more than one worker served the shard.
+  auto stats_response = client.Call(StatsRequest{});
+  ASSERT_TRUE(stats_response.ok()) << stats_response.status().ToString();
+  const auto* stats = std::get_if<StatsResponse>(&*stats_response);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->workers, 4);
+  EXPECT_GT(stats->steals, 0) << "skewed traffic never left its shard";
+  ASSERT_EQ(stats->queue_depth_hwm.size(), 4u);
+  const size_t affinity = pool_.ShardFor(pair, /*bag_bag=*/false);
+  EXPECT_GT(stats->queue_depth_hwm[affinity], 1)
+      << "the affinity queue never ran deep enough to exercise stealing";
+  EXPECT_GT(stats->bytes_in, 0);
+  EXPECT_GT(stats->bytes_out, 0);
+  EXPECT_EQ(stats->connections, 1);
+  EXPECT_GE(pool_.queue_stats().steals, stats->steals);
+}
+
+TEST_F(ThreadedServeTest, DrainDeliversInFlightRepliesAndServeReturnsOk) {
+  StartServer();
+  api::Engine parser{ColdOptions()};
+  const api::QueryPair pair =
+      parser.ParsePair("R(x,y), R(y,z), R(z,x)", "R(a,b), R(a,c)")
+          .ValueOrDie();
+
+  // Pipeline a burst, confirm the server has accepted it (first reply back),
+  // then drain mid-flight.
+  constexpr size_t kRequests = 20;
+  TestClient client = ConnectUnix();
+  for (size_t i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(client.Send(DecideRequest{pair}).ok());
+  }
+  auto first = client.Receive();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_NE(std::get_if<DecisionResponse>(&*first), nullptr);
+
+  server_->Drain();
+
+  // Every remaining accepted request still answers, in order, after the
+  // drain began — zero dropped replies is the rolling-restart contract.
+  for (size_t i = 1; i < kRequests; ++i) {
+    auto response = client.Receive();
+    ASSERT_TRUE(response.ok())
+        << "reply " << i << " dropped by drain: "
+        << response.status().ToString();
+    const auto* decision = std::get_if<DecisionResponse>(&*response);
+    ASSERT_NE(decision, nullptr);
+    EXPECT_TRUE(decision->status.ok()) << decision->status.ToString();
+  }
+
+  // After the last reply the server closes the connection cleanly (EOF at a
+  // frame boundary, never a reset or a torn frame)...
+  std::string tail;
+  bool clean_eof = false;
+  const util::Status eof = ReadFrame(client.fd(), &tail, &clean_eof);
+  EXPECT_TRUE(eof.ok()) << eof.ToString();
+  EXPECT_TRUE(clean_eof);
+
+  // ...and Serve itself has returned OK (the fixture's serve thread asserts
+  // the status; joining here proves it returned without Shutdown).
+  serve_thread_.join();
+
+  // New connections are refused — the listener left the poll set, so the
+  // dial may connect into the dead backlog but never gets served.
+  ASSERT_TRUE(server_ != nullptr);
+}
+
+// Fork-free pool-level suites (also TSan targets).
+
+TEST(ThreadedPoolTest, DispatchMatchesInprocServiceAndSharesSkeletons) {
+  ThreadedEnginePool pool;
+  ThreadedPoolOptions options;
+  options.num_threads = 3;
+  options.engine = ColdOptions();
+  ASSERT_TRUE(pool.Start(options).ok());
+
+  api::Engine parser{ColdOptions()};
+  const std::vector<api::QueryPair> pairs = SuitePairs(parser, /*reps=*/2);
+  Service inproc{ColdOptions()};
+
+  // Singles: every pair, compared normalized against the in-process truth.
+  for (const api::QueryPair& pair : pairs) {
+    Response expected_response = inproc.Handle(DecideRequest{pair});
+    const auto* expected = std::get_if<DecisionResponse>(&expected_response);
+    ASSERT_NE(expected, nullptr);
+    Response got_response = pool.Dispatch(DecideRequest{pair});
+    const auto* got = std::get_if<DecisionResponse>(&got_response);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(NormalizedBytes(*got), NormalizedBytes(*expected));
+  }
+
+  // A batch shards across all three engines and merges in input order.
+  Response expected_batch_response = inproc.Handle(DecideBatchRequest{pairs});
+  const auto* expected_batch =
+      std::get_if<BatchResponse>(&expected_batch_response);
+  ASSERT_NE(expected_batch, nullptr);
+  Response got_batch_response = pool.Dispatch(DecideBatchRequest{pairs});
+  const auto* got_batch = std::get_if<BatchResponse>(&got_batch_response);
+  ASSERT_NE(got_batch, nullptr);
+  ASSERT_EQ(got_batch->results.size(), expected_batch->results.size());
+  for (size_t i = 0; i < got_batch->results.size(); ++i) {
+    EXPECT_EQ(NormalizedBytes(got_batch->results[i]),
+              NormalizedBytes(expected_batch->results[i]))
+        << "batch slot " << i;
+  }
+
+  // The shared pool built each elemental skeleton once for the whole
+  // process: the constructions SUMMED over all three engines equal what one
+  // in-process Service built for the same traffic (one per distinct n) —
+  // without sharing the sum would count each n once per engine that saw it.
+  Response inproc_stats_response = inproc.Handle(StatsRequest{});
+  const auto* inproc_stats =
+      std::get_if<StatsResponse>(&inproc_stats_response);
+  ASSERT_NE(inproc_stats, nullptr);
+  Response pool_stats_response = pool.Dispatch(StatsRequest{});
+  const auto* pool_stats = std::get_if<StatsResponse>(&pool_stats_response);
+  ASSERT_NE(pool_stats, nullptr);
+  EXPECT_EQ(pool_stats->workers, 3);
+  EXPECT_GT(pool_stats->stats.prover_constructions, 0);
+  EXPECT_EQ(pool_stats->stats.prover_constructions,
+            inproc_stats->stats.prover_constructions);
+  ASSERT_EQ(pool_stats->queue_depth_hwm.size(), 3u);
+
+  pool.Stop();
+}
+
+TEST(ThreadedPoolTest, FullQueueRejectsWithUnavailableAndKeepsServing) {
+  ThreadedEnginePool pool;
+  ThreadedPoolOptions options;
+  options.num_threads = 1;   // one ms-scale consumer...
+  options.queue_capacity = 2;  // ...behind a two-slot queue
+  options.engine = ColdOptions();
+  ASSERT_TRUE(pool.Start(options).ok());
+
+  api::Engine parser{ColdOptions()};
+  const api::QueryPair pair =
+      parser.ParsePair("R(x,y), R(y,z), R(z,x)", "R(a,b), R(a,c)")
+          .ValueOrDie();
+  const std::string payload = EncodeRequest(Request{DecideRequest{pair}});
+
+  // Flood far past the queue: submits are µs-scale, decisions ms-scale, so
+  // most must bounce — and every bounce must be kUnavailable, never a block
+  // or a crash.
+  std::vector<uint64_t> accepted;
+  int rejected = 0;
+  for (int i = 0; i < 32; ++i) {
+    const uint64_t id = pool.NextId();
+    const util::Status submitted = pool.Submit(0, id, payload);
+    if (submitted.ok()) {
+      accepted.push_back(id);
+    } else {
+      EXPECT_EQ(submitted.code(), util::StatusCode::kUnavailable)
+          << submitted.ToString();
+      ++rejected;
+    }
+  }
+  ASSERT_GT(rejected, 0) << "flood never filled a 2-slot queue";
+  ASSERT_FALSE(accepted.empty());
+
+  // Every ACCEPTED submit still completes, delivered through the poll
+  // surface (completion_fd + TakeCompletions) like the server front uses.
+  size_t done = 0;
+  while (done < accepted.size()) {
+    pollfd pfd{pool.completion_fd(), POLLIN, 0};
+    ASSERT_GE(::poll(&pfd, 1, 10'000), 0);
+    ASSERT_TRUE(pfd.revents & POLLIN) << "completions stalled";
+    char drain[64];
+    while (::read(pool.completion_fd(), drain, sizeof(drain)) > 0) {
+    }
+    for (const ThreadedEnginePool::Completion& c : pool.TakeCompletions()) {
+      auto response = DecodeResponse(c.payload);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      EXPECT_NE(std::get_if<DecisionResponse>(&*response), nullptr);
+      ++done;
+    }
+  }
+  EXPECT_GE(pool.queue_stats().rejected, rejected);
+
+  // The pool is unharmed: the synchronous surface still serves.
+  Response stats_response = pool.Dispatch(StatsRequest{});
+  const auto* stats = std::get_if<StatsResponse>(&stats_response);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->workers, 1);
+  pool.Stop();
+}
+
+// Deliberately NOT named Threaded*: this one forks, so the TSan job's
+// -R 'ThreadedServe|ThreadedPool' filter leaves it out.
+TEST(ThreadVsForkConformance, DispatchAgreesAcrossEngineModes) {
+  // Fork first, threads second: the worker processes are spawned before
+  // this process is multithreaded.
+  WorkerPool fork_pool;
+  ServerOptions fork_options;
+  fork_options.num_workers = 2;
+  fork_options.engine = ColdOptions();
+  ASSERT_TRUE(fork_pool.Start(fork_options).ok());
+
+  ThreadedEnginePool thread_pool;
+  ThreadedPoolOptions thread_options;
+  thread_options.num_threads = 2;
+  thread_options.engine = ColdOptions();
+  ASSERT_TRUE(thread_pool.Start(thread_options).ok());
+
+  api::Engine parser{ColdOptions()};
+  const std::vector<api::QueryPair> pairs = SuitePairs(parser);
+  for (const api::QueryPair& pair : pairs) {
+    Response fork_response = fork_pool.Dispatch(DecideRequest{pair});
+    Response thread_response = thread_pool.Dispatch(DecideRequest{pair});
+    const auto* from_fork = std::get_if<DecisionResponse>(&fork_response);
+    const auto* from_thread = std::get_if<DecisionResponse>(&thread_response);
+    ASSERT_NE(from_fork, nullptr);
+    ASSERT_NE(from_thread, nullptr);
+    EXPECT_EQ(NormalizedBytes(*from_thread), NormalizedBytes(*from_fork));
+  }
+
+  Response fork_batch_response = fork_pool.Dispatch(DecideBatchRequest{pairs});
+  Response thread_batch_response =
+      thread_pool.Dispatch(DecideBatchRequest{pairs});
+  const auto* fork_batch = std::get_if<BatchResponse>(&fork_batch_response);
+  const auto* thread_batch =
+      std::get_if<BatchResponse>(&thread_batch_response);
+  ASSERT_NE(fork_batch, nullptr);
+  ASSERT_NE(thread_batch, nullptr);
+  ASSERT_EQ(thread_batch->results.size(), fork_batch->results.size());
+  for (size_t i = 0; i < fork_batch->results.size(); ++i) {
+    EXPECT_EQ(NormalizedBytes(thread_batch->results[i]),
+              NormalizedBytes(fork_batch->results[i]))
+        << "batch slot " << i;
+  }
+
+  thread_pool.Stop();
+  fork_pool.Stop();
 }
 
 }  // namespace

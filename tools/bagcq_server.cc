@@ -1,29 +1,44 @@
-// bagcq_server — the sharded multi-process serving front.
+// bagcq_server — the sharded serving front, in either of two engine modes.
 //
-// Forks N worker processes (one bagcq::Engine each, with decision
-// memoization on) and serves framed service/message.h requests over any
-// mix of Unix-socket and TCP listeners until killed. The front is a
-// poll-based event loop: many connections are served concurrently, each
-// pipelining requests with per-connection reply ordering, all multiplexed
-// onto the workers by correlation id. Single decisions route to the worker
-// owning the pair's canonical hash (keeping that worker's memo and
-// warm-start slots hot), batches shard across all workers and come back in
-// input order, Stats aggregates every worker's counters (including the
-// crash-respawn count — a worker that dies is re-forked automatically).
+// Fork mode (--workers N, the default) forks N worker processes (one
+// bagcq::Engine each, with decision memoization on); a crashed worker is
+// re-forked with a fresh Engine. Thread mode (--engine-threads N) runs one
+// process with N engine-owning worker threads sharing the read-only
+// elemental constraint skeletons and one proof-store handle; requests have
+// fingerprint AFFINITY to a worker's queue but an idle worker steals from
+// the deepest queue, so skewed traffic still uses the whole pool, and a
+// full queue fails soft with kUnavailable. Both modes speak the same wire
+// surface and produce byte-identical replies (docs/serving.md has the
+// tradeoffs).
+//
+// The front is a poll-based event loop: many connections are served
+// concurrently, each pipelining requests with per-connection reply
+// ordering. Single decisions route to the worker owning the pair's
+// canonical hash (keeping that worker's memo and warm-start slots hot),
+// batches shard across all workers and come back in input order, Stats
+// aggregates every worker's counters plus the front's serving counters
+// (connections, in-flight, steals, queue high-water, bytes in/out).
 //
 // With --store PATH every worker shares one persistent proof-store log
 // (store/proof_store.h): decisions persisted by any previous run — or any
 // previous worker incarnation — are served warm across restarts, verified
 // on load.
 //
-//   bagcq_server (--socket PATH | --listen HOST:PORT)... [--workers N]
-//                [--backend tiered] [--threads K] [--no-memoize] [--cold]
-//                [--store PATH]
+// Signals: SIGTERM drains gracefully (stop accepting, finish every
+// accepted request, flush every reply, exit 0) — the rolling-restart
+// contract. Anything harsher loses only unpersisted cache state.
+//
+//   bagcq_server (--socket PATH | --listen HOST:PORT)...
+//                [--workers N | --engine-threads N] [--backend exact]
+//                [--threads K] [--no-memoize] [--cold] [--store PATH]
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "service/engine_pool.h"
 #include "service/server.h"
 #include "service/transport.h"
 
@@ -34,22 +49,35 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s (--socket PATH | --listen HOST:PORT)... [--workers N]\n"
-      "          [--backend exact|tiered] [--threads K] [--no-memoize]\n"
-      "          [--cold] [--store PATH]\n"
-      "  --socket PATH   serve a Unix domain socket at PATH\n"
-      "  --listen H:P    serve TCP at host:port (port 0 picks a free port,\n"
-      "                  printed on startup); repeatable, combines with\n"
-      "                  --socket\n"
-      "  --workers N     worker processes, one Engine each (default 2)\n"
-      "  --backend B     LP backend per worker (default tiered)\n"
-      "  --threads K     in-process batch threads per worker (default 1)\n"
-      "  --no-memoize    disable the per-worker decision memo\n"
-      "  --cold          disable LP warm starts (deterministic pivot counts)\n"
-      "  --store PATH    persistent proof-store log shared by all workers\n"
-      "                  (created if absent; survives restarts)\n",
+      "usage: %s (--socket PATH | --listen HOST:PORT)...\n"
+      "          [--workers N | --engine-threads N] [--backend exact|tiered]\n"
+      "          [--threads K] [--no-memoize] [--cold] [--store PATH]\n"
+      "  --socket PATH      serve a Unix domain socket at PATH\n"
+      "  --listen H:P       serve TCP at host:port (port 0 picks a free\n"
+      "                     port, printed on startup); repeatable, combines\n"
+      "                     with --socket\n"
+      "  --workers N        fork mode: N worker processes, one Engine each\n"
+      "                     (default 2; crash isolation, respawn on death)\n"
+      "  --engine-threads N thread mode: one process, N engine threads\n"
+      "                     sharing constraint skeletons, with per-worker\n"
+      "                     queues and work stealing; SIGTERM drains\n"
+      "                     gracefully (mutually exclusive with --workers)\n"
+      "  --backend B        LP backend per worker (default exact)\n"
+      "  --threads K        in-process batch threads per worker (default 1)\n"
+      "  --no-memoize       disable the per-worker decision memo\n"
+      "  --cold             disable LP warm starts (deterministic pivots)\n"
+      "  --store PATH       persistent proof-store log shared by all\n"
+      "                     workers (created if absent; survives restarts)\n",
       argv0);
   return 2;
+}
+
+// SIGTERM → graceful drain. Drain() is async-signal-safe (an atomic store
+// plus one pipe write), so the handler may call it directly.
+service::Server* g_server = nullptr;
+
+void OnSigterm(int) {
+  if (g_server != nullptr) g_server->Drain();
 }
 
 }  // namespace
@@ -58,6 +86,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> socket_paths;
   std::vector<std::string> tcp_addresses;
   service::ServerOptions options;
+  int engine_threads = 0;  // 0 = fork mode
+  bool explicit_workers = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--socket" && i + 1 < argc) {
@@ -66,6 +96,9 @@ int main(int argc, char** argv) {
       tcp_addresses.push_back(argv[++i]);
     } else if (arg == "--workers" && i + 1 < argc) {
       options.num_workers = std::atoi(argv[++i]);
+      explicit_workers = true;
+    } else if (arg == "--engine-threads" && i + 1 < argc) {
+      engine_threads = std::atoi(argv[++i]);
     } else if (arg == "--backend" && i + 1 < argc) {
       lp::SolverBackend backend;
       if (!lp::ParseSolverBackend(argv[++i], &backend)) return Usage(argv[0]);
@@ -83,23 +116,45 @@ int main(int argc, char** argv) {
     }
   }
   if (socket_paths.empty() && tcp_addresses.empty()) return Usage(argv[0]);
+  if (engine_threads > 0 && explicit_workers) {
+    std::fprintf(stderr,
+                 "bagcq_server: --workers and --engine-threads pick "
+                 "conflicting modes; use one\n");
+    return Usage(argv[0]);
+  }
 
-  service::WorkerPool pool;
-  util::Status status = pool.Start(options);
+  // Start whichever pool the mode calls for; the Server front is the same.
+  service::WorkerPool fork_pool;
+  service::ThreadedEnginePool thread_pool;
+  util::Status status;
+  int workers = 0;
+  if (engine_threads > 0) {
+    service::ThreadedPoolOptions thread_options;
+    thread_options.num_threads = engine_threads;
+    thread_options.engine = options.engine;
+    thread_options.store_path = options.store_path;
+    status = thread_pool.Start(thread_options);
+    workers = thread_pool.num_workers();
+  } else {
+    status = fork_pool.Start(options);
+    workers = fork_pool.num_workers();
+  }
   if (!status.ok()) {
     std::fprintf(stderr, "bagcq_server: %s\n", status.ToString().c_str());
     return 1;
   }
 
-  service::Server server(&pool);
+  std::unique_ptr<service::Server> server =
+      engine_threads > 0 ? std::make_unique<service::Server>(&thread_pool)
+                         : std::make_unique<service::Server>(&fork_pool);
   auto add_listener = [&](util::Result<int> listener,
                           const char* kind) -> bool {
     if (listener.ok()) {
       auto address = service::ListenerAddress(*listener);
-      std::printf("bagcq_server: %d workers listening on %s %s\n",
-                  pool.num_workers(), kind,
+      std::printf("bagcq_server: %d %s listening on %s %s\n", workers,
+                  engine_threads > 0 ? "engine threads" : "workers", kind,
                   address.ok() ? address->c_str() : "?");
-      return server.AddListener(*listener).ok();
+      return server->AddListener(*listener).ok();
     }
     std::fprintf(stderr, "bagcq_server: %s\n",
                  listener.status().ToString().c_str());
@@ -113,7 +168,13 @@ int main(int argc, char** argv) {
   }
   std::fflush(stdout);
 
-  status = server.Serve();
+  g_server = server.get();
+  std::signal(SIGTERM, OnSigterm);
+
+  status = server->Serve();
+  std::signal(SIGTERM, SIG_DFL);
+  g_server = nullptr;
+  if (engine_threads > 0) thread_pool.Stop();  // joins drained workers
   std::fprintf(stderr, "bagcq_server: %s\n", status.ToString().c_str());
   return status.ok() ? 0 : 1;
 }

@@ -20,6 +20,11 @@ Checks, each grep-level simple so failures are self-explanatory:
    LadderTier enumerators of src/lp/ladder_simplex.h) and every
    ExactArithmetic mode (src/lp/simplex.h) appears, by its ToString
    spelling, in the ladder section of docs/architecture.md.
+7. The serving surface cannot drift from its ops guide: every `--flag`
+   the bagcq_server usage text declares appears in docs/serving.md, and
+   every StatsResponse field name (src/service/message.h) appears there
+   too — the flag table and the observability section are what an
+   operator actually reads.
 
 Exit status: 0 = docs and code agree, 1 = drift (or missing files).
 
@@ -124,6 +129,40 @@ def main():
             f"architecture.md: ladder tier '{name}' is undocumented")
     print(f"ladder tiers: {len(tier_names) - len(missing_tiers)}"
           f"/{len(tier_names)} documented")
+
+    # Server flags and stats counters are the operator's contract: every
+    # --flag in the bagcq_server usage text and every StatsResponse field
+    # must appear in docs/serving.md.
+    serving = read(root, os.path.join("docs", "serving.md"))
+    server_cc = read(root, os.path.join("tools", "bagcq_server.cc"))
+    flags = sorted(set(re.findall(r"(--[a-z][a-z-]*)", server_cc)))
+    missing_flags = [flag for flag in flags if flag not in serving]
+    for flag in missing_flags:
+        failures.append(f"serving.md: server flag '{flag}' is undocumented")
+    print(f"server flags: {len(flags) - len(missing_flags)}/{len(flags)} "
+          f"documented")
+
+    stats_match = re.search(r"struct\s+StatsResponse\s*\{(.*?)\n\};",
+                            read(root, os.path.join(
+                                "src", "service", "message.h")), re.S)
+    if stats_match is None:
+        sys.exit("error: StatsResponse not found in message.h")
+    body = re.sub(r"//[^\n]*", "", stats_match.group(1))
+    stats_fields = re.findall(r"\b(\w+)\s*(?:=[^;]*)?;", body)
+    if not stats_fields:
+        sys.exit("error: no StatsResponse fields parsed from message.h")
+    # DebugString renders queue_depth_hwm as queue_hwm=[...]; accept the
+    # field name or its rendered spelling.
+    renders = {"queue_depth_hwm": ("queue_depth_hwm", "queue_hwm")}
+    missing_fields = [
+        field for field in stats_fields
+        if not any(spelling in serving
+                   for spelling in renders.get(field, (field,)))]
+    for field in missing_fields:
+        failures.append(
+            f"serving.md: stats field '{field}' is undocumented")
+    print(f"stats fields: {len(stats_fields) - len(missing_fields)}"
+          f"/{len(stats_fields)} documented")
 
     store_spec = read(root, os.path.join("docs", "proof-store.md"))
     store_h = read(root, os.path.join("src", "store", "proof_store.h"))
