@@ -48,7 +48,10 @@ Response Service::Handle(const Request& request) {
         } else if constexpr (std::is_same_v<T, AnalyzeRequest>) {
           return AnalysisResponse{engine_.Analyze(r.q2)};
         } else if constexpr (std::is_same_v<T, StatsRequest>) {
-          return StatsResponse{engine_.stats(), 1};
+          StatsResponse stats;  // front counters stay zero: no server front
+          stats.stats = engine_.stats();
+          stats.workers = 1;
+          return stats;
         } else {
           static_assert(std::is_same_v<T, ClearCacheRequest>);
           engine_.ClearCache();
