@@ -298,7 +298,7 @@ std::vector<util::Result<DecisionResult>> Engine::DecideBatchParallel(
 bool Engine::MemoLookup(const std::string& key, DecisionResult* out) {
   std::shared_ptr<const DecisionResult> entry;
   {
-    std::lock_guard<std::mutex> lock(memo_mutex_);
+    util::MutexLock lock(&memo_mutex_);
     auto it = memo_.find(key);
     if (it == memo_.end()) return false;
     entry = it->second;
@@ -314,7 +314,7 @@ void Engine::MemoInsert(const std::string& key, const DecisionResult& result) {
   const size_t cap = options_.memo_max_entries();
   if (cap == 0) return;
   auto entry = std::make_shared<const DecisionResult>(result);
-  std::lock_guard<std::mutex> lock(memo_mutex_);
+  util::MutexLock lock(&memo_mutex_);
   if (!memo_.emplace(key, std::move(entry)).second) return;  // already there
   memo_order_.push_back(key);
   while (memo_.size() > cap) {  // FIFO eviction at the cap
@@ -547,7 +547,7 @@ void Engine::ClearCache() {
   solver_->Reset();
   solver_->ResetStats();
   {
-    std::lock_guard<std::mutex> lock(memo_mutex_);
+    util::MutexLock lock(&memo_mutex_);
     memo_.clear();
     memo_order_.clear();
   }

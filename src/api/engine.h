@@ -51,7 +51,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -65,7 +64,9 @@
 #include "entropy/max_ii.h"
 #include "entropy/prover_cache.h"
 #include "lp/solver.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace bagcq::api {
 
@@ -242,8 +243,10 @@ class Engine {
   /// only for a pointer grab; past EngineOptions::memo_max_entries() the
   /// oldest entry is evicted FIFO (results can carry witness databases —
   /// the memo must stay bounded).
-  bool MemoLookup(const std::string& key, DecisionResult* out);
-  void MemoInsert(const std::string& key, const DecisionResult& result);
+  bool MemoLookup(const std::string& key, DecisionResult* out)
+      BAGCQ_EXCLUDES(memo_mutex_);
+  void MemoInsert(const std::string& key, const DecisionResult& result)
+      BAGCQ_EXCLUDES(memo_mutex_);
 
   EngineOptions options_;
   entropy::ProverCache provers_;
@@ -252,10 +255,15 @@ class Engine {
   /// Prover/solver counters folded in from parallel-batch workers (their
   /// caches are transient; the numbers must survive the join).
   EngineStats worker_stats_;
-  std::map<std::string, std::shared_ptr<const DecisionResult>> memo_;
+  /// The decision memo and its FIFO eviction order — the only Engine state
+  /// parallel-batch workers touch concurrently, hence the only mutex. The
+  /// two containers mutate together (insert appends the key, eviction pops
+  /// it), so one capability guards both.
+  util::Mutex memo_mutex_;
+  std::map<std::string, std::shared_ptr<const DecisionResult>> memo_
+      BAGCQ_GUARDED_BY(memo_mutex_);
   /// Insertion order of memo_ keys, for FIFO eviction at the cap.
-  std::deque<std::string> memo_order_;
-  std::mutex memo_mutex_;
+  std::deque<std::string> memo_order_ BAGCQ_GUARDED_BY(memo_mutex_);
 };
 
 }  // namespace bagcq::api

@@ -6,7 +6,7 @@ namespace bagcq::entropy {
 
 SharedProverPool::GetResult SharedProverPool::Get(int n) {
   BAGCQ_CHECK_GE(n, 1) << "prover needs at least one variable";
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   auto it = provers_.find(n);
   if (it != provers_.end()) return {it->second.get(), false};
   ++constructions_;
@@ -17,17 +17,17 @@ SharedProverPool::GetResult SharedProverPool::Get(int n) {
 }
 
 int64_t SharedProverPool::constructions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return constructions_;
 }
 
 size_t SharedProverPool::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return provers_.size();
 }
 
 void SharedProverPool::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   provers_.clear();
   constructions_ = 0;
 }

@@ -22,9 +22,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "entropy/shannon.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace bagcq::entropy {
 
@@ -49,20 +50,24 @@ class SharedProverPool {
   /// Construction blocks other Get() calls (acceptable: it happens once per
   /// n per process lifetime and the alternative is N copies of ~n·2ⁿ
   /// constraints).
-  GetResult Get(int n);
+  GetResult Get(int n) BAGCQ_EXCLUDES(mutex_);
 
   /// Distinct variable counts built so far.
-  int64_t constructions() const;
-  size_t size() const;
+  int64_t constructions() const BAGCQ_EXCLUDES(mutex_);
+  size_t size() const BAGCQ_EXCLUDES(mutex_);
 
   /// Drops every prover. See the class contract: callers must guarantee no
   /// concurrent Get() and no live references.
-  void Clear();
+  void Clear() BAGCQ_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<int, std::unique_ptr<ShannonProver>> provers_;
-  int64_t constructions_ = 0;
+  mutable util::Mutex mutex_;
+  /// Owned provers, immutable once constructed; the map (not the pointees —
+  /// a returned ShannonProver is read lock-free by design) is what the
+  /// mutex guards.
+  std::map<int, std::unique_ptr<ShannonProver>> provers_
+      BAGCQ_GUARDED_BY(mutex_);
+  int64_t constructions_ BAGCQ_GUARDED_BY(mutex_) = 0;
 };
 
 class ProverCache {

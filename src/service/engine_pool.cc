@@ -28,10 +28,16 @@ util::Status ThreadedEnginePool::Start(const ThreadedPoolOptions& options) {
     return util::Status::InvalidArgument("queue capacity must be >= 1");
   }
   options_ = options;
-  stopping_ = false;
-  steals_ = 0;
-  rejected_ = 0;
-  depth_hwm_.assign(static_cast<size_t>(options.num_threads), 0);
+  {
+    // No workers are running yet, but these members are lock-guarded and
+    // the analysis (rightly) does not model "not yet concurrent".
+    util::MutexLock lock(&mutex_);
+    stopping_ = false;
+    steals_ = 0;
+    rejected_ = 0;
+    queues_.assign(static_cast<size_t>(options.num_threads), {});
+    depth_hwm_.assign(static_cast<size_t>(options.num_threads), 0);
+  }
   if (::pipe(completion_fds_) != 0) {
     return util::Status::Internal(std::string("threaded pool: pipe failed: ") +
                                   std::strerror(errno));
@@ -69,20 +75,25 @@ util::Status ThreadedEnginePool::Start(const ThreadedPoolOptions& options) {
 
 void ThreadedEnginePool::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (WorkerState& w : workers_) {
     if (w.thread.joinable()) w.thread.join();
   }
   workers_.clear();
+  {
+    util::MutexLock lock(&mutex_);
+    queues_.clear();
+  }
   store_.reset();
   shared_provers_.Clear();  // quiescent: every reader just joined
   for (int& fd : completion_fds_) {
     if (fd >= 0) ::close(fd);
     fd = -1;
   }
+  util::MutexLock lock(&completion_mutex_);
   completions_.clear();
 }
 
@@ -94,11 +105,11 @@ size_t ThreadedEnginePool::ShardFor(const api::QueryPair& pair,
 
 util::Status ThreadedEnginePool::Submit(size_t worker, uint64_t id,
                                         std::string payload, bool pinned) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   if (workers_.empty() || stopping_) {
     return util::Status::Unavailable("threaded pool is not serving");
   }
-  std::deque<Item>& queue = workers_[worker].queue;
+  std::deque<Item>& queue = queues_[worker];
   if (!pinned && queue.size() >= options_.queue_capacity) {
     ++rejected_;
     return util::Status::Unavailable(
@@ -108,10 +119,10 @@ util::Status ThreadedEnginePool::Submit(size_t worker, uint64_t id,
   queue.push_back(Item{id, std::move(payload), pinned});
   depth_hwm_[worker] = std::max(depth_hwm_[worker],
                                 static_cast<int64_t>(queue.size()));
-  // notify_all, not notify_one: a wake could land on an idle worker whose
+  // NotifyAll, not NotifyOne: a wake could land on an idle worker whose
   // steal threshold keeps it from taking this item, and the affinity owner
   // must not stay asleep behind that consumed signal.
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   return util::Status::OK();
 }
 
@@ -122,9 +133,9 @@ int ThreadedEnginePool::PickVictim(size_t self) const {
   const size_t threshold = stopping_ ? 1 : options_.steal_threshold;
   int victim = -1;
   size_t best_depth = 0;
-  for (size_t w = 0; w < workers_.size(); ++w) {
+  for (size_t w = 0; w < queues_.size(); ++w) {
     if (w == self) continue;
-    const std::deque<Item>& queue = workers_[w].queue;
+    const std::deque<Item>& queue = queues_[w];
     if (queue.size() < threshold || queue.size() <= best_depth) continue;
     const bool stealable =
         std::any_of(queue.begin(), queue.end(),
@@ -140,9 +151,9 @@ void ThreadedEnginePool::WorkerLoop(size_t self) {
   while (true) {
     Item item;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      util::MutexLock lock(&mutex_);
       while (true) {
-        std::deque<Item>& own = workers_[self].queue;
+        std::deque<Item>& own = queues_[self];
         if (!own.empty()) {
           item = std::move(own.front());
           own.pop_front();
@@ -151,7 +162,7 @@ void ThreadedEnginePool::WorkerLoop(size_t self) {
         if (const int victim = PickVictim(self); victim >= 0) {
           // Steal the OLDEST stealable item: latency of the longest-waiting
           // request wins over keeping its memo affinity.
-          std::deque<Item>& queue = workers_[static_cast<size_t>(victim)].queue;
+          std::deque<Item>& queue = queues_[static_cast<size_t>(victim)];
           auto it = std::find_if(queue.begin(), queue.end(),
                                  [](const Item& i) { return !i.pinned; });
           item = std::move(*it);
@@ -160,15 +171,15 @@ void ThreadedEnginePool::WorkerLoop(size_t self) {
           break;
         }
         if (stopping_) {
-          const bool all_empty = std::all_of(
-              workers_.begin(), workers_.end(),
-              [](const WorkerState& w) { return w.queue.empty(); });
+          const bool all_empty =
+              std::all_of(queues_.begin(), queues_.end(),
+                          [](const std::deque<Item>& q) { return q.empty(); });
           if (all_empty) return;
         }
-        work_cv_.wait(lock);
+        work_cv_.Wait(&mutex_);
       }
       // A pop may have emptied the last queue — wake the exit checks.
-      if (stopping_) work_cv_.notify_all();
+      if (stopping_) work_cv_.NotifyAll();
     }
     std::string reply = workers_[self].service->HandleBytes(item.payload);
     if (reply.size() > kMaxFrameBytes) {
@@ -182,7 +193,7 @@ void ThreadedEnginePool::WorkerLoop(size_t self) {
 }
 
 void ThreadedEnginePool::PostCompletion(uint64_t id, std::string payload) {
-  std::lock_guard<std::mutex> lock(completion_mutex_);
+  util::MutexLock lock(&completion_mutex_);
   const bool was_empty = completions_.empty();
   completions_.push_back(Completion{id, std::move(payload)});
   if (was_empty && completion_fds_[1] >= 0) {
@@ -192,19 +203,19 @@ void ThreadedEnginePool::PostCompletion(uint64_t id, std::string payload) {
     const char byte = 'w';
     [[maybe_unused]] const ssize_t n = ::write(completion_fds_[1], &byte, 1);
   }
-  completion_cv_.notify_all();
+  completion_cv_.NotifyAll();
 }
 
 std::vector<ThreadedEnginePool::Completion>
 ThreadedEnginePool::TakeCompletions() {
-  std::lock_guard<std::mutex> lock(completion_mutex_);
+  util::MutexLock lock(&completion_mutex_);
   std::vector<Completion> taken;
   taken.swap(completions_);
   return taken;
 }
 
 ThreadedEnginePool::QueueStats ThreadedEnginePool::queue_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   QueueStats stats;
   stats.steals = steals_;
   stats.rejected = rejected_;
@@ -219,7 +230,7 @@ std::vector<std::string> ThreadedEnginePool::WaitFor(
   std::vector<std::string> replies(ids.size());
   std::vector<bool> have(ids.size(), false);
   size_t remaining = ids.size();
-  std::unique_lock<std::mutex> lock(completion_mutex_);
+  util::MutexLock lock(&completion_mutex_);
   while (remaining > 0) {
     for (Completion& c : completions_) {
       for (size_t i = 0; i < ids.size(); ++i) {
@@ -233,7 +244,7 @@ std::vector<std::string> ThreadedEnginePool::WaitFor(
     }
     completions_.clear();  // one front at a time: every completion is ours
     if (remaining == 0) break;
-    completion_cv_.wait(lock);
+    completion_cv_.Wait(&completion_mutex_);
   }
   return replies;
 }

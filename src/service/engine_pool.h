@@ -25,11 +25,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -39,7 +37,9 @@
 #include "entropy/prover_cache.h"
 #include "service/message.h"
 #include "service/service.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace bagcq::store {
 class ProofStore;  // store/proof_store.h — opened once, shared by all engines
@@ -106,12 +106,13 @@ class ThreadedEnginePool {
   /// threads. InvalidArgument on bad options or a started pool; Internal on
   /// pipe failure. An unopenable store fails soft to storeless serving,
   /// mirroring fork mode.
-  util::Status Start(const ThreadedPoolOptions& options = {});
+  util::Status Start(const ThreadedPoolOptions& options = {})
+      BAGCQ_EXCLUDES(mutex_);
   /// Drains every queue (stealing at threshold 1), joins the workers, and
   /// releases the engines. Queued work still completes; Submit during or
   /// after Stop fails with kUnavailable. Idempotent; the destructor calls
   /// it.
-  void Stop();
+  void Stop() BAGCQ_EXCLUDES(mutex_, completion_mutex_);
 
   /// Valid between Start and Stop (the vector is immutable while serving).
   int num_workers() const { return static_cast<int>(workers_.size()); }
@@ -128,7 +129,7 @@ class ThreadedEnginePool {
   /// they are the fanout control messages (Stats, ClearCache) that must
   /// execute on exactly the worker they were addressed to.
   util::Status Submit(size_t worker, uint64_t id, std::string payload,
-                      bool pinned = false);
+                      bool pinned = false) BAGCQ_EXCLUDES(mutex_);
 
   /// Self-pipe read end, for poll(): readable whenever completions are
   /// waiting. Drain it fully, then TakeCompletions(); a spurious wake
@@ -142,9 +143,9 @@ class ThreadedEnginePool {
 
   /// Removes and returns every completion posted so far (any order — the
   /// front re-sequences by correlation id like it does for fork workers).
-  std::vector<Completion> TakeCompletions();
+  std::vector<Completion> TakeCompletions() BAGCQ_EXCLUDES(completion_mutex_);
 
-  QueueStats queue_stats() const;
+  QueueStats queue_stats() const BAGCQ_EXCLUDES(mutex_);
 
   // -------------------------------------------------- synchronous surface
 
@@ -165,18 +166,25 @@ class ThreadedEnginePool {
     std::string payload;
     bool pinned = false;
   };
+  /// One worker's unshared half: the Service (its own Engine) and the
+  /// thread running WorkerLoop. The worker's QUEUE deliberately lives in
+  /// queues_, not here — it is shared mutable state (stealing reads every
+  /// queue) and keeping it in a separate vector is what lets the guarding
+  /// mutex be stated statically (BAGCQ_GUARDED_BY cannot tie a struct
+  /// member to a mutex of the enclosing class).
   struct WorkerState {
     std::unique_ptr<Service> service;
-    std::deque<Item> queue;
     std::thread thread;
   };
 
-  void WorkerLoop(size_t self);
-  /// Under mutex_: the queue index this worker should steal from, or -1.
-  int PickVictim(size_t self) const;
-  void PostCompletion(uint64_t id, std::string payload);
+  void WorkerLoop(size_t self) BAGCQ_EXCLUDES(mutex_, completion_mutex_);
+  /// The queue index this worker should steal from, or -1.
+  int PickVictim(size_t self) const BAGCQ_REQUIRES(mutex_);
+  void PostCompletion(uint64_t id, std::string payload)
+      BAGCQ_EXCLUDES(completion_mutex_);
   /// Blocks until every id in `ids` has completed; returns id → payload.
-  std::vector<std::string> WaitFor(const std::vector<uint64_t>& ids);
+  std::vector<std::string> WaitFor(const std::vector<uint64_t>& ids)
+      BAGCQ_EXCLUDES(completion_mutex_);
 
   Response DispatchBatch(const DecideBatchRequest& request);
   Response DispatchToAll(const Request& request);
@@ -185,18 +193,24 @@ class ThreadedEnginePool {
   ThreadedPoolOptions options_;
   entropy::SharedProverPool shared_provers_;
   std::unique_ptr<store::ProofStore> store_;
+  /// Structure (size, service pointers, threads) is immutable between
+  /// Start and Stop, which only the single front thread calls — workers
+  /// index it lock-free by design.
   std::vector<WorkerState> workers_;
 
-  mutable std::mutex mutex_;  // queues, counters, stopping flag
-  std::condition_variable work_cv_;
-  bool stopping_ = false;
-  int64_t steals_ = 0;
-  int64_t rejected_ = 0;
-  std::vector<int64_t> depth_hwm_;
+  mutable util::Mutex mutex_;  // queues, counters, stopping flag
+  util::CondVar work_cv_;
+  /// Per-worker pending items, index-parallel to workers_. Affinity
+  /// submits push to queues_[shard]; thieves splice from any of them.
+  std::vector<std::deque<Item>> queues_ BAGCQ_GUARDED_BY(mutex_);
+  bool stopping_ BAGCQ_GUARDED_BY(mutex_) = false;
+  int64_t steals_ BAGCQ_GUARDED_BY(mutex_) = 0;
+  int64_t rejected_ BAGCQ_GUARDED_BY(mutex_) = 0;
+  std::vector<int64_t> depth_hwm_ BAGCQ_GUARDED_BY(mutex_);
 
-  std::mutex completion_mutex_;
-  std::condition_variable completion_cv_;
-  std::vector<Completion> completions_;
+  util::Mutex completion_mutex_;
+  util::CondVar completion_cv_;
+  std::vector<Completion> completions_ BAGCQ_GUARDED_BY(completion_mutex_);
   int completion_fds_[2] = {-1, -1};
 
   std::atomic<uint64_t> next_id_{1};

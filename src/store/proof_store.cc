@@ -83,6 +83,7 @@ util::Result<std::unique_ptr<ProofStore>> ProofStore::Open(
     // Fresh log: stamp the header so every non-empty log self-identifies.
     BAGCQ_RETURN_NOT_OK(
         WriteAll(fd, std::string_view(kLogMagic, kLogMagicBytes), path));
+    util::MutexLock lock(&ps->mutex_);
     ps->append_offset_ = kLogMagicBytes;
     return ps;
   }
@@ -105,7 +106,15 @@ util::Result<std::unique_ptr<ProofStore>> ProofStore::Open(
     }
     bytes = fallback;
   }
-  const util::Status status = ps->BuildIndex(bytes);
+  util::Status status;
+  {
+    // No concurrency exists yet (the handle has not been returned), but
+    // BuildIndex writes lock-guarded members, so take the lock anyway: the
+    // static analysis cannot see "not yet shared" and the uncontended
+    // acquisition is free.
+    util::MutexLock lock(&ps->mutex_);
+    status = ps->BuildIndex(bytes);
+  }
   if (mapped != MAP_FAILED) ::munmap(mapped, size);
   BAGCQ_RETURN_NOT_OK(status);
   return ps;
@@ -139,9 +148,11 @@ util::Status ProofStore::BuildIndex(std::string_view file_bytes) {
                                      payload_len);
       if (Crc32cExtend(Crc32c(key), payload) != stored_crc) break;
       // Last record wins: a re-appended key (an import merge) supersedes.
-      index_[std::string(key)] =
-          Entry{pos + kRecordHeaderBytes + key_len,
-                static_cast<uint32_t>(payload_len), stored_crc};
+      Entry entry;
+      entry.payload_offset = pos + kRecordHeaderBytes + key_len;
+      entry.payload_len = static_cast<uint32_t>(payload_len);
+      entry.crc = stored_crc;
+      index_[std::string(key)] = std::move(entry);
       ++stats_.records_loaded;
       pos += record_len;
     }
@@ -189,7 +200,7 @@ bool ProofStore::ReadPayloadLocked(const std::string& key, const Entry& entry,
 bool ProofStore::Lookup(const std::string& key, api::DecisionResult* out) {
   std::string payload;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     auto it = index_.find(key);
     if (it == index_.end()) {
       ++stats_.misses;
@@ -232,7 +243,7 @@ bool ProofStore::Lookup(const std::string& key, api::DecisionResult* out) {
     if (ok) *out = std::move(result);
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   if (!ok) {
     ++stats_.misses;
     ++stats_.verify_failures;
@@ -248,7 +259,7 @@ api::StorePutOutcome ProofStore::Put(const std::string& key,
   wire::Encoder e;
   wire::EncodeDecisionResult(result, &e);
   std::string payload = e.Take();
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   if (payload.size() > options_.max_payload_bytes) {
     ++stats_.rejects;
     return api::StorePutOutcome::kRejected;
@@ -287,38 +298,38 @@ util::Status ProofStore::AppendLocked(const std::string& key,
 
 util::Status ProofStore::AppendRaw(const std::string& key,
                                    const std::string& payload) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   BAGCQ_RETURN_NOT_OK(AppendLocked(key, payload));
   ++stats_.appends;
   return util::Status::OK();
 }
 
 bool ProofStore::ReadRaw(const std::string& key, std::string* payload) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) return false;
   return ReadPayloadLocked(key, it->second, payload);
 }
 
 bool ProofStore::Contains(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return index_.count(key) != 0;
 }
 
 size_t ProofStore::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return index_.size();
 }
 
 StoreStats ProofStore::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return stats_;
 }
 
 util::Status ProofStore::ForEach(
     const std::function<util::Status(const std::string& key,
                                      const std::string& payload)>& fn) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   for (const auto& [key, entry] : index_) {
     std::string payload;
     if (!ReadPayloadLocked(key, entry, &payload)) continue;  // degraded: skip
@@ -347,7 +358,7 @@ util::Status ProofStore::WriteFreshLog(int fd) const {
 }
 
 util::Status ProofStore::ExportTo(const std::string& dest_path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   const int fd = ::open(dest_path.c_str(),
                         O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) return IoError(dest_path, "open");
@@ -357,7 +368,7 @@ util::Status ProofStore::ExportTo(const std::string& dest_path) const {
 }
 
 util::Status ProofStore::Compact() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   const std::string tmp_path = path_ + ".compact";
   const int tmp_fd =
       ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
@@ -394,7 +405,7 @@ util::Status ProofStore::Compact() {
 }
 
 util::Status ProofStore::Sync() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   if (::fsync(fd_) != 0) return IoError(path_, "fsync");
   return util::Status::OK();
 }

@@ -47,12 +47,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "api/decision_store.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace bagcq::store {
 
@@ -112,40 +113,48 @@ class ProofStore : public api::DecisionStore {
 
   // ------------------------------------------- the Engine-facing surface
   /// Decodes, policy-checks, and returns the stored decision for `key`.
-  bool Lookup(const std::string& key, api::DecisionResult* out) override;
+  [[nodiscard]] bool Lookup(const std::string& key,
+                            api::DecisionResult* out) override
+      BAGCQ_EXCLUDES(mutex_);
   /// Encodes and appends, subject to the admission bound; duplicate keys
   /// are left alone (the first stored proof of a question is as good as any
   /// later one — the encoding is canonical).
-  api::StorePutOutcome Put(const std::string& key,
-                           const api::DecisionResult& result) override;
+  [[nodiscard]] api::StorePutOutcome Put(const std::string& key,
+                                         const api::DecisionResult& result)
+      override BAGCQ_EXCLUDES(mutex_);
 
   // ------------------------------------------------- inspection & tools
-  size_t size() const;
-  StoreStats stats() const;
+  size_t size() const BAGCQ_EXCLUDES(mutex_);
+  StoreStats stats() const BAGCQ_EXCLUDES(mutex_);
   const std::string& path() const { return path_; }
-  bool Contains(const std::string& key) const;
+  bool Contains(const std::string& key) const BAGCQ_EXCLUDES(mutex_);
 
   /// Raw framed append of pre-encoded payload bytes — the import path, and
   /// how tests plant records the typed surface would refuse.
-  util::Status AppendRaw(const std::string& key, const std::string& payload);
+  [[nodiscard]] util::Status AppendRaw(const std::string& key,
+                                       const std::string& payload)
+      BAGCQ_EXCLUDES(mutex_);
   /// Reads the raw payload bytes for `key` (checksum re-verified, no decode
   /// and no load policy). False when absent or damaged.
-  bool ReadRaw(const std::string& key, std::string* payload) const;
+  [[nodiscard]] bool ReadRaw(const std::string& key, std::string* payload)
+      const BAGCQ_EXCLUDES(mutex_);
   /// Visits every live (key, payload) pair in unspecified order; the export
   /// and compaction walk.
-  util::Status ForEach(
+  [[nodiscard]] util::Status ForEach(
       const std::function<util::Status(const std::string& key,
-                                       const std::string& payload)>& fn) const;
+                                       const std::string& payload)>& fn) const
+      BAGCQ_EXCLUDES(mutex_);
 
   /// Rewrites the live records to a fresh log and atomically renames it
   /// over this one (dropping duplicates and any recovered-past damage),
   /// then re-indexes. Offline only — see the class comment.
-  util::Status Compact();
+  [[nodiscard]] util::Status Compact() BAGCQ_EXCLUDES(mutex_);
   /// Writes the live records as a fresh log at `dest_path` (the export
   /// artifact; the source log is untouched).
-  util::Status ExportTo(const std::string& dest_path) const;
+  [[nodiscard]] util::Status ExportTo(const std::string& dest_path) const
+      BAGCQ_EXCLUDES(mutex_);
   /// fsyncs the log fd (call before shipping the file somewhere).
-  util::Status Sync();
+  [[nodiscard]] util::Status Sync() BAGCQ_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -163,22 +172,31 @@ class ProofStore : public api::DecisionStore {
 
   /// The Open scan: walk records from `scan`, index the valid prefix,
   /// remember where damage (if any) begins.
-  util::Status BuildIndex(std::string_view file_bytes);
+  util::Status BuildIndex(std::string_view file_bytes)
+      BAGCQ_REQUIRES(mutex_);
   bool ReadPayloadLocked(const std::string& key, const Entry& entry,
-                         std::string* payload) const;
+                         std::string* payload) const BAGCQ_REQUIRES(mutex_);
   util::Status AppendLocked(const std::string& key,
-                            const std::string& payload);
+                            const std::string& payload)
+      BAGCQ_REQUIRES(mutex_);
   /// Writes header + every live record of `entries` to `fd` (the compaction
   /// / export body).
-  util::Status WriteFreshLog(int fd) const;
+  util::Status WriteFreshLog(int fd) const BAGCQ_REQUIRES(mutex_);
 
   const std::string path_;
+  /// Only Compact() reassigns fd_ (under mutex_); every other writer is the
+  /// constructor/destructor, which by contract run without concurrency. Not
+  /// BAGCQ_GUARDED_BY so the destructor's close stays expressible.
   int fd_ = -1;
   StoreOptions options_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Entry> index_;
-  uint64_t append_offset_ = 0;  // where the next record lands (valid EOF)
-  mutable StoreStats stats_;
+  mutable util::Mutex mutex_;
+  /// Key → live record. Entries are erased on read/verify failure (a
+  /// damaged record must not re-pay its failed decode on every lookup).
+  std::unordered_map<std::string, Entry> index_ BAGCQ_GUARDED_BY(mutex_);
+  /// Where the next record lands (valid EOF), maintained by the append
+  /// path; advisory under concurrent appender processes.
+  uint64_t append_offset_ BAGCQ_GUARDED_BY(mutex_) = 0;
+  mutable StoreStats stats_ BAGCQ_GUARDED_BY(mutex_);
 };
 
 }  // namespace bagcq::store

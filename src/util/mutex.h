@@ -1,0 +1,99 @@
+// util::Mutex / MutexLock / CondVar: the project's annotated locking
+// vocabulary. Thin, zero-overhead wrappers over std::mutex /
+// std::lock_guard / std::condition_variable_any whose only job is to carry
+// the Clang thread-safety capability attributes (util/thread_annotations.h)
+// that a bare std::mutex cannot — with them, `-Werror=thread-safety` turns
+// a read of a BAGCQ_GUARDED_BY member outside its lock into a compile
+// error. Outside Clang the attributes vanish and these are exactly their
+// std counterparts.
+//
+// Usage pattern (docs/static-analysis.md walks through a full example):
+//
+//   mutable util::Mutex mutex_;
+//   int64_t count_ BAGCQ_GUARDED_BY(mutex_) = 0;
+//
+//   void Bump() BAGCQ_EXCLUDES(mutex_) {
+//     util::MutexLock lock(&mutex_);
+//     ++count_;                      // OK: lock scope holds mutex_
+//   }
+//
+// CondVar pairs with util::Mutex directly (Wait adopts the already-held
+// std::mutex for the duration of the wait): Wait() declares
+// BAGCQ_REQUIRES(mu) — the caller must already hold the mutex, exactly the
+// std precondition.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace bagcq::util {
+
+/// A std::mutex carrying the "mutex" capability. Lock/Unlock are the
+/// annotated project spelling; the lowercase BasicLockable aliases exist so
+/// CondVar (and std facilities) can lock it, and carry the same
+/// annotations.
+class BAGCQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() BAGCQ_ACQUIRE() { mu_.lock(); }
+  void Unlock() BAGCQ_RELEASE() { mu_.unlock(); }
+  /// std BasicLockable spellings (same semantics, for generic code).
+  void lock() BAGCQ_ACQUIRE() { mu_.lock(); }
+  void unlock() BAGCQ_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock of a util::Mutex — the only way project code takes a lock
+/// (a bare Lock/Unlock pair cannot be checked for balance by the scoped
+/// analysis and is one early-return away from a leak).
+class BAGCQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) BAGCQ_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() BAGCQ_RELEASE() { mu_->Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable over util::Mutex. Wait() atomically releases the
+/// mutex, blocks, and re-acquires before returning — annotated REQUIRES so
+/// waiting without the lock (a lost-wakeup bug) fails the build.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Spurious wakeups happen; call under a predicate loop.
+  void Wait(Mutex* mu) BAGCQ_REQUIRES(mu) {
+    // Adopt the already-held mutex for the duration of the wait, then
+    // release the unique_lock wrapper without unlocking: the caller held
+    // the mutex on entry and holds it again on return, exactly what the
+    // REQUIRES annotation states.
+    std::unique_lock<std::mutex> ul(mu->mu_, std::adopt_lock);
+    cv_.wait(ul);
+    ul.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  /// Over the raw std::mutex, not the wrapper: wait()'s internal
+  /// unlock/relock would otherwise churn the annotated surface for what is
+  /// a single atomic operation to the analysis (Wait's REQUIRES already
+  /// states the whole contract).
+  std::condition_variable cv_;
+};
+
+}  // namespace bagcq::util

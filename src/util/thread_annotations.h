@@ -1,0 +1,83 @@
+// Clang thread-safety annotation macros (the static side of the locking
+// story; TSan is the dynamic side). Under Clang the `BAGCQ_*` macros below
+// expand to `__attribute__((...))` capability annotations and the build is
+// compiled with `-Werror=thread-safety` (CMakeLists gates this on the
+// compiler), so an access to a `BAGCQ_GUARDED_BY` member outside its mutex,
+// or a call to a `BAGCQ_REQUIRES` function without the lock, is a *compile
+// error* — not a lucky TSan interleaving. Under any other compiler every
+// macro expands to nothing and the annotated code is byte-identical to the
+// unannotated code (tests/mutex_test.cc pins this).
+//
+// Conventions (normative; docs/static-analysis.md is the prose version):
+//
+//   * Lockable state uses util::Mutex (util/mutex.h), never a bare
+//     std::mutex — only the wrapper carries the BAGCQ_CAPABILITY attribute
+//     the analysis needs, and only util::MutexLock is a scoped capability.
+//   * Every member a mutex protects is marked BAGCQ_GUARDED_BY(mutex_) at
+//     its declaration, with the invariant in a comment when it is not
+//     obvious from the name.
+//   * Private helpers that assume the lock is already held are named
+//     `FooLocked` and marked BAGCQ_REQUIRES(mutex_).
+//   * Public entry points that take the lock themselves are marked
+//     BAGCQ_EXCLUDES(mutex_) when calling them with the lock held would
+//     self-deadlock.
+//   * BAGCQ_NO_THREAD_SAFETY_ANALYSIS is a last resort, always with a
+//     written rationale on the line above; prefer restructuring.
+//
+// The macro set mirrors LLVM's mutex.h / LevelDB's thread_annotations.h so
+// the names mean what every other codebase means by them.
+#pragma once
+
+// clang-format off
+#if defined(__clang__) && !defined(SWIG)
+#define BAGCQ_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define BAGCQ_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a lockable capability ("mutex" by convention).
+#define BAGCQ_CAPABILITY(x) \
+  BAGCQ_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII class whose lifetime holds a capability.
+#define BAGCQ_SCOPED_CAPABILITY \
+  BAGCQ_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Marks a data member as protected by the given capability: reads require
+/// the capability held shared or exclusive, writes require exclusive.
+#define BAGCQ_GUARDED_BY(x) \
+  BAGCQ_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Like BAGCQ_GUARDED_BY, but for the data a pointer member points at
+/// (the pointer itself is unguarded).
+#define BAGCQ_PT_GUARDED_BY(x) \
+  BAGCQ_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// The function may only be called with the listed capabilities held (and
+/// does not release them).
+#define BAGCQ_REQUIRES(...) \
+  BAGCQ_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and holds them on return.
+#define BAGCQ_ACQUIRE(...) \
+  BAGCQ_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (which must be held).
+#define BAGCQ_RELEASE(...) \
+  BAGCQ_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// The function may only be called with the listed capabilities NOT held
+/// (it acquires them itself — calling it under the lock self-deadlocks).
+#define BAGCQ_EXCLUDES(...) \
+  BAGCQ_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the given capability (accessor
+/// pattern, e.g. `Mutex& mutex() BAGCQ_RETURN_CAPABILITY(mutex_)`).
+#define BAGCQ_RETURN_CAPABILITY(x) \
+  BAGCQ_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Opts one function out of the analysis. Last resort; every use carries a
+/// written rationale per the suppression policy in docs/static-analysis.md.
+#define BAGCQ_NO_THREAD_SAFETY_ANALYSIS \
+  BAGCQ_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+// clang-format on

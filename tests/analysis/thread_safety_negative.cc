@@ -1,0 +1,48 @@
+// Negative test for the Clang thread-safety gate: this TU contains exactly
+// the bug class the annotations exist to catch — reads and writes of a
+// BAGCQ_GUARDED_BY member with no lock held, plus a Lock with no Unlock on
+// one path. It MUST fail to compile under
+//   clang -fsyntax-only -Wthread-safety -Werror=thread-safety
+// and the analysis_negative_thread_safety ctest (WILL_FAIL) asserts that it
+// does. If this file ever starts compiling under Clang, the gate is dead —
+// annotations were stripped, the warning was downgraded, or the macros
+// stopped expanding — and the harness fails the build.
+//
+// Under GCC the annotations expand to nothing and this file is ordinary
+// valid C++; it is never added to any build target, only fed to the
+// compiler front-end by the negative ctest.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG (deliberate): touches value_ without holding mutex_.
+  void IncrementUnguarded() { ++value_; }
+
+  // BUG (deliberate): reads a guarded member lock-free.
+  long Read() const { return value_; }
+
+  // BUG (deliberate): acquires but forgets to release on the early return.
+  void LeakyIncrement(bool skip) {
+    mutex_.Lock();
+    if (skip) return;
+    ++value_;
+    mutex_.Unlock();
+  }
+
+ private:
+  mutable bagcq::util::Mutex mutex_;
+  long value_ BAGCQ_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.IncrementUnguarded();
+  c.LeakyIncrement(false);
+  return static_cast<int>(c.Read() - 2);
+}
