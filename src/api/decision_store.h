@@ -36,13 +36,14 @@ class DecisionStore {
   /// verify-on-load for certificate-carrying results, trust-but-checksum for
   /// verdict-only ones). A record that fails the policy reads as a miss —
   /// the caller falls through to a cold solve, never to a wrong answer.
-  virtual bool Lookup(const std::string& key, DecisionResult* out) = 0;
+  [[nodiscard]] virtual bool Lookup(const std::string& key,
+                                    DecisionResult* out) = 0;
 
   /// Offers a freshly computed result for persistence. Implementations
   /// apply their admission policy (e.g. an oversized-payload bound) and
   /// report what happened.
-  virtual StorePutOutcome Put(const std::string& key,
-                              const DecisionResult& result) = 0;
+  [[nodiscard]] virtual StorePutOutcome Put(const std::string& key,
+                                            const DecisionResult& result) = 0;
 };
 
 }  // namespace bagcq::api

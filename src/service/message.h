@@ -174,10 +174,10 @@ enum class ResponseTag : uint8_t {
 // magic, unknown version or tag, corrupt payload, or trailing bytes —
 // never a crash. The byte-level layout is docs/wire-format.md §3.
 
-std::string EncodeRequest(const Request& request);
+[[nodiscard]] std::string EncodeRequest(const Request& request);
 util::Result<Request> DecodeRequest(std::string_view bytes);
 
-std::string EncodeResponse(const Response& response);
+[[nodiscard]] std::string EncodeResponse(const Response& response);
 util::Result<Response> DecodeResponse(std::string_view bytes);
 
 /// The text debug form of the protocol: one-line human-readable summaries

@@ -26,7 +26,12 @@ enum class StatusCode {
 };
 
 /// Outcome of an operation: OK or an error code with a message.
-class Status {
+/// [[nodiscard]] on the class: silently dropping a Status return is how an
+/// I/O or validation failure becomes a wrong answer three layers later.
+/// Deliberate discards (a best-effort append on a degraded path) spell it
+/// out with a (void) cast and a comment. Enforced as an error by
+/// -Werror=unused-result in CMakeLists.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -65,9 +70,10 @@ class Status {
 };
 
 /// A value or an error. `ValueOrDie()` CHECK-fails on error (for tests and
-/// examples); library code should branch on `ok()`.
+/// examples); library code should branch on `ok()`. [[nodiscard]] like
+/// Status: a discarded Result is a swallowed error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}                   // NOLINT
   Result(Status status) : status_(std::move(status)) {            // NOLINT

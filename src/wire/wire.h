@@ -37,6 +37,11 @@
 //   * Free functions with no shared state: safe to call concurrently from
 //     any number of threads (distinct Encoder/Decoder instances are not
 //     thread-safe themselves — one thread per codec object).
+//   * Every DecodeX return is effectively [[nodiscard]] (util::Result and
+//     util::Status carry the class attribute): ignoring a decode outcome
+//     and using a half-filled value is the exact bug the strict-validation
+//     contract exists to prevent, so it fails the -Werror=unused-result
+//     build.
 //
 // The normative byte-level specification, field by field, is
 // docs/wire-format.md; layouts here are frozen within kWireVersion.
@@ -161,7 +166,8 @@ util::Result<api::EngineStats> DecodeEngineStats(Decoder* d);
 /// renaming-variants of one pair produce one key. This is the Engine's
 /// decision-memo key and the server's shard-routing key (hash it with
 /// Fingerprint).
-std::string CanonicalPairKey(const cq::ConjunctiveQuery& q1,
-                             const cq::ConjunctiveQuery& q2, bool bag_bag);
+[[nodiscard]] std::string CanonicalPairKey(const cq::ConjunctiveQuery& q1,
+                                           const cq::ConjunctiveQuery& q2,
+                                           bool bag_bag);
 
 }  // namespace bagcq::wire
