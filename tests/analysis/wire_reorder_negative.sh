@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Negative test for the wire-evolution gate: copy the tracked headers into a
+# scratch tree, baseline a manifest from the pristine copy, swap two
+# RequestTag enumerators (exactly the reorder docs/wire-format.md §7
+# forbids), and run the checker. The checker MUST exit nonzero; the
+# analysis_negative_wire_reorder ctest wraps this script with WILL_FAIL, so
+# a checker that waves the reorder through fails the harness.
+#
+# Usage: wire_reorder_negative.sh REPO_ROOT
+set -u
+ROOT="${1:?usage: wire_reorder_negative.sh REPO_ROOT}"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+mkdir -p "$TMP/tools" "$TMP/src/service" "$TMP/src/util" \
+         "$TMP/src/api" "$TMP/src/wire"
+cp "$ROOT/src/service/message.h" "$TMP/src/service/"
+cp "$ROOT/src/util/status.h" "$TMP/src/util/"
+cp "$ROOT/src/api/engine.h" "$ROOT/src/api/result.h" "$TMP/src/api/"
+cp "$ROOT/src/wire/wire.h" "$TMP/src/wire/"
+
+# Baseline from the pristine copy, then doctor: swap kStats and kClearCache.
+python3 "$ROOT/tools/check_wire_evolution.py" --root "$TMP" --update
+perl -0pi -e 's/kStats = 7,\n  kClearCache = 8,/kClearCache = 8,\n  kStats = 7,/ or die "reorder pattern not found"' \
+  "$TMP/src/service/message.h"
+
+# Exit with the checker's status: nonzero (gate caught the reorder) is what
+# WILL_FAIL expects; zero here means the gate is blind and the test fails.
+python3 "$ROOT/tools/check_wire_evolution.py" --root "$TMP"

@@ -1,0 +1,382 @@
+#!/usr/bin/env python3
+"""Wire-evolution gate: statically enforce docs/wire-format.md §7.
+
+The wire contract evolves append-only. Concretely, against a committed
+manifest (tools/wire_manifest.json) this tool checks that:
+
+1. Every tracked enum (util::StatusCode, service::RequestTag,
+   service::ResponseTag) still begins with exactly the manifest's
+   enumerators, same names, same values, same order. New enumerators may
+   only be appended after them. Reordering, renumbering, renaming, or
+   deleting an enumerator the manifest knows about is a hard failure —
+   those values are already interpreted by deployed peers and persisted
+   proof-store logs.
+
+2. Every tracked versioned struct (service::StatsResponse,
+   api::EngineStats, api::CallStats — the field-list payloads whose
+   encoders write fields in declaration order) still begins with exactly
+   the manifest's field names in order. New fields append at the end.
+
+3. wire::kWireVersion is monotone (>= the manifest's), and any growth of
+   a tracked struct's field list comes with a version bump — appending a
+   field changes the byte layout, which is precisely what kWireVersion
+   versions.
+
+After an intentional, reviewed evolution (append + version bump), run
+`--update` to re-baseline the manifest and commit both together.
+
+`--self-test` proves the gate can actually fail: it doctors copies of the
+sources in a tempdir (reordered enum, renumbered enumerator, mid-struct
+insertion, removed field, version regression, silent append) and asserts
+each one is rejected, plus an update→check round-trip that must pass.
+
+Parsing is regex-level on the same headers check_docs.py reads; it is
+deliberately dumb so a failure message maps one-to-one onto a line you
+can see in the diff.
+
+Usage: tools/check_wire_evolution.py [--root DIR] [--update | --self-test]
+Exit status: 0 = contract held, 1 = violation (or self-test failure).
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import sys
+import tempfile
+
+MANIFEST_REL = os.path.join("tools", "wire_manifest.json")
+
+# (enum name, header) — parsed with explicit-or-implicit values.
+TRACKED_ENUMS = [
+    ("StatusCode", os.path.join("src", "util", "status.h")),
+    ("RequestTag", os.path.join("src", "service", "message.h")),
+    ("ResponseTag", os.path.join("src", "service", "message.h")),
+]
+
+# (struct name, header) — encoders write these field lists in declaration
+# order, so declaration order IS the byte layout.
+TRACKED_STRUCTS = [
+    ("StatsResponse", os.path.join("src", "service", "message.h")),
+    ("EngineStats", os.path.join("src", "api", "engine.h")),
+    ("CallStats", os.path.join("src", "api", "result.h")),
+]
+
+VERSION_HEADER = os.path.join("src", "wire", "wire.h")
+
+
+def read(root, rel):
+    path = os.path.join(root, rel)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return f.read()
+    except OSError as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+
+
+def strip_comments(text):
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def parse_enum(root, name, rel):
+    """Returns [(enumerator, value)] with implicit values resolved."""
+    source = strip_comments(read(root, rel))
+    match = re.search(
+        r"enum\s+(?:class\s+)?" + name + r"[^{]*\{(.*?)\}", source, re.S)
+    if match is None:
+        sys.exit(f"error: enum {name} not found in {rel}")
+    entries = []
+    next_value = 0
+    for item in match.group(1).split(","):
+        item = item.strip()
+        if not item:
+            continue
+        assign = re.match(r"(k\w+)\s*=\s*(-?\d+)$", item)
+        bare = re.match(r"(k\w+)$", item)
+        if assign:
+            next_value = int(assign.group(2))
+            entries.append((assign.group(1), next_value))
+        elif bare:
+            entries.append((bare.group(1), next_value))
+        else:
+            sys.exit(f"error: unparseable enumerator '{item}' in "
+                     f"{rel} enum {name}")
+        next_value += 1
+    if not entries:
+        sys.exit(f"error: enum {name} in {rel} parsed empty")
+    return entries
+
+
+def parse_struct_fields(root, name, rel):
+    """Returns the ordered field names of `struct name` in `rel`.
+
+    The body is truncated at the first member function (EngineStats
+    declares operator+=) so statements inside method bodies are never
+    mistaken for field declarations.
+    """
+    source = read(root, rel)
+    match = re.search(r"struct\s+" + name + r"\s*\{(.*?)\n\};", source, re.S)
+    if match is None:
+        sys.exit(f"error: struct {name} not found in {rel}")
+    body = strip_comments(match.group(1))
+    for stop in (r"\boperator\b", r"\w+\s*\([^;]*\)\s*\{"):
+        cut = re.search(stop, body)
+        if cut:
+            body = body[:cut.start()]
+    fields = re.findall(r"\b(\w+)\s*(?:=[^;{}]*)?;", body)
+    if not fields:
+        sys.exit(f"error: no fields parsed for struct {name} in {rel}")
+    return fields
+
+
+def parse_wire_version(root):
+    source = strip_comments(read(root, VERSION_HEADER))
+    match = re.search(
+        r"constexpr\s+\S+\s+kWireVersion\s*=\s*(\d+)\s*;", source)
+    if match is None:
+        sys.exit(f"error: kWireVersion not found in {VERSION_HEADER}")
+    return int(match.group(1))
+
+
+def snapshot(root):
+    """The current state of every tracked wire surface, manifest-shaped."""
+    return {
+        "wire_version": parse_wire_version(root),
+        "enums": {name: [[n, v] for n, v in parse_enum(root, name, rel)]
+                  for name, rel in TRACKED_ENUMS},
+        "structs": {name: parse_struct_fields(root, name, rel)
+                    for name, rel in TRACKED_STRUCTS},
+    }
+
+
+def check(root, manifest):
+    """Returns a list of violation strings (empty = contract held)."""
+    current = snapshot(root)
+    failures = []
+
+    for name, baseline in manifest.get("enums", {}).items():
+        live = current["enums"].get(name)
+        if live is None:
+            failures.append(f"enum {name}: tracked by the manifest but "
+                            f"no longer found in the sources")
+            continue
+        for i, (base_name, base_value) in enumerate(baseline):
+            if i >= len(live):
+                failures.append(
+                    f"enum {name}: enumerator '{base_name}' (= {base_value}) "
+                    f"was removed — wire enumerators are forever")
+                continue
+            cur_name, cur_value = live[i]
+            if cur_name != base_name or cur_value != base_value:
+                failures.append(
+                    f"enum {name}: position {i} changed from "
+                    f"'{base_name}' = {base_value} to "
+                    f"'{cur_name}' = {cur_value} — enumerators may only "
+                    f"be appended, never reordered/renumbered/renamed")
+
+    struct_grew = False
+    for name, baseline in manifest.get("structs", {}).items():
+        live = current["structs"].get(name)
+        if live is None:
+            failures.append(f"struct {name}: tracked by the manifest but "
+                            f"no longer found in the sources")
+            continue
+        for i, base_field in enumerate(baseline):
+            if i >= len(live):
+                failures.append(
+                    f"struct {name}: field '{base_field}' was removed — "
+                    f"versioned field lists are append-only")
+                continue
+            if live[i] != base_field:
+                failures.append(
+                    f"struct {name}: position {i} changed from "
+                    f"'{base_field}' to '{live[i]}' — fields may only be "
+                    f"appended at the end (declaration order is the byte "
+                    f"layout)")
+        if len(live) > len(baseline):
+            struct_grew = True
+
+    base_version = manifest.get("wire_version", 0)
+    if current["wire_version"] < base_version:
+        failures.append(
+            f"kWireVersion regressed: {current['wire_version']} < "
+            f"manifest {base_version} — the version is monotone")
+    elif struct_grew and current["wire_version"] == base_version:
+        failures.append(
+            f"a tracked struct gained fields but kWireVersion is still "
+            f"{base_version} — appending a field changes the byte layout; "
+            f"bump kWireVersion and document it in docs/wire-format.md, "
+            f"then run check_wire_evolution.py --update")
+    return failures
+
+
+def load_manifest(root):
+    path = os.path.join(root, MANIFEST_REL)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as err:
+        sys.exit(f"error: cannot read manifest {path}: {err} "
+                 f"(run --update to create it)")
+    except json.JSONDecodeError as err:
+        sys.exit(f"error: manifest {path} is not valid JSON: {err}")
+
+
+def write_manifest(root, data):
+    path = os.path.join(root, MANIFEST_REL)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+# --------------------------------------------------------------- self-test
+
+def _mirror(root):
+    """Copies just the tracked headers into a tempdir mirror of the repo."""
+    tmp = tempfile.mkdtemp(prefix="wire_evolution_selftest_")
+    rels = sorted({rel for _, rel in TRACKED_ENUMS + TRACKED_STRUCTS}
+                  | {VERSION_HEADER})
+    for rel in rels:
+        dst = os.path.join(tmp, rel)
+        os.makedirs(os.path.dirname(dst), exist_ok=True)
+        shutil.copyfile(os.path.join(root, rel), dst)
+    os.makedirs(os.path.join(tmp, "tools"), exist_ok=True)
+    return tmp
+
+
+def _doctor(tmp, rel, pattern, replacement, count=1):
+    path = os.path.join(tmp, rel)
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    doctored, n = re.subn(pattern, replacement, text, count=count)
+    if n != count:
+        sys.exit(f"self-test error: pattern {pattern!r} matched {n} times "
+                 f"in {rel}, expected {count} — the doctored scenario no "
+                 f"longer reflects the sources; update the self-test")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(doctored)
+
+
+def self_test(root):
+    message_h = os.path.join("src", "service", "message.h")
+
+    # Mutations that must each trip the gate, as (label, doctor) pairs.
+    scenarios = [
+        ("reordered enum (kStats and kClearCache swapped)", lambda t: (
+            _doctor(t, message_h, r"kStats = 7,\n  kClearCache = 8,",
+                    "kClearCache = 8,\n  kStats = 7,"))),
+        ("renumbered enumerator (kClearCache 8 -> 9)", lambda t: (
+            _doctor(t, message_h, r"kClearCache = 8", "kClearCache = 9"))),
+        ("renamed enumerator (kAck -> kAcknowledge)", lambda t: (
+            _doctor(t, message_h, r"kAck = 6", "kAcknowledge = 6"))),
+        ("mid-struct field insertion (before StatsResponse.workers)",
+         lambda t: (
+            _doctor(t, message_h, r"(\n  int64_t workers = 1;)",
+                    r"\n  int64_t uptime_s = 0;\1"))),
+        ("removed field (StatsResponse.respawns)", lambda t: (
+            _doctor(t, message_h, r"\n  int64_t respawns = 0;", ""))),
+        ("version regression (kWireVersion -> 1)", lambda t: (
+            _doctor(t, VERSION_HEADER, r"kWireVersion = \d+",
+                    "kWireVersion = 1"))),
+        ("appended field without a kWireVersion bump", lambda t: (
+            _doctor(t, message_h, r"(\n  std::vector<int64_t> "
+                    r"queue_depth_hwm;)", r"\1\n  int64_t uptime_s = 0;"))),
+    ]
+
+    failed = []
+    for label, doctor in scenarios:
+        tmp = _mirror(root)
+        try:
+            baseline = snapshot(tmp)  # manifest of the pristine copy
+            doctor(tmp)
+            violations = check(tmp, baseline)
+            if violations:
+                print(f"self-test: [{label}] rejected as intended:")
+                for v in violations:
+                    print(f"    {v}")
+            else:
+                failed.append(label)
+                print(f"self-test: [{label}] NOT rejected — gate is blind "
+                      f"to this mutation", file=sys.stderr)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    # A legal evolution (append + bump) must pass, and update -> check must
+    # round-trip clean.
+    tmp = _mirror(root)
+    try:
+        baseline = snapshot(tmp)
+        _doctor(tmp, message_h, r"(\n  std::vector<int64_t> "
+                r"queue_depth_hwm;)", r"\1\n  int64_t uptime_s = 0;")
+        _doctor(tmp, VERSION_HEADER, r"kWireVersion = (\d+)",
+                lambda m: f"kWireVersion = {int(m.group(1)) + 1}")
+        violations = check(tmp, baseline)
+        if violations:
+            failed.append("legal append+bump")
+            for v in violations:
+                print(f"self-test: legal evolution rejected: {v}",
+                      file=sys.stderr)
+        else:
+            print("self-test: [legal append + version bump] accepted "
+                  "as intended")
+        rebased = snapshot(tmp)
+        violations = check(tmp, rebased)
+        if violations:
+            failed.append("update round-trip")
+            for v in violations:
+                print(f"self-test: update round-trip dirty: {v}",
+                      file=sys.stderr)
+        else:
+            print("self-test: [update -> check round-trip] clean")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    if failed:
+        print(f"\nwire-evolution self-test FAILED: {failed}",
+              file=sys.stderr)
+        return 1
+    print("\nwire-evolution self-test passed "
+          f"({len(scenarios)} rejections + 2 acceptances)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repo root")
+    parser.add_argument("--update", action="store_true",
+                        help="re-baseline the manifest from the sources")
+    parser.add_argument("--self-test", action="store_true",
+                        help="prove the gate rejects doctored sources")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args.root)
+
+    if args.update:
+        path = write_manifest(args.root, snapshot(args.root))
+        print(f"manifest re-baselined: {path}")
+        return 0
+
+    manifest = load_manifest(args.root)
+    failures = check(args.root, manifest)
+    if failures:
+        print("wire-evolution gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print("\nIf this evolution is intentional and append-only with a "
+              "version bump,\nre-baseline with: tools/check_wire_evolution.py"
+              " --update", file=sys.stderr)
+        return 1
+    current = snapshot(args.root)
+    enums = sum(len(v) for v in current["enums"].values())
+    fields = sum(len(v) for v in current["structs"].values())
+    print(f"wire-evolution gate passed: kWireVersion={current['wire_version']}"
+          f", {enums} enumerators and {fields} struct fields append-only "
+          f"vs manifest")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
