@@ -25,6 +25,10 @@ Checks, each grep-level simple so failures are self-explanatory:
    every StatsResponse field name (src/service/message.h) appears there
    too — the flag table and the observability section are what an
    operator actually reads.
+8. Every BAGCQ_* annotation macro defined in
+   src/util/thread_annotations.h appears by name in
+   docs/static-analysis.md — the annotation vocabulary is only usable
+   if the document a reviewer is pointed at actually lists it.
 
 Exit status: 0 = docs and code agree, 1 = drift (or missing files).
 
@@ -163,6 +167,26 @@ def main():
             f"serving.md: stats field '{field}' is undocumented")
     print(f"stats fields: {len(stats_fields) - len(missing_fields)}"
           f"/{len(stats_fields)} documented")
+
+    # The thread-safety annotation vocabulary must be documented: every
+    # macro thread_annotations.h #defines appears by name in
+    # static-analysis.md. The dispatch helper the user-facing macros
+    # expand through is implementation, not vocabulary.
+    analysis_doc = read(root, os.path.join("docs", "static-analysis.md"))
+    annotations_h = read(root, os.path.join(
+        "src", "util", "thread_annotations.h"))
+    macros = sorted(set(
+        re.findall(r"^#\s*define\s+(BAGCQ_\w+)", annotations_h, re.M))
+        - {"BAGCQ_THREAD_ANNOTATION_ATTRIBUTE"})
+    if not macros:
+        sys.exit("error: no BAGCQ_* macros found in thread_annotations.h")
+    missing_macros = [m for m in macros if m not in analysis_doc]
+    for macro in missing_macros:
+        failures.append(
+            f"static-analysis.md: annotation macro '{macro}' is "
+            f"undocumented")
+    print(f"annotation macros: {len(macros) - len(missing_macros)}"
+          f"/{len(macros)} documented")
 
     store_spec = read(root, os.path.join("docs", "proof-store.md"))
     store_h = read(root, os.path.join("src", "store", "proof_store.h"))
