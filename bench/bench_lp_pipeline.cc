@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "cq/workload.h"
 #include "entropy/known_inequalities.h"
 #include "service/engine_pool.h"
 #include "service/server.h"
@@ -295,6 +296,88 @@ int main(int argc, char** argv) {
       }));
       server.Shutdown();
       serve_thread.join();
+      ::unlink(socket_path.c_str());
+    }
+
+    // The streaming tier: a seeded workload flows through the chunked
+    // DecideBatchStream path against a live 4-thread server — the
+    // million-pair serving shape, priced per stream. Frames are
+    // pre-encoded so the row times serving (framing + event loop +
+    // sharding + window pacing), not generation; the engines memoize, and
+    // Time()'s warm-up call fills the memo, so the gated number is the
+    // steady-state streaming overhead rather than LP time. Smoke streams
+    // 2k pairs under the same row name (the JSON records the mode).
+    {
+      cq::WorkloadOptions workload_options;
+      workload_options.seed = 2026;
+      cq::WorkloadGenerator generator(workload_options);
+      const size_t stream_pairs = smoke ? 2'000 : 100'000;
+      constexpr size_t kChunkPairs = 512;
+      std::vector<std::string> chunk_frames;
+      size_t generated = 0;
+      while (generated < stream_pairs) {
+        service::DecideBatchStreamRequest chunk;
+        chunk.first_index = generated;
+        const size_t take = std::min(kChunkPairs, stream_pairs - generated);
+        chunk.pairs.reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+          chunk.pairs.push_back(generator.Next().pair);
+        }
+        generated += take;
+        chunk.final_chunk = generated == stream_pairs;
+        chunk_frames.push_back(service::EncodeRequest(std::move(chunk)));
+      }
+
+      service::ThreadedEnginePool pool;
+      service::ThreadedPoolOptions pool_options;
+      pool_options.num_threads = 4;
+      if (!pool.Start(pool_options).ok()) std::abort();
+      service::Server server(&pool);
+      const std::string socket_path =
+          "/tmp/bagcq_bench_stream_" + std::to_string(::getpid()) + ".sock";
+      auto listener = service::ListenUnix(socket_path);
+      if (!listener.ok() || !server.AddListener(*listener).ok()) std::abort();
+      std::thread serve_thread([&] {
+        if (!server.Serve().ok()) std::abort();
+      });
+      results.push_back(Time("decide_batch/stream_100k", batch_iters, [&] {
+        auto fd = service::DialUnix(socket_path);
+        if (!fd.ok()) std::abort();
+        constexpr size_t kWindow = 8;
+        size_t next = 0;
+        size_t in_flight = 0;
+        size_t received = 0;
+        bool saw_final = false;
+        auto receive_one = [&] {
+          std::string reply;
+          bool clean_eof = false;
+          if (!service::ReadFrame(*fd, &reply, &clean_eof).ok() ||
+              clean_eof) {
+            std::abort();
+          }
+          auto response = service::DecodeResponse(reply);
+          if (!response.ok()) std::abort();
+          const auto* chunk =
+              std::get_if<service::BatchChunkResponse>(&*response);
+          if (chunk == nullptr) std::abort();
+          saw_final = chunk->final_chunk;
+          ++received;
+          --in_flight;
+        };
+        while (next < chunk_frames.size()) {
+          if (in_flight == kWindow) receive_one();
+          if (!service::WriteFrame(*fd, chunk_frames[next++]).ok()) {
+            std::abort();
+          }
+          ++in_flight;
+        }
+        while (in_flight > 0) receive_one();
+        if (!saw_final || received != chunk_frames.size()) std::abort();
+        ::close(*fd);
+      }));
+      server.Shutdown();
+      serve_thread.join();
+      pool.Stop();
       ::unlink(socket_path.c_str());
     }
   }

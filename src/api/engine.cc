@@ -519,6 +519,10 @@ util::Result<QueryPair> Engine::ParsePair(std::string_view q1_text,
   BAGCQ_ASSIGN_OR_RETURN(cq::ConjunctiveQuery q1, cq::ParseQuery(q1_text));
   BAGCQ_ASSIGN_OR_RETURN(cq::ConjunctiveQuery q2,
                          cq::ParseQueryWithVocabulary(q2_text, q1.vocab()));
+  // Q2 may use relations Q1 never mentions; parsing only ever APPENDS to
+  // Q1's vocabulary, so adopting the extended one keeps Q1's relation
+  // indices valid and gives the pair the shared vocabulary Decide requires.
+  *q1.mutable_vocab() = q2.vocab();
   return QueryPair{std::move(q1), std::move(q2)};
 }
 

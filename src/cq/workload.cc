@@ -1,0 +1,229 @@
+#include "cq/workload.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bagcq::cq {
+
+namespace {
+
+// Wire queries carry at most 62 variables (util::VarSet width minus head
+// room); the power gadget doubles Q2's count, so Q2 itself stays ≤ 31.
+constexpr int kMaxVarsPerQuery = 31;
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(WorkloadOptions options)
+    : options_(options) {
+  options_.min_vars = std::max(1, options_.min_vars);
+  if (options_.regime == ShapeRegime::kCyclic) {
+    // A cycle needs three distinct backbone variables to close.
+    options_.min_vars = std::max(3, options_.min_vars);
+  }
+  options_.max_vars =
+      std::clamp(options_.max_vars, options_.min_vars, kMaxVarsPerQuery);
+  options_.num_relations = std::max(2, options_.num_relations);
+  options_.max_arity = std::clamp(options_.max_arity, 1, 6);
+  options_.max_extra_atoms = std::max(1, options_.max_extra_atoms);
+  options_.contained_fraction =
+      std::clamp(options_.contained_fraction, 0.0, 1.0);
+  state_ = options_.seed;
+}
+
+uint64_t WorkloadGenerator::NextRandom() {
+  // splitmix64: fixed-width integer arithmetic only, so the stream is
+  // identical on every platform — std::random engines make no such promise
+  // across standard libraries.
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t WorkloadGenerator::RandomBelow(uint64_t bound) {
+  if (bound <= 1) return 0;
+  // Multiply-shift map of the full 64-bit draw onto [0, bound): the bias is
+  // bound/2^64, far below anything a corpus-scale test could observe.
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(NextRandom()) * bound) >> 64);
+}
+
+bool WorkloadGenerator::Chance(double probability) {
+  return (NextRandom() >> 11) * 0x1.0p-53 < probability;
+}
+
+int WorkloadGenerator::RandomArity(int relation) const {
+  return arities_[relation];
+}
+
+Vocabulary WorkloadGenerator::MakeVocabulary() {
+  arities_.assign(options_.num_relations, 2);
+  Vocabulary vocab;
+  for (int r = 0; r < options_.num_relations; ++r) {
+    // Relation 0 stays binary so a join backbone always exists; the rest
+    // draw arities so corpora cover unary guards and wide atoms alike.
+    if (r > 0) {
+      arities_[r] =
+          1 + static_cast<int>(RandomBelow(uint64_t(options_.max_arity)));
+    }
+    vocab.AddRelation("R" + std::to_string(r), arities_[r]);
+  }
+  return vocab;
+}
+
+ConjunctiveQuery WorkloadGenerator::MakeBackboneQuery(const Vocabulary& vocab,
+                                                      int num_vars,
+                                                      char name_base,
+                                                      int usable_relations) {
+  ConjunctiveQuery q(vocab);
+  std::vector<int> vars;
+  vars.reserve(size_t(num_vars));
+  for (int i = 0; i < num_vars; ++i) {
+    vars.push_back(q.AddVariable(std::string(1, name_base) +
+                                 std::to_string(i)));
+  }
+
+  // Binary relations available for backbone edges (relation 0 always is).
+  std::vector<int> binary;
+  for (int r = 0; r < usable_relations; ++r) {
+    if (vocab.arity(r) == 2) binary.push_back(r);
+  }
+
+  // Path backbone v0 — v1 — ... — v{k-1}; a single variable gets a self
+  // loop so it is still used by an atom.
+  if (num_vars == 1) {
+    q.AddAtom(binary[RandomBelow(binary.size())], {vars[0], vars[0]});
+  } else {
+    for (int i = 0; i + 1 < num_vars; ++i) {
+      q.AddAtom(binary[RandomBelow(binary.size())], {vars[i], vars[i + 1]});
+    }
+  }
+  if (options_.regime == ShapeRegime::kCyclic && num_vars >= 3) {
+    q.AddAtom(binary[RandomBelow(binary.size())],
+              {vars[size_t(num_vars) - 1], vars[0]});
+  }
+
+  // Decorations: extra atoms whose variable set sits inside one backbone
+  // edge. A hyperedge contained in an existing one never breaks
+  // α-acyclicity (GYO removes it first), so the acyclic regime's
+  // completeness guarantee survives arbitrary decoration.
+  uint64_t decorations = RandomBelow(uint64_t(options_.max_extra_atoms) + 1);
+  for (uint64_t d = 0; d < decorations; ++d) {
+    int edge = num_vars == 1
+                   ? 0
+                   : static_cast<int>(RandomBelow(uint64_t(num_vars) - 1));
+    int a = vars[size_t(edge)];
+    int b = num_vars == 1 ? a : vars[size_t(edge) + 1];
+    int r = static_cast<int>(RandomBelow(uint64_t(usable_relations)));
+    std::vector<int> positions(size_t(vocab.arity(r)));
+    for (int& v : positions) v = Chance(0.5) ? a : b;
+    q.AddAtom(r, std::move(positions));
+  }
+  return q;  // Boolean: head stays empty.
+}
+
+GeneratedPair WorkloadGenerator::MakeContainedPair() {
+  Vocabulary vocab = MakeVocabulary();
+  int num_vars =
+      options_.min_vars +
+      static_cast<int>(RandomBelow(
+          uint64_t(options_.max_vars - options_.min_vars) + 1));
+  ConjunctiveQuery q2 =
+      MakeBackboneQuery(vocab, num_vars, 'x', options_.num_relations);
+
+  // Q1 = Q2 plus extra atoms over the SAME variables: atoms(Q1) ⊇ atoms(Q2)
+  // on an equal variable set, so every homomorphism Q1 → D is also one of
+  // Q2 → D and |Q1(D)| ≤ |Q2(D)| holds for every database.
+  ConjunctiveQuery q1 = q2;
+  int extra =
+      1 + static_cast<int>(RandomBelow(uint64_t(options_.max_extra_atoms)));
+  for (int e = 0; e < extra; ++e) {
+    int edge = num_vars == 1
+                   ? 0
+                   : static_cast<int>(RandomBelow(uint64_t(num_vars) - 1));
+    int a = edge;
+    int b = num_vars == 1 ? a : edge + 1;
+    int r = static_cast<int>(RandomBelow(uint64_t(options_.num_relations)));
+    std::vector<int> positions(size_t(vocab.arity(r)));
+    for (int& v : positions) v = Chance(0.5) ? a : b;
+    q1.AddAtom(r, std::move(positions));
+  }
+  return GeneratedPair{api::QueryPair{std::move(q1), std::move(q2)},
+                       core::Verdict::kContained};
+}
+
+GeneratedPair WorkloadGenerator::MakeRefutedPair() {
+  Vocabulary vocab = MakeVocabulary();
+  int num_vars =
+      options_.min_vars +
+      static_cast<int>(RandomBelow(
+          uint64_t(options_.max_vars - options_.min_vars) + 1));
+
+  if (Chance(0.5)) {
+    // Vocabulary-mismatch gadget: Q2 is forced to use the last relation,
+    // Q1 is built over every relation but it. No map of Q2's variables into
+    // Q1 can cover that atom, so hom(Q2, Q1) = ∅ and Q1's own canonical
+    // database is a witness against containment.
+    int last = options_.num_relations - 1;
+    ConjunctiveQuery q1 = MakeBackboneQuery(vocab, num_vars, 'x', last);
+    ConjunctiveQuery q2 =
+        MakeBackboneQuery(vocab, num_vars, 'x', options_.num_relations);
+    int edge =
+        num_vars == 1
+            ? 0
+            : static_cast<int>(RandomBelow(uint64_t(num_vars) - 1));
+    int a = edge;
+    int b = num_vars == 1 ? a : edge + 1;
+    std::vector<int> positions(size_t(vocab.arity(last)));
+    for (int& v : positions) v = Chance(0.5) ? a : b;
+    q2.AddAtom(last, std::move(positions));
+    return GeneratedPair{api::QueryPair{std::move(q1), std::move(q2)},
+                         core::Verdict::kNotContained};
+  }
+
+  // Power gadget: Q1 is two disjoint fresh-variable copies of Q2, so
+  // |Q1(D)| = |Q2(D)|². On the disjoint union of two copies of Q2's
+  // canonical database |Q2(D)| ≥ 2, hence |Q1(D)| ≥ |Q2(D)|² > |Q2(D)|.
+  ConjunctiveQuery q2 =
+      MakeBackboneQuery(vocab, num_vars, 'x', options_.num_relations);
+  ConjunctiveQuery q1(vocab);
+  for (char base : {'x', 'y'}) {
+    int offset = base == 'x' ? 0 : q2.num_vars();
+    for (int i = 0; i < q2.num_vars(); ++i) {
+      q1.AddVariable(std::string(1, base) + std::to_string(i));
+    }
+    for (const Atom& atom : q2.atoms()) {
+      std::vector<int> shifted = atom.vars;
+      for (int& v : shifted) v += offset;
+      q1.AddAtom(atom.relation, std::move(shifted));
+    }
+  }
+  return GeneratedPair{api::QueryPair{std::move(q1), std::move(q2)},
+                       core::Verdict::kNotContained};
+}
+
+GeneratedPair WorkloadGenerator::Next() {
+  bool contained = Chance(options_.contained_fraction);
+  GeneratedPair pair = contained ? MakeContainedPair() : MakeRefutedPair();
+  if (options_.regime == ShapeRegime::kCyclic) {
+    // Outside the decidable frontier the construction still bounds the
+    // truth, but the decider may honestly answer Unknown — no guarantee.
+    pair.expected = core::Verdict::kUnknown;
+  }
+  return pair;
+}
+
+std::vector<GeneratedPair> WorkloadGenerator::Generate(size_t n) {
+  std::vector<GeneratedPair> corpus;
+  corpus.reserve(n);
+  for (size_t i = 0; i < n; ++i) corpus.push_back(Next());
+  return corpus;
+}
+
+std::string ToBatchLine(const api::QueryPair& pair) {
+  return pair.q1.ToString() + "\t" + pair.q2.ToString();
+}
+
+}  // namespace bagcq::cq

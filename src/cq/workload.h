@@ -1,0 +1,130 @@
+// Seeded workload generation (the ROADMAP's "scenario diversity" item):
+// deterministic, seed-keyed corpora of containment questions whose expected
+// verdict is known BY CONSTRUCTION, so a million generated pairs can gate
+// the decision procedure without a million hand-derived answers.
+//
+// Two constructions carry the ground truth, both sound for every database:
+//
+//   Containment gadget    Q2 is generated freely; Q1 is Q2 with extra atoms
+//                         over the SAME variable set. Every homomorphism of
+//                         Q1's body is one of Q2's (the variable sets are
+//                         equal and atoms(Q1) ⊇ atoms(Q2)), so
+//                         |Q1(D)| ≤ |Q2(D)| for all D — Q1 ⪯ Q2 holds.
+//
+//   Refutation gadgets    (a) vocabulary mismatch: Q2 carries an atom over
+//                         a relation Q1 never uses, so hom(Q2, Q1) = ∅ and
+//                         the canonical database of Q1 already violates
+//                         containment. (b) the power gadget (AGM/ZY style):
+//                         Q1 is two disjoint fresh-variable copies of Q2,
+//                         so |Q1(D)| = |Q2(D)|² — on two disjoint copies of
+//                         Q2's canonical database |Q2(D)| ≥ 2, hence
+//                         |Q1(D)| > |Q2(D)| and Q1 ⪯ Q2 fails.
+//
+// In the acyclic regime Q2 is kept α-acyclic (a path-shaped join backbone),
+// where the paper's procedure is complete (Theorem 4.4): the decider MUST
+// return exactly the constructed verdict, which is what the differential
+// harness asserts. The cyclic regime closes the backbone into a cycle —
+// outside the decidable frontier the construction still bounds the truth,
+// but the decider may honestly answer Unknown, so those pairs carry no
+// verdict guarantee (expected = kUnknown) and exercise shape coverage only.
+//
+// Determinism contract: one WorkloadOptions value (seed included) produces
+// one corpus, byte-identical across runs, platforms, and compilers — the
+// generator draws only from its own splitmix64 stream, never from
+// std::random or iteration order of unordered containers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "core/decider.h"
+#include "cq/query.h"
+
+namespace bagcq::cq {
+
+/// Shape of the containing query Q2 — the axis bag-containment verdicts are
+/// most sensitive to (the decidability frontier is structural).
+enum class ShapeRegime {
+  /// Q2 is α-acyclic (path backbone, parallel edges and unary atoms only):
+  /// verdicts are decisive, so every generated pair carries ground truth.
+  kAcyclic,
+  /// Q2 closes the backbone into a cycle (needs ≥ 3 variables): outside
+  /// the decidable classes; generated pairs carry no verdict guarantee.
+  kCyclic,
+};
+
+struct WorkloadOptions {
+  /// The corpus key: same seed (and same other fields) → same corpus.
+  uint64_t seed = 1;
+  /// Variable-count range of Q2, inclusive. Kept small by default: the
+  /// entropy LP behind a decision grows as ~n·2ⁿ in the TOTAL variable
+  /// count of Q1, and the power gadget doubles Q2's count.
+  int min_vars = 2;
+  int max_vars = 4;
+  /// Vocabulary signature: number of relation symbols (≥ 2 — the
+  /// vocabulary-mismatch gadget needs a relation Q1 can avoid) and the
+  /// arity ceiling (relation 0 is always binary for the join backbone).
+  int num_relations = 2;
+  int max_arity = 2;
+  /// Most extra gadget atoms added to Q1 by the containment construction.
+  int max_extra_atoms = 2;
+  /// Intended containment-vs-refutation mix: probability that a generated
+  /// pair is built with the containment gadget.
+  double contained_fraction = 0.5;
+  ShapeRegime regime = ShapeRegime::kAcyclic;
+};
+
+/// One generated question plus what the construction guarantees about it:
+/// kContained / kNotContained in the acyclic regime, kUnknown (= no
+/// guarantee, not "the answer is Unknown") in the cyclic regime.
+struct GeneratedPair {
+  api::QueryPair pair;
+  core::Verdict expected = core::Verdict::kUnknown;
+};
+
+class WorkloadGenerator {
+ public:
+  /// Invalid option combinations (ranges inverted, fewer than 2 relations,
+  /// a cyclic regime that cannot close a cycle) are clamped to the nearest
+  /// valid value rather than rejected — a generator exists to be driven by
+  /// sweeps, and a sweep should not have to pre-validate corners.
+  explicit WorkloadGenerator(WorkloadOptions options = {});
+
+  const WorkloadOptions& options() const { return options_; }
+
+  /// The next pair of the seeded stream.
+  GeneratedPair Next();
+  /// The next n pairs (equivalent to n calls of Next).
+  std::vector<GeneratedPair> Generate(size_t n);
+
+ private:
+  uint64_t NextRandom();                 // splitmix64 step
+  uint64_t RandomBelow(uint64_t bound);  // uniform in [0, bound)
+  bool Chance(double probability);
+  int RandomArity(int relation) const;
+
+  /// A fresh vocabulary for one pair: relation 0 is binary (the backbone),
+  /// the rest draw arities in [1, max_arity].
+  Vocabulary MakeVocabulary();
+  /// An acyclic (or, in the cyclic regime, cycle-closed) query over `vocab`
+  /// with `num_vars` variables named from `name_base`, using only relations
+  /// in [0, usable_relations).
+  ConjunctiveQuery MakeBackboneQuery(const Vocabulary& vocab, int num_vars,
+                                     char name_base, int usable_relations);
+  GeneratedPair MakeContainedPair();
+  GeneratedPair MakeRefutedPair();
+
+  WorkloadOptions options_;
+  uint64_t state_;
+  /// Arities drawn for the current pair's vocabulary, index = relation.
+  std::vector<int> arities_;
+};
+
+/// Renders a pair as one bagcq_client batch line: "Q1<TAB>Q2" in the
+/// datalog form cq::ParseQuery reads back — the text surface the CLI
+/// tools and the CI conformance diffs consume.
+std::string ToBatchLine(const api::QueryPair& pair);
+
+}  // namespace bagcq::cq

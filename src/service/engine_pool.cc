@@ -368,6 +368,15 @@ Response ThreadedEnginePool::Dispatch(const Request& request) {
                             : Response{ErrorResponse{reply.status()}};
         } else if constexpr (std::is_same_v<T, DecideBatchRequest>) {
           return DispatchBatch(r);
+        } else if constexpr (std::is_same_v<T, DecideBatchStreamRequest>) {
+          // One stream chunk shards exactly like a batch; only the reply
+          // shape differs (the stream markers are echoed for the client).
+          Response merged = DispatchBatch(DecideBatchRequest{r.pairs});
+          BatchChunkResponse chunk;
+          chunk.first_index = r.first_index;
+          chunk.final_chunk = r.final_chunk;
+          chunk.results = std::move(std::get<BatchResponse>(merged).results);
+          return chunk;
         } else if constexpr (std::is_same_v<T, StatsRequest> ||
                              std::is_same_v<T, ClearCacheRequest>) {
           return DispatchToAll(request);

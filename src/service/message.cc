@@ -139,6 +139,10 @@ std::string EncodeRequest(const Request& request) {
           e.PutByte(static_cast<uint8_t>(r.cone));
         } else if constexpr (std::is_same_v<T, AnalyzeRequest>) {
           wire::EncodeQuery(r.q2, &e);
+        } else if constexpr (std::is_same_v<T, DecideBatchStreamRequest>) {
+          e.PutVarint(r.first_index);
+          e.PutBool(r.final_chunk);
+          EncodeQueryPairs(r.pairs, &e);
         }
         // StatsRequest / ClearCacheRequest: tag only, empty payload.
       },
@@ -198,6 +202,14 @@ util::Result<Request> DecodeRequest(std::string_view bytes) {
     case RequestTag::kClearCache:
       out = ClearCacheRequest{};
       break;
+    case RequestTag::kDecideBatchStream: {
+      DecideBatchStreamRequest req;
+      WIRE_GET(d->GetVarint(&req.first_index), "stream first index");
+      WIRE_GET(d->GetBool(&req.final_chunk), "stream final flag");
+      BAGCQ_ASSIGN_OR_RETURN(req.pairs, DecodeQueryPairs(d));
+      out = std::move(req);
+      break;
+    }
     default:
       return d->Fail("request tag");
   }
@@ -239,6 +251,13 @@ std::string EncodeResponse(const Response& response) {
         } else if constexpr (std::is_same_v<T, AckResponse> ||
                              std::is_same_v<T, ErrorResponse>) {
           wire::EncodeStatus(r.status, &e);
+        } else if constexpr (std::is_same_v<T, BatchChunkResponse>) {
+          e.PutVarint(r.first_index);
+          e.PutBool(r.final_chunk);
+          e.PutVarint(r.results.size());
+          for (const DecisionResponse& one : r.results) {
+            EncodeDecisionResponse(one, &e);
+          }
         }
       },
       response);
@@ -319,6 +338,22 @@ util::Result<Response> DecodeResponse(std::string_view bytes) {
       out = std::move(error);
       break;
     }
+    case ResponseTag::kBatchChunk: {
+      BatchChunkResponse chunk;
+      WIRE_GET(d->GetVarint(&chunk.first_index), "chunk first index");
+      WIRE_GET(d->GetBool(&chunk.final_chunk), "chunk final flag");
+      uint64_t count;
+      WIRE_GET(d->GetVarint(&count), "chunk results");
+      if (count > d->remaining()) return d->Fail("chunk results");
+      chunk.results.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        BAGCQ_ASSIGN_OR_RETURN(DecisionResponse one,
+                               DecodeDecisionResponse(d));
+        chunk.results.push_back(std::move(one));
+      }
+      out = std::move(chunk);
+      break;
+    }
     default:
       return d->Fail("response tag");
   }
@@ -348,6 +383,9 @@ std::string DebugString(const Request& request) {
           os << "Analyze{" << r.q2.ToString() << "}";
         } else if constexpr (std::is_same_v<T, StatsRequest>) {
           os << "Stats{}";
+        } else if constexpr (std::is_same_v<T, DecideBatchStreamRequest>) {
+          os << "DecideBatchStream{" << r.pairs.size() << " pairs at "
+             << r.first_index << (r.final_chunk ? ", final}" : "}");
         } else {
           os << "ClearCache{}";
         }
@@ -415,6 +453,9 @@ std::string DebugString(const Response& response) {
           os << "]}";
         } else if constexpr (std::is_same_v<T, AckResponse>) {
           os << "Ack{" << r.status.ToString() << "}";
+        } else if constexpr (std::is_same_v<T, BatchChunkResponse>) {
+          os << "BatchChunk{" << r.results.size() << " results at "
+             << r.first_index << (r.final_chunk ? ", final}" : "}");
         } else {
           os << "Error{" << r.status.ToString() << "}";
         }

@@ -62,10 +62,27 @@ struct StatsRequest {};
 
 struct ClearCacheRequest {};
 
+/// One chunk of a streamed batch (wire v5). A client slices a large batch
+/// into chunk requests on one connection and bounds how many it keeps in
+/// flight; the server answers each with a BatchChunkResponse, so results
+/// flow incrementally and neither side ever materializes the whole stream.
+/// `first_index`/`final_chunk` are opaque to the engines — the server
+/// echoes them so the client can verify reassembly order and termination.
+struct DecideBatchStreamRequest {
+  std::vector<api::QueryPair> pairs;
+  /// Stream position of pairs[0] (the chunks of one stream are contiguous:
+  /// each chunk starts where the previous one ended).
+  uint64_t first_index = 0;
+  /// True on the stream's last chunk; a final chunk may be empty (a way to
+  /// terminate a stream without new work).
+  bool final_chunk = false;
+};
+
 using Request =
     std::variant<DecideRequest, DecideBagBagRequest, DecideBatchRequest,
                  ProveInequalityRequest, CheckMaxInequalityRequest,
-                 AnalyzeRequest, StatsRequest, ClearCacheRequest>;
+                 AnalyzeRequest, StatsRequest, ClearCacheRequest,
+                 DecideBatchStreamRequest>;
 
 /// Wire tags are a stable contract: values never change meaning, new
 /// requests append. Kept in variant-index order so tag = index + 1.
@@ -78,6 +95,7 @@ enum class RequestTag : uint8_t {
   kAnalyze = 6,
   kStats = 7,
   kClearCache = 8,
+  kDecideBatchStream = 9,
 };
 
 // --------------------------------------------------------------- responses
@@ -154,9 +172,23 @@ struct ErrorResponse {
   util::Status status;
 };
 
+/// Reply to one DecideBatchStreamRequest chunk (wire v5): the chunk's
+/// results in input order, with the request's stream position and final
+/// marker echoed back. A client reassembling a stream concatenates the
+/// results of consecutive chunks; the echoes make a reordering or a
+/// dropped chunk detectable instead of silently mis-indexed.
+struct BatchChunkResponse {
+  uint64_t first_index = 0;
+  bool final_chunk = false;
+  /// One entry per chunk pair, in chunk order (per-pair failures are
+  /// per-slot statuses, exactly like BatchResponse).
+  std::vector<DecisionResponse> results;
+};
+
 using Response =
     std::variant<DecisionResponse, BatchResponse, ProofResponse,
-                 AnalysisResponse, StatsResponse, AckResponse, ErrorResponse>;
+                 AnalysisResponse, StatsResponse, AckResponse, ErrorResponse,
+                 BatchChunkResponse>;
 
 enum class ResponseTag : uint8_t {
   kDecision = 1,
@@ -166,6 +198,7 @@ enum class ResponseTag : uint8_t {
   kStats = 5,
   kAck = 6,
   kError = 7,
+  kBatchChunk = 8,
 };
 
 // ---------------------------------------------------------------- envelope

@@ -365,6 +365,15 @@ Response WorkerPool::Dispatch(const Request& request) {
                                   LostWorker(w, reply.status())}};
         } else if constexpr (std::is_same_v<T, DecideBatchRequest>) {
           return DispatchBatch(r);
+        } else if constexpr (std::is_same_v<T, DecideBatchStreamRequest>) {
+          // One stream chunk shards exactly like a batch; only the reply
+          // shape differs (the stream markers are echoed for the client).
+          Response merged = DispatchBatch(DecideBatchRequest{r.pairs});
+          BatchChunkResponse chunk;
+          chunk.first_index = r.first_index;
+          chunk.final_chunk = r.final_chunk;
+          chunk.results = std::move(std::get<BatchResponse>(merged).results);
+          return chunk;
         } else if constexpr (std::is_same_v<T, StatsRequest> ||
                              std::is_same_v<T, ClearCacheRequest>) {
           return DispatchToAll(request);
@@ -509,7 +518,7 @@ class EventLoop {
     std::string in;
     OutBuf out;
   };
-  enum class CallKind { kSingle, kBatch, kFanout };
+  enum class CallKind { kSingle, kBatch, kFanout, kStreamChunk };
   /// One in-flight client request; completes when every worker exchange it
   /// fanned out to has answered (or failed).
   struct Call {
@@ -518,10 +527,12 @@ class EventLoop {
     CallKind kind = CallKind::kSingle;
     int outstanding = 0;
     std::string direct;     // kSingle: the worker's reply bytes, verbatim
-    BatchResponse merged;   // kBatch: slots filled per shard
+    BatchResponse merged;   // kBatch/kStreamChunk: slots filled per shard
     StatsResponse folded;   // kFanout stats aggregation
     bool is_stats = false;  // kFanout: Stats vs ClearCache
     util::Status error;     // kFanout: first worker failure
+    uint64_t chunk_first = 0;   // kStreamChunk: echoed stream position
+    bool chunk_final = false;   // kStreamChunk: echoed final marker
   };
   struct Exchange {
     uint64_t call_id = 0;
@@ -739,7 +750,17 @@ void EventLoop::HandleRequestFrame(uint64_t conn_id,
           const size_t w =
               ShardForPair(r.pair, std::is_same_v<T, DecideBagBagRequest>);
           NewExchange(NewCall(std::move(call)), w, {}, payload);
-        } else if constexpr (std::is_same_v<T, DecideBatchRequest>) {
+        } else if constexpr (std::is_same_v<T, DecideBatchRequest> ||
+                             std::is_same_v<T, DecideBatchStreamRequest>) {
+          // A stream chunk is a batch with an echoed position: it shards
+          // across the same workers (which only ever see plain sub-batches)
+          // and differs solely in the reply envelope. Streaming backpressure
+          // is the connection's ordinary gates — a client pipelining chunks
+          // faster than the workers answer stops being read at
+          // kMaxPipelinedRequests, and one not draining its replies stops
+          // at kConnBacklogCap — identical on fork and thread backends.
+          constexpr bool is_stream =
+              std::is_same_v<T, DecideBatchStreamRequest>;
           const size_t workers = NumWorkers();
           std::vector<std::vector<size_t>> positions(workers);
           std::vector<DecideBatchRequest> shards(workers);
@@ -748,13 +769,23 @@ void EventLoop::HandleRequestFrame(uint64_t conn_id,
             positions[w].push_back(i);
             shards[w].pairs.push_back(r.pairs[i]);
           }
-          call.kind = CallKind::kBatch;
+          call.kind = is_stream ? CallKind::kStreamChunk : CallKind::kBatch;
+          if constexpr (is_stream) {
+            call.chunk_first = r.first_index;
+            call.chunk_final = r.final_chunk;
+          }
           call.merged.results.resize(r.pairs.size());
           for (size_t w = 0; w < workers; ++w) {
             if (!positions[w].empty()) ++call.outstanding;
           }
           if (call.outstanding == 0) {  // empty batch: nothing to fan out
-            Deliver(conn_id, seq, EncodeResponse(call.merged));
+            if constexpr (is_stream) {
+              Deliver(conn_id, seq,
+                      EncodeResponse(BatchChunkResponse{
+                          r.first_index, r.final_chunk, {}}));
+            } else {
+              Deliver(conn_id, seq, EncodeResponse(call.merged));
+            }
             return;
           }
           const uint64_t call_id = NewCall(std::move(call));
@@ -825,6 +856,10 @@ void EventLoop::FailExchange(uint64_t exchange_id, const util::Status& status) {
       call.direct = EncodeResponse(ErrorResponse{status});
       break;
     case CallKind::kBatch:
+    case CallKind::kStreamChunk:
+      // A lost shard fails only its own slots — for a stream this means
+      // kUnavailable lands exactly in the chunk that was in flight; chunks
+      // already answered and chunks not yet sent are untouched.
       for (size_t pos : exchange.positions) {
         call.merged.results[pos] = DecisionResponse{status, std::nullopt};
       }
@@ -848,7 +883,8 @@ void EventLoop::HandleWorkerReply(uint64_t id, std::string_view bytes) {
       // The worker's envelope is the client's reply — forward the bytes.
       call.direct.assign(bytes);
       break;
-    case CallKind::kBatch: {
+    case CallKind::kBatch:
+    case CallKind::kStreamChunk: {
       auto reply = DecodeResponse(bytes);
       Response response =
           reply.ok() ? std::move(reply).ValueOrDie() : Response{ErrorResponse{}};
@@ -899,6 +935,11 @@ void EventLoop::FinishCall(uint64_t call_id) {
       break;
     case CallKind::kBatch:
       bytes = EncodeResponse(call.merged);
+      break;
+    case CallKind::kStreamChunk:
+      bytes = EncodeResponse(BatchChunkResponse{
+          call.chunk_first, call.chunk_final,
+          std::move(call.merged.results)});
       break;
     case CallKind::kFanout:
       if (!call.error.ok()) {

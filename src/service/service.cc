@@ -47,6 +47,17 @@ Response Service::Handle(const Request& request) {
           return FromProof(engine_.CheckMaxInequality(r.branches, r.cone));
         } else if constexpr (std::is_same_v<T, AnalyzeRequest>) {
           return AnalysisResponse{engine_.Analyze(r.q2)};
+        } else if constexpr (std::is_same_v<T, DecideBatchStreamRequest>) {
+          // One stream chunk is one batch to the engine; the stream markers
+          // are echoed untouched so the client can reassemble and terminate.
+          BatchChunkResponse chunk;
+          chunk.first_index = r.first_index;
+          chunk.final_chunk = r.final_chunk;
+          chunk.results.reserve(r.pairs.size());
+          for (auto& result : engine_.DecideBatch(r.pairs)) {
+            chunk.results.push_back(FromDecision(std::move(result)));
+          }
+          return chunk;
         } else if constexpr (std::is_same_v<T, StatsRequest>) {
           StatsResponse stats;  // front counters stay zero: no server front
           stats.stats = engine_.stats();

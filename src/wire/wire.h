@@ -77,9 +77,14 @@ namespace bagcq::wire {
 /// (same three, appended before total_ms).
 /// 3 → 4 appended the front-level serving counters to the kStats response
 /// body (connections/in_flight/steals/bytes_in/bytes_out and the
-/// per-worker queue-depth high-water list). Proof-store records carry no
-/// envelope, so persisted logs survive version bumps unchanged.
-inline constexpr uint8_t kWireVersion = 4;
+/// per-worker queue-depth high-water list).
+/// 4 → 5 appended the streaming-batch arm: RequestTag kDecideBatchStream
+/// (a chunk of a client-sliced batch, carrying its stream offset and a
+/// final marker) and ResponseTag kBatchChunk (the per-chunk reply echoing
+/// both), so a million-pair batch flows as bounded chunks instead of one
+/// giant frame each way. Proof-store records carry no envelope, so
+/// persisted logs survive version bumps unchanged.
+inline constexpr uint8_t kWireVersion = 5;
 
 // ------------------------------------------------------------- scalars
 void EncodeBigInt(const util::BigInt& v, Encoder* e);

@@ -1,0 +1,493 @@
+// Streaming DecideBatch conformance: a batch sliced into
+// DecideBatchStreamRequest chunks must produce results byte-identical (after
+// stats normalization) to the one-frame DecideBatchRequest AND to serial
+// Decide calls, in input order, on every backend — in-process Service,
+// forked WorkerPool, and ThreadedEnginePool. Mid-stream client disconnects
+// must leave the server healthy, and a worker killed -9 mid-stream must
+// fail soft: kUnavailable in slots of the chunk that was in flight, never a
+// hang, with later chunks served by the respawned worker.
+#include <algorithm>
+#include <csignal>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cq/workload.h"
+#include "service/engine_pool.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "service/transport.h"
+#include "wire/wire.h"
+
+namespace bagcq::service {
+namespace {
+
+api::EngineOptions ColdOptions() {
+  return api::EngineOptions().set_warm_starts(false).set_memoize_decisions(
+      false);
+}
+
+std::string EncodeNormalized(api::DecisionResult result) {
+  result.stats = api::CallStats{};
+  wire::Encoder e;
+  wire::EncodeDecisionResult(result, &e);
+  return e.Take();
+}
+
+std::string NormalizedBytes(const DecisionResponse& response) {
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  return response.result.has_value() ? EncodeNormalized(*response.result)
+                                     : std::string();
+}
+
+/// A seeded workload corpus as the stream's payload: structurally varied,
+/// every verdict decisive, and regenerable from the seed alone.
+std::vector<api::QueryPair> CorpusPairs(size_t n, uint64_t seed = 77) {
+  cq::WorkloadOptions options;
+  options.seed = seed;
+  std::vector<api::QueryPair> pairs;
+  for (cq::GeneratedPair& g : cq::WorkloadGenerator(options).Generate(n)) {
+    pairs.push_back(std::move(g.pair));
+  }
+  return pairs;
+}
+
+/// Slices `pairs` into stream chunks the way a streaming client does; the
+/// last chunk carries the final marker.
+std::vector<DecideBatchStreamRequest> Chunks(
+    const std::vector<api::QueryPair>& pairs, size_t chunk_pairs) {
+  std::vector<DecideBatchStreamRequest> chunks;
+  size_t i = 0;
+  do {
+    DecideBatchStreamRequest chunk;
+    chunk.first_index = i;
+    const size_t end = std::min(pairs.size(), i + chunk_pairs);
+    chunk.pairs.assign(pairs.begin() + long(i), pairs.begin() + long(end));
+    i = end;
+    chunk.final_chunk = i == pairs.size();
+    chunks.push_back(std::move(chunk));
+  } while (i < pairs.size());
+  return chunks;
+}
+
+class TestClient {
+ public:
+  explicit TestClient(int fd) : fd_(fd) {}
+  ~TestClient() { Close(); }
+  TestClient(TestClient&& other) : fd_(other.fd_) { other.fd_ = -1; }
+
+  int fd() const { return fd_; }
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  util::Status Send(const Request& request) {
+    return WriteFrame(fd_, EncodeRequest(request));
+  }
+  util::Result<Response> Receive() {
+    std::string reply;
+    bool clean_eof = false;
+    BAGCQ_RETURN_NOT_OK(ReadFrame(fd_, &reply, &clean_eof));
+    if (clean_eof) return util::Status::Internal("server closed connection");
+    return DecodeResponse(reply);
+  }
+  util::Result<Response> Call(const Request& request) {
+    BAGCQ_RETURN_NOT_OK(Send(request));
+    return Receive();
+  }
+
+ private:
+  int fd_;
+};
+
+/// Streams `pairs` over `client` with a bounded window of chunks in flight;
+/// appends per-pair results to `out` in stream order. Mirrors bagcq_client's
+/// `batch --stream` loop, asserting the server's echo discipline on the way.
+util::Status StreamPairs(TestClient& client,
+                         const std::vector<api::QueryPair>& pairs,
+                         size_t chunk_pairs,
+                         std::vector<DecisionResponse>* out) {
+  constexpr size_t kWindow = 4;
+  const std::vector<DecideBatchStreamRequest> chunks =
+      Chunks(pairs, chunk_pairs);
+  size_t sent = 0;
+  size_t in_flight = 0;
+  uint64_t expect_index = 0;
+  bool saw_final = false;
+  auto receive_one = [&]() -> util::Status {
+    auto response = client.Receive();
+    if (!response.ok()) return response.status();
+    const auto* chunk = std::get_if<BatchChunkResponse>(&*response);
+    if (chunk == nullptr) {
+      return util::Status::Internal("non-chunk reply: " +
+                                    DebugString(*response));
+    }
+    if (chunk->first_index != expect_index) {
+      return util::Status::Internal("chunk replies out of order");
+    }
+    for (const DecisionResponse& one : chunk->results) out->push_back(one);
+    expect_index += chunk->results.size();
+    saw_final = chunk->final_chunk;
+    --in_flight;
+    return util::Status::OK();
+  };
+  while (sent < chunks.size()) {
+    if (in_flight == kWindow) BAGCQ_RETURN_NOT_OK(receive_one());
+    BAGCQ_RETURN_NOT_OK(client.Send(chunks[sent++]));
+    ++in_flight;
+  }
+  while (in_flight > 0) BAGCQ_RETURN_NOT_OK(receive_one());
+  if (!saw_final) return util::Status::Internal("final chunk never echoed");
+  return util::Status::OK();
+}
+
+// ------------------------------------------------------------- wire layer
+
+TEST(StreamWireRoundTrip, RequestAndResponseSurviveEncodeDecode) {
+  api::Engine parser{ColdOptions()};
+  DecideBatchStreamRequest request;
+  request.pairs = CorpusPairs(3);
+  request.first_index = 4096;
+  request.final_chunk = true;
+  auto request_round = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(request_round.ok()) << request_round.status().ToString();
+  const auto* req = std::get_if<DecideBatchStreamRequest>(&*request_round);
+  ASSERT_NE(req, nullptr);
+  EXPECT_EQ(req->first_index, 4096u);
+  EXPECT_TRUE(req->final_chunk);
+  ASSERT_EQ(req->pairs.size(), 3u);
+
+  BatchChunkResponse response;
+  response.first_index = 512;
+  response.final_chunk = false;
+  response.results.push_back(
+      DecisionResponse{util::Status::Unavailable("worker died"),
+                       std::nullopt});
+  auto response_round = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(response_round.ok()) << response_round.status().ToString();
+  const auto* rep = std::get_if<BatchChunkResponse>(&*response_round);
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->first_index, 512u);
+  EXPECT_FALSE(rep->final_chunk);
+  ASSERT_EQ(rep->results.size(), 1u);
+  EXPECT_EQ(rep->results[0].status.code(), util::StatusCode::kUnavailable);
+}
+
+// --------------------------------------------------- fork-backend serving
+
+/// A 2-worker fork pool behind the event-loop front, Unix + TCP listeners.
+/// "ServeLoop" in the name keeps it inside the Release conformance filter;
+/// it forks, so it must NOT be named Threaded*.
+class StreamServeLoopTest : public ::testing::Test {
+ protected:
+  void StartServer() {
+    ServerOptions options;
+    options.num_workers = 2;
+    options.engine = ColdOptions();
+    ASSERT_TRUE(pool_.Start(options).ok());
+    server_ = std::make_unique<Server>(&pool_);
+
+    socket_path_ = ::testing::TempDir() + "bagcq_stream_" +
+                   std::to_string(::getpid()) + "_" +
+                   std::to_string(++instances_) + ".sock";
+    auto unix_listener = ListenUnix(socket_path_);
+    ASSERT_TRUE(unix_listener.ok()) << unix_listener.status().ToString();
+    ASSERT_TRUE(server_->AddListener(*unix_listener).ok());
+
+    auto tcp_listener = ListenTcp("127.0.0.1:0");
+    ASSERT_TRUE(tcp_listener.ok()) << tcp_listener.status().ToString();
+    auto address = ListenerAddress(*tcp_listener);
+    ASSERT_TRUE(address.ok()) << address.status().ToString();
+    tcp_address_ = *address;
+    ASSERT_TRUE(server_->AddListener(*tcp_listener).ok());
+
+    serve_thread_ = std::thread([this] {
+      const util::Status status = server_->Serve();
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    });
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Shutdown();
+    if (serve_thread_.joinable()) serve_thread_.join();
+    server_.reset();
+    pool_.Stop();
+    ::unlink(socket_path_.c_str());
+  }
+
+  TestClient ConnectUnix() {
+    auto fd = DialUnix(socket_path_);
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    return TestClient(fd.ok() ? *fd : -1);
+  }
+  TestClient ConnectTcp() {
+    auto fd = DialTcp(tcp_address_);
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    return TestClient(fd.ok() ? *fd : -1);
+  }
+
+  WorkerPool pool_;
+  std::unique_ptr<Server> server_;
+  std::thread serve_thread_;
+  std::string socket_path_;
+  std::string tcp_address_;
+  static int instances_;
+};
+
+int StreamServeLoopTest::instances_ = 0;
+
+TEST_F(StreamServeLoopTest, StreamedMatchesBatchAndSerialDecide) {
+  StartServer();
+  const std::vector<api::QueryPair> pairs = CorpusPairs(40);
+
+  // Reference 1: serial Decide, one pair at a time, in-process.
+  Service inproc{ColdOptions()};
+  std::vector<std::string> serial;
+  for (const api::QueryPair& pair : pairs) {
+    Response response = inproc.Handle(DecideRequest{pair});
+    const auto* decision = std::get_if<DecisionResponse>(&response);
+    ASSERT_NE(decision, nullptr);
+    serial.push_back(NormalizedBytes(*decision));
+  }
+
+  // Reference 2: the one-frame batch, in-process — must equal serial.
+  Response batch_response = inproc.Handle(DecideBatchRequest{pairs});
+  const auto* batch = std::get_if<BatchResponse>(&batch_response);
+  ASSERT_NE(batch, nullptr);
+  ASSERT_EQ(batch->results.size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(NormalizedBytes(batch->results[i]), serial[i]) << "slot " << i;
+  }
+
+  // Reference 3: the stream arm handled in-process (chunk boundaries must
+  // not leak into results).
+  Service inproc_stream{ColdOptions()};
+  std::vector<std::string> inproc_streamed;
+  for (const DecideBatchStreamRequest& chunk : Chunks(pairs, 7)) {
+    Response response = inproc_stream.Handle(chunk);
+    const auto* reply = std::get_if<BatchChunkResponse>(&response);
+    ASSERT_NE(reply, nullptr);
+    EXPECT_EQ(reply->first_index, chunk.first_index);
+    EXPECT_EQ(reply->final_chunk, chunk.final_chunk);
+    for (const DecisionResponse& one : reply->results) {
+      inproc_streamed.push_back(NormalizedBytes(one));
+    }
+  }
+  EXPECT_EQ(inproc_streamed, serial);
+
+  // The real thing: windowed stream over both transports of a live
+  // fork-backend server, odd chunk size so the tail chunk is ragged.
+  for (bool tcp : {false, true}) {
+    TestClient client = tcp ? ConnectTcp() : ConnectUnix();
+    std::vector<DecisionResponse> streamed;
+    const util::Status status = StreamPairs(client, pairs, 7, &streamed);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    ASSERT_EQ(streamed.size(), pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      EXPECT_EQ(NormalizedBytes(streamed[i]), serial[i])
+          << (tcp ? "tcp" : "unix") << " slot " << i;
+    }
+  }
+}
+
+TEST_F(StreamServeLoopTest, MidStreamDisconnectLeavesServerHealthy) {
+  StartServer();
+  const std::vector<api::QueryPair> pairs = CorpusPairs(30);
+  {
+    // Three chunks in flight, no final marker, then gone: the server must
+    // discard the orphaned replies, not deliver them to anyone else.
+    TestClient vanishing = ConnectTcp();
+    auto chunks = Chunks(pairs, 10);
+    for (DecideBatchStreamRequest& chunk : chunks) {
+      chunk.final_chunk = false;  // the stream is deliberately never ended
+      ASSERT_TRUE(vanishing.Send(chunk).ok());
+    }
+    vanishing.Close();
+  }
+
+  // A fresh client streams the same corpus to completion.
+  TestClient survivor = ConnectUnix();
+  std::vector<DecisionResponse> streamed;
+  const util::Status status = StreamPairs(survivor, pairs, 10, &streamed);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_EQ(streamed.size(), pairs.size());
+  for (const DecisionResponse& one : streamed) {
+    EXPECT_TRUE(one.status.ok()) << one.status.ToString();
+  }
+}
+
+TEST_F(StreamServeLoopTest, KilledWorkerMidStreamFailsSoftPerChunk) {
+  StartServer();
+  api::Engine parser{ColdOptions()};
+  // One ms-scale pair repeated: the chunk is still computing when the kill
+  // lands, and every slot shards to the same affinity worker.
+  const api::QueryPair pair =
+      parser.ParsePair("R(x,y), R(y,z), R(z,x)", "R(a,b), R(a,c)")
+          .ValueOrDie();
+  std::vector<api::QueryPair> heavy(200, pair);
+
+  TestClient client = ConnectUnix();
+  DecideBatchStreamRequest first;
+  first.pairs = heavy;
+  first.first_index = 0;
+  first.final_chunk = false;
+  ASSERT_TRUE(client.Send(first).ok());
+  const pid_t victim = pool_.worker_pid(0);
+  ::kill(victim, SIGKILL);
+
+  // The in-flight chunk completes — never hangs: the dead worker's slots
+  // come back kUnavailable (or OK if answered before the signal).
+  auto response = client.Receive();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const auto* chunk = std::get_if<BatchChunkResponse>(&*response);
+  ASSERT_NE(chunk, nullptr);
+  ASSERT_EQ(chunk->results.size(), heavy.size());
+  EXPECT_EQ(chunk->first_index, 0u);
+  for (const DecisionResponse& one : chunk->results) {
+    if (one.status.ok()) continue;
+    EXPECT_EQ(one.status.code(), util::StatusCode::kUnavailable)
+        << one.status.ToString();
+  }
+
+  // The NEXT chunk of the same stream is served entirely by the respawned
+  // pool: the failure stayed inside the chunk that was in flight.
+  DecideBatchStreamRequest second;
+  second.pairs = {pair};
+  second.first_index = heavy.size();
+  second.final_chunk = true;
+  auto retry = client.Call(second);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  const auto* final_chunk = std::get_if<BatchChunkResponse>(&*retry);
+  ASSERT_NE(final_chunk, nullptr);
+  EXPECT_TRUE(final_chunk->final_chunk);
+  ASSERT_EQ(final_chunk->results.size(), 1u);
+  EXPECT_TRUE(final_chunk->results[0].status.ok())
+      << final_chunk->results[0].status.ToString();
+  EXPECT_GE(pool_.respawns(), 1);
+  EXPECT_NE(pool_.worker_pid(0), victim);
+}
+
+// ------------------------------------------------- thread-backend serving
+
+/// ThreadedEnginePool behind the same front. Named ThreadedServe* so the
+/// TSan CI job picks it up — therefore it must stay fork-free.
+class ThreadedServeStreamTest : public ::testing::Test {
+ protected:
+  void StartServer(int num_threads = 4) {
+    ThreadedPoolOptions options;
+    options.num_threads = num_threads;
+    options.engine = ColdOptions();
+    ASSERT_TRUE(pool_.Start(options).ok());
+    server_ = std::make_unique<Server>(&pool_);
+
+    socket_path_ = ::testing::TempDir() + "bagcq_tstream_" +
+                   std::to_string(::getpid()) + "_" +
+                   std::to_string(++instances_) + ".sock";
+    auto unix_listener = ListenUnix(socket_path_);
+    ASSERT_TRUE(unix_listener.ok()) << unix_listener.status().ToString();
+    ASSERT_TRUE(server_->AddListener(*unix_listener).ok());
+
+    auto tcp_listener = ListenTcp("127.0.0.1:0");
+    ASSERT_TRUE(tcp_listener.ok()) << tcp_listener.status().ToString();
+    auto address = ListenerAddress(*tcp_listener);
+    ASSERT_TRUE(address.ok()) << address.status().ToString();
+    tcp_address_ = *address;
+    ASSERT_TRUE(server_->AddListener(*tcp_listener).ok());
+
+    serve_thread_ = std::thread([this] {
+      const util::Status status = server_->Serve();
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    });
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Shutdown();
+    if (serve_thread_.joinable()) serve_thread_.join();
+    server_.reset();
+    pool_.Stop();
+    ::unlink(socket_path_.c_str());
+  }
+
+  TestClient ConnectUnix() {
+    auto fd = DialUnix(socket_path_);
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    return TestClient(fd.ok() ? *fd : -1);
+  }
+  TestClient ConnectTcp() {
+    auto fd = DialTcp(tcp_address_);
+    EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+    return TestClient(fd.ok() ? *fd : -1);
+  }
+
+  ThreadedEnginePool pool_;
+  std::unique_ptr<Server> server_;
+  std::thread serve_thread_;
+  std::string socket_path_;
+  std::string tcp_address_;
+  static int instances_;
+};
+
+int ThreadedServeStreamTest::instances_ = 0;
+
+TEST_F(ThreadedServeStreamTest, StreamedMatchesInprocAcrossConcurrentClients) {
+  StartServer();
+  const std::vector<api::QueryPair> pairs = CorpusPairs(40);
+
+  Service inproc{ColdOptions()};
+  Response reference_response = inproc.Handle(DecideBatchRequest{pairs});
+  const auto* reference = std::get_if<BatchResponse>(&reference_response);
+  ASSERT_NE(reference, nullptr);
+  std::vector<std::string> expected;
+  for (const DecisionResponse& one : reference->results) {
+    expected.push_back(NormalizedBytes(one));
+  }
+
+  // 4 concurrent stream clients (2 Unix + 2 TCP), interleaving chunks on
+  // the same event loop; each must reassemble its own stream untouched.
+  constexpr int kClients = 4;
+  std::vector<std::vector<std::string>> got(kClients);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      TestClient client = (c % 2 == 0) ? ConnectUnix() : ConnectTcp();
+      std::vector<DecisionResponse> streamed;
+      if (!StreamPairs(client, pairs, 5 + size_t(c), &streamed).ok() ||
+          streamed.size() != pairs.size()) {
+        ++failures;
+        return;
+      }
+      for (const DecisionResponse& one : streamed) {
+        got[c].push_back(NormalizedBytes(one));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(got[c], expected) << "stream client " << c << " drifted";
+  }
+}
+
+TEST_F(ThreadedServeStreamTest, EmptyStreamEchoesItsFinalMarker) {
+  StartServer(2);
+  // A stream with zero pairs is one empty final chunk: the server echoes
+  // it immediately (nothing to dispatch), and that echo is the client's
+  // only termination signal.
+  TestClient client = ConnectUnix();
+  DecideBatchStreamRequest empty;
+  empty.final_chunk = true;
+  auto response = client.Call(empty);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const auto* chunk = std::get_if<BatchChunkResponse>(&*response);
+  ASSERT_NE(chunk, nullptr);
+  EXPECT_EQ(chunk->first_index, 0u);
+  EXPECT_TRUE(chunk->final_chunk);
+  EXPECT_TRUE(chunk->results.empty());
+}
+
+}  // namespace
+}  // namespace bagcq::service

@@ -21,7 +21,10 @@
 //                                        fresh deterministic log at DST
 //   bagcq_client store-import DST SRC    append SRC records absent from DST
 //   bagcq_client store-compact PATH      rewrite PATH dropping dead bytes
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <deque>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -47,7 +50,11 @@ int Usage(const char* argv0) {
       " COMMAND ...\n"
       "  decide Q1 Q2     bag-set containment decision\n"
       "  bagbag Q1 Q2     bag-bag containment decision\n"
-      "  batch FILE       one decision per line 'Q1<TAB>Q2', input order\n"
+      "  batch [--stream [--chunk N]] FILE\n"
+      "                   one decision per line 'Q1<TAB>Q2', input order;\n"
+      "                   --stream pipes the file as bounded chunks (N pairs\n"
+      "                   each, default 512) instead of one giant frame —\n"
+      "                   same output bytes, constant memory on both ends\n"
       "  prove INEQ       ITIP-style Shannon prover\n"
       "  analyze Q2       structural analysis of a containing query\n"
       "  stats            aggregated worker EngineStats\n"
@@ -61,12 +68,20 @@ int Usage(const char* argv0) {
 }
 
 /// Where the encoded request goes: a connected server socket or an
-/// in-process Service — both travel through the same bytes.
+/// in-process Service — both travel through the same bytes. Send/Receive
+/// split the round trip so the streaming path can keep a window of chunk
+/// requests in flight; replies come back in send order (the server flushes
+/// per-connection replies strictly in request order).
 class Channel {
  public:
   virtual ~Channel() = default;
-  virtual util::Result<service::Response> Call(
-      const service::Request& request) = 0;
+  virtual util::Status Send(const service::Request& request) = 0;
+  virtual util::Result<service::Response> Receive() = 0;
+
+  util::Result<service::Response> Call(const service::Request& request) {
+    BAGCQ_RETURN_NOT_OK(Send(request));
+    return Receive();
+  }
 };
 
 class SocketChannel : public Channel {
@@ -74,10 +89,11 @@ class SocketChannel : public Channel {
   explicit SocketChannel(int fd) : fd_(fd) {}
   ~SocketChannel() override { ::close(fd_); }
 
-  util::Result<service::Response> Call(
-      const service::Request& request) override {
-    BAGCQ_RETURN_NOT_OK(
-        service::WriteFrame(fd_, service::EncodeRequest(request)));
+  util::Status Send(const service::Request& request) override {
+    return service::WriteFrame(fd_, service::EncodeRequest(request));
+  }
+
+  util::Result<service::Response> Receive() override {
     std::string reply;
     bool clean_eof = false;
     BAGCQ_RETURN_NOT_OK(service::ReadFrame(fd_, &reply, &clean_eof));
@@ -91,16 +107,29 @@ class SocketChannel : public Channel {
 
 class InprocChannel : public Channel {
  public:
-  util::Result<service::Response> Call(
-      const service::Request& request) override {
+  util::Status Send(const service::Request& request) override {
     // Through HandleBytes, not Handle: the in-process side must exercise the
-    // same encode/decode path the server does.
-    return service::DecodeResponse(
-        service_.HandleBytes(service::EncodeRequest(request)));
+    // same encode/decode path the server does. The reply is computed
+    // synchronously and parked, so the streaming window costs nothing here
+    // but the ordering contract is identical to a socket's.
+    replies_.push_back(
+        service::DecodeResponse(service_.HandleBytes(
+            service::EncodeRequest(request))));
+    return util::Status::OK();
+  }
+
+  util::Result<service::Response> Receive() override {
+    if (replies_.empty()) {
+      return util::Status::Internal("receive with no request in flight");
+    }
+    util::Result<service::Response> front = std::move(replies_.front());
+    replies_.pop_front();
+    return front;
   }
 
  private:
   service::Service service_;
+  std::deque<util::Result<service::Response>> replies_;
 };
 
 util::Result<api::QueryPair> ParsePairText(const std::string& q1_text,
@@ -108,6 +137,9 @@ util::Result<api::QueryPair> ParsePairText(const std::string& q1_text,
   BAGCQ_ASSIGN_OR_RETURN(cq::ConjunctiveQuery q1, cq::ParseQuery(q1_text));
   BAGCQ_ASSIGN_OR_RETURN(cq::ConjunctiveQuery q2,
                          cq::ParseQueryWithVocabulary(q2_text, q1.vocab()));
+  // Parsing Q2 only ever appends to Q1's vocabulary; adopt the extension so
+  // the pair shares one vocabulary even when Q2 uses relations Q1 doesn't.
+  *q1.mutable_vocab() = q2.vocab();
   return api::QueryPair{std::move(q1), std::move(q2)};
 }
 
@@ -119,6 +151,98 @@ void PrintDecisionLine(size_t index, const service::DecisionResponse& one) {
 int Fail(const util::Status& status) {
   std::fprintf(stderr, "bagcq_client: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// `batch --stream`: slice the batch file into DecideBatchStream chunks and
+/// keep a bounded window of them in flight, so neither side ever holds the
+/// whole batch — a million pairs flow through a constant-memory pipe. The
+/// output is line-for-line identical to the non-streamed `batch` (global
+/// index = echoed first_index + slot), which is what the conformance diffs
+/// assert.
+int RunStreamBatch(Channel& channel, std::ifstream& file, size_t chunk_pairs) {
+  // 8 chunks in flight: deep enough to hide the round trip, far below the
+  // server's per-connection pipelining gate.
+  constexpr size_t kWindow = 8;
+  size_t in_flight = 0;
+  uint64_t next_index = 0;    // stream position of the next pair to send
+  uint64_t expect_index = 0;  // first_index the next reply must echo
+  bool all_ok = true;
+  bool saw_final = false;
+
+  auto receive_one = [&]() -> util::Status {
+    auto response = channel.Receive();
+    if (!response.ok()) return response.status();
+    if (const auto* error =
+            std::get_if<service::ErrorResponse>(&*response)) {
+      return error->status;
+    }
+    const auto* chunk = std::get_if<service::BatchChunkResponse>(&*response);
+    if (chunk == nullptr) {
+      return util::Status::Internal("non-chunk reply to a stream chunk: " +
+                                    service::DebugString(*response));
+    }
+    if (chunk->first_index != expect_index) {
+      return util::Status::Internal(
+          "stream reply out of order: got chunk at " +
+          std::to_string(chunk->first_index) + ", expected " +
+          std::to_string(expect_index));
+    }
+    for (size_t slot = 0; slot < chunk->results.size(); ++slot) {
+      PrintDecisionLine(size_t(chunk->first_index) + slot,
+                        chunk->results[slot]);
+      all_ok = all_ok && chunk->results[slot].status.ok();
+    }
+    expect_index += chunk->results.size();
+    saw_final = chunk->final_chunk;
+    --in_flight;
+    return util::Status::OK();
+  };
+  auto send_chunk = [&](service::DecideBatchStreamRequest chunk)
+      -> util::Status {
+    if (in_flight == kWindow) BAGCQ_RETURN_NOT_OK(receive_one());
+    next_index += chunk.pairs.size();
+    BAGCQ_RETURN_NOT_OK(channel.Send(std::move(chunk)));
+    ++in_flight;
+    return util::Status::OK();
+  };
+
+  service::DecideBatchStreamRequest chunk;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Fail(util::Status::InvalidArgument(
+          "batch line " + std::to_string(line_no) + ": expected Q1<TAB>Q2"));
+    }
+    auto pair = ParsePairText(line.substr(0, tab), line.substr(tab + 1));
+    if (!pair.ok()) return Fail(pair.status());
+    chunk.pairs.push_back(std::move(*pair));
+    if (chunk.pairs.size() == chunk_pairs) {
+      if (util::Status sent = send_chunk(std::move(chunk)); !sent.ok()) {
+        return Fail(sent);
+      }
+      chunk = service::DecideBatchStreamRequest{};
+      chunk.first_index = next_index;
+    }
+  }
+  // The tail chunk — possibly empty — carries the final marker; the server
+  // echoes it, so the client knows the stream is complete, not cut.
+  chunk.final_chunk = true;
+  if (util::Status sent = send_chunk(std::move(chunk)); !sent.ok()) {
+    return Fail(sent);
+  }
+  while (in_flight > 0) {
+    if (util::Status received = receive_one(); !received.ok()) {
+      return Fail(received);
+    }
+  }
+  if (!saw_final) {
+    return Fail(util::Status::Internal("stream ended without final chunk"));
+  }
+  return all_ok ? 0 : 1;
 }
 
 /// The offline proof-store verbs. These never touch a server: they open log
@@ -229,12 +353,27 @@ int main(int argc, char** argv) {
       request = service::DecideBagBagRequest{*pair};
     }
   } else if (command == "batch") {
+    bool stream = false;
+    size_t chunk_pairs = 512;
+    while (i < argc && argv[i][0] == '-') {
+      const std::string_view arg = argv[i];
+      if (arg == "--stream") {
+        stream = true;
+        ++i;
+      } else if (arg == "--chunk" && i + 1 < argc) {
+        chunk_pairs = size_t(std::max(1, std::atoi(argv[i + 1])));
+        i += 2;
+      } else {
+        return Usage(argv[0]);
+      }
+    }
     if (i >= argc) return Usage(argv[0]);
     std::ifstream file(argv[i]);
     if (!file) {
       return Fail(util::Status::InvalidArgument(
           std::string("cannot open batch file ") + argv[i]));
     }
+    if (stream) return RunStreamBatch(*channel, file, chunk_pairs);
     service::DecideBatchRequest batch;
     std::string line;
     size_t line_no = 0;

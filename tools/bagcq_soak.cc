@@ -1,0 +1,222 @@
+// bagcq_soak — sustained seeded streaming against a live bagcq_server, with
+// an optional peak-RSS assertion on the server process. The memory contract
+// of the streaming path is the point: a corpus of any length must flow
+// through a constant-size window of chunks, so the server's high-water mark
+// must not scale with --pairs. CI runs this as a smoke (~100k pairs) and
+// greps the one-line report; operators can point it at a staging server for
+// N-minute soaks.
+//
+//   bagcq_soak --socket /tmp/bagcq.sock --pairs 100000 --seed 7 \
+//              --server-pid $(pidof bagcq_server) --rss-limit-mb 256
+//
+// Exit 0 iff every streamed slot decided OK, every chunk echoed in order,
+// and (when --server-pid/--rss-limit-mb are given) the server's VmHWM
+// stayed under the limit.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include <unistd.h>
+
+#include "cq/workload.h"
+#include "service/message.h"
+#include "service/transport.h"
+
+using namespace bagcq;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--socket PATH | --connect HOST:PORT)"
+               " [--pairs N] [--seed S] [--chunk N] [--minutes M]"
+               " [--server-pid PID] [--rss-limit-mb MB]\n"
+               "  streams seeded workload chunks at the server; with"
+               " --minutes the\n  --pairs stream repeats until the clock"
+               " runs out. --rss-limit-mb reads\n  /proc/PID/status VmHWM"
+               " after the run and fails if it was exceeded.\n",
+               argv0);
+  return 2;
+}
+
+int Fail(const util::Status& status) {
+  std::fprintf(stderr, "bagcq_soak: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// The server's peak resident set, from /proc/PID/status VmHWM, in MiB.
+/// Returns a negative value when the line cannot be read.
+double ReadVmHwmMb(long pid) {
+  std::ifstream status("/proc/" + std::to_string(pid) + "/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
+  }
+  return -1.0;
+}
+
+struct SoakCounters {
+  size_t pairs = 0;
+  size_t chunks = 0;
+  size_t ok = 0;
+  size_t failed = 0;
+};
+
+/// One full stream of `pairs` generated pairs over `fd`, windowed. The
+/// generator keeps drawing from its seeded stream across calls, so repeated
+/// soak passes cover fresh structures.
+util::Status RunStream(int fd, cq::WorkloadGenerator& generator, size_t pairs,
+                       size_t chunk_pairs, SoakCounters* counters) {
+  constexpr size_t kWindow = 8;
+  size_t sent_pairs = 0;
+  size_t in_flight = 0;
+  uint64_t expect_index = 0;
+  bool saw_final = false;
+
+  auto receive_one = [&]() -> util::Status {
+    std::string reply;
+    bool clean_eof = false;
+    BAGCQ_RETURN_NOT_OK(service::ReadFrame(fd, &reply, &clean_eof));
+    if (clean_eof) return util::Status::Internal("server closed connection");
+    BAGCQ_ASSIGN_OR_RETURN(service::Response response,
+                           service::DecodeResponse(reply));
+    if (const auto* error =
+            std::get_if<service::ErrorResponse>(&response)) {
+      return error->status;
+    }
+    const auto* chunk = std::get_if<service::BatchChunkResponse>(&response);
+    if (chunk == nullptr) {
+      return util::Status::Internal("non-chunk reply to a stream chunk");
+    }
+    if (chunk->first_index != expect_index) {
+      return util::Status::Internal(
+          "stream reply out of order: got chunk at " +
+          std::to_string(chunk->first_index) + ", expected " +
+          std::to_string(expect_index));
+    }
+    expect_index += chunk->results.size();
+    counters->pairs += chunk->results.size();
+    ++counters->chunks;
+    for (const service::DecisionResponse& one : chunk->results) {
+      one.status.ok() ? ++counters->ok : ++counters->failed;
+    }
+    saw_final = chunk->final_chunk;
+    --in_flight;
+    return util::Status::OK();
+  };
+
+  while (sent_pairs < pairs) {
+    if (in_flight == kWindow) BAGCQ_RETURN_NOT_OK(receive_one());
+    service::DecideBatchStreamRequest chunk;
+    chunk.first_index = sent_pairs;
+    const size_t take = std::min(chunk_pairs, pairs - sent_pairs);
+    chunk.pairs.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      chunk.pairs.push_back(generator.Next().pair);
+    }
+    sent_pairs += take;
+    chunk.final_chunk = sent_pairs == pairs;
+    BAGCQ_RETURN_NOT_OK(
+        service::WriteFrame(fd, service::EncodeRequest(std::move(chunk))));
+    ++in_flight;
+  }
+  while (in_flight > 0) BAGCQ_RETURN_NOT_OK(receive_one());
+  if (!saw_final) return util::Status::Internal("final chunk never echoed");
+  return util::Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string tcp_address;
+  size_t pairs = 100'000;
+  uint64_t seed = 1;
+  size_t chunk_pairs = 512;
+  double minutes = 0.0;
+  long server_pid = -1;
+  double rss_limit_mb = -1.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--socket" && value != nullptr) {
+      socket_path = argv[++i];
+    } else if (arg == "--connect" && value != nullptr) {
+      tcp_address = argv[++i];
+    } else if (arg == "--pairs" && value != nullptr) {
+      pairs = size_t(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--seed" && value != nullptr) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--chunk" && value != nullptr) {
+      chunk_pairs = size_t(std::strtoull(argv[++i], nullptr, 10));
+      if (chunk_pairs == 0) chunk_pairs = 1;
+    } else if (arg == "--minutes" && value != nullptr) {
+      minutes = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--server-pid" && value != nullptr) {
+      server_pid = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--rss-limit-mb" && value != nullptr) {
+      rss_limit_mb = std::strtod(argv[++i], nullptr);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (socket_path.empty() == tcp_address.empty()) return Usage(argv[0]);
+
+  auto fd = socket_path.empty() ? service::DialTcp(tcp_address)
+                                : service::DialUnix(socket_path);
+  if (!fd.ok()) return Fail(fd.status());
+
+  cq::WorkloadOptions options;
+  options.seed = seed;
+  cq::WorkloadGenerator generator(options);
+  SoakCounters counters;
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed_s = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  do {
+    const util::Status status =
+        RunStream(*fd, generator, pairs, chunk_pairs, &counters);
+    if (!status.ok()) {
+      ::close(*fd);
+      return Fail(status);
+    }
+  } while (minutes > 0.0 && elapsed_s() < minutes * 60.0);
+  ::close(*fd);
+
+  const double elapsed = elapsed_s();
+  const double vmhwm_mb = server_pid > 0 ? ReadVmHwmMb(server_pid) : -1.0;
+  std::printf(
+      "bagcq_soak: pairs=%zu chunks=%zu ok=%zu failed=%zu elapsed_s=%.1f "
+      "rate=%.1f/s vmhwm_mb=%.1f\n",
+      counters.pairs, counters.chunks, counters.ok, counters.failed, elapsed,
+      elapsed > 0 ? double(counters.pairs) / elapsed : 0.0, vmhwm_mb);
+
+  if (counters.failed != 0) {
+    std::fprintf(stderr, "bagcq_soak: %zu slots failed\n", counters.failed);
+    return 1;
+  }
+  if (rss_limit_mb > 0) {
+    if (vmhwm_mb < 0) {
+      std::fprintf(stderr,
+                   "bagcq_soak: --rss-limit-mb given but VmHWM unreadable"
+                   " (pid %ld)\n",
+                   server_pid);
+      return 1;
+    }
+    if (vmhwm_mb > rss_limit_mb) {
+      std::fprintf(stderr,
+                   "bagcq_soak: server VmHWM %.1f MiB exceeds limit %.1f"
+                   " MiB\n",
+                   vmhwm_mb, rss_limit_mb);
+      return 1;
+    }
+  }
+  return 0;
+}

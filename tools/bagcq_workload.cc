@@ -1,0 +1,85 @@
+// bagcq_workload — dump a seeded cq::WorkloadGenerator corpus as bagcq_client
+// batch lines ("Q1<TAB>Q2", one pair per line) on stdout. The seed is the
+// whole identity of the corpus: the same flags print the same bytes on every
+// machine, so CI conformance diffs and soak runs can regenerate their input
+// instead of checking fixtures in.
+//
+//   bagcq_workload --pairs 100000 --seed 7 > corpus.tsv
+//   bagcq_client --socket S batch --stream corpus.tsv
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "cq/workload.h"
+
+using namespace bagcq;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--pairs N] [--seed S] [--min-vars N] "
+               "[--max-vars N] [--relations N] [--max-arity N] "
+               "[--contained-fraction F] [--cyclic]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cq::WorkloadOptions options;
+  size_t pairs = 1000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--pairs") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      pairs = size_t(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--min-vars") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.min_vars = std::atoi(v);
+    } else if (arg == "--max-vars") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.max_vars = std::atoi(v);
+    } else if (arg == "--relations") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.num_relations = std::atoi(v);
+    } else if (arg == "--max-arity") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.max_arity = std::atoi(v);
+    } else if (arg == "--contained-fraction") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.contained_fraction = std::atof(v);
+    } else if (arg == "--cyclic") {
+      options.regime = cq::ShapeRegime::kCyclic;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  cq::WorkloadGenerator generator(options);
+  std::string line;
+  for (size_t i = 0; i < pairs; ++i) {
+    line = cq::ToBatchLine(generator.Next().pair);
+    line.push_back('\n');
+    if (std::fwrite(line.data(), 1, line.size(), stdout) != line.size()) {
+      std::perror("bagcq_workload: write");
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -271,6 +271,13 @@ def self_test(root):
             _doctor(t, message_h, r"kClearCache = 8", "kClearCache = 9"))),
         ("renamed enumerator (kAck -> kAcknowledge)", lambda t: (
             _doctor(t, message_h, r"kAck = 6", "kAcknowledge = 6"))),
+        ("reordered streaming request tag (kDecideBatchStream before "
+         "kClearCache)", lambda t: (
+            _doctor(t, message_h,
+                    r"kClearCache = 8,\n  kDecideBatchStream = 9,",
+                    "kDecideBatchStream = 8,\n  kClearCache = 9,"))),
+        ("renumbered streaming chunk tag (kBatchChunk 8 -> 9)", lambda t: (
+            _doctor(t, message_h, r"kBatchChunk = 8", "kBatchChunk = 9"))),
         ("mid-struct field insertion (before StatsResponse.workers)",
          lambda t: (
             _doctor(t, message_h, r"(\n  int64_t workers = 1;)",
